@@ -1,0 +1,87 @@
+//! # homunculus-backends
+//!
+//! Backend targets for the Homunculus compiler (§3.3 of the paper): each
+//! target owns a **resource model**, a **performance model**, a
+//! **feasibility checker**, and a **template-based code generator**.
+//!
+//! Three targets are modeled, matching the paper's evaluation:
+//!
+//! | Target | Fabric | Limiting resources | Code |
+//! |---|---|---|---|
+//! | [`taurus::TaurusTarget`] | MapReduce CGRA grid ("bump in the wire" in a PISA switch) | Compute Units (CUs), Memory Units (MUs) | Spatial |
+//! | [`tofino::TofinoTarget`] | PISA match-action pipeline | match-action tables (MATs), stages | P4 (IIsy-style mappings) |
+//! | [`fpga::FpgaTarget`] | P4-SDNet / NetFPGA-style FPGA (Alveo U250) | LUTs, FFs, BRAM, power | P4 + Verilog-ish via Spatial |
+//!
+//! The numbers behind each estimator are calibrated against the paper's
+//! published measurements (Tables 2 and 5); the calibration constants are
+//! documented at their definition sites.
+//!
+//! The shared vocabulary is [`model::ModelIr`] — the backend-agnostic
+//! description of a trained (or candidate) model — and the [`target::Target`]
+//! trait implemented by all three backends.
+
+pub mod fpga;
+pub mod model;
+pub mod p4;
+pub mod resources;
+pub mod spatial;
+pub mod target;
+pub mod taurus;
+pub mod tofino;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by backend targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackendError {
+    /// The target cannot run this model family at all (e.g. a float DNN
+    /// on a plain MAT pipeline without the MapReduce block).
+    Unsupported {
+        /// Target name.
+        target: String,
+        /// Model family description.
+        model: String,
+    },
+    /// Invalid model description (e.g. zero-width layer).
+    InvalidModel(String),
+    /// Code generation requires trained parameters that are missing.
+    MissingWeights(String),
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::Unsupported { target, model } => {
+                write!(f, "target {target} does not support {model}")
+            }
+            BackendError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
+            BackendError::MissingWeights(msg) => write!(f, "missing weights: {msg}"),
+        }
+    }
+}
+
+impl Error for BackendError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, BackendError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = BackendError::Unsupported {
+            target: "tofino".into(),
+            model: "dnn".into(),
+        };
+        assert_eq!(e.to_string(), "target tofino does not support dnn");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BackendError>();
+    }
+}

@@ -1,0 +1,294 @@
+//! The backend-agnostic model intermediate representation.
+//!
+//! The optimization core explores *candidate configurations*; once trained,
+//! a candidate is lowered to a [`ModelIr`] that every backend understands.
+//! The IR carries both the *shape* (enough for resource estimation — the
+//! common case inside the BO loop) and, when available, the *trained
+//! parameters* (required for final code generation).
+
+use crate::{BackendError, Result};
+use homunculus_ml::kmeans::KMeans;
+use homunculus_ml::mlp::{Activation, Mlp, MlpArchitecture};
+use homunculus_ml::svm::LinearSvm;
+use homunculus_ml::tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// One dense layer's trained parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerParams {
+    /// Weight matrix, `input_dim x output_dim`.
+    pub weights: Matrix,
+    /// Bias vector, length `output_dim`.
+    pub bias: Vec<f32>,
+}
+
+/// A DNN candidate (shape + optional trained layers).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DnnIr {
+    /// The architecture.
+    pub arch: MlpArchitecture,
+    /// Trained parameters, input-to-output order (None inside the BO loop
+    /// before training, or for shape-only estimation).
+    pub params: Option<Vec<LayerParams>>,
+}
+
+impl DnnIr {
+    /// Shape-only IR from an architecture.
+    pub fn from_architecture(arch: &MlpArchitecture) -> Self {
+        DnnIr {
+            arch: arch.clone(),
+            params: None,
+        }
+    }
+
+    /// Full IR from a trained network.
+    pub fn from_mlp(mlp: &Mlp) -> Self {
+        DnnIr {
+            arch: mlp.architecture().clone(),
+            params: Some(
+                mlp.layers()
+                    .iter()
+                    .map(|l| LayerParams {
+                        weights: l.weights.clone(),
+                        bias: l.bias.clone(),
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Parameter count (Table 2's "# NN Param" column).
+    pub fn param_count(&self) -> usize {
+        self.arch.param_count()
+    }
+}
+
+/// A linear SVM candidate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SvmIr {
+    /// Number of input features (IIsy: roughly one MAT per feature).
+    pub n_features: usize,
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Trained hyperplanes (weight vectors + biases), if available.
+    pub planes: Option<(Vec<Vec<f32>>, Vec<f32>)>,
+}
+
+impl SvmIr {
+    /// Shape-only IR.
+    pub fn from_shape(n_features: usize, n_classes: usize) -> Self {
+        SvmIr {
+            n_features,
+            n_classes,
+            planes: None,
+        }
+    }
+
+    /// Full IR from a trained SVM.
+    pub fn from_svm(svm: &LinearSvm) -> Self {
+        SvmIr {
+            n_features: svm.n_features(),
+            n_classes: svm.n_classes(),
+            planes: Some((svm.weights().to_vec(), svm.biases().to_vec())),
+        }
+    }
+}
+
+/// A KMeans candidate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeansIr {
+    /// Number of clusters (IIsy: one MAT per cluster).
+    pub k: usize,
+    /// Number of input features.
+    pub n_features: usize,
+    /// Trained centroids, if available.
+    pub centroids: Option<Vec<Vec<f32>>>,
+}
+
+impl KMeansIr {
+    /// Shape-only IR.
+    pub fn from_shape(k: usize, n_features: usize) -> Self {
+        KMeansIr {
+            k,
+            n_features,
+            centroids: None,
+        }
+    }
+
+    /// Full IR from a trained clustering.
+    pub fn from_kmeans(model: &KMeans, n_features: usize) -> Self {
+        KMeansIr {
+            k: model.k(),
+            n_features,
+            centroids: Some(model.centroids().to_vec()),
+        }
+    }
+}
+
+/// A decision-tree candidate (shape only; depth drives MAT cost).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeIr {
+    /// Tree depth.
+    pub depth: usize,
+    /// Number of input features.
+    pub n_features: usize,
+    /// Number of leaves.
+    pub leaves: usize,
+}
+
+/// The model families the compiler can map to data planes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ModelIr {
+    /// Deep neural network.
+    Dnn(DnnIr),
+    /// Linear support-vector machine.
+    Svm(SvmIr),
+    /// KMeans clustering.
+    KMeans(KMeansIr),
+    /// Decision tree.
+    Tree(TreeIr),
+}
+
+impl ModelIr {
+    /// Short lowercase family name (used in reports and error messages).
+    pub fn family(&self) -> &'static str {
+        match self {
+            ModelIr::Dnn(_) => "dnn",
+            ModelIr::Svm(_) => "svm",
+            ModelIr::KMeans(_) => "kmeans",
+            ModelIr::Tree(_) => "decision_tree",
+        }
+    }
+
+    /// Number of input features the model consumes.
+    pub fn n_features(&self) -> usize {
+        match self {
+            ModelIr::Dnn(d) => d.arch.input_dim,
+            ModelIr::Svm(s) => s.n_features,
+            ModelIr::KMeans(k) => k.n_features,
+            ModelIr::Tree(t) => t.n_features,
+        }
+    }
+
+    /// Total trainable parameter count (0 for trees).
+    pub fn param_count(&self) -> usize {
+        match self {
+            ModelIr::Dnn(d) => d.param_count(),
+            ModelIr::Svm(s) => s.n_features * s.n_classes + s.n_classes,
+            ModelIr::KMeans(k) => k.k * k.n_features,
+            ModelIr::Tree(_) => 0,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::InvalidModel`] on degenerate shapes.
+    pub fn validate(&self) -> Result<()> {
+        let ok = match self {
+            ModelIr::Dnn(d) => d.arch.validate().is_ok(),
+            ModelIr::Svm(s) => s.n_features > 0 && s.n_classes >= 2,
+            ModelIr::KMeans(k) => k.k > 0 && k.n_features > 0,
+            ModelIr::Tree(t) => t.n_features > 0 && t.leaves > 0,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(BackendError::InvalidModel(format!(
+                "degenerate {} shape",
+                self.family()
+            )))
+        }
+    }
+
+    /// The hidden activation, for DNNs.
+    pub fn activation(&self) -> Option<Activation> {
+        match self {
+            ModelIr::Dnn(d) => Some(d.arch.activation),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homunculus_ml::kmeans::KMeansConfig;
+    use homunculus_ml::mlp::TrainConfig;
+    use homunculus_ml::svm::SvmConfig;
+
+    #[test]
+    fn dnn_ir_from_architecture_has_no_params() {
+        let arch = MlpArchitecture::new(7, vec![16, 4], 2);
+        let ir = DnnIr::from_architecture(&arch);
+        assert!(ir.params.is_none());
+        assert_eq!(ir.param_count(), arch.param_count());
+    }
+
+    #[test]
+    fn dnn_ir_from_trained_mlp_carries_weights() {
+        let arch = MlpArchitecture::new(2, vec![4], 2);
+        let mut mlp = Mlp::new(&arch, 0).unwrap();
+        let x = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]]).unwrap();
+        mlp.train(&x, &[0, 1], &TrainConfig::default().epochs(2)).unwrap();
+        let ir = DnnIr::from_mlp(&mlp);
+        let params = ir.params.as_ref().unwrap();
+        assert_eq!(params.len(), 2);
+        assert_eq!(params[0].weights.shape(), (2, 4));
+        assert_eq!(params[1].bias.len(), 2);
+    }
+
+    #[test]
+    fn svm_and_kmeans_ir_roundtrip() {
+        let x = Matrix::from_rows(&[
+            vec![-1.0, 0.0],
+            vec![-2.0, 0.1],
+            vec![1.0, 0.0],
+            vec![2.0, -0.1],
+        ])
+        .unwrap();
+        let svm = LinearSvm::fit(&x, &[0, 0, 1, 1], 2, &SvmConfig::default()).unwrap();
+        let ir = SvmIr::from_svm(&svm);
+        assert_eq!(ir.n_features, 2);
+        assert!(ir.planes.is_some());
+
+        let km = KMeans::fit(&x, &KMeansConfig::new(2)).unwrap();
+        let ir = KMeansIr::from_kmeans(&km, 2);
+        assert_eq!(ir.k, 2);
+        assert_eq!(ir.centroids.as_ref().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn family_names_and_features() {
+        let dnn = ModelIr::Dnn(DnnIr::from_architecture(&MlpArchitecture::new(7, vec![4], 2)));
+        assert_eq!(dnn.family(), "dnn");
+        assert_eq!(dnn.n_features(), 7);
+        let svm = ModelIr::Svm(SvmIr::from_shape(5, 2));
+        assert_eq!(svm.family(), "svm");
+        assert_eq!(svm.param_count(), 12);
+        let km = ModelIr::KMeans(KMeansIr::from_shape(3, 4));
+        assert_eq!(km.param_count(), 12);
+        let tree = ModelIr::Tree(TreeIr {
+            depth: 4,
+            n_features: 6,
+            leaves: 16,
+        });
+        assert_eq!(tree.family(), "decision_tree");
+        assert_eq!(tree.param_count(), 0);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate() {
+        assert!(ModelIr::Svm(SvmIr::from_shape(0, 2)).validate().is_err());
+        assert!(ModelIr::KMeans(KMeansIr::from_shape(0, 4)).validate().is_err());
+        assert!(ModelIr::Tree(TreeIr {
+            depth: 1,
+            n_features: 0,
+            leaves: 2
+        })
+        .validate()
+        .is_err());
+        assert!(ModelIr::Svm(SvmIr::from_shape(4, 2)).validate().is_ok());
+    }
+}

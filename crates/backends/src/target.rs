@@ -1,0 +1,74 @@
+//! The `Target` trait all backends implement.
+
+use crate::model::ModelIr;
+use crate::resources::{Constraints, FeasibilityReport, ResourceEstimate};
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Which hardware family a target belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TargetKind {
+    /// Taurus-style MapReduce CGRA inside a PISA switch.
+    Taurus,
+    /// Plain PISA match-action pipeline (Tofino).
+    Tofino,
+    /// FPGA NIC/accelerator (P4-SDNet / NetFPGA flow).
+    Fpga,
+}
+
+/// A data-plane backend: resource model + feasibility + code generator.
+///
+/// This is the object-safe interface the compiler core uses; each target
+/// also exposes richer inherent methods.
+pub trait Target {
+    /// Human-readable target name (e.g. `"taurus-16x16"`).
+    fn name(&self) -> &str;
+
+    /// Hardware family.
+    fn kind(&self) -> TargetKind;
+
+    /// Whether this target can run the model family *at all* — the paper's
+    /// first pruning step ("the core tries to rule out as many algorithms
+    /// as possible based on the data-plane platform", §3.2.1).
+    fn supports(&self, model: &ModelIr) -> bool;
+
+    /// Estimates resources and performance for a model on this target.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unsupported or degenerate models.
+    fn estimate(&self, model: &ModelIr) -> Result<ResourceEstimate>;
+
+    /// Checks a model against constraints (estimate + compare).
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimation errors.
+    fn check(&self, model: &ModelIr, constraints: &Constraints) -> Result<FeasibilityReport> {
+        Ok(constraints.check(&self.estimate(model)?))
+    }
+
+    /// Generates platform code for a *trained* model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::BackendError::MissingWeights`] when the IR has no
+    /// trained parameters, and unsupported/invalid errors as appropriate.
+    fn generate_code(&self, model: &ModelIr, pipeline_name: &str) -> Result<String>;
+
+    /// The default resource budget of the physical device (used when the
+    /// user's constraints do not override it).
+    fn device_budget(&self) -> crate::resources::ResourceVector;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taurus::TaurusTarget;
+
+    #[test]
+    fn trait_is_object_safe() {
+        let t = TaurusTarget::default();
+        let _obj: &dyn Target = &t;
+    }
+}

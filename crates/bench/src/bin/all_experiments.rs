@@ -1,0 +1,30 @@
+//! Runs every table/figure binary in sequence — the full §5 evaluation.
+//!
+//! `cargo run --release -p homunculus-bench --bin all_experiments`
+
+use std::process::Command;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let me = std::env::current_exe()?;
+    let dir = me.parent().expect("binary has a parent directory");
+    let experiments = [
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "fig4",
+        "fig6",
+        "fig7",
+        "reaction_time",
+    ];
+    for name in experiments {
+        let path = dir.join(name);
+        println!("\n################ {name} ################");
+        let status = Command::new(&path).status()?;
+        if !status.success() {
+            return Err(format!("experiment {name} failed with {status}").into());
+        }
+    }
+    println!("\nall experiments completed");
+    Ok(())
+}

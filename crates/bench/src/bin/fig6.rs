@@ -1,0 +1,76 @@
+//! Figure 6: botnet vs benign flow-level packet-length (PL) and
+//! inter-arrival-time (IPT) histograms, averaged across all flows.
+//!
+//! The shape to reproduce: benign P2P fills many PL bins (including the
+//! high, data-piece bins), while botnet C&C mass concentrates in a few
+//! low bins — "certain bins are not expected to fill for botnet
+//! applications". Botnet IPT mass shifts toward higher bins (long gaps).
+
+use homunculus_bench::{banner, bar, bd_flows};
+use homunculus_dataplane::histogram::FlowmarkerConfig;
+use homunculus_datasets::p2p::averaged_class_histograms;
+
+fn main() {
+    banner("Figure 6: botnet vs benign PL and IPT histograms (per-flow mean counts)");
+    let (train_flows, test_flows) = bd_flows(7);
+    let flows: Vec<_> = train_flows.into_iter().chain(test_flows).collect();
+    let config = FlowmarkerConfig::figure6(); // PL bin = 64 B, IPT bin = 512 s
+    let (benign_pl, botnet_pl, benign_ipt, botnet_ipt) =
+        averaged_class_histograms(&flows, config);
+
+    let pl_max = benign_pl
+        .iter()
+        .chain(&botnet_pl)
+        .cloned()
+        .fold(0.0, f64::max);
+    println!("\npacket-length bins (64 B each)");
+    println!("{:>4} {:>10} {:>10}   benign | malicious", "bin", "benign", "malicious");
+    for (i, (b, m)) in benign_pl.iter().zip(&botnet_pl).enumerate() {
+        println!(
+            "{:>4} {:>10.2} {:>10.2}   {:<20} | {}",
+            i + 1,
+            b,
+            m,
+            bar(*b, pl_max, 20),
+            bar(*m, pl_max, 20)
+        );
+    }
+
+    let ipt_max = benign_ipt
+        .iter()
+        .chain(&botnet_ipt)
+        .cloned()
+        .fold(0.0, f64::max);
+    println!("\ninter-arrival-time bins (512 s each)");
+    println!("{:>4} {:>10} {:>10}   benign | malicious", "bin", "benign", "malicious");
+    for (i, (b, m)) in benign_ipt.iter().zip(&botnet_ipt).enumerate() {
+        println!(
+            "{:>4} {:>10.2} {:>10.2}   {:<20} | {}",
+            i + 1,
+            b,
+            m,
+            bar(*b, ipt_max, 20),
+            bar(*m, ipt_max, 20)
+        );
+    }
+
+    banner("shape checks");
+    let high_bins = 15..config.pl_bins;
+    let benign_high: f64 = high_bins.clone().map(|i| benign_pl[i]).sum();
+    let botnet_high: f64 = high_bins.map(|i| botnet_pl[i]).sum();
+    println!(
+        "benign fills high PL bins, botnet leaves them empty: {:.2} vs {:.2} ({})",
+        benign_high,
+        botnet_high,
+        benign_high > botnet_high * 5.0
+    );
+    let benign_tail: f64 = benign_ipt[1..].iter().sum::<f64>() / benign_ipt.iter().sum::<f64>().max(1e-9);
+    let botnet_tail: f64 = botnet_ipt[1..].iter().sum::<f64>() / botnet_ipt.iter().sum::<f64>().max(1e-9);
+    println!(
+        "botnet IPT mass shifts to higher bins: {:.3} vs benign {:.3} ({})",
+        botnet_tail,
+        benign_tail,
+        botnet_tail > benign_tail
+    );
+    println!("histograms differ early: per-packet ML can classify before the flow ends");
+}

@@ -1,0 +1,185 @@
+//! Table 2: hand-tuned baseline models vs Homunculus-generated models.
+//!
+//! For each application (AD, TC, BD) this binary trains the paper's
+//! hand-tuned baseline DNN with fixed hyper-parameters, runs the full
+//! Homunculus search under the Taurus constraints, and prints F1, the
+//! parameter counts, and the CU/MU resource bill side by side with the
+//! paper's reported values.
+//!
+//! The shape to reproduce: Homunculus beats the hand-tuned baseline on
+//! every application; for AD/TC it does so with a *bigger* model (more
+//! CUs/MUs — using the idle resources), while for BD it wins with *fewer*
+//! parameters arranged deeper (CU->MU shift).
+
+use homunculus_backends::model::{DnnIr, ModelIr};
+use homunculus_backends::target::Target;
+use homunculus_backends::taurus::TaurusTarget;
+use homunculus_bench::{
+    ad_dataset, banner, bd_flows, compile_on_taurus, experiment_options, mlp_from_ir, paper,
+    partial_histogram_f1, print_row, tc_dataset, train_baseline, train_bd_baseline, Application,
+    BD_HORIZONS,
+};
+use homunculus_dataplane::histogram::FlowmarkerConfig;
+use homunculus_datasets::p2p::mixed_partial_histogram_dataset;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("Table 2: baselines vs Homunculus-generated models (Taurus)");
+    println!(
+        "{:<10} {:>9} {:>9} {:>8} {:>6} {:>6}   (paper: params/f1/cus/mus)",
+        "model", "features", "params", "F1", "CUs", "MUs"
+    );
+
+    let taurus = TaurusTarget::default();
+    let mut rows: Vec<(String, usize, usize, f64, f64, f64)> = Vec::new();
+
+    // ---- AD ----
+    let ad = ad_dataset(42);
+    let base_ad = train_baseline(Application::Ad, &ad, 0)?;
+    let base_ad_ir = ModelIr::Dnn(DnnIr::from_mlp(&base_ad.net));
+    let est = taurus.estimate(&base_ad_ir)?;
+    rows.push((
+        "Base-AD".into(),
+        7,
+        base_ad.net.param_count(),
+        base_ad.objective,
+        est.resources.get("cus"),
+        est.resources.get("mus"),
+    ));
+
+    let hom_ad = compile_on_taurus(
+        "hom_ad",
+        Application::Ad.metric(),
+        ad_dataset(42),
+        &experiment_options(1),
+    )?;
+    let best = hom_ad.best();
+    rows.push((
+        "Hom-AD".into(),
+        7,
+        best.ir.param_count(),
+        best.objective,
+        best.estimate.resources.get("cus"),
+        best.estimate.resources.get("mus"),
+    ));
+
+    // ---- TC ----
+    let tc = tc_dataset(11);
+    let base_tc = train_baseline(Application::Tc, &tc, 0)?;
+    let base_tc_ir = ModelIr::Dnn(DnnIr::from_mlp(&base_tc.net));
+    let est = taurus.estimate(&base_tc_ir)?;
+    rows.push((
+        "Base-TC".into(),
+        7,
+        base_tc.net.param_count(),
+        base_tc.objective,
+        est.resources.get("cus"),
+        est.resources.get("mus"),
+    ));
+
+    let hom_tc = compile_on_taurus(
+        "hom_tc",
+        Application::Tc.metric(),
+        tc_dataset(11),
+        &experiment_options(2),
+    )?;
+    let best = hom_tc.best();
+    rows.push((
+        "Hom-TC".into(),
+        7,
+        best.ir.param_count(),
+        best.objective,
+        best.estimate.resources.get("cus"),
+        best.estimate.resources.get("mus"),
+    ));
+
+    // ---- BD (train on full flowmarkers, evaluate per-packet) ----
+    let config = FlowmarkerConfig::paper_reduced();
+    let (train_flows, test_flows) = bd_flows(7);
+    let base_bd = train_bd_baseline(&train_flows, config, 0)?;
+    let base_bd_partial = partial_histogram_f1(
+        &base_bd.net,
+        &base_bd.normalizer,
+        &test_flows,
+        config,
+        &BD_HORIZONS,
+    );
+    let base_bd_ir = ModelIr::Dnn(DnnIr::from_mlp(&base_bd.net));
+    let est = taurus.estimate(&base_bd_ir)?;
+    rows.push((
+        "Base-BD".into(),
+        30,
+        base_bd.net.param_count(),
+        base_bd_partial,
+        est.resources.get("cus"),
+        est.resources.get("mus"),
+    ));
+
+    // The searched BD model is a *per-packet* model: it trains directly
+    // on partial histograms at every horizon (the intro's headline — a
+    // model "achieving an F1 score of 86.5" without waiting for the
+    // flow), while the hand-tuned baseline keeps FlowLens' per-flow
+    // protocol above.
+    let bd_search_dataset =
+        mixed_partial_histogram_dataset(&train_flows, config, &BD_HORIZONS);
+    let hom_bd = compile_on_taurus(
+        "hom_bd",
+        Application::Bd.metric(),
+        bd_search_dataset.clone(),
+        &experiment_options(3),
+    )?;
+    let best = hom_bd.best();
+    let hom_net = mlp_from_ir(&best.ir);
+    // Normalizer of the final training pass (same protocol the compiler used).
+    let hom_norm = bd_search_dataset
+        .stratified_split(0.3, 3)?
+        .train
+        .fit_normalizer();
+    let hom_bd_partial =
+        partial_histogram_f1(&hom_net, &hom_norm, &test_flows, config, &BD_HORIZONS);
+    rows.push((
+        "Hom-BD".into(),
+        30,
+        best.ir.param_count(),
+        hom_bd_partial,
+        best.estimate.resources.get("cus"),
+        best.estimate.resources.get("mus"),
+    ));
+
+    // ---- print ----
+    for ((name, features, params, f1, cus, mus), (pname, _, pparams, pf1, pcus, pmus)) in
+        rows.iter().zip(paper::TABLE2.iter())
+    {
+        assert_eq!(name, pname);
+        println!(
+            "{name:<10} {features:>9} {params:>9} {:>8.2} {cus:>6.0} {mus:>6.0}   ({pparams}/{pf1}/{pcus}/{pmus})",
+            f1 * 100.0
+        );
+    }
+
+    banner("shape checks");
+    let f1 = |i: usize| rows[i].3;
+    println!(
+        "Hom-AD beats Base-AD:  {:.2} > {:.2}  -> {}",
+        f1(1) * 100.0,
+        f1(0) * 100.0,
+        f1(1) > f1(0)
+    );
+    println!(
+        "Hom-TC beats Base-TC:  {:.2} > {:.2}  -> {}",
+        f1(3) * 100.0,
+        f1(2) * 100.0,
+        f1(3) > f1(2)
+    );
+    println!(
+        "Hom-BD beats Base-BD:  {:.2} > {:.2}  -> {}",
+        f1(5) * 100.0,
+        f1(4) * 100.0,
+        f1(5) > f1(4)
+    );
+    print_row(
+        "BD per-packet headline",
+        &format!("{:.1}", f1(5) * 100.0),
+        &format!("{}", paper::BD_PER_PACKET_HEADLINE_F1),
+    );
+    Ok(())
+}

@@ -1,0 +1,107 @@
+//! Table 3: resource scaling for different application chaining
+//! strategies on one Taurus switch (§5.1.3).
+//!
+//! The paper chains copies of the anomaly-detection DNN in sequential,
+//! parallel, and mixed topologies and observes that the resource bill
+//! "stays constant with the number of models, regardless of the strategy"
+//! — chaining glue fits into already-allocated CUs.
+
+use homunculus_backends::resources::Performance;
+use homunculus_bench::{
+    ad_dataset, banner, compile_on_taurus, paper, Application,
+};
+use homunculus_core::alchemy::ModelSpec;
+use homunculus_core::pipeline::CompilerOptions;
+use homunculus_core::schedule::ScheduleExpr;
+use homunculus_datasets::nslkdd::NslKddGenerator;
+
+fn spec(name: &str) -> ModelSpec {
+    ModelSpec::builder(name)
+        .data(NslKddGenerator::new(1).generate(400))
+        .build()
+        .expect("valid spec")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("Table 3: resource scaling for application chaining (Taurus)");
+
+    // Search the AD model once; the chains replicate it (the paper chains
+    // copies of the same anomaly-detection DNN).
+    let options = CompilerOptions {
+        bo_budget: 12,
+        doe_samples: 4,
+        train_epochs: 15,
+        final_epochs: 30,
+        sample_cap: Some(1_200),
+        parallel: true,
+        seed: 4,
+    };
+    let artifact = compile_on_taurus(
+        "ad_chain_unit",
+        Application::Ad.metric(),
+        ad_dataset(42),
+        &options,
+    )?;
+    let unit = artifact.best();
+    let unit_resources = unit.estimate.resources.clone();
+    let unit_perf = unit.estimate.performance;
+    println!(
+        "unit model: {} params, per-copy resources {}\n",
+        unit.ir.param_count(),
+        unit_resources
+    );
+
+    let strategies: Vec<(&str, ScheduleExpr)> = vec![
+        (
+            "DNN > DNN > DNN > DNN",
+            spec("a") >> spec("b") >> spec("c") >> spec("d"),
+        ),
+        (
+            "DNN | DNN | DNN | DNN",
+            spec("e") | spec("f") | spec("g") | spec("h"),
+        ),
+        (
+            "DNN > (DNN | DNN) > DNN",
+            spec("i") >> (spec("j") | spec("k")) >> spec("l"),
+        ),
+    ];
+
+    println!(
+        "{:<26} {:>8} {:>8} {:>12} {:>10}   (paper per-copy: CUs/MUs)",
+        "strategy", "CUs", "MUs", "tput(GPkt/s)", "lat(ns)"
+    );
+    for ((label, expr), (plabel, pcus, pmus)) in strategies.into_iter().zip(paper::TABLE3) {
+        assert_eq!(label, plabel);
+        let copies = expr.len();
+        let resources = expr.combined_resources(&vec![unit_resources.clone(); copies]);
+        let perf = expr.combined_performance(&vec![unit_perf; copies]);
+        println!(
+            "{label:<26} {:>8.0} {:>8.0} {:>12.2} {:>10.0}   ({pcus}/{pmus})",
+            resources.get("cus"),
+            resources.get("mus"),
+            perf.throughput_gpps,
+            perf.latency_ns,
+        );
+    }
+
+    banner("shape checks");
+    // Identical totals across strategies = the paper's headline.
+    let seq = (spec("a") >> spec("b") >> spec("c") >> spec("d"))
+        .combined_resources(&vec![unit_resources.clone(); 4]);
+    let par = (spec("e") | spec("f") | spec("g") | spec("h"))
+        .combined_resources(&vec![unit_resources.clone(); 4]);
+    println!(
+        "resources identical across strategies: {}",
+        seq.get("cus") == par.get("cus") && seq.get("mus") == par.get("mus")
+    );
+    // Throughput consistency: all strategies sustain the min throughput.
+    let perf4: Vec<Performance> = vec![unit_perf; 4];
+    let seq_perf =
+        (spec("a") >> spec("b") >> spec("c") >> spec("d")).combined_performance(&perf4);
+    println!(
+        "sequential chain holds line rate: {} ({} GPkt/s)",
+        seq_perf.throughput_gpps >= 1.0,
+        seq_perf.throughput_gpps
+    );
+    Ok(())
+}

@@ -1,0 +1,97 @@
+//! Table 4: fused resource usage (§3.2.5, §5.1.3).
+//!
+//! The AD dataset is divided into two halves, each compiled as its own
+//! model (sharing the switch 50/50) — then Homunculus fuses them into a
+//! single model trained on both halves. The fused model costs about as
+//! much as *one* split model: a ~2x resource saving.
+
+use homunculus_bench::{banner, paper, Application};
+use homunculus_core::alchemy::{Algorithm, ModelSpec, Platform};
+use homunculus_core::fusion::{try_fuse, DEFAULT_OVERLAP_THRESHOLD};
+use homunculus_core::pipeline::{generate_with, CompilerOptions};
+use homunculus_datasets::nslkdd::NslKddGenerator;
+
+fn compile(spec: ModelSpec, seed: u64) -> Result<(f64, f64, f64), Box<dyn std::error::Error>> {
+    let mut platform = Platform::taurus();
+    platform
+        .constraints_mut()
+        .throughput_gpps(1.0)
+        .latency_ns(500.0)
+        .grid(16, 16);
+    platform.schedule(spec)?;
+    let options = CompilerOptions {
+        bo_budget: 12,
+        doe_samples: 4,
+        train_epochs: 15,
+        final_epochs: 40,
+        sample_cap: Some(1_500),
+        parallel: true,
+        seed,
+    };
+    let artifact = generate_with(&platform, &options)?;
+    let best = artifact.best();
+    Ok((
+        best.objective,
+        best.estimate.resources.get("cus"),
+        best.estimate.resources.get("mus"),
+    ))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("Table 4: fused resource usage (Taurus)");
+    let (half_a, half_b) = NslKddGenerator::new(13).generate_halves(6_000);
+    println!(
+        "AD dataset split: part1 = {} samples, part2 = {} samples",
+        half_a.len(),
+        half_b.len()
+    );
+
+    let spec_a = ModelSpec::builder("ad_part1")
+        .optimization_metric(Application::Ad.metric())
+        .algorithm(Algorithm::Dnn)
+        .data(half_a)
+        .build()?;
+    let spec_b = ModelSpec::builder("ad_part2")
+        .optimization_metric(Application::Ad.metric())
+        .algorithm(Algorithm::Dnn)
+        .data(half_b)
+        .build()?;
+    let (fused, decision) = try_fuse(&spec_a, &spec_b, DEFAULT_OVERLAP_THRESHOLD)?;
+    println!("fusion decision: {decision:?}\n");
+    let fused = fused.expect("halves share one schema");
+
+    let (f1_a, cus_a, mus_a) = compile(spec_a, 31)?;
+    let (f1_b, cus_b, mus_b) = compile(spec_b, 32)?;
+    let (f1_f, cus_f, mus_f) = compile(fused, 33)?;
+
+    println!(
+        "{:<12} {:>8} {:>8} {:>8}   (paper: PCUs/PMUs)",
+        "application", "F1", "CUs", "MUs"
+    );
+    let rows = [
+        ("AD: Part 1", f1_a, cus_a, mus_a),
+        ("AD: Part 2", f1_b, cus_b, mus_b),
+        ("AD: Fused", f1_f, cus_f, mus_f),
+    ];
+    for ((label, f1, cus, mus), (plabel, pcus, pmus)) in rows.iter().zip(paper::TABLE4) {
+        assert_eq!(*label, plabel);
+        println!(
+            "{label:<12} {:>8.2} {cus:>8.0} {mus:>8.0}   ({pcus}/{pmus})",
+            f1 * 100.0
+        );
+    }
+
+    banner("shape checks");
+    println!(
+        "fused ~= one split model (CUs): {:.0} vs avg {:.0} -> within 2x: {}",
+        cus_f,
+        (cus_a + cus_b) / 2.0,
+        cus_f <= (cus_a + cus_b)
+    );
+    println!(
+        "saving vs separate deployment: {:.1}x CUs, {:.1}x MUs",
+        (cus_a + cus_b) / cus_f.max(1.0),
+        (mus_a + mus_b) / mus_f.max(1.0)
+    );
+    Ok(())
+}

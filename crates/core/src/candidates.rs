@@ -1,0 +1,156 @@
+//! Candidate model selection (§3.2.1).
+//!
+//! "As a first step, the core tries to rule out as many algorithms as
+//! possible based on the data-plane platform and network constraints."
+//! This module implements that pre-filter: algorithms the user excluded,
+//! algorithms the metric rules out (clustering metrics need clustering
+//! algorithms), algorithms the platform cannot run at all, and algorithms
+//! whose *minimal* configuration already violates the constraints are all
+//! dropped before any training happens.
+
+use crate::alchemy::{Algorithm, Metric, ModelSpec, Platform};
+use crate::{CoreError, Result};
+use homunculus_backends::model::{DnnIr, KMeansIr, ModelIr, SvmIr, TreeIr};
+use homunculus_ml::mlp::MlpArchitecture;
+
+/// The smallest sensible IR of each family — used as the feasibility
+/// probe: if even this violates the budget, the family is out.
+pub fn minimal_ir(algorithm: Algorithm, n_features: usize, n_classes: usize) -> ModelIr {
+    match algorithm {
+        Algorithm::Dnn => ModelIr::Dnn(DnnIr::from_architecture(&MlpArchitecture::new(
+            n_features,
+            vec![2],
+            n_classes.max(2),
+        ))),
+        Algorithm::Svm => ModelIr::Svm(SvmIr::from_shape(2.min(n_features).max(1), n_classes.max(2))),
+        Algorithm::KMeans => ModelIr::KMeans(KMeansIr::from_shape(1, n_features)),
+        Algorithm::DecisionTree => ModelIr::Tree(TreeIr {
+            depth: 1,
+            n_features,
+            leaves: 2,
+        }),
+    }
+}
+
+/// Whether an algorithm can optimize the requested metric.
+pub fn metric_compatible(algorithm: Algorithm, metric: Metric) -> bool {
+    match metric {
+        // Supervised metrics need supervised learners.
+        Metric::F1 | Metric::MacroF1 | Metric::Accuracy => algorithm != Algorithm::KMeans,
+        // Clustering quality needs a clusterer.
+        Metric::VMeasure => algorithm == Algorithm::KMeans,
+    }
+}
+
+/// Selects the candidate algorithms for a model on a platform.
+///
+/// # Errors
+///
+/// Returns [`CoreError::NoCandidates`] when nothing survives — the
+/// "no feasible solution exists" terminal state of §1.
+pub fn candidate_algorithms(spec: &ModelSpec, platform: &Platform) -> Result<Vec<Algorithm>> {
+    let requested: Vec<Algorithm> = if spec.algorithms.is_empty() {
+        Algorithm::ALL.to_vec()
+    } else {
+        spec.algorithms.clone()
+    };
+
+    let target = platform.effective_target();
+    let constraints = platform.effective_constraints();
+    let n_features = spec.dataset.n_features();
+    let n_classes = spec.dataset.n_classes();
+
+    let survivors: Vec<Algorithm> = requested
+        .into_iter()
+        .filter(|&algorithm| metric_compatible(algorithm, spec.optimization_metric))
+        .filter(|&algorithm| {
+            let probe = minimal_ir(algorithm, n_features, n_classes);
+            let t = target.as_target();
+            t.supports(&probe)
+                && t.check(&probe, &constraints)
+                    .map(|r| r.is_feasible())
+                    .unwrap_or(false)
+        })
+        .collect();
+
+    if survivors.is_empty() {
+        return Err(CoreError::NoCandidates(format!(
+            "model '{}': no algorithm passes the {} pre-filter",
+            spec.name,
+            target.as_target().name()
+        )));
+    }
+    Ok(survivors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homunculus_datasets::iot::IotTrafficGenerator;
+    use homunculus_datasets::nslkdd::NslKddGenerator;
+
+    fn ad_spec(metric: Metric) -> ModelSpec {
+        ModelSpec::builder("ad")
+            .optimization_metric(metric)
+            .data(NslKddGenerator::new(0).generate(100))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn supervised_metric_excludes_kmeans() {
+        let c = candidate_algorithms(&ad_spec(Metric::F1), &Platform::taurus()).unwrap();
+        assert!(!c.contains(&Algorithm::KMeans));
+        assert!(c.contains(&Algorithm::Dnn));
+    }
+
+    #[test]
+    fn vmeasure_keeps_only_kmeans() {
+        let spec = ModelSpec::builder("tc")
+            .optimization_metric(Metric::VMeasure)
+            .data(IotTrafficGenerator::new(0).generate(100))
+            .build()
+            .unwrap();
+        let c = candidate_algorithms(&spec, &Platform::tofino()).unwrap();
+        assert_eq!(c, vec![Algorithm::KMeans]);
+    }
+
+    #[test]
+    fn user_algorithm_list_respected() {
+        let spec = ModelSpec::builder("ad")
+            .algorithm(Algorithm::Svm)
+            .data(NslKddGenerator::new(0).generate(100))
+            .build()
+            .unwrap();
+        let c = candidate_algorithms(&spec, &Platform::taurus()).unwrap();
+        assert_eq!(c, vec![Algorithm::Svm]);
+    }
+
+    #[test]
+    fn tiny_mat_budget_drops_dnn() {
+        // A Tofino with 8 MATs cannot host even a 2-layer BNN (24 MATs).
+        let mut p = Platform::tofino();
+        p.constraints_mut().mats(8);
+        let c = candidate_algorithms(&ad_spec(Metric::F1), &p).unwrap();
+        assert!(!c.contains(&Algorithm::Dnn), "dnn should be pre-filtered: {c:?}");
+        assert!(c.contains(&Algorithm::Svm) || c.contains(&Algorithm::DecisionTree));
+    }
+
+    #[test]
+    fn impossible_budget_yields_no_candidates() {
+        let mut p = Platform::tofino();
+        p.constraints_mut().mats(1);
+        // SVM needs features+1 >= 3 MATs, tree needs features+1, DNN 12+;
+        // with 1 MAT and a supervised metric nothing survives.
+        let r = candidate_algorithms(&ad_spec(Metric::F1), &p);
+        assert!(matches!(r, Err(CoreError::NoCandidates(_))));
+    }
+
+    #[test]
+    fn minimal_irs_are_valid() {
+        for algorithm in Algorithm::ALL {
+            let ir = minimal_ir(algorithm, 7, 2);
+            assert!(ir.validate().is_ok(), "{algorithm:?}");
+        }
+    }
+}

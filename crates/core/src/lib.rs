@@ -1,0 +1,131 @@
+//! # homunculus-core
+//!
+//! The Homunculus compiler itself: the **Alchemy** declarative frontend,
+//! the **optimization core** (BO-guided design-space exploration with
+//! training and feasibility testing), **model fusion**, **scheduling** of
+//! multiple models on one data plane, and the **backend generation** step
+//! that emits Spatial/P4 (§3 of the paper, Figure 2).
+//!
+//! A network operator writes only three things (Figure 3):
+//!
+//! 1. a dataset (via [`alchemy::ModelSpec`]'s data loader),
+//! 2. objectives (the optimization metric, e.g. F1), and
+//! 3. a platform with constraints (throughput, latency, resources).
+//!
+//! [`generate`] then searches model architectures, trains candidates,
+//! rejects configurations that violate the platform budget, and emits
+//! code for the winner.
+//!
+//! ```no_run
+//! use homunculus_core::alchemy::{Metric, ModelSpec, Platform};
+//! use homunculus_core::pipeline::CompilerOptions;
+//! use homunculus_datasets::nslkdd::NslKddGenerator;
+//!
+//! # fn main() -> Result<(), homunculus_core::CoreError> {
+//! let dataset = NslKddGenerator::new(42).generate(4_000);
+//! let model = ModelSpec::builder("anomaly_detection")
+//!     .optimization_metric(Metric::F1)
+//!     .data(dataset)
+//!     .build()?;
+//!
+//! let mut platform = Platform::taurus();
+//! platform
+//!     .constraints_mut()
+//!     .throughput_gpps(1.0)
+//!     .latency_ns(500.0)
+//!     .grid(16, 16);
+//! platform.schedule(model)?;
+//!
+//! let artifact = homunculus_core::generate_with(&platform, &CompilerOptions::fast())?;
+//! println!("best objective: {:.3}", artifact.best().objective);
+//! println!("{}", artifact.code());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod alchemy;
+pub mod candidates;
+pub mod fusion;
+pub mod pipeline;
+pub mod schedule;
+pub mod spaces;
+pub mod trainer;
+
+use std::error::Error;
+use std::fmt;
+
+pub use pipeline::{generate, generate_with};
+
+/// Errors produced by the compiler.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The Alchemy program was malformed (missing dataset, empty name...).
+    InvalidProgram(String),
+    /// No candidate algorithm survived platform pre-filtering.
+    NoCandidates(String),
+    /// The search finished without a single feasible model.
+    NoFeasibleModel(String),
+    /// An underlying subsystem failed.
+    Subsystem(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidProgram(msg) => write!(f, "invalid alchemy program: {msg}"),
+            CoreError::NoCandidates(msg) => write!(f, "no candidate algorithms: {msg}"),
+            CoreError::NoFeasibleModel(msg) => write!(f, "no feasible model found: {msg}"),
+            CoreError::Subsystem(msg) => write!(f, "subsystem failure: {msg}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+impl From<homunculus_ml::MlError> for CoreError {
+    fn from(e: homunculus_ml::MlError) -> Self {
+        CoreError::Subsystem(e.to_string())
+    }
+}
+
+impl From<homunculus_datasets::DatasetError> for CoreError {
+    fn from(e: homunculus_datasets::DatasetError) -> Self {
+        CoreError::Subsystem(e.to_string())
+    }
+}
+
+impl From<homunculus_optimizer::OptimizerError> for CoreError {
+    fn from(e: homunculus_optimizer::OptimizerError) -> Self {
+        CoreError::Subsystem(e.to_string())
+    }
+}
+
+impl From<homunculus_backends::BackendError> for CoreError {
+    fn from(e: homunculus_backends::BackendError) -> Self {
+        CoreError::Subsystem(e.to_string())
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_conversions() {
+        assert_eq!(
+            CoreError::NoCandidates("x".into()).to_string(),
+            "no candidate algorithms: x"
+        );
+        let e: CoreError = homunculus_ml::MlError::EmptyInput("y").into();
+        assert!(matches!(e, CoreError::Subsystem(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,581 @@
+//! The compiler driver: Figure 2's optimization core + backend generation.
+//!
+//! For every scheduled model the driver runs **parallel candidate runs**
+//! (one BO search per surviving algorithm, mirroring the paper's parallel
+//! exploration of candidate models), where each BO evaluation is:
+//!
+//! 1. decode the suggested configuration and **train** it (`trainer`),
+//! 2. lower to IR and **estimate** resources/performance on the target,
+//! 3. **check feasibility** against the platform constraints,
+//! 4. report `(objective, feasible, metrics)` back to the optimizer.
+//!
+//! After the searches, the best feasible candidate wins; it is retrained
+//! with the final epoch budget and handed to the backend code generator.
+
+use crate::alchemy::{Algorithm, Metric, ModelSpec, Platform};
+use crate::candidates::candidate_algorithms;
+use crate::spaces::design_space_for;
+use crate::trainer::{normalized_split, train_candidate, TrainBudget};
+use crate::{CoreError, Result};
+use homunculus_backends::model::ModelIr;
+use homunculus_backends::resources::{
+    Constraints, Performance, ResourceEstimate, ResourceVector,
+};
+use homunculus_datasets::dataset::Split;
+use homunculus_optimizer::space::Configuration;
+use homunculus_optimizer::{
+    BayesianOptimizer, Evaluation, OptimizationHistory, OptimizerOptions,
+};
+use serde::{Deserialize, Serialize};
+
+/// Compiler knobs: search/training budgets and reproducibility.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompilerOptions {
+    /// BO evaluation budget per (model, algorithm) pair.
+    pub bo_budget: usize,
+    /// Random-initialization samples within that budget.
+    pub doe_samples: usize,
+    /// Training epochs per BO evaluation.
+    pub train_epochs: usize,
+    /// Training epochs for the final (winning) model.
+    pub final_epochs: usize,
+    /// Optional cap on dataset size during the search (stratified
+    /// subsample) — evaluation stays on the full split.
+    pub sample_cap: Option<usize>,
+    /// Run candidate algorithms on parallel threads.
+    pub parallel: bool,
+    /// Root RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CompilerOptions {
+    fn default() -> Self {
+        CompilerOptions {
+            bo_budget: 20,
+            doe_samples: 5,
+            train_epochs: 30,
+            final_epochs: 60,
+            sample_cap: None,
+            parallel: true,
+            seed: 0,
+        }
+    }
+}
+
+impl CompilerOptions {
+    /// A small-budget preset for tests and examples (seconds, not minutes).
+    pub fn fast() -> Self {
+        CompilerOptions {
+            bo_budget: 8,
+            doe_samples: 3,
+            train_epochs: 10,
+            final_epochs: 20,
+            sample_cap: Some(1_200),
+            parallel: true,
+            seed: 0,
+        }
+    }
+
+    /// The paper-scale preset (Figure 4 uses ~20 iterations).
+    pub fn thorough() -> Self {
+        CompilerOptions::default()
+    }
+
+    /// Sets the BO budget.
+    pub fn bo_budget(mut self, budget: usize) -> Self {
+        self.bo_budget = budget;
+        self
+    }
+
+    /// Sets the root seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-evaluation epoch budget.
+    pub fn train_epochs(mut self, epochs: usize) -> Self {
+        self.train_epochs = epochs;
+        self
+    }
+}
+
+/// The compile result for one scheduled model.
+#[derive(Debug, Clone)]
+pub struct ModelReport {
+    /// Model (application) name.
+    pub name: String,
+    /// Winning algorithm.
+    pub algorithm: Algorithm,
+    /// Objective value of the final trained model on the held-out split.
+    pub objective: f64,
+    /// The metric the objective was measured with.
+    pub metric: Metric,
+    /// The winning configuration.
+    pub configuration: Configuration,
+    /// Resource/performance estimate of the final model.
+    pub estimate: ResourceEstimate,
+    /// The final trained model IR.
+    pub ir: ModelIr,
+    /// Generated platform code.
+    pub code: String,
+    /// The winning algorithm's optimization history (Figure 4's series).
+    pub history: OptimizationHistory,
+    /// Histories of all algorithm runs (winner included).
+    pub algorithm_histories: Vec<(Algorithm, OptimizationHistory)>,
+}
+
+/// The full compile result: per-model reports + combined code/envelope.
+#[derive(Debug, Clone)]
+pub struct CompiledArtifact {
+    reports: Vec<ModelReport>,
+    combined_resources: ResourceVector,
+    combined_performance: Performance,
+    combined_code: String,
+}
+
+impl CompiledArtifact {
+    /// Per-model reports, in schedule order.
+    pub fn reports(&self) -> &[ModelReport] {
+        &self.reports
+    }
+
+    /// The primary (first-scheduled) model's report.
+    pub fn best(&self) -> &ModelReport {
+        &self.reports[0]
+    }
+
+    /// Looks up a report by model name.
+    pub fn report(&self, name: &str) -> Option<&ModelReport> {
+        self.reports.iter().find(|r| r.name == name)
+    }
+
+    /// Total resources across the schedule (Table 3's accounting).
+    pub fn combined_resources(&self) -> &ResourceVector {
+        &self.combined_resources
+    }
+
+    /// Combined performance under the throughput-consistency rule.
+    pub fn combined_performance(&self) -> Performance {
+        self.combined_performance
+    }
+
+    /// The generated data-plane source (all models concatenated).
+    pub fn code(&self) -> &str {
+        &self.combined_code
+    }
+}
+
+/// Compiles a platform with default options — the paper's
+/// `homunculus.generate(platform)` entry point.
+///
+/// # Errors
+///
+/// See [`generate_with`].
+pub fn generate(platform: &Platform) -> Result<CompiledArtifact> {
+    generate_with(platform, &CompilerOptions::default())
+}
+
+/// Compiles a platform: search + train + feasibility-check + codegen for
+/// every scheduled model.
+///
+/// # Errors
+///
+/// - [`CoreError::InvalidProgram`] when no schedule is installed.
+/// - [`CoreError::NoCandidates`] when the pre-filter removes everything.
+/// - [`CoreError::NoFeasibleModel`] when the search budget ends with no
+///   feasible configuration.
+pub fn generate_with(platform: &Platform, options: &CompilerOptions) -> Result<CompiledArtifact> {
+    let schedule = platform
+        .schedule_expr()
+        .ok_or_else(|| CoreError::InvalidProgram("platform has no scheduled models".into()))?;
+    let specs = schedule.models();
+
+    // Multiple models share the device: each gets an equal slice of the
+    // resource budget (the Table 4 experiment: "they are each allocated
+    // half of the switch's resources").
+    let share = specs.len().max(1) as f64;
+    let constraints = scaled_constraints(&platform.effective_constraints(), share);
+
+    let mut reports = Vec::with_capacity(specs.len());
+    for (index, spec) in specs.iter().enumerate() {
+        let report = compile_model(spec, platform, &constraints, options, index as u64)?;
+        reports.push(report);
+    }
+
+    let resources: Vec<ResourceVector> = reports
+        .iter()
+        .map(|r| r.estimate.resources.clone())
+        .collect();
+    let performances: Vec<Performance> = reports.iter().map(|r| r.estimate.performance).collect();
+    let combined_resources = schedule.combined_resources(&resources);
+    let combined_performance = schedule.combined_performance(&performances);
+    let combined_code = reports
+        .iter()
+        .map(|r| r.code.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+
+    Ok(CompiledArtifact {
+        reports,
+        combined_resources,
+        combined_performance,
+        combined_code,
+    })
+}
+
+/// Divides every resource cap by `share` (performance clauses are
+/// per-model and stay unchanged).
+fn scaled_constraints(constraints: &Constraints, share: f64) -> Constraints {
+    let mut scaled = Constraints::new();
+    if let Some(t) = constraints.min_throughput_gpps {
+        scaled = scaled.throughput_gpps(t);
+    }
+    if let Some(l) = constraints.max_latency_ns {
+        scaled = scaled.latency_ns(l);
+    }
+    for (name, cap) in constraints.budget.iter() {
+        scaled = scaled.resource(name.clone(), cap / share);
+    }
+    scaled
+}
+
+/// Compiles one model: candidate selection, parallel BO runs, final
+/// training, and code generation.
+fn compile_model(
+    spec: &ModelSpec,
+    platform: &Platform,
+    constraints: &Constraints,
+    options: &CompilerOptions,
+    model_index: u64,
+) -> Result<ModelReport> {
+    let algorithms = candidate_algorithms(spec, platform)?;
+    let search_dataset = match options.sample_cap {
+        Some(cap) if spec.dataset.len() > cap => {
+            let fraction = cap as f64 / spec.dataset.len() as f64;
+            spec.dataset
+                .stratified_split(fraction, options.seed)?
+                .test
+        }
+        _ => spec.dataset.clone(),
+    };
+    let split = normalized_split(&search_dataset, spec.test_fraction, options.seed)?;
+
+    // Parallel candidate runs (Figure 2's "Parallel Candidate Runs").
+    let runs: Vec<(Algorithm, Result<OptimizationHistory>)> = if options.parallel
+        && algorithms.len() > 1
+    {
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = algorithms
+                .iter()
+                .map(|&algorithm| {
+                    let split_ref = &split;
+                    scope.spawn(move |_| {
+                        (
+                            algorithm,
+                            search_algorithm(
+                                algorithm,
+                                spec,
+                                platform,
+                                constraints,
+                                split_ref,
+                                options,
+                                model_index,
+                            ),
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("search thread panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope")
+    } else {
+        algorithms
+            .iter()
+            .map(|&algorithm| {
+                (
+                    algorithm,
+                    search_algorithm(
+                        algorithm,
+                        spec,
+                        platform,
+                        constraints,
+                        &split,
+                        options,
+                        model_index,
+                    ),
+                )
+            })
+            .collect()
+    };
+
+    // Final model selection across algorithms. Within each algorithm's
+    // history the winner is chosen with an efficiency tie-break (§3: "the
+    // most efficient model will use as many resources as needed without
+    // over-provisioning"): among configurations within EFFICIENCY_SLACK of
+    // the best objective, the one with the fewest parameters wins.
+    const EFFICIENCY_SLACK: f64 = 0.005;
+    let mut algorithm_histories = Vec::new();
+    let mut winner: Option<(Algorithm, Configuration, f64)> = None;
+    for (algorithm, run) in runs {
+        let history = run?;
+        if let Some(best) = history.best_efficient(EFFICIENCY_SLACK, "params") {
+            let better = winner
+                .as_ref()
+                .map_or(true, |(_, _, obj)| best.evaluation.objective > *obj);
+            if better {
+                winner = Some((
+                    algorithm,
+                    best.configuration.clone(),
+                    best.evaluation.objective,
+                ));
+            }
+        }
+        algorithm_histories.push((algorithm, history));
+    }
+    let (algorithm, configuration, _) = winner.ok_or_else(|| {
+        CoreError::NoFeasibleModel(format!(
+            "model '{}': search budget exhausted without a feasible configuration",
+            spec.name
+        ))
+    })?;
+
+    // Retrain the winner with the final budget on the full dataset.
+    let final_split = normalized_split(&spec.dataset, spec.test_fraction, options.seed)?;
+    let final_budget = TrainBudget {
+        epochs: options.final_epochs,
+        seed: options.seed ^ 0xF1A4,
+    };
+    let trained = train_candidate(
+        algorithm,
+        &configuration,
+        &final_split,
+        spec.optimization_metric,
+        final_budget,
+    )?;
+    let target = platform.effective_target();
+    let estimate = target.as_target().estimate(&trained.ir)?;
+    let code = target.as_target().generate_code(&trained.ir, &spec.name)?;
+
+    let history = algorithm_histories
+        .iter()
+        .find(|(a, _)| *a == algorithm)
+        .map(|(_, h)| h.clone())
+        .expect("winner came from a recorded run");
+
+    Ok(ModelReport {
+        name: spec.name.clone(),
+        algorithm,
+        objective: trained.objective,
+        metric: spec.optimization_metric,
+        configuration,
+        estimate,
+        ir: trained.ir,
+        code,
+        history,
+        algorithm_histories,
+    })
+}
+
+/// One algorithm's BO search: the black-box objective is train + estimate
+/// + feasibility-check.
+fn search_algorithm(
+    algorithm: Algorithm,
+    spec: &ModelSpec,
+    platform: &Platform,
+    constraints: &Constraints,
+    split: &Split,
+    options: &CompilerOptions,
+    model_index: u64,
+) -> Result<OptimizationHistory> {
+    let space = design_space_for(algorithm, spec, platform)?;
+    let target = platform.effective_target();
+    let seed = options
+        .seed
+        .wrapping_add(model_index.wrapping_mul(0x9E37))
+        .wrapping_add(algorithm as u64 * 0x79B9);
+    let optimizer_options = OptimizerOptions::default()
+        .budget(options.bo_budget)
+        .doe_samples(options.doe_samples.min(options.bo_budget))
+        .seed(seed);
+    let budget = TrainBudget {
+        epochs: options.train_epochs,
+        seed,
+    };
+
+    let history = BayesianOptimizer::new(space, optimizer_options).run(|config| {
+        match train_candidate(algorithm, config, split, spec.optimization_metric, budget) {
+            Ok(candidate) => match target.as_target().check(&candidate.ir, constraints) {
+                Ok(report) => {
+                    let mut evaluation = Evaluation::new(candidate.objective)
+                        .feasible(report.is_feasible())
+                        .with_metric("params", candidate.ir.param_count() as f64);
+                    if let Ok(estimate) = target.as_target().estimate(&candidate.ir) {
+                        for (name, value) in estimate.resources.iter() {
+                            evaluation = evaluation.with_metric(name.clone(), *value);
+                        }
+                        evaluation = evaluation
+                            .with_metric("latency_ns", estimate.performance.latency_ns)
+                            .with_metric(
+                                "throughput_gpps",
+                                estimate.performance.throughput_gpps,
+                            );
+                    }
+                    evaluation
+                }
+                Err(_) => Evaluation::new(candidate.objective).feasible(false),
+            },
+            // A configuration that fails to train at all is infeasible.
+            Err(_) => Evaluation::new(0.0).feasible(false),
+        }
+    })?;
+    Ok(history)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alchemy::Metric;
+    use homunculus_datasets::iot::IotTrafficGenerator;
+    use homunculus_datasets::nslkdd::NslKddGenerator;
+
+    fn tiny_options() -> CompilerOptions {
+        CompilerOptions {
+            bo_budget: 8,
+            doe_samples: 4,
+            train_epochs: 12,
+            final_epochs: 25,
+            sample_cap: Some(600),
+            parallel: true,
+            seed: 0,
+        }
+    }
+
+    fn ad_platform(n: usize) -> Platform {
+        let spec = ModelSpec::builder("anomaly_detection")
+            .optimization_metric(Metric::F1)
+            .algorithm(Algorithm::Dnn)
+            .data(NslKddGenerator::new(1).generate(n))
+            .build()
+            .unwrap();
+        let mut platform = Platform::taurus();
+        platform
+            .constraints_mut()
+            .throughput_gpps(1.0)
+            .latency_ns(500.0)
+            .grid(16, 16);
+        platform.schedule(spec).unwrap();
+        platform
+    }
+
+    #[test]
+    fn end_to_end_ad_compile() {
+        let artifact = generate_with(&ad_platform(900), &tiny_options()).unwrap();
+        let best = artifact.best();
+        assert_eq!(best.name, "anomaly_detection");
+        assert_eq!(best.algorithm, Algorithm::Dnn);
+        assert!(best.objective > 0.5, "objective {}", best.objective);
+        assert!(best.code.contains("@spatial object AnomalyDetection"));
+        assert!(best.estimate.resources.get("cus") > 0.0);
+        assert_eq!(best.estimate.performance.throughput_gpps, 1.0);
+        // History has exactly the budgeted points.
+        assert_eq!(best.history.points().len(), 8);
+    }
+
+    #[test]
+    fn unscheduled_platform_rejected() {
+        let platform = Platform::taurus();
+        assert!(matches!(
+            generate_with(&platform, &tiny_options()),
+            Err(CoreError::InvalidProgram(_))
+        ));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = generate_with(&ad_platform(600), &tiny_options()).unwrap();
+        let b = generate_with(&ad_platform(600), &tiny_options()).unwrap();
+        assert_eq!(a.best().objective, b.best().objective);
+        assert_eq!(a.best().code, b.best().code);
+    }
+
+    #[test]
+    fn kmeans_on_tofino_respects_mat_budget() {
+        let spec = ModelSpec::builder("traffic_classification")
+            .optimization_metric(Metric::VMeasure)
+            .data(IotTrafficGenerator::new(2).generate(700))
+            .build()
+            .unwrap();
+        let mut platform = Platform::tofino();
+        platform.constraints_mut().mats(3);
+        platform.schedule(spec).unwrap();
+        let artifact = generate_with(&platform, &tiny_options()).unwrap();
+        let best = artifact.best();
+        assert_eq!(best.algorithm, Algorithm::KMeans);
+        assert!(
+            best.estimate.resources.get("mats") <= 3.0,
+            "mats {}",
+            best.estimate.resources.get("mats")
+        );
+        assert!(best.code.contains("table cluster_0"));
+    }
+
+    #[test]
+    fn multi_model_schedule_sums_resources() {
+        let g = NslKddGenerator::new(3);
+        let a = ModelSpec::builder("a")
+            .algorithm(Algorithm::Dnn)
+            .data(g.generate(500))
+            .build()
+            .unwrap();
+        let b = ModelSpec::builder("b")
+            .algorithm(Algorithm::Dnn)
+            .data(NslKddGenerator::new(4).generate(500))
+            .build()
+            .unwrap();
+        let mut platform = Platform::taurus();
+        platform
+            .constraints_mut()
+            .throughput_gpps(1.0)
+            .latency_ns(1_000.0);
+        platform.schedule(a >> b).unwrap();
+        let artifact = generate_with(&platform, &tiny_options()).unwrap();
+        assert_eq!(artifact.reports().len(), 2);
+        let sum = artifact.reports()[0].estimate.resources.get("cus")
+            + artifact.reports()[1].estimate.resources.get("cus");
+        assert_eq!(artifact.combined_resources().get("cus"), sum);
+        // Sequential composition sums latency.
+        let lat = artifact.reports()[0].estimate.performance.latency_ns
+            + artifact.reports()[1].estimate.performance.latency_ns;
+        assert!((artifact.combined_performance().latency_ns - lat).abs() < 1e-9);
+        assert!(artifact.report("a").is_some());
+        assert!(artifact.report("missing").is_none());
+        // Combined code contains both pipelines.
+        assert!(artifact.code().matches("@spatial object").count() >= 2);
+    }
+
+    #[test]
+    fn infeasible_constraints_reported() {
+        // A 2x2 grid cannot host any DNN at 1 GPkt/s with latency 500 ns:
+        // candidate pre-filtering should already reject everything.
+        let spec = ModelSpec::builder("impossible")
+            .algorithm(Algorithm::Dnn)
+            .data(NslKddGenerator::new(5).generate(300))
+            .build()
+            .unwrap();
+        let mut platform = Platform::taurus();
+        platform.constraints_mut().grid(2, 2).latency_ns(10.0);
+        platform.schedule(spec).unwrap();
+        let result = generate_with(&platform, &tiny_options());
+        assert!(
+            matches!(
+                result,
+                Err(CoreError::NoCandidates(_)) | Err(CoreError::NoFeasibleModel(_))
+            ),
+            "expected failure, got {result:?}"
+        );
+    }
+}

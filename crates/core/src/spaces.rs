@@ -1,0 +1,224 @@
+//! (Automated) design-space creation (§3.2.2).
+//!
+//! For each candidate algorithm, Homunculus "uses the accompanying
+//! models' parameters and constraints to build a design space [...] by
+//! setting upper and lower bounds for these tunable parameters", with the
+//! bounds "typically calculated based on the target being considered".
+//!
+//! Three variable classes appear (§3.2.2): *hyper-parameters* (searched
+//! here), *physical resources* and *network constraints* (encoded as
+//! feasibility verdicts during evaluation, not as search dimensions).
+
+use crate::alchemy::{Algorithm, ModelSpec, Platform, PlatformTarget};
+use crate::Result;
+use homunculus_ml::mlp::{MlpArchitecture, Optim, TrainConfig};
+use homunculus_optimizer::space::{Configuration, DesignSpace, Parameter};
+
+/// Builds the search space for `algorithm` on `platform`.
+///
+/// The platform bounds the space: a Taurus grid caps DNN width/depth by
+/// its CU/MU capacity; a Tofino MAT budget caps KMeans cluster counts and
+/// SVM feature counts — "many model architectures can be eliminated by
+/// Homunculus as they may violate one or more of these requirements,
+/// effectively reducing the search space" (§3).
+///
+/// # Errors
+///
+/// Propagates design-space construction errors.
+pub fn design_space_for(
+    algorithm: Algorithm,
+    spec: &ModelSpec,
+    platform: &Platform,
+) -> Result<DesignSpace> {
+    let mut space = DesignSpace::new(format!("{}-{}", spec.name, algorithm.name()));
+    let n_features = spec.dataset.n_features();
+    match algorithm {
+        Algorithm::Dnn => {
+            let (max_layers, max_width) = dnn_bounds(platform, n_features);
+            space.add("n_layers", Parameter::integer(1, max_layers as i64))?;
+            space.add("width", Parameter::integer(2, max_width as i64))?;
+            space.add(
+                "taper",
+                Parameter::ordinal(vec![0.5, 0.7, 0.85, 1.0]),
+            )?;
+            space.add("log10_lr", Parameter::real(-3.0, -0.8))?;
+            space.add("batch", Parameter::ordinal(vec![16.0, 32.0, 64.0, 128.0]))?;
+        }
+        Algorithm::Svm => {
+            let min_features = 2.min(n_features) as i64;
+            space.add("log10_lambda", Parameter::real(-5.0, -1.0))?;
+            space.add(
+                "features",
+                Parameter::integer(min_features, n_features as i64),
+            )?;
+        }
+        Algorithm::KMeans => {
+            let max_k = kmeans_max_k(platform, spec);
+            space.add("k", Parameter::integer(1, max_k as i64))?;
+        }
+        Algorithm::DecisionTree => {
+            space.add("depth", Parameter::integer(1, 10))?;
+            space.add("min_leaf", Parameter::integer(1, 8))?;
+        }
+    }
+    Ok(space)
+}
+
+/// Platform-derived DNN bounds: the widest layer must fit the grid when
+/// fully unrolled, and depth is capped by MU availability.
+fn dnn_bounds(platform: &Platform, n_features: usize) -> (usize, usize) {
+    match platform.effective_target() {
+        PlatformTarget::Taurus(t) => {
+            // width * ceil(n_features/8) CUs must fit the grid with room
+            // for other layers; cap conservatively at half the capacity.
+            let per_neuron = n_features.div_ceil(homunculus_backends::taurus::VEC_WIDTH).max(1);
+            let max_width = (t.cu_capacity() / (2 * per_neuron)).clamp(4, 64);
+            let max_layers = 10;
+            (max_layers, max_width)
+        }
+        PlatformTarget::Tofino(t) => {
+            // BNN layers cost 12 MATs each.
+            let max_layers = (t.mats / homunculus_backends::tofino::MATS_PER_BNN_LAYER).max(1);
+            (max_layers.min(10), 32)
+        }
+        PlatformTarget::Fpga(_) => (10, 64),
+    }
+}
+
+/// Platform-derived KMeans bound: one MAT per cluster on Tofino.
+fn kmeans_max_k(platform: &Platform, spec: &ModelSpec) -> usize {
+    let data_cap = spec.dataset.n_classes() + 3;
+    match platform.effective_target() {
+        PlatformTarget::Tofino(t) => t.mats.min(data_cap).max(1),
+        _ => data_cap,
+    }
+}
+
+/// Decodes a DNN configuration into an architecture.
+///
+/// Layer widths taper geometrically: `width * taper^i`, floored at 2 —
+/// this lets a single fixed-dimension space cover both wide-shallow and
+/// narrow-deep topologies (the Hom-BD winner is a narrow-deep one).
+///
+/// # Panics
+///
+/// Panics if `config` does not come from the DNN space.
+pub fn decode_dnn_architecture(
+    config: &Configuration,
+    input_dim: usize,
+    n_classes: usize,
+) -> MlpArchitecture {
+    let n_layers = config.integer("n_layers").expect("dnn space has n_layers") as usize;
+    let width = config.integer("width").expect("dnn space has width") as usize;
+    let taper = config.ordinal("taper").expect("dnn space has taper");
+    let hidden: Vec<usize> = (0..n_layers)
+        .map(|i| ((width as f64 * taper.powi(i as i32)).round() as usize).max(2))
+        .collect();
+    MlpArchitecture::new(input_dim, hidden, n_classes.max(2))
+}
+
+/// Decodes a DNN configuration into training hyper-parameters.
+///
+/// # Panics
+///
+/// Panics if `config` does not come from the DNN space.
+pub fn decode_dnn_training(config: &Configuration, epochs: usize, seed: u64) -> TrainConfig {
+    let lr = 10f64.powf(config.real("log10_lr").expect("dnn space has log10_lr")) as f32;
+    let batch = config.ordinal("batch").expect("dnn space has batch") as usize;
+    TrainConfig::default()
+        .epochs(epochs)
+        .learning_rate(lr)
+        .batch_size(batch)
+        .seed(seed)
+        .optim(Optim::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alchemy::Metric;
+    use homunculus_datasets::nslkdd::NslKddGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spec() -> ModelSpec {
+        ModelSpec::builder("test")
+            .optimization_metric(Metric::F1)
+            .data(NslKddGenerator::new(0).generate(200))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn dnn_space_has_expected_parameters() {
+        let space = design_space_for(Algorithm::Dnn, &spec(), &Platform::taurus()).unwrap();
+        let names: Vec<&String> = space.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["n_layers", "width", "taper", "log10_lr", "batch"]);
+    }
+
+    #[test]
+    fn svm_and_tree_and_kmeans_spaces() {
+        let s = spec();
+        let svm = design_space_for(Algorithm::Svm, &s, &Platform::taurus()).unwrap();
+        assert_eq!(svm.len(), 2);
+        let tree = design_space_for(Algorithm::DecisionTree, &s, &Platform::taurus()).unwrap();
+        assert_eq!(tree.len(), 2);
+        let km = design_space_for(Algorithm::KMeans, &s, &Platform::tofino()).unwrap();
+        assert_eq!(km.len(), 1);
+    }
+
+    #[test]
+    fn tofino_mat_budget_caps_kmeans_k() {
+        let mut p = Platform::tofino();
+        p.constraints_mut().mats(3);
+        let space = design_space_for(Algorithm::KMeans, &spec(), &p).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..50 {
+            let c = space.sample(&mut rng);
+            assert!(c.integer("k").unwrap() <= 3);
+        }
+    }
+
+    #[test]
+    fn small_grid_caps_dnn_width() {
+        let mut p = Platform::taurus();
+        p.constraints_mut().grid(4, 4);
+        let space = design_space_for(Algorithm::Dnn, &spec(), &p).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let c = space.sample(&mut rng);
+            assert!(c.integer("width").unwrap() <= 16, "width should be capped");
+        }
+    }
+
+    #[test]
+    fn decode_dnn_architecture_tapers() {
+        let space = design_space_for(Algorithm::Dnn, &spec(), &Platform::taurus()).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let c = space.sample(&mut rng);
+            let arch = decode_dnn_architecture(&c, 7, 2);
+            assert_eq!(arch.input_dim, 7);
+            assert_eq!(arch.output_dim, 2);
+            assert_eq!(arch.hidden.len(), c.integer("n_layers").unwrap() as usize);
+            // Tapered: widths never grow.
+            for w in arch.hidden.windows(2) {
+                assert!(w[1] <= w[0]);
+            }
+            assert!(arch.hidden.iter().all(|&w| w >= 2));
+            assert!(arch.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn decode_dnn_training_ranges() {
+        let space = design_space_for(Algorithm::Dnn, &spec(), &Platform::taurus()).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = space.sample(&mut rng);
+        let t = decode_dnn_training(&c, 25, 7);
+        assert_eq!(t.epochs, 25);
+        assert_eq!(t.seed, 7);
+        assert!(t.learning_rate > 0.0 && t.learning_rate <= 0.1);
+        assert!([16, 32, 64, 128].contains(&t.batch_size));
+    }
+}

@@ -1,0 +1,357 @@
+//! Training and scoring one candidate configuration (§3.2.4).
+//!
+//! Inside the BO loop, "the Keras ML framework is first delegated the
+//! responsibility of the training process" — here that role is played by
+//! `homunculus-ml`. A candidate configuration is decoded into a concrete
+//! model, trained on the train split, scored on the test split with the
+//! user's objective metric, and lowered to a [`ModelIr`] for feasibility
+//! estimation.
+
+use crate::alchemy::{Algorithm, Metric};
+use crate::spaces::{decode_dnn_architecture, decode_dnn_training};
+use crate::{CoreError, Result};
+use homunculus_backends::model::{DnnIr, KMeansIr, ModelIr, SvmIr, TreeIr};
+use homunculus_datasets::dataset::{Dataset, Split};
+use homunculus_ml::kmeans::{KMeans, KMeansConfig};
+use homunculus_ml::metrics::{accuracy, f1_binary, f1_macro, v_measure};
+use homunculus_ml::mlp::Mlp;
+use homunculus_ml::svm::{LinearSvm, SvmConfig};
+use homunculus_ml::tree::{DecisionTreeClassifier, TreeConfig};
+use homunculus_optimizer::space::Configuration;
+
+/// A trained, scored candidate.
+#[derive(Debug, Clone)]
+pub struct TrainedCandidate {
+    /// The lowered model (with trained parameters).
+    pub ir: ModelIr,
+    /// Objective value on the held-out split (higher is better).
+    pub objective: f64,
+}
+
+/// Scores predictions with the requested metric.
+///
+/// # Errors
+///
+/// Propagates metric computation errors.
+pub fn score(metric: Metric, n_classes: usize, y_true: &[usize], y_pred: &[usize]) -> Result<f64> {
+    let value = match metric {
+        Metric::F1 => f1_binary(y_true, y_pred)?,
+        Metric::MacroF1 => f1_macro(n_classes.max(2), y_true, y_pred)?,
+        Metric::Accuracy => accuracy(y_true, y_pred)?,
+        Metric::VMeasure => v_measure(y_true, y_pred)?.v_measure,
+    };
+    Ok(value)
+}
+
+/// Knobs the compiler passes down to training.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainBudget {
+    /// Epochs for DNN/SVM training.
+    pub epochs: usize,
+    /// Seed for weight init and shuffling.
+    pub seed: u64,
+}
+
+/// Trains the model described by `(algorithm, config)` on `split` and
+/// scores it with `metric`.
+///
+/// # Errors
+///
+/// Propagates training and metric errors as [`CoreError::Subsystem`].
+pub fn train_candidate(
+    algorithm: Algorithm,
+    config: &Configuration,
+    split: &Split,
+    metric: Metric,
+    budget: TrainBudget,
+) -> Result<TrainedCandidate> {
+    match algorithm {
+        Algorithm::Dnn => train_dnn(config, split, metric, budget),
+        Algorithm::Svm => train_svm(config, split, metric, budget),
+        Algorithm::KMeans => train_kmeans(config, split, metric, budget),
+        Algorithm::DecisionTree => train_tree(config, split, metric, budget),
+    }
+}
+
+fn train_dnn(
+    config: &Configuration,
+    split: &Split,
+    metric: Metric,
+    budget: TrainBudget,
+) -> Result<TrainedCandidate> {
+    let n_classes = split.train.n_classes();
+    let arch = decode_dnn_architecture(config, split.train.n_features(), n_classes);
+    let train_config = decode_dnn_training(config, budget.epochs, budget.seed);
+    let mut net = Mlp::new(&arch, budget.seed)?;
+    net.train(split.train.features(), split.train.labels(), &train_config)?;
+    let pred = net.predict(split.test.features())?;
+    let objective = score(metric, n_classes, split.test.labels(), &pred)?;
+    Ok(TrainedCandidate {
+        ir: ModelIr::Dnn(DnnIr::from_mlp(&net)),
+        objective,
+    })
+}
+
+fn train_svm(
+    config: &Configuration,
+    split: &Split,
+    metric: Metric,
+    budget: TrainBudget,
+) -> Result<TrainedCandidate> {
+    let n_classes = split.train.n_classes();
+    let lambda = 10f64.powf(
+        config
+            .real("log10_lambda")
+            .ok_or_else(|| CoreError::Subsystem("svm config missing log10_lambda".into()))?,
+    ) as f32;
+    let keep = config
+        .integer("features")
+        .ok_or_else(|| CoreError::Subsystem("svm config missing features".into()))?
+        as usize;
+
+    let svm_config = SvmConfig::default()
+        .lambda(lambda)
+        .epochs(budget.epochs.max(10))
+        .seed(budget.seed);
+
+    // First pass on all features to rank importance, then keep the top-k
+    // (the paper: "Homunculus will try to remove less impactful features
+    // until the SVM model fits", §4).
+    let full = LinearSvm::fit(
+        split.train.features(),
+        split.train.labels(),
+        n_classes,
+        &svm_config,
+    )?;
+    let mut ranked: Vec<(usize, f32)> = full
+        .feature_importance()
+        .into_iter()
+        .enumerate()
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut kept: Vec<usize> = ranked
+        .iter()
+        .take(keep.clamp(1, split.train.n_features()))
+        .map(|(i, _)| *i)
+        .collect();
+    kept.sort_unstable();
+
+    let train_x = split.train.features().select_cols(&kept);
+    let test_x = split.test.features().select_cols(&kept);
+    let model = LinearSvm::fit(&train_x, split.train.labels(), n_classes, &svm_config)?;
+    let pred = model.predict(&test_x)?;
+    let objective = score(metric, n_classes, split.test.labels(), &pred)?;
+    Ok(TrainedCandidate {
+        ir: ModelIr::Svm(SvmIr::from_svm(&model)),
+        objective,
+    })
+}
+
+fn train_kmeans(
+    config: &Configuration,
+    split: &Split,
+    metric: Metric,
+    budget: TrainBudget,
+) -> Result<TrainedCandidate> {
+    let k = config
+        .integer("k")
+        .ok_or_else(|| CoreError::Subsystem("kmeans config missing k".into()))? as usize;
+    let k = k.clamp(1, split.train.len());
+    // KMeans with k = 1 cannot be fit meaningfully against V-measure but
+    // is a legal (degenerate) configuration: every packet lands in one
+    // cluster (the Figure 7 K1 case).
+    let model = KMeans::fit(
+        split.train.features(),
+        &KMeansConfig::new(k).seed(budget.seed),
+    )?;
+    let pred = model.predict(split.test.features());
+    let objective = score(metric, split.train.n_classes(), split.test.labels(), &pred)?;
+    Ok(TrainedCandidate {
+        ir: ModelIr::KMeans(KMeansIr::from_kmeans(&model, split.train.n_features())),
+        objective,
+    })
+}
+
+fn train_tree(
+    config: &Configuration,
+    split: &Split,
+    metric: Metric,
+    budget: TrainBudget,
+) -> Result<TrainedCandidate> {
+    let n_classes = split.train.n_classes();
+    let depth = config
+        .integer("depth")
+        .ok_or_else(|| CoreError::Subsystem("tree config missing depth".into()))? as usize;
+    let min_leaf = config
+        .integer("min_leaf")
+        .ok_or_else(|| CoreError::Subsystem("tree config missing min_leaf".into()))?
+        as usize;
+    let tree_config = TreeConfig {
+        max_depth: depth,
+        min_samples_leaf: min_leaf,
+        seed: budget.seed,
+        ..TreeConfig::default()
+    };
+    let model = DecisionTreeClassifier::fit(
+        split.train.features(),
+        split.train.labels(),
+        n_classes,
+        &tree_config,
+    )?;
+    let pred = model.predict(split.test.features());
+    let objective = score(metric, n_classes, split.test.labels(), &pred)?;
+    Ok(TrainedCandidate {
+        ir: ModelIr::Tree(TreeIr {
+            depth: model.depth().max(1),
+            n_features: split.train.n_features(),
+            leaves: model.leaf_count(),
+        }),
+        objective,
+    })
+}
+
+/// Normalizes a dataset split (fit on train, apply to both) — the shared
+/// preprocessing every candidate sees.
+///
+/// # Errors
+///
+/// Propagates dataset errors.
+pub fn normalized_split(dataset: &Dataset, test_fraction: f64, seed: u64) -> Result<Split> {
+    let split = dataset.stratified_split(test_fraction, seed)?;
+    let norm = split.train.fit_normalizer();
+    Ok(Split {
+        train: split.train.normalized(&norm)?,
+        test: split.test.normalized(&norm)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alchemy::{ModelSpec, Platform};
+    use crate::spaces::design_space_for;
+    use homunculus_datasets::iot::IotTrafficGenerator;
+    use homunculus_datasets::nslkdd::NslKddGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ad_split() -> Split {
+        let ds = NslKddGenerator::new(1).generate(800);
+        normalized_split(&ds, 0.3, 0).unwrap()
+    }
+
+    fn ad_spec() -> ModelSpec {
+        ModelSpec::builder("ad")
+            .data(NslKddGenerator::new(1).generate(200))
+            .build()
+            .unwrap()
+    }
+
+    const BUDGET: TrainBudget = TrainBudget { epochs: 10, seed: 0 };
+
+    #[test]
+    fn dnn_candidate_trains_and_scores() {
+        let split = ad_split();
+        let space = design_space_for(Algorithm::Dnn, &ad_spec(), &Platform::taurus()).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let config = space.sample(&mut rng);
+        let c = train_candidate(Algorithm::Dnn, &config, &split, Metric::F1, BUDGET).unwrap();
+        assert!((0.0..=1.0).contains(&c.objective));
+        assert!(matches!(c.ir, ModelIr::Dnn(ref d) if d.params.is_some()));
+    }
+
+    #[test]
+    fn svm_candidate_respects_feature_budget() {
+        let split = ad_split();
+        let space = design_space_for(Algorithm::Svm, &ad_spec(), &Platform::tofino()).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..5 {
+            let config = space.sample(&mut rng);
+            let keep = config.integer("features").unwrap() as usize;
+            let c = train_candidate(Algorithm::Svm, &config, &split, Metric::F1, BUDGET).unwrap();
+            match &c.ir {
+                ModelIr::Svm(svm) => assert_eq!(svm.n_features, keep),
+                other => panic!("expected svm ir, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn kmeans_candidate_scores_vmeasure() {
+        let ds = IotTrafficGenerator::new(2).generate(600);
+        let split = normalized_split(&ds, 0.3, 0).unwrap();
+        let spec = ModelSpec::builder("tc")
+            .optimization_metric(Metric::VMeasure)
+            .data(IotTrafficGenerator::new(2).generate(100))
+            .build()
+            .unwrap();
+        let space = design_space_for(Algorithm::KMeans, &spec, &Platform::tofino()).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let config = space.sample(&mut rng);
+        let c =
+            train_candidate(Algorithm::KMeans, &config, &split, Metric::VMeasure, BUDGET).unwrap();
+        assert!((0.0..=1.0).contains(&c.objective));
+    }
+
+    #[test]
+    fn tree_candidate_bounded_depth() {
+        let split = ad_split();
+        let space =
+            design_space_for(Algorithm::DecisionTree, &ad_spec(), &Platform::taurus()).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let config = space.sample(&mut rng);
+        let depth_cap = config.integer("depth").unwrap() as usize;
+        let c = train_candidate(Algorithm::DecisionTree, &config, &split, Metric::F1, BUDGET)
+            .unwrap();
+        match &c.ir {
+            ModelIr::Tree(t) => assert!(t.depth <= depth_cap.max(1)),
+            other => panic!("expected tree ir, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn score_dispatches_metrics() {
+        let t = [0, 1, 0, 1];
+        let p = [0, 1, 0, 0];
+        assert!(score(Metric::F1, 2, &t, &p).unwrap() > 0.0);
+        assert!(score(Metric::MacroF1, 2, &t, &p).unwrap() > 0.0);
+        assert_eq!(score(Metric::Accuracy, 2, &t, &t).unwrap(), 1.0);
+        assert_eq!(score(Metric::VMeasure, 2, &t, &t).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn better_architectures_score_better_on_average() {
+        // Sanity for the whole Table 2 premise: a wider/deeper candidate
+        // should beat a minimal one on the AD task more often than not.
+        let split = ad_split();
+        let space = design_space_for(Algorithm::Dnn, &ad_spec(), &Platform::taurus()).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        // Find a tiny and a large configuration by rejection sampling.
+        let mut tiny = None;
+        let mut large = None;
+        for _ in 0..3_000 {
+            let c = space.sample(&mut rng);
+            let width = c.integer("width").unwrap();
+            let layers = c.integer("n_layers").unwrap();
+            if width <= 4 && layers == 1 && tiny.is_none() {
+                tiny = Some(c.clone());
+            }
+            if width >= 20 && (2..=4).contains(&layers) && large.is_none() {
+                large = Some(c.clone());
+            }
+            if tiny.is_some() && large.is_some() {
+                break;
+            }
+        }
+        let (tiny, large) = (tiny.expect("tiny found"), large.expect("large found"));
+        let budget = TrainBudget { epochs: 20, seed: 0 };
+        let t = train_candidate(Algorithm::Dnn, &tiny, &split, Metric::F1, budget).unwrap();
+        let l = train_candidate(Algorithm::Dnn, &large, &split, Metric::F1, budget).unwrap();
+        assert!(
+            l.objective > t.objective - 0.05,
+            "large {} should not lose badly to tiny {}",
+            l.objective,
+            t.objective
+        );
+    }
+}

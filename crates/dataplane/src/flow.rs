@@ -1,0 +1,348 @@
+//! Flow and conversation tracking.
+//!
+//! Two aggregation keys appear in the paper:
+//!
+//! - the classic **5-tuple flow** ([`FlowKey`]) used for per-flow features
+//!   such as connection duration and byte counts;
+//! - the **conversation** ([`ConversationKey`]) — source/destination IP
+//!   pair with ports ignored — which is how FlowLens (and the paper's
+//!   botnet-detection study, §5.1.1) aggregates P2P traffic.
+//!
+//! [`FlowTable`] ingests a packet stream and maintains per-key
+//! [`FlowStats`]; it is the stateful component a switch would keep in
+//! register arrays.
+
+use crate::packet::{Packet, Protocol};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// The classic 5-tuple flow identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlowKey {
+    /// Source IPv4 address.
+    pub src_ip: Ipv4Addr,
+    /// Destination IPv4 address.
+    pub dst_ip: Ipv4Addr,
+    /// Source L4 port.
+    pub src_port: u16,
+    /// Destination L4 port.
+    pub dst_port: u16,
+    /// L4 protocol.
+    pub protocol: Protocol,
+}
+
+impl FlowKey {
+    /// Extracts the flow key of a packet.
+    pub fn of(packet: &Packet) -> Self {
+        FlowKey {
+            src_ip: packet.src_ip,
+            dst_ip: packet.dst_ip,
+            src_port: packet.src_port,
+            dst_port: packet.dst_port,
+            protocol: packet.protocol,
+        }
+    }
+}
+
+/// A conversation identifier: IP pair, ports ignored, direction-insensitive.
+///
+/// FlowLens tracks botnet candidates at this granularity because P2P bots
+/// hop ports but keep talking to the same peers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConversationKey {
+    /// The numerically smaller endpoint address.
+    pub low_ip: Ipv4Addr,
+    /// The numerically larger endpoint address.
+    pub high_ip: Ipv4Addr,
+}
+
+impl ConversationKey {
+    /// Extracts the (direction-normalized) conversation key of a packet.
+    pub fn of(packet: &Packet) -> Self {
+        let (low_ip, high_ip) = if packet.src_ip <= packet.dst_ip {
+            (packet.src_ip, packet.dst_ip)
+        } else {
+            (packet.dst_ip, packet.src_ip)
+        };
+        ConversationKey { low_ip, high_ip }
+    }
+}
+
+/// Aggregate statistics of one flow (or conversation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowStats {
+    /// Number of packets observed.
+    pub packets: u64,
+    /// Total bytes observed.
+    pub bytes: u64,
+    /// Timestamp of the first packet (ns).
+    pub first_seen_ns: u64,
+    /// Timestamp of the most recent packet (ns).
+    pub last_seen_ns: u64,
+    /// Number of SYN packets seen (connection attempts).
+    pub syn_count: u64,
+    /// Number of RST packets seen (errors/teardowns).
+    pub rst_count: u64,
+}
+
+impl FlowStats {
+    fn first(packet: &Packet) -> Self {
+        FlowStats {
+            packets: 1,
+            bytes: packet.size_bytes as u64,
+            first_seen_ns: packet.timestamp_ns,
+            last_seen_ns: packet.timestamp_ns,
+            syn_count: u64::from(packet.flags.syn),
+            rst_count: u64::from(packet.flags.rst),
+        }
+    }
+
+    fn update(&mut self, packet: &Packet) {
+        self.packets += 1;
+        self.bytes += packet.size_bytes as u64;
+        self.last_seen_ns = self.last_seen_ns.max(packet.timestamp_ns);
+        self.first_seen_ns = self.first_seen_ns.min(packet.timestamp_ns);
+        self.syn_count += u64::from(packet.flags.syn);
+        self.rst_count += u64::from(packet.flags.rst);
+    }
+
+    /// Flow duration in nanoseconds (0 for single-packet flows).
+    pub fn duration_ns(&self) -> u64 {
+        self.last_seen_ns - self.first_seen_ns
+    }
+
+    /// Mean packet size in bytes.
+    pub fn mean_packet_size(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.packets as f64
+        }
+    }
+
+    /// Mean inter-arrival time in nanoseconds (0 for < 2 packets).
+    pub fn mean_inter_arrival_ns(&self) -> f64 {
+        if self.packets < 2 {
+            0.0
+        } else {
+            self.duration_ns() as f64 / (self.packets - 1) as f64
+        }
+    }
+}
+
+/// A stateful flow table, keyed by 5-tuple.
+///
+/// # Example
+///
+/// ```
+/// use homunculus_dataplane::flow::FlowTable;
+/// use homunculus_dataplane::packet::Packet;
+///
+/// let mut table = FlowTable::new();
+/// let pkt = Packet::default();
+/// let stats = table.observe(&pkt);
+/// assert_eq!(stats.packets, 1);
+/// assert_eq!(table.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FlowTable {
+    flows: HashMap<FlowKey, FlowStats>,
+}
+
+impl FlowTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        FlowTable::default()
+    }
+
+    /// Ingests a packet and returns the updated stats for its flow.
+    pub fn observe(&mut self, packet: &Packet) -> FlowStats {
+        let key = FlowKey::of(packet);
+        let stats = self
+            .flows
+            .entry(key)
+            .and_modify(|s| s.update(packet))
+            .or_insert_with(|| FlowStats::first(packet));
+        *stats
+    }
+
+    /// Looks up the stats of a flow.
+    pub fn get(&self, key: &FlowKey) -> Option<&FlowStats> {
+        self.flows.get(key)
+    }
+
+    /// Number of tracked flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Iterates over `(key, stats)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&FlowKey, &FlowStats)> {
+        self.flows.iter()
+    }
+
+    /// Removes flows idle since before `cutoff_ns` and returns how many
+    /// were evicted (switch register reclamation).
+    pub fn evict_idle(&mut self, cutoff_ns: u64) -> usize {
+        let before = self.flows.len();
+        self.flows.retain(|_, s| s.last_seen_ns >= cutoff_ns);
+        before - self.flows.len()
+    }
+}
+
+/// A stateful conversation table, keyed by IP pair.
+#[derive(Debug, Clone, Default)]
+pub struct ConversationTable {
+    conversations: HashMap<ConversationKey, FlowStats>,
+}
+
+impl ConversationTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        ConversationTable::default()
+    }
+
+    /// Ingests a packet and returns the updated stats for its conversation.
+    pub fn observe(&mut self, packet: &Packet) -> FlowStats {
+        let key = ConversationKey::of(packet);
+        let stats = self
+            .conversations
+            .entry(key)
+            .and_modify(|s| s.update(packet))
+            .or_insert_with(|| FlowStats::first(packet));
+        *stats
+    }
+
+    /// Looks up the stats of a conversation.
+    pub fn get(&self, key: &ConversationKey) -> Option<&FlowStats> {
+        self.conversations.get(key)
+    }
+
+    /// Number of tracked conversations.
+    pub fn len(&self) -> usize {
+        self.conversations.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.conversations.is_empty()
+    }
+
+    /// Iterates over `(key, stats)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&ConversationKey, &FlowStats)> {
+        self.conversations.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::TcpFlags;
+
+    fn pkt(src: [u8; 4], dst: [u8; 4], sport: u16, dport: u16, ts: u64, size: u32) -> Packet {
+        Packet::builder()
+            .src_ip(Ipv4Addr::from(src))
+            .dst_ip(Ipv4Addr::from(dst))
+            .src_port(sport)
+            .dst_port(dport)
+            .timestamp_ns(ts)
+            .size_bytes(size)
+            .build()
+    }
+
+    #[test]
+    fn flow_key_distinguishes_ports() {
+        let a = pkt([1, 1, 1, 1], [2, 2, 2, 2], 100, 200, 0, 64);
+        let b = pkt([1, 1, 1, 1], [2, 2, 2, 2], 101, 200, 0, 64);
+        assert_ne!(FlowKey::of(&a), FlowKey::of(&b));
+    }
+
+    #[test]
+    fn conversation_key_ignores_ports_and_direction() {
+        let a = pkt([1, 1, 1, 1], [2, 2, 2, 2], 100, 200, 0, 64);
+        let b = pkt([2, 2, 2, 2], [1, 1, 1, 1], 999, 888, 0, 64);
+        assert_eq!(ConversationKey::of(&a), ConversationKey::of(&b));
+    }
+
+    #[test]
+    fn flow_table_accumulates() {
+        let mut table = FlowTable::new();
+        table.observe(&pkt([1, 0, 0, 1], [1, 0, 0, 2], 1, 2, 100, 100));
+        let stats = table.observe(&pkt([1, 0, 0, 1], [1, 0, 0, 2], 1, 2, 600, 300));
+        assert_eq!(stats.packets, 2);
+        assert_eq!(stats.bytes, 400);
+        assert_eq!(stats.duration_ns(), 500);
+        assert_eq!(stats.mean_packet_size(), 200.0);
+        assert_eq!(stats.mean_inter_arrival_ns(), 500.0);
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn distinct_flows_tracked_separately() {
+        let mut table = FlowTable::new();
+        table.observe(&pkt([1, 0, 0, 1], [1, 0, 0, 2], 1, 2, 0, 64));
+        table.observe(&pkt([1, 0, 0, 1], [1, 0, 0, 2], 3, 2, 0, 64));
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn syn_and_rst_counted() {
+        let mut table = FlowTable::new();
+        let mut b = Packet::builder();
+        b.flags(TcpFlags::syn());
+        let syn = b.build();
+        table.observe(&syn);
+        let mut b = Packet::builder();
+        b.flags(TcpFlags {
+            rst: true,
+            ..TcpFlags::default()
+        });
+        let rst = b.build();
+        let stats = table.observe(&rst);
+        assert_eq!(stats.syn_count, 1);
+        assert_eq!(stats.rst_count, 1);
+    }
+
+    #[test]
+    fn evict_idle_removes_old_flows() {
+        let mut table = FlowTable::new();
+        table.observe(&pkt([1, 0, 0, 1], [1, 0, 0, 2], 1, 2, 100, 64));
+        table.observe(&pkt([1, 0, 0, 3], [1, 0, 0, 4], 1, 2, 10_000, 64));
+        let evicted = table.evict_idle(5_000);
+        assert_eq!(evicted, 1);
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn conversation_table_merges_directions() {
+        let mut table = ConversationTable::new();
+        table.observe(&pkt([1, 1, 1, 1], [2, 2, 2, 2], 10, 20, 0, 100));
+        let stats = table.observe(&pkt([2, 2, 2, 2], [1, 1, 1, 1], 30, 40, 100, 200));
+        assert_eq!(table.len(), 1);
+        assert_eq!(stats.packets, 2);
+        assert_eq!(stats.bytes, 300);
+    }
+
+    #[test]
+    fn single_packet_flow_has_zero_duration_and_ipt() {
+        let mut table = FlowTable::new();
+        let stats = table.observe(&pkt([9, 9, 9, 9], [8, 8, 8, 8], 1, 1, 42, 77));
+        assert_eq!(stats.duration_ns(), 0);
+        assert_eq!(stats.mean_inter_arrival_ns(), 0.0);
+    }
+
+    #[test]
+    fn out_of_order_timestamps_handled() {
+        let mut table = FlowTable::new();
+        table.observe(&pkt([1, 0, 0, 1], [1, 0, 0, 2], 1, 2, 1_000, 64));
+        let stats = table.observe(&pkt([1, 0, 0, 1], [1, 0, 0, 2], 1, 2, 500, 64));
+        assert_eq!(stats.first_seen_ns, 500);
+        assert_eq!(stats.last_seen_ns, 1_000);
+    }
+}

@@ -1,0 +1,92 @@
+//! Seeded sampling helpers shared by the generators.
+//!
+//! Only `rand` is available offline (no `rand_distr`), so the normal and
+//! log-normal draws are implemented via Box-Muller.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One standard-normal draw (Box-Muller).
+pub fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A normal draw with the given mean and standard deviation.
+pub fn normal(rng: &mut StdRng, mean: f64, std: f64) -> f64 {
+    mean + std * standard_normal(rng)
+}
+
+/// A log-normal draw parameterized by the *underlying* normal.
+pub fn log_normal(rng: &mut StdRng, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// A draw from a categorical distribution given (unnormalized) weights.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or sums to zero.
+pub fn categorical(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "categorical weights must sum to > 0");
+    let mut target = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if target < w {
+            return i;
+        }
+        target -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_roughly_correct() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(log_normal(&mut rng, 0.0, 1.5) > 0.0);
+        }
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 3];
+        for _ in 0..6_000 {
+            counts[categorical(&mut rng, &[1.0, 2.0, 3.0])] += 1;
+        }
+        assert!(counts[2] > counts[1] && counts[1] > counts[0], "{counts:?}");
+    }
+
+    #[test]
+    fn categorical_zero_weight_class_never_drawn() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..500 {
+            assert_ne!(categorical(&mut rng, &[1.0, 0.0, 1.0]), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "categorical weights must sum to > 0")]
+    fn categorical_all_zero_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        categorical(&mut rng, &[0.0, 0.0]);
+    }
+}

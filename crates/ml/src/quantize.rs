@@ -1,0 +1,298 @@
+//! Fixed-point quantization for data-plane deployment.
+//!
+//! Programmable data planes do not have floating-point units: Taurus'
+//! MapReduce grid and MAT pipelines operate on fixed-point integers. When
+//! the backend generators emit code, trained `f32` weights are quantized to
+//! a signed fixed-point format `Q(int_bits).(frac_bits)`; this module owns
+//! that conversion and its error bounds.
+
+use crate::tensor::Matrix;
+use crate::{MlError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A signed fixed-point format with `int_bits` integer bits (excluding
+/// sign) and `frac_bits` fractional bits.
+///
+/// The representable range is `[-2^int_bits, 2^int_bits - 2^-frac_bits]`
+/// and the quantization step is `2^-frac_bits`.
+///
+/// # Example
+///
+/// ```
+/// use homunculus_ml::quantize::FixedPoint;
+///
+/// # fn main() -> Result<(), homunculus_ml::MlError> {
+/// let q = FixedPoint::new(3, 12)?; // Q3.12, the Taurus default
+/// let raw = q.quantize(1.5);
+/// assert_eq!(q.dequantize(raw), 1.5);
+/// assert!(q.max_error() <= 0.5 / 4096.0 + f32::EPSILON);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FixedPoint {
+    int_bits: u32,
+    frac_bits: u32,
+}
+
+impl FixedPoint {
+    /// Creates a format with the given integer and fractional bit widths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidArgument`] when the total width (including
+    /// the sign bit) exceeds 31 bits or `frac_bits == 0`.
+    pub fn new(int_bits: u32, frac_bits: u32) -> Result<Self> {
+        if int_bits + frac_bits >= 31 {
+            return Err(MlError::InvalidArgument(format!(
+                "fixed-point width {}+{}+sign exceeds 31 bits",
+                int_bits, frac_bits
+            )));
+        }
+        if frac_bits == 0 {
+            return Err(MlError::InvalidArgument("frac_bits must be positive".into()));
+        }
+        Ok(FixedPoint { int_bits, frac_bits })
+    }
+
+    /// The Q3.12 format used by the Taurus templates (16-bit words).
+    pub fn taurus_default() -> Self {
+        FixedPoint {
+            int_bits: 3,
+            frac_bits: 12,
+        }
+    }
+
+    /// Number of integer bits (excluding sign).
+    pub fn int_bits(&self) -> u32 {
+        self.int_bits
+    }
+
+    /// Number of fractional bits.
+    pub fn frac_bits(&self) -> u32 {
+        self.frac_bits
+    }
+
+    /// Total bit width including the sign bit.
+    pub fn total_bits(&self) -> u32 {
+        self.int_bits + self.frac_bits + 1
+    }
+
+    /// Scale factor `2^frac_bits`.
+    pub fn scale(&self) -> f32 {
+        (1u64 << self.frac_bits) as f32
+    }
+
+    /// Largest representable value.
+    pub fn max_value(&self) -> f32 {
+        self.dequantize(self.max_raw())
+    }
+
+    /// Smallest (most negative) representable value.
+    pub fn min_value(&self) -> f32 {
+        self.dequantize(self.min_raw())
+    }
+
+    fn max_raw(&self) -> i32 {
+        ((1i64 << (self.int_bits + self.frac_bits)) - 1) as i32
+    }
+
+    fn min_raw(&self) -> i32 {
+        -(1i64 << (self.int_bits + self.frac_bits)) as i32
+    }
+
+    /// Worst-case round-off error for in-range values: half a step.
+    pub fn max_error(&self) -> f32 {
+        0.5 / self.scale()
+    }
+
+    /// Quantizes a value with round-to-nearest and saturation.
+    ///
+    /// Non-finite inputs saturate (NaN maps to 0).
+    pub fn quantize(&self, value: f32) -> i32 {
+        if value.is_nan() {
+            return 0;
+        }
+        let scaled = (value * self.scale()).round();
+        if scaled >= self.max_raw() as f32 {
+            self.max_raw()
+        } else if scaled <= self.min_raw() as f32 {
+            self.min_raw()
+        } else {
+            scaled as i32
+        }
+    }
+
+    /// Converts a raw fixed-point integer back to `f32`.
+    pub fn dequantize(&self, raw: i32) -> f32 {
+        raw as f32 / self.scale()
+    }
+
+    /// Quantizes a slice.
+    pub fn quantize_slice(&self, values: &[f32]) -> Vec<i32> {
+        values.iter().map(|&v| self.quantize(v)).collect()
+    }
+
+    /// Quantize-dequantize round trip of a slice ("fake quantization").
+    pub fn roundtrip_slice(&self, values: &[f32]) -> Vec<f32> {
+        values.iter().map(|&v| self.dequantize(self.quantize(v))).collect()
+    }
+
+    /// Quantize-dequantize round trip of a whole matrix.
+    pub fn roundtrip_matrix(&self, m: &Matrix) -> Matrix {
+        m.map(|v| self.dequantize(self.quantize(v)))
+    }
+
+    /// Largest absolute round-trip error over the slice.
+    pub fn roundtrip_error(&self, values: &[f32]) -> f32 {
+        values
+            .iter()
+            .map(|&v| (v - self.dequantize(self.quantize(v))).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+/// Statistics of quantizing a trained model's weights.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantizationReport {
+    /// Number of values quantized.
+    pub count: usize,
+    /// Number of values that saturated at the format limits.
+    pub saturated: usize,
+    /// Maximum absolute error across all values.
+    pub max_abs_error: f32,
+    /// Mean absolute error across all values.
+    pub mean_abs_error: f32,
+}
+
+/// Quantizes all values and reports the incurred error.
+pub fn quantize_with_report(format: FixedPoint, values: &[f32]) -> (Vec<i32>, QuantizationReport) {
+    let mut saturated = 0usize;
+    let mut max_err = 0.0f32;
+    let mut sum_err = 0.0f32;
+    let raw: Vec<i32> = values
+        .iter()
+        .map(|&v| {
+            let q = format.quantize(v);
+            if v.is_finite() && (v > format.max_value() || v < format.min_value()) {
+                saturated += 1;
+            }
+            let err = (v - format.dequantize(q)).abs();
+            if v.is_finite() {
+                max_err = max_err.max(err);
+                sum_err += err;
+            }
+            q
+        })
+        .collect();
+    let report = QuantizationReport {
+        count: values.len(),
+        saturated,
+        max_abs_error: max_err,
+        mean_abs_error: if values.is_empty() {
+            0.0
+        } else {
+            sum_err / values.len() as f32
+        },
+    };
+    (raw, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_values_roundtrip() {
+        let q = FixedPoint::new(3, 12).unwrap();
+        for v in [0.0f32, 1.0, -1.0, 0.5, -0.25, 1.5, 7.0, -8.0] {
+            assert_eq!(q.dequantize(q.quantize(v)), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn saturation_at_limits() {
+        let q = FixedPoint::new(3, 12).unwrap();
+        assert_eq!(q.quantize(100.0), q.quantize(q.max_value()));
+        assert_eq!(q.quantize(-100.0), q.quantize(q.min_value()));
+        assert!((q.max_value() - (8.0 - 1.0 / 4096.0)).abs() < 1e-6);
+        assert_eq!(q.min_value(), -8.0);
+    }
+
+    #[test]
+    fn nan_maps_to_zero_and_inf_saturates() {
+        let q = FixedPoint::new(2, 8).unwrap();
+        assert_eq!(q.quantize(f32::NAN), 0);
+        assert_eq!(q.dequantize(q.quantize(f32::INFINITY)), q.max_value());
+        assert_eq!(q.dequantize(q.quantize(f32::NEG_INFINITY)), q.min_value());
+    }
+
+    #[test]
+    fn invalid_formats_rejected() {
+        assert!(FixedPoint::new(16, 16).is_err());
+        assert!(FixedPoint::new(3, 0).is_err());
+        assert!(FixedPoint::new(3, 12).is_ok());
+    }
+
+    #[test]
+    fn taurus_default_is_q3_12() {
+        let q = FixedPoint::taurus_default();
+        assert_eq!(q.int_bits(), 3);
+        assert_eq!(q.frac_bits(), 12);
+        assert_eq!(q.total_bits(), 16);
+    }
+
+    #[test]
+    fn report_counts_saturation() {
+        let q = FixedPoint::new(1, 4).unwrap(); // range [-2, 1.9375]
+        let values = [0.5f32, 10.0, -10.0, 0.1];
+        let (raw, report) = quantize_with_report(q, &values);
+        assert_eq!(raw.len(), 4);
+        assert_eq!(report.count, 4);
+        assert_eq!(report.saturated, 2);
+        assert!(report.max_abs_error >= 8.0); // 10.0 -> ~1.94
+    }
+
+    #[test]
+    fn matrix_roundtrip_close() {
+        let q = FixedPoint::new(3, 12).unwrap();
+        let m = Matrix::from_fn(4, 4, |r, c| (r as f32 - c as f32) * 0.37);
+        let rt = q.roundtrip_matrix(&m);
+        for (a, b) in m.as_slice().iter().zip(rt.as_slice()) {
+            assert!((a - b).abs() <= q.max_error() + 1e-7);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_in_range_error_bounded(v in -7.9f32..7.9) {
+            let q = FixedPoint::new(3, 12).unwrap();
+            let err = (v - q.dequantize(q.quantize(v))).abs();
+            prop_assert!(err <= q.max_error() + 1e-6, "err {err} for {v}");
+        }
+
+        #[test]
+        fn prop_quantize_monotonic(a in -7.9f32..7.9, b in -7.9f32..7.9) {
+            let q = FixedPoint::new(3, 12).unwrap();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(q.quantize(lo) <= q.quantize(hi));
+        }
+
+        #[test]
+        fn prop_dequantize_quantize_identity_on_grid(raw in -32768i32..32767) {
+            let q = FixedPoint::new(3, 12).unwrap();
+            let v = q.dequantize(raw);
+            prop_assert_eq!(q.quantize(v), raw);
+        }
+
+        #[test]
+        fn prop_more_frac_bits_less_error(v in -1.9f32..1.9) {
+            let coarse = FixedPoint::new(2, 4).unwrap();
+            let fine = FixedPoint::new(2, 12).unwrap();
+            let ce = (v - coarse.dequantize(coarse.quantize(v))).abs();
+            let fe = (v - fine.dequantize(fine.quantize(v))).abs();
+            prop_assert!(fe <= ce + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,610 @@
+//! The Bayesian-optimization driver loop.
+//!
+//! Mirrors the paper's HyperMapper setup (§5): a uniform random sampling
+//! initialization phase (design of experiments), then iterations that
+//! (1) fit the random-forest objective surrogate on feasible observations
+//! and the feasibility classifier on all observations, (2) score a pool of
+//! random + locally-perturbed candidates with `EI x P(feasible)`, and
+//! (3) evaluate the winner against the true (expensive) objective — in
+//! Homunculus, "evaluate" means *train the model and check it against the
+//! platform's resource/performance budget*.
+
+use crate::acquisition::Acquisition;
+use crate::space::{Configuration, DesignSpace};
+use crate::surrogate::{FeasibilitySurrogate, ObjectiveSurrogate};
+use crate::{OptimizerError, Result};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The outcome of evaluating one configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Objective value (maximized). Use NaN-free finite values.
+    pub objective: f64,
+    /// Whether every feasibility constraint was satisfied.
+    pub is_feasible: bool,
+    /// Auxiliary metrics recorded for reports (resources, latency, ...).
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl Evaluation {
+    /// A feasible evaluation with the given objective.
+    pub fn new(objective: f64) -> Self {
+        Evaluation {
+            objective,
+            is_feasible: true,
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    /// Sets feasibility.
+    pub fn feasible(mut self, feasible: bool) -> Self {
+        self.is_feasible = feasible;
+        self
+    }
+
+    /// Records an auxiliary metric.
+    pub fn with_metric<S: Into<String>>(mut self, name: S, value: f64) -> Self {
+        self.metrics.insert(name.into(), value);
+        self
+    }
+}
+
+/// One record in the optimization history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluatedPoint {
+    /// Iteration index (0-based; the DOE phase occupies the first indices).
+    pub iteration: usize,
+    /// The configuration that was evaluated.
+    pub configuration: Configuration,
+    /// Its outcome.
+    pub evaluation: Evaluation,
+}
+
+/// The full optimization trace plus derived series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizationHistory {
+    points: Vec<EvaluatedPoint>,
+    doe_samples: usize,
+}
+
+impl OptimizationHistory {
+    /// All evaluated points, in evaluation order.
+    pub fn points(&self) -> &[EvaluatedPoint] {
+        &self.points
+    }
+
+    /// Number of points from the random-initialization phase.
+    pub fn doe_samples(&self) -> usize {
+        self.doe_samples
+    }
+
+    /// The best *feasible* point, if any.
+    pub fn best(&self) -> Option<&EvaluatedPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.evaluation.is_feasible)
+            .max_by(|a, b| {
+                a.evaluation
+                    .objective
+                    .partial_cmp(&b.evaluation.objective)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+
+    /// The best feasible point under an *efficiency* tie-break: among
+    /// feasible points whose objective is within `tolerance` of the best,
+    /// returns the one with the smallest `cost_metric` value.
+    ///
+    /// This implements the paper's §3 principle that "the most efficient
+    /// model will use as many resources as needed *without
+    /// over-provisioning*": a configuration that matches the best
+    /// objective with fewer parameters/resources wins. Points without the
+    /// metric recorded fall back to `f64::INFINITY` cost.
+    pub fn best_efficient(&self, tolerance: f64, cost_metric: &str) -> Option<&EvaluatedPoint> {
+        let best = self.best()?;
+        let threshold = best.evaluation.objective - tolerance.abs();
+        self.points
+            .iter()
+            .filter(|p| p.evaluation.is_feasible && p.evaluation.objective >= threshold)
+            .min_by(|a, b| {
+                let ca = a
+                    .evaluation
+                    .metrics
+                    .get(cost_metric)
+                    .copied()
+                    .unwrap_or(f64::INFINITY);
+                let cb = b
+                    .evaluation
+                    .metrics
+                    .get(cost_metric)
+                    .copied()
+                    .unwrap_or(f64::INFINITY);
+                ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+
+    /// Objective of each iteration (the paper's Figure 4/7 "regret plot"
+    /// series plots these raw per-iteration values).
+    pub fn objective_series(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.evaluation.objective).collect()
+    }
+
+    /// Best-feasible-so-far objective after each iteration (NaN until the
+    /// first feasible point).
+    pub fn best_so_far_series(&self) -> Vec<f64> {
+        let mut best = f64::NAN;
+        self.points
+            .iter()
+            .map(|p| {
+                if p.evaluation.is_feasible && !(p.evaluation.objective <= best) {
+                    best = p.evaluation.objective;
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Fraction of evaluations that were feasible.
+    pub fn feasible_fraction(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points
+            .iter()
+            .filter(|p| p.evaluation.is_feasible)
+            .count() as f64
+            / self.points.len() as f64
+    }
+
+    /// The set of feasible points not dominated in `(objective, metric)`
+    /// space (both maximized after `metric_sign` is applied). Supports the
+    /// paper's multi-objective framing where a second output (e.g.
+    /// negative resource use) matters.
+    pub fn pareto_front(&self, metric: &str, metric_sign: f64) -> Vec<&EvaluatedPoint> {
+        let candidates: Vec<&EvaluatedPoint> = self
+            .points
+            .iter()
+            .filter(|p| p.evaluation.is_feasible && p.evaluation.metrics.contains_key(metric))
+            .collect();
+        candidates
+            .iter()
+            .filter(|a| {
+                let am = a.evaluation.metrics[metric] * metric_sign;
+                !candidates.iter().any(|b| {
+                    let bm = b.evaluation.metrics[metric] * metric_sign;
+                    (b.evaluation.objective >= a.evaluation.objective && bm >= am)
+                        && (b.evaluation.objective > a.evaluation.objective || bm > am)
+                })
+            })
+            .copied()
+            .collect()
+    }
+}
+
+/// Options controlling the optimization loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizerOptions {
+    /// Total evaluation budget (DOE + BO iterations).
+    pub budget: usize,
+    /// Random-initialization samples before BO starts.
+    pub doe_samples: usize,
+    /// Random candidates scored per BO iteration.
+    pub candidate_pool: usize,
+    /// Locally-perturbed candidates (around the incumbent) per iteration.
+    pub local_candidates: usize,
+    /// Acquisition criterion.
+    pub acquisition: Acquisition,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for OptimizerOptions {
+    fn default() -> Self {
+        OptimizerOptions {
+            budget: 20,
+            doe_samples: 5,
+            candidate_pool: 200,
+            local_candidates: 40,
+            acquisition: Acquisition::default(),
+            seed: 0,
+        }
+    }
+}
+
+impl OptimizerOptions {
+    /// Sets the total evaluation budget.
+    pub fn budget(mut self, budget: usize) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the number of random-initialization samples.
+    pub fn doe_samples(mut self, doe: usize) -> Self {
+        self.doe_samples = doe;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the acquisition criterion.
+    pub fn acquisition(mut self, acquisition: Acquisition) -> Self {
+        self.acquisition = acquisition;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.budget == 0 {
+            return Err(OptimizerError::InvalidOptions("budget must be positive".into()));
+        }
+        if self.doe_samples == 0 {
+            return Err(OptimizerError::InvalidOptions(
+                "doe_samples must be positive".into(),
+            ));
+        }
+        if self.candidate_pool == 0 {
+            return Err(OptimizerError::InvalidOptions(
+                "candidate_pool must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The constrained Bayesian optimizer.
+///
+/// See the crate-level example for usage.
+#[derive(Debug, Clone)]
+pub struct BayesianOptimizer {
+    space: DesignSpace,
+    options: OptimizerOptions,
+}
+
+impl BayesianOptimizer {
+    /// Creates an optimizer over `space` with `options`.
+    pub fn new(space: DesignSpace, options: OptimizerOptions) -> Self {
+        BayesianOptimizer { space, options }
+    }
+
+    /// The design space being searched.
+    pub fn space(&self) -> &DesignSpace {
+        &self.space
+    }
+
+    /// Runs the loop, calling `objective` once per evaluated configuration.
+    ///
+    /// # Errors
+    ///
+    /// - [`OptimizerError::InvalidSpace`] for an empty space.
+    /// - [`OptimizerError::InvalidOptions`] for degenerate options.
+    ///
+    /// Note: a history with *no feasible point* is returned as `Ok` — the
+    /// caller decides whether that is an error ([`OptimizationHistory::best`]
+    /// returns `None`); this mirrors the paper's "no feasible solution
+    /// exists" terminal state (§1).
+    pub fn run<F>(&self, mut objective: F) -> Result<OptimizationHistory>
+    where
+        F: FnMut(&Configuration) -> Evaluation,
+    {
+        if self.space.is_empty() {
+            return Err(OptimizerError::InvalidSpace("design space has no parameters".into()));
+        }
+        self.options.validate()?;
+        let mut rng = StdRng::seed_from_u64(self.options.seed);
+        let mut points: Vec<EvaluatedPoint> = Vec::with_capacity(self.options.budget);
+
+        // Phase 1: uniform random initialization (DOE).
+        let doe = self.options.doe_samples.min(self.options.budget);
+        for iteration in 0..doe {
+            let configuration = self.space.sample(&mut rng);
+            let evaluation = objective(&configuration);
+            points.push(EvaluatedPoint {
+                iteration,
+                configuration,
+                evaluation,
+            });
+        }
+
+        // Phase 2: BO iterations.
+        for iteration in doe..self.options.budget {
+            let configuration = self.suggest(&points, &mut rng)?;
+            let evaluation = objective(&configuration);
+            points.push(EvaluatedPoint {
+                iteration,
+                configuration,
+                evaluation,
+            });
+        }
+
+        Ok(OptimizationHistory {
+            points,
+            doe_samples: doe,
+        })
+    }
+
+    /// Proposes the next configuration given the history so far.
+    fn suggest(&self, points: &[EvaluatedPoint], rng: &mut StdRng) -> Result<Configuration> {
+        // Surrogate over *feasible* observations only; if none are feasible
+        // yet, fall back to all observations so the search still has signal.
+        let feasible_history: Vec<(Configuration, f64)> = points
+            .iter()
+            .filter(|p| p.evaluation.is_feasible)
+            .map(|p| (p.configuration.clone(), p.evaluation.objective))
+            .collect();
+        let objective_history: Vec<(Configuration, f64)> = if feasible_history.is_empty() {
+            points
+                .iter()
+                .map(|p| (p.configuration.clone(), p.evaluation.objective))
+                .collect()
+        } else {
+            feasible_history
+        };
+        let surrogate = ObjectiveSurrogate::fit(&objective_history, self.options.seed)?;
+
+        let feasibility_history: Vec<(Configuration, bool)> = points
+            .iter()
+            .map(|p| (p.configuration.clone(), p.evaluation.is_feasible))
+            .collect();
+        let feasibility = FeasibilitySurrogate::fit(&feasibility_history, self.options.seed)?;
+
+        let incumbent = points
+            .iter()
+            .filter(|p| p.evaluation.is_feasible)
+            .map(|p| p.evaluation.objective)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let incumbent = if incumbent.is_finite() {
+            incumbent
+        } else {
+            // No feasible incumbent yet: score raw EI against the best seen.
+            points
+                .iter()
+                .map(|p| p.evaluation.objective)
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
+
+        // Candidate pool: global random + local perturbations of the best.
+        let mut candidates: Vec<Configuration> = (0..self.options.candidate_pool)
+            .map(|_| self.space.sample(rng))
+            .collect();
+        if let Some(best) = points
+            .iter()
+            .filter(|p| p.evaluation.is_feasible)
+            .max_by(|a, b| {
+                a.evaluation
+                    .objective
+                    .partial_cmp(&b.evaluation.objective)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+        {
+            for _ in 0..self.options.local_candidates {
+                candidates.push(self.space.perturb(&best.configuration, rng));
+            }
+        }
+
+        let best_candidate = candidates
+            .into_iter()
+            .map(|c| {
+                let (mean, std) = surrogate.predict(&c);
+                let score =
+                    self.options.acquisition.score(mean, std, incumbent) * feasibility.probability(&c);
+                (c, score)
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(c, _)| c)
+            .expect("candidate pool is non-empty");
+        Ok(best_candidate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Parameter;
+
+    fn quadratic_space() -> DesignSpace {
+        let mut s = DesignSpace::new("quadratic");
+        s.add("x", Parameter::real(-10.0, 10.0)).unwrap();
+        s
+    }
+
+    #[test]
+    fn finds_quadratic_maximum() {
+        // Maximize -(x-3)^2; optimum at x = 3.
+        let history = BayesianOptimizer::new(
+            quadratic_space(),
+            OptimizerOptions::default().budget(40).seed(3),
+        )
+        .run(|c| {
+            let x = c.real("x").unwrap();
+            Evaluation::new(-(x - 3.0) * (x - 3.0))
+        })
+        .unwrap();
+        let best = history.best().unwrap();
+        let x = best.configuration.real("x").unwrap();
+        assert!((x - 3.0).abs() < 1.5, "best x = {x}");
+    }
+
+    #[test]
+    fn bo_beats_random_on_average() {
+        // Same budget: BO's best should beat pure DOE's best typically.
+        let mut bo_wins = 0;
+        for seed in 0..5u64 {
+            let f = |c: &Configuration| {
+                let x = c.real("x").unwrap();
+                Evaluation::new(-(x - 3.0) * (x - 3.0))
+            };
+            let bo = BayesianOptimizer::new(
+                quadratic_space(),
+                OptimizerOptions::default().budget(30).doe_samples(5).seed(seed),
+            )
+            .run(f)
+            .unwrap();
+            let random = BayesianOptimizer::new(
+                quadratic_space(),
+                OptimizerOptions::default().budget(30).doe_samples(30).seed(seed),
+            )
+            .run(f)
+            .unwrap();
+            if bo.best().unwrap().evaluation.objective >= random.best().unwrap().evaluation.objective {
+                bo_wins += 1;
+            }
+        }
+        assert!(bo_wins >= 3, "bo won only {bo_wins}/5");
+    }
+
+    #[test]
+    fn respects_feasibility_constraints() {
+        // Maximize x but only x <= 2 is feasible.
+        let history = BayesianOptimizer::new(
+            quadratic_space(),
+            OptimizerOptions::default().budget(35).seed(5),
+        )
+        .run(|c| {
+            let x = c.real("x").unwrap();
+            Evaluation::new(x).feasible(x <= 2.0)
+        })
+        .unwrap();
+        let best = history.best().unwrap();
+        assert!(best.configuration.real("x").unwrap() <= 2.0);
+        assert!(best.evaluation.objective > 0.0, "should approach the boundary");
+    }
+
+    #[test]
+    fn no_feasible_point_yields_none_best() {
+        let history = BayesianOptimizer::new(
+            quadratic_space(),
+            OptimizerOptions::default().budget(8).seed(0),
+        )
+        .run(|c| Evaluation::new(c.real("x").unwrap()).feasible(false))
+        .unwrap();
+        assert!(history.best().is_none());
+        assert_eq!(history.feasible_fraction(), 0.0);
+    }
+
+    #[test]
+    fn history_series_shapes() {
+        let history = BayesianOptimizer::new(
+            quadratic_space(),
+            OptimizerOptions::default().budget(12).doe_samples(4).seed(1),
+        )
+        .run(|c| Evaluation::new(c.real("x").unwrap()))
+        .unwrap();
+        assert_eq!(history.points().len(), 12);
+        assert_eq!(history.doe_samples(), 4);
+        assert_eq!(history.objective_series().len(), 12);
+        let best_series = history.best_so_far_series();
+        assert_eq!(best_series.len(), 12);
+        // best-so-far is monotonically non-decreasing.
+        for w in best_series.windows(2) {
+            assert!(w[1] >= w[0] || w[0].is_nan());
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed| {
+            BayesianOptimizer::new(
+                quadratic_space(),
+                OptimizerOptions::default().budget(15).seed(seed),
+            )
+            .run(|c| Evaluation::new(-(c.real("x").unwrap()).abs()))
+            .unwrap()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn rejects_degenerate_setup() {
+        let empty = DesignSpace::new("empty");
+        let r = BayesianOptimizer::new(empty, OptimizerOptions::default())
+            .run(|_| Evaluation::new(0.0));
+        assert!(matches!(r, Err(OptimizerError::InvalidSpace(_))));
+
+        let r = BayesianOptimizer::new(quadratic_space(), OptimizerOptions::default().budget(0))
+            .run(|_| Evaluation::new(0.0));
+        assert!(matches!(r, Err(OptimizerError::InvalidOptions(_))));
+    }
+
+    #[test]
+    fn best_efficient_prefers_cheaper_near_ties() {
+        let history = BayesianOptimizer::new(
+            quadratic_space(),
+            OptimizerOptions::default().budget(30).seed(6),
+        )
+        .run(|c| {
+            let x = c.real("x").unwrap();
+            // Objective saturates at 1.0 for |x| <= 5; cost = |x|.
+            let objective = if x.abs() <= 5.0 { 1.0 } else { 0.0 };
+            Evaluation::new(objective).with_metric("cost", x.abs())
+        })
+        .unwrap();
+        let plain = history.best().unwrap();
+        let efficient = history.best_efficient(0.01, "cost").unwrap();
+        assert!(efficient.evaluation.metrics["cost"] <= plain.evaluation.metrics["cost"]);
+        assert!(efficient.evaluation.objective >= plain.evaluation.objective - 0.01);
+    }
+
+    #[test]
+    fn best_efficient_none_when_no_feasible() {
+        let history = BayesianOptimizer::new(
+            quadratic_space(),
+            OptimizerOptions::default().budget(5).seed(0),
+        )
+        .run(|c| Evaluation::new(c.real("x").unwrap()).feasible(false))
+        .unwrap();
+        assert!(history.best_efficient(0.1, "cost").is_none());
+    }
+
+    #[test]
+    fn pareto_front_filters_dominated() {
+        let history = BayesianOptimizer::new(
+            quadratic_space(),
+            OptimizerOptions::default().budget(25).seed(2),
+        )
+        .run(|c| {
+            let x = c.real("x").unwrap();
+            // objective = x, resource = x^2 (want high x, low resource).
+            Evaluation::new(x).with_metric("resource", x * x)
+        })
+        .unwrap();
+        let front = history.pareto_front("resource", -1.0);
+        assert!(!front.is_empty());
+        // No front member may dominate another.
+        for a in &front {
+            for b in &front {
+                if a.iteration == b.iteration {
+                    continue;
+                }
+                let dominates = a.evaluation.objective >= b.evaluation.objective
+                    && -a.evaluation.metrics["resource"] >= -b.evaluation.metrics["resource"]
+                    && (a.evaluation.objective > b.evaluation.objective
+                        || -a.evaluation.metrics["resource"] > -b.evaluation.metrics["resource"]);
+                assert!(!dominates, "front member dominated another");
+            }
+        }
+    }
+
+    #[test]
+    fn ucb_acquisition_also_works() {
+        let history = BayesianOptimizer::new(
+            quadratic_space(),
+            OptimizerOptions::default()
+                .budget(30)
+                .seed(4)
+                .acquisition(Acquisition::Ucb),
+        )
+        .run(|c| {
+            let x = c.real("x").unwrap();
+            Evaluation::new(-(x - 3.0) * (x - 3.0))
+        })
+        .unwrap();
+        let x = history.best().unwrap().configuration.real("x").unwrap();
+        assert!((x - 3.0).abs() < 2.5, "best x = {x}");
+    }
+}

@@ -1,0 +1,211 @@
+//! Surrogate models over design-space configurations.
+//!
+//! The Bayesian loop never evaluates the expensive objective on a
+//! candidate it hasn't chosen; instead it consults two cheap models fit to
+//! the evaluation history:
+//!
+//! - [`ObjectiveSurrogate`] — a random-forest *regressor* predicting the
+//!   objective with an uncertainty estimate (per-tree spread). The paper
+//!   uses HyperMapper's random-forest surrogate because it handles the
+//!   discrete, non-continuous design spaces of data-plane models well (§5).
+//! - [`FeasibilitySurrogate`] — a random-forest *classifier* predicting
+//!   the probability that a candidate satisfies all feasibility
+//!   constraints (resources, latency, throughput), as in constrained
+//!   Bayesian optimization.
+
+use crate::space::Configuration;
+use crate::{OptimizerError, Result};
+use homunculus_ml::forest::{ForestConfig, RandomForestClassifier, RandomForestRegressor};
+use homunculus_ml::tensor::Matrix;
+
+/// Random-forest regression surrogate for the objective.
+#[derive(Debug, Clone)]
+pub struct ObjectiveSurrogate {
+    forest: RandomForestRegressor,
+}
+
+impl ObjectiveSurrogate {
+    /// Fits the surrogate to `(configuration, objective)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizerError::InvalidOptions`] when the history is empty
+    /// or mismatched.
+    pub fn fit(history: &[(Configuration, f64)], seed: u64) -> Result<Self> {
+        if history.is_empty() {
+            return Err(OptimizerError::InvalidOptions(
+                "cannot fit surrogate on empty history".into(),
+            ));
+        }
+        let rows: Vec<Vec<f32>> = history.iter().map(|(c, _)| c.encode()).collect();
+        let targets: Vec<f32> = history.iter().map(|(_, y)| *y as f32).collect();
+        let x = Matrix::from_rows(&rows)
+            .map_err(|e| OptimizerError::InvalidOptions(e.to_string()))?;
+        let config = ForestConfig::default().n_trees(32).seed(seed);
+        let forest = RandomForestRegressor::fit(&x, &targets, &config)
+            .map_err(|e| OptimizerError::InvalidOptions(e.to_string()))?;
+        Ok(ObjectiveSurrogate { forest })
+    }
+
+    /// Predicted mean and standard deviation for a candidate.
+    pub fn predict(&self, candidate: &Configuration) -> (f64, f64) {
+        let (mean, std) = self.forest.predict_mean_std(&candidate.encode());
+        (mean as f64, std as f64)
+    }
+}
+
+/// Random-forest classification surrogate for constraint feasibility.
+#[derive(Debug, Clone)]
+pub struct FeasibilitySurrogate {
+    forest: Option<RandomForestClassifier>,
+    /// Constant fallback when history is single-class.
+    constant: Option<f64>,
+}
+
+impl FeasibilitySurrogate {
+    /// Fits the surrogate to `(configuration, feasible)` pairs.
+    ///
+    /// If the history contains only one class (all feasible or all
+    /// infeasible), the surrogate degenerates to that constant probability
+    /// (a classifier cannot be fit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizerError::InvalidOptions`] on an empty history.
+    pub fn fit(history: &[(Configuration, bool)], seed: u64) -> Result<Self> {
+        if history.is_empty() {
+            return Err(OptimizerError::InvalidOptions(
+                "cannot fit feasibility model on empty history".into(),
+            ));
+        }
+        let n_feasible = history.iter().filter(|(_, f)| *f).count();
+        if n_feasible == 0 || n_feasible == history.len() {
+            return Ok(FeasibilitySurrogate {
+                forest: None,
+                constant: Some(if n_feasible == 0 { 0.0 } else { 1.0 }),
+            });
+        }
+        let rows: Vec<Vec<f32>> = history.iter().map(|(c, _)| c.encode()).collect();
+        let labels: Vec<usize> = history.iter().map(|(_, f)| usize::from(*f)).collect();
+        let x = Matrix::from_rows(&rows)
+            .map_err(|e| OptimizerError::InvalidOptions(e.to_string()))?;
+        let config = ForestConfig::default().n_trees(24).seed(seed);
+        let forest = RandomForestClassifier::fit(&x, &labels, 2, &config)
+            .map_err(|e| OptimizerError::InvalidOptions(e.to_string()))?;
+        Ok(FeasibilitySurrogate {
+            forest: Some(forest),
+            constant: None,
+        })
+    }
+
+    /// Predicted probability that a candidate is feasible.
+    pub fn probability(&self, candidate: &Configuration) -> f64 {
+        if let Some(c) = self.constant {
+            return c;
+        }
+        let forest = self.forest.as_ref().expect("either constant or forest");
+        f64::from(forest.predict_proba_row(&candidate.encode())[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{DesignSpace, Parameter};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> DesignSpace {
+        let mut s = DesignSpace::new("surrogate-test");
+        s.add("x", Parameter::real(0.0, 10.0)).unwrap();
+        s.add("n", Parameter::integer(0, 10)).unwrap();
+        s
+    }
+
+    fn history(n: usize) -> Vec<(Configuration, f64)> {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(7);
+        (0..n)
+            .map(|_| {
+                let c = s.sample(&mut rng);
+                let y = c.real("x").unwrap() * 2.0 + c.integer("n").unwrap() as f64;
+                (c, y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn objective_surrogate_learns_trend() {
+        let h = history(80);
+        let sur = ObjectiveSurrogate::fit(&h, 0).unwrap();
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(9);
+        // Predictions should correlate with the true linear function.
+        let mut num_correct_order = 0;
+        let mut total = 0;
+        for _ in 0..50 {
+            let a = s.sample(&mut rng);
+            let b = s.sample(&mut rng);
+            let true_a = a.real("x").unwrap() * 2.0 + a.integer("n").unwrap() as f64;
+            let true_b = b.real("x").unwrap() * 2.0 + b.integer("n").unwrap() as f64;
+            if (true_a - true_b).abs() < 2.0 {
+                continue;
+            }
+            let (pa, _) = sur.predict(&a);
+            let (pb, _) = sur.predict(&b);
+            total += 1;
+            if (pa > pb) == (true_a > true_b) {
+                num_correct_order += 1;
+            }
+        }
+        assert!(
+            num_correct_order as f64 >= total as f64 * 0.8,
+            "ordering accuracy {num_correct_order}/{total}"
+        );
+    }
+
+    #[test]
+    fn objective_surrogate_rejects_empty() {
+        assert!(ObjectiveSurrogate::fit(&[], 0).is_err());
+    }
+
+    #[test]
+    fn feasibility_learns_boundary() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(11);
+        let h: Vec<(Configuration, bool)> = (0..120)
+            .map(|_| {
+                let c = s.sample(&mut rng);
+                let feasible = c.real("x").unwrap() < 5.0;
+                (c, feasible)
+            })
+            .collect();
+        let sur = FeasibilitySurrogate::fit(&h, 0).unwrap();
+        let mut low = space().sample(&mut rng);
+        // Construct clear points by sampling until x lands where we want.
+        while low.real("x").unwrap() > 2.0 {
+            low = s.sample(&mut rng);
+        }
+        let mut high = s.sample(&mut rng);
+        while high.real("x").unwrap() < 8.0 {
+            high = s.sample(&mut rng);
+        }
+        assert!(sur.probability(&low) > 0.6, "p(low) {}", sur.probability(&low));
+        assert!(sur.probability(&high) < 0.4, "p(high) {}", sur.probability(&high));
+    }
+
+    #[test]
+    fn feasibility_degenerates_to_constant() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(13);
+        let all_good: Vec<(Configuration, bool)> =
+            (0..10).map(|_| (s.sample(&mut rng), true)).collect();
+        let sur = FeasibilitySurrogate::fit(&all_good, 0).unwrap();
+        assert_eq!(sur.probability(&s.sample(&mut rng)), 1.0);
+
+        let all_bad: Vec<(Configuration, bool)> =
+            (0..10).map(|_| (s.sample(&mut rng), false)).collect();
+        let sur = FeasibilitySurrogate::fit(&all_bad, 0).unwrap();
+        assert_eq!(sur.probability(&s.sample(&mut rng)), 0.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! # homunculus-sim
+//!
+//! Simulators standing in for the paper's feasibility-testing
+//! infrastructure (§3.3: "testing is done using hardware testbed platforms
+//! or cycle-accurate simulators, e.g. Tungsten for Taurus or Xilinx Vivado
+//! for FPGAs"):
+//!
+//! - [`grid`] — a cycle-level simulator of the Taurus MapReduce CGRA:
+//!   places a lowered model onto a CU/MU grid and pipelines packets
+//!   through it, reporting initiation interval, latency, throughput, and
+//!   utilization (the SARA/Tungsten substitute).
+//! - [`mat`] — a MAT pipeline simulator: allocates a model's tables onto
+//!   PISA stages and walks packets through them.
+//! - [`pktgen`] — a MoonGen-like traffic source plus an end-to-end
+//!   streaming evaluation harness (inference on every packet while the
+//!   timing model advances), used for the per-packet reaction-time
+//!   experiments.
+
+pub mod grid;
+pub mod mat;
+pub mod pktgen;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The model does not fit the simulated fabric.
+    DoesNotFit(String),
+    /// The model/IR was invalid or unsupported by this simulator.
+    Unsupported(String),
+    /// Simulation parameters were degenerate.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::DoesNotFit(msg) => write!(f, "model does not fit fabric: {msg}"),
+            SimError::Unsupported(msg) => write!(f, "unsupported by simulator: {msg}"),
+            SimError::InvalidConfig(msg) => write!(f, "invalid simulation config: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            SimError::DoesNotFit("x".into()).to_string(),
+            "model does not fit fabric: x"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

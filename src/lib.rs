@@ -1,0 +1,69 @@
+//! # Homunculus
+//!
+//! A Rust reproduction of *"Homunculus: Auto-Generating Efficient Data-Plane
+//! ML Pipelines for Datacenter Networks"* (ASPLOS 2023).
+//!
+//! Homunculus is a compiler. A network operator supplies only:
+//!
+//! 1. a **training dataset** (packet- or flow-level features with labels),
+//! 2. **application objectives** (e.g. maximize F1 score), and
+//! 3. a **target platform** with its network constraints (throughput,
+//!    latency, and data-plane resources),
+//!
+//! and Homunculus explores the design space of ML models (DNN, SVM, KMeans,
+//! decision trees) with constrained Bayesian optimization, trains candidates,
+//! rejects configurations that violate platform feasibility, and finally
+//! emits data-plane code (Spatial for the Taurus MapReduce grid, P4 for
+//! MAT-based switches such as Tofino or the P4-SDNet NetFPGA flow).
+//!
+//! This facade crate re-exports the whole workspace under one roof:
+//!
+//! - [`ml`] — the ML substrate (MLP training, SVM, KMeans, trees, metrics).
+//! - [`dataplane`] — packets, flows, and FlowLens-style flowmarker histograms.
+//! - [`datasets`] — synthetic NSL-KDD-like, IoT, and P2P/botnet generators.
+//! - [`optimizer`] — HyperMapper-style constrained Bayesian optimization.
+//! - [`backends`] — Taurus/Tofino/FPGA resource models and Spatial/P4 codegen.
+//! - [`sim`] — cycle-level MapReduce-grid and MAT-pipeline simulators.
+//! - [`core`] — the Alchemy DSL and the compiler pipeline itself.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use homunculus::core::alchemy::{Metric, ModelSpec, Platform};
+//! use homunculus::core::pipeline::CompilerOptions;
+//! use homunculus::datasets::nslkdd::NslKddGenerator;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. Data: a synthetic NSL-KDD-like anomaly-detection dataset.
+//! let dataset = NslKddGenerator::new(42).generate(4_000);
+//!
+//! // 2. Intent: maximize F1 with a DNN.
+//! let model = ModelSpec::builder("anomaly_detection")
+//!     .optimization_metric(Metric::F1)
+//!     .data(dataset)
+//!     .build()?;
+//!
+//! // 3. Target: a Taurus switch at 1 GPkt/s, 500 ns, on a 16x16 grid.
+//! let mut platform = Platform::taurus();
+//! platform
+//!     .constraints_mut()
+//!     .throughput_gpps(1.0)
+//!     .latency_ns(500.0)
+//!     .grid(16, 16);
+//! platform.schedule(model)?;
+//!
+//! // 4. Compile: search, train, check feasibility, generate code.
+//! let artifact = homunculus::core::generate_with(&platform, &CompilerOptions::fast())?;
+//! println!("best F1 = {:.3}", artifact.best().objective);
+//! println!("{}", artifact.code());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use homunculus_backends as backends;
+pub use homunculus_core as core;
+pub use homunculus_dataplane as dataplane;
+pub use homunculus_datasets as datasets;
+pub use homunculus_ml as ml;
+pub use homunculus_optimizer as optimizer;
+pub use homunculus_sim as sim;

@@ -1,0 +1,108 @@
+//! Structural validation of generated Spatial and P4 across backends.
+
+use homunculus::backends::model::{DnnIr, KMeansIr, ModelIr, SvmIr};
+use homunculus::backends::spatial::is_balanced;
+use homunculus::backends::target::Target;
+use homunculus::backends::taurus::TaurusTarget;
+use homunculus::backends::tofino::TofinoTarget;
+use homunculus::ml::mlp::{Mlp, MlpArchitecture, TrainConfig};
+use homunculus::ml::svm::{LinearSvm, SvmConfig};
+use homunculus::ml::tensor::Matrix;
+
+fn trained_dnn(input: usize, hidden: Vec<usize>) -> ModelIr {
+    let arch = MlpArchitecture::new(input, hidden, 2);
+    let mut net = Mlp::new(&arch, 1).unwrap();
+    let x = Matrix::from_fn(32, input, |r, c| ((r * 3 + c) % 7) as f32 / 7.0);
+    let y: Vec<usize> = (0..32).map(|i| i % 2).collect();
+    net.train(&x, &y, &TrainConfig::default().epochs(3)).unwrap();
+    ModelIr::Dnn(DnnIr::from_mlp(&net))
+}
+
+#[test]
+fn spatial_dnn_has_layer_structure() {
+    let taurus = TaurusTarget::default();
+    let model = trained_dnn(7, vec![16, 4]);
+    let code = taurus.generate_code(&model, "test_pipeline").unwrap();
+    assert!(is_balanced(&code), "unbalanced code:\n{code}");
+    assert!(code.contains("object TestPipeline"));
+    // 3 weight layers -> 3 dot-product reduces.
+    assert_eq!(code.matches("Reduce(Reg[T]").count(), 3);
+    // Double-buffered inter-layer stores.
+    assert!(code.contains(".buffer"));
+    // Fixed-point type is the Taurus Q3.12.
+    assert!(code.contains("FixPt[TRUE, _3, _12]"));
+}
+
+#[test]
+fn spatial_weight_count_scales_with_architecture() {
+    let taurus = TaurusTarget::default();
+    let small = taurus.generate_code(&trained_dnn(7, vec![4]), "s").unwrap();
+    let large = taurus.generate_code(&trained_dnn(7, vec![32, 16]), "l").unwrap();
+    assert!(
+        large.matches(".to[T]").count() > small.matches(".to[T]").count(),
+        "bigger net embeds more literals"
+    );
+}
+
+#[test]
+fn p4_kmeans_table_count_matches_k() {
+    let tofino = TofinoTarget::default();
+    for k in 1..=5 {
+        let model = ModelIr::KMeans(KMeansIr {
+            k,
+            n_features: 7,
+            centroids: Some(vec![vec![0.1; 7]; k]),
+        });
+        let code = tofino.generate_code(&model, "tc").unwrap();
+        assert_eq!(
+            code.matches("table cluster_").count(),
+            k,
+            "k={k} should emit {k} tables"
+        );
+        assert!(is_balanced(&code));
+        assert!(code.contains("parser IngressParser"));
+        assert!(code.contains("control IngressDeparser"));
+    }
+}
+
+#[test]
+fn p4_svm_from_trained_model() {
+    let x = Matrix::from_rows(&[
+        vec![-2.0, 0.3, 1.0],
+        vec![-1.0, -0.3, 0.5],
+        vec![2.0, 0.1, -0.5],
+        vec![1.0, -0.1, -1.0],
+    ])
+    .unwrap();
+    let svm = LinearSvm::fit(&x, &[0, 0, 1, 1], 2, &SvmConfig::default()).unwrap();
+    let model = ModelIr::Svm(SvmIr::from_svm(&svm));
+    let tofino = TofinoTarget::default();
+    let code = tofino.generate_code(&model, "svm_pipe").unwrap();
+    assert_eq!(code.matches("table feature_").count(), 3);
+    assert!(code.contains("meta.feature0"));
+    assert!(is_balanced(&code));
+}
+
+#[test]
+fn generated_code_embeds_pipeline_name() {
+    let taurus = TaurusTarget::default();
+    let model = trained_dnn(7, vec![8]);
+    for name in ["anomaly_detection", "my-app", "x9"] {
+        let code = taurus.generate_code(&model, name).unwrap();
+        assert!(code.contains(&format!("pipeline: {name}")));
+    }
+}
+
+#[test]
+fn untrained_models_refuse_codegen() {
+    let taurus = TaurusTarget::default();
+    let shape_only = ModelIr::Dnn(DnnIr::from_architecture(&MlpArchitecture::new(
+        7,
+        vec![8],
+        2,
+    )));
+    assert!(taurus.generate_code(&shape_only, "x").is_err());
+    let tofino = TofinoTarget::default();
+    let km = ModelIr::KMeans(KMeansIr::from_shape(3, 7));
+    assert!(tofino.generate_code(&km, "x").is_err());
+}

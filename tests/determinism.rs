@@ -1,0 +1,97 @@
+//! Reproducibility: the whole stack is deterministic under a seed.
+
+use homunculus::core::alchemy::{Algorithm, Metric, ModelSpec, Platform};
+use homunculus::core::pipeline::{generate_with, CompilerOptions};
+use homunculus::datasets::iot::IotTrafficGenerator;
+use homunculus::datasets::nslkdd::NslKddGenerator;
+use homunculus::datasets::p2p::P2pTrafficGenerator;
+
+fn options(seed: u64) -> CompilerOptions {
+    CompilerOptions {
+        bo_budget: 6,
+        doe_samples: 3,
+        train_epochs: 8,
+        final_epochs: 12,
+        sample_cap: Some(500),
+        parallel: true,
+        seed,
+    }
+}
+
+fn compile(seed: u64, data_seed: u64) -> (f64, String) {
+    let model = ModelSpec::builder("ad")
+        .optimization_metric(Metric::F1)
+        .algorithm(Algorithm::Dnn)
+        .data(NslKddGenerator::new(data_seed).generate(800))
+        .build()
+        .unwrap();
+    let mut platform = Platform::taurus();
+    platform
+        .constraints_mut()
+        .throughput_gpps(1.0)
+        .latency_ns(500.0);
+    platform.schedule(model).unwrap();
+    let artifact = generate_with(&platform, &options(seed)).unwrap();
+    (artifact.best().objective, artifact.best().code.clone())
+}
+
+#[test]
+fn same_seed_same_artifact() {
+    let (obj_a, code_a) = compile(3, 1);
+    let (obj_b, code_b) = compile(3, 1);
+    assert_eq!(obj_a, obj_b);
+    assert_eq!(code_a, code_b);
+}
+
+#[test]
+fn generators_are_deterministic() {
+    assert_eq!(
+        NslKddGenerator::new(5).generate(300),
+        NslKddGenerator::new(5).generate(300)
+    );
+    assert_eq!(
+        IotTrafficGenerator::new(5).generate(300),
+        IotTrafficGenerator::new(5).generate(300)
+    );
+    assert_eq!(
+        P2pTrafficGenerator::new(5).generate_flows(30),
+        P2pTrafficGenerator::new(5).generate_flows(30)
+    );
+}
+
+#[test]
+fn different_data_seeds_differ() {
+    assert_ne!(
+        NslKddGenerator::new(1).generate(300),
+        NslKddGenerator::new(2).generate(300)
+    );
+}
+
+#[test]
+fn parallel_and_serial_compilation_agree() {
+    // The crossbeam fan-out must not change results (each algorithm run
+    // is independently seeded).
+    let model = || {
+        ModelSpec::builder("ad")
+            .optimization_metric(Metric::F1)
+            .data(NslKddGenerator::new(4).generate(700))
+            .build()
+            .unwrap()
+    };
+    let run = |parallel: bool| {
+        let mut platform = Platform::taurus();
+        platform
+            .constraints_mut()
+            .throughput_gpps(1.0)
+            .latency_ns(500.0);
+        platform.schedule(model()).unwrap();
+        let mut o = options(11);
+        o.parallel = parallel;
+        generate_with(&platform, &o).unwrap()
+    };
+    let par = run(true);
+    let ser = run(false);
+    assert_eq!(par.best().objective, ser.best().objective);
+    assert_eq!(par.best().algorithm, ser.best().algorithm);
+    assert_eq!(par.best().code, ser.best().code);
+}

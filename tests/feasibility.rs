@@ -1,0 +1,135 @@
+//! Constraint handling across the stack: pre-filtering, in-loop
+//! rejection, and the budget sweeps the paper's microbenchmarks rely on.
+
+use homunculus::core::alchemy::{Algorithm, Metric, ModelSpec, Platform};
+use homunculus::core::pipeline::{generate_with, CompilerOptions};
+use homunculus::core::CoreError;
+use homunculus::datasets::iot::IotTrafficGenerator;
+use homunculus::datasets::nslkdd::NslKddGenerator;
+
+fn fast() -> CompilerOptions {
+    CompilerOptions {
+        bo_budget: 6,
+        doe_samples: 3,
+        train_epochs: 8,
+        final_epochs: 10,
+        sample_cap: Some(500),
+        parallel: true,
+        seed: 7,
+    }
+}
+
+#[test]
+fn shrinking_mat_budget_shrinks_chosen_k() {
+    // Figure 7's mechanism: each budget produces a model that fits it.
+    let mut last_k = i64::MAX - 1;
+    for mats in [5usize, 3, 1] {
+        let model = ModelSpec::builder("tc")
+            .optimization_metric(Metric::VMeasure)
+            .data(IotTrafficGenerator::new(8).generate(900))
+            .build()
+            .unwrap();
+        let mut platform = Platform::tofino();
+        platform.constraints_mut().mats(mats);
+        platform.schedule(model).unwrap();
+        let artifact = generate_with(&platform, &fast()).unwrap();
+        let k = artifact.best().configuration.integer("k").unwrap();
+        assert!(
+            k as usize <= mats,
+            "budget {mats} produced k={k} (must fit one MAT per cluster)"
+        );
+        assert!(k <= last_k + 1, "k should not grow as budget shrinks");
+        last_k = k;
+    }
+}
+
+#[test]
+fn latency_budget_excludes_deep_models() {
+    // With a very tight latency budget only shallow nets are feasible.
+    let model = ModelSpec::builder("ad")
+        .optimization_metric(Metric::F1)
+        .algorithm(Algorithm::Dnn)
+        .data(NslKddGenerator::new(9).generate(900))
+        .build()
+        .unwrap();
+    let mut platform = Platform::taurus();
+    platform
+        .constraints_mut()
+        .throughput_gpps(1.0)
+        .latency_ns(45.0) // fixed overhead is 24 cycles; 1-2 layers max
+        .grid(16, 16);
+    platform.schedule(model).unwrap();
+    match generate_with(&platform, &fast()) {
+        Ok(artifact) => {
+            let best = artifact.best();
+            assert!(
+                best.estimate.performance.latency_ns <= 45.0,
+                "latency {}",
+                best.estimate.performance.latency_ns
+            );
+            assert!(
+                best.configuration.integer("n_layers").unwrap() <= 2,
+                "deep model slipped through"
+            );
+        }
+        Err(CoreError::NoFeasibleModel(_)) | Err(CoreError::NoCandidates(_)) => {
+            // Acceptable outcome: the budget really is brutal.
+        }
+        Err(other) => panic!("unexpected error: {other}"),
+    }
+}
+
+#[test]
+fn infeasible_evaluations_are_recorded_not_fatal() {
+    let model = ModelSpec::builder("ad")
+        .optimization_metric(Metric::F1)
+        .algorithm(Algorithm::Dnn)
+        .data(NslKddGenerator::new(10).generate(700))
+        .build()
+        .unwrap();
+    let mut platform = Platform::taurus();
+    platform
+        .constraints_mut()
+        .throughput_gpps(1.0)
+        .latency_ns(500.0)
+        .grid(8, 8); // small grid: big candidates infeasible
+    platform.schedule(model).unwrap();
+    let artifact = generate_with(&platform, &fast()).unwrap();
+    let best = artifact.best();
+    // Some of the search points may be infeasible; the history keeps them.
+    assert!(best.history.feasible_fraction() > 0.0);
+    assert!(best.estimate.resources.get("cus") <= 64.0);
+}
+
+#[test]
+fn device_budget_always_applies() {
+    // Even without user resource clauses, the device's own capacity caps
+    // the search (the paper's "repository of resources and capabilities").
+    let model = ModelSpec::builder("ad")
+        .optimization_metric(Metric::F1)
+        .algorithm(Algorithm::Dnn)
+        .data(NslKddGenerator::new(11).generate(700))
+        .build()
+        .unwrap();
+    let mut platform = Platform::taurus();
+    platform.constraints_mut().grid(6, 6);
+    platform.schedule(model).unwrap();
+    let artifact = generate_with(&platform, &fast()).unwrap();
+    assert!(artifact.best().estimate.resources.get("cus") <= 36.0);
+}
+
+#[test]
+fn vmeasure_on_taurus_uses_kmeans_without_mat_pruning() {
+    // Candidate pre-filtering is platform-aware: KMeans on Taurus lowers
+    // to a distance layer, so VMeasure works there too.
+    let model = ModelSpec::builder("tc_taurus")
+        .optimization_metric(Metric::VMeasure)
+        .data(IotTrafficGenerator::new(12).generate(800))
+        .build()
+        .unwrap();
+    let mut platform = Platform::taurus();
+    platform.constraints_mut().grid(16, 16);
+    platform.schedule(model).unwrap();
+    let artifact = generate_with(&platform, &fast()).unwrap();
+    assert_eq!(artifact.best().algorithm, Algorithm::KMeans);
+}

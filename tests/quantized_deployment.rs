@@ -1,0 +1,102 @@
+//! Deployment-path invariants: the fixed-point weights that reach the
+//! data plane must preserve the trained model's decisions, and the
+//! design-space JSON interface must stay HyperMapper-shaped.
+
+use homunculus::ml::metrics::accuracy;
+use homunculus::ml::mlp::{Dense, Mlp, MlpArchitecture, TrainConfig};
+use homunculus::ml::quantize::{quantize_with_report, FixedPoint};
+use homunculus::ml::tensor::Matrix;
+use homunculus::optimizer::space::{DesignSpace, Parameter};
+
+fn trained_net() -> (Mlp, Matrix, Vec<usize>) {
+    let n = 400;
+    let x = Matrix::from_fn(n, 7, |r, c| {
+        (((r * 31 + c * 17) % 97) as f32 / 97.0) * 2.0 - 1.0
+    });
+    let y: Vec<usize> = (0..n)
+        .map(|i| usize::from(x.row(i)[0] + x.row(i)[3] * 0.5 > 0.0))
+        .collect();
+    let arch = MlpArchitecture::new(7, vec![16, 8], 2);
+    let mut net = Mlp::new(&arch, 3).unwrap();
+    net.train(&x, &y, &TrainConfig::default().epochs(40)).unwrap();
+    (net, x, y)
+}
+
+#[test]
+fn q3_12_quantization_preserves_decisions() {
+    let (net, x, _) = trained_net();
+    let q = FixedPoint::taurus_default();
+
+    // Quantize every layer's parameters as codegen does.
+    let quantized_layers: Vec<Dense> = net
+        .layers()
+        .iter()
+        .map(|l| Dense {
+            weights: q.roundtrip_matrix(&l.weights),
+            bias: q.roundtrip_slice(&l.bias),
+        })
+        .collect();
+    let mut deployed = Mlp::new(net.architecture(), 0).unwrap();
+    deployed.set_layers(quantized_layers).unwrap();
+
+    let float_pred = net.predict(&x).unwrap();
+    let fixed_pred = deployed.predict(&x).unwrap();
+    let agreement = accuracy(&float_pred, &fixed_pred).unwrap();
+    assert!(
+        agreement > 0.99,
+        "fixed-point deployment flipped {:.1}% of decisions",
+        (1.0 - agreement) * 100.0
+    );
+}
+
+#[test]
+fn quantization_report_accounts_for_every_weight() {
+    let (net, _, _) = trained_net();
+    let q = FixedPoint::taurus_default();
+    let all_weights: Vec<f32> = net
+        .layers()
+        .iter()
+        .flat_map(|l| l.weights.as_slice().iter().copied().chain(l.bias.iter().copied()))
+        .collect();
+    let (raw, report) = quantize_with_report(q, &all_weights);
+    assert_eq!(raw.len(), net.param_count());
+    assert_eq!(report.count, net.param_count());
+    assert!(report.max_abs_error <= q.max_error() + 1e-6 || report.saturated > 0);
+    // Trained weights of a normalized-input net stay well inside Q3.12.
+    assert_eq!(report.saturated, 0, "weights should not saturate Q3.12");
+}
+
+#[test]
+fn hypermapper_json_interface_is_complete() {
+    let mut space = DesignSpace::new("anomaly_detection-dnn");
+    space.add("n_layers", Parameter::integer(1, 10)).unwrap();
+    space.add("width", Parameter::integer(2, 64)).unwrap();
+    space.add("log10_lr", Parameter::real(-3.0, -0.8)).unwrap();
+    space
+        .add("batch", Parameter::ordinal(vec![16.0, 32.0, 64.0, 128.0]))
+        .unwrap();
+    space
+        .add("act", Parameter::categorical(vec!["relu", "tanh"]))
+        .unwrap();
+
+    let json = space.to_hypermapper_json();
+    // The fields HyperMapper requires (§4 of the paper: "design-space
+    // restrictions ... formed into a JSON configuration file").
+    assert_eq!(json["application_name"], "anomaly_detection-dnn");
+    assert!(json["optimization_objectives"].is_array());
+    assert_eq!(json["models"]["model"], "random_forest");
+    assert_eq!(
+        json["feasible_output"]["enable_feasible_predictor"],
+        serde_json::json!(true)
+    );
+    let params = json["input_parameters"].as_object().unwrap();
+    assert_eq!(params.len(), 5);
+    assert_eq!(params["n_layers"]["parameter_type"], "integer");
+    assert_eq!(params["log10_lr"]["parameter_type"], "real");
+    assert_eq!(params["batch"]["parameter_type"], "ordinal");
+    assert_eq!(params["act"]["parameter_type"], "categorical");
+    // Round-trips through serde_json text.
+    let text = serde_json::to_string_pretty(&json).unwrap();
+    let back: serde_json::Value = serde_json::from_str(&text).unwrap();
+    assert_eq!(back, json);
+}

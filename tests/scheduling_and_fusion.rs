@@ -1,0 +1,140 @@
+//! Integration coverage for the scheduling algebra and model fusion
+//! through the public facade.
+
+use homunculus::backends::resources::{Performance, ResourceVector};
+use homunculus::core::alchemy::{Algorithm, IoMap, Metric, ModelSpec, Platform};
+use homunculus::core::fusion::{fuse_all, try_fuse, FusionDecision, DEFAULT_OVERLAP_THRESHOLD};
+use homunculus::core::pipeline::{generate_with, CompilerOptions};
+use homunculus::core::schedule::ScheduleExpr;
+use homunculus::datasets::nslkdd::NslKddGenerator;
+
+fn spec(name: &str, seed: u64) -> ModelSpec {
+    ModelSpec::builder(name)
+        .optimization_metric(Metric::F1)
+        .algorithm(Algorithm::Dnn)
+        .data(NslKddGenerator::new(seed).generate(600))
+        .build()
+        .unwrap()
+}
+
+fn perf(tput: f64, lat: f64) -> Performance {
+    Performance {
+        throughput_gpps: tput,
+        latency_ns: lat,
+    }
+}
+
+#[test]
+fn table3_strategies_have_identical_resource_totals() {
+    let r = |v: f64| ResourceVector::new().with("cus", v).with("mus", v);
+    let resources = vec![r(24.0); 4];
+
+    let seq = spec("a", 1) >> spec("b", 2) >> spec("c", 3) >> spec("d", 4);
+    let par = spec("e", 1) | spec("f", 2) | spec("g", 3) | spec("h", 4);
+    let mixed = spec("i", 1) >> (spec("j", 2) | spec("k", 3)) >> spec("l", 4);
+
+    for expr in [&seq, &par, &mixed] {
+        let total = expr.combined_resources(&resources);
+        assert_eq!(total.get("cus"), 96.0);
+        assert_eq!(total.get("mus"), 96.0);
+    }
+}
+
+#[test]
+fn throughput_consistency_rule_from_paper() {
+    // §3.2.1: 1 GPkt/s feeding into 0.5 GPkt/s => chain runs at 0.5.
+    let chain = spec("fast", 1) >> spec("slow", 2);
+    let combined = chain.combined_performance(&[perf(1.0, 100.0), perf(0.5, 100.0)]);
+    assert_eq!(combined.throughput_gpps, 0.5);
+}
+
+#[test]
+fn deep_mixed_dags_validate_and_flatten() {
+    let expr = (spec("a", 1) | (spec("b", 2) >> spec("c", 3)))
+        >> spec("d", 4)
+        >> (spec("e", 5) | spec("f", 6) | spec("g", 7));
+    expr.validate().unwrap();
+    assert_eq!(expr.len(), 7);
+    // Outer Seq has three children after flattening.
+    match &expr {
+        ScheduleExpr::Seq(children) => assert_eq!(children.len(), 3),
+        other => panic!("expected Seq, got {other:?}"),
+    }
+}
+
+#[test]
+fn iomap_connects_scheduled_models() {
+    let mut platform = Platform::taurus();
+    platform.io_map(
+        IoMap::new()
+            .connect("ad.class", "mitigator.in")
+            .connect("mitigator.verdict", "world.out"),
+    );
+    platform
+        .schedule(spec("ad", 1) >> spec("mitigator", 2))
+        .unwrap();
+    assert_eq!(platform.iomap().connections().len(), 2);
+}
+
+#[test]
+fn fusion_through_compiler_reduces_total_resources() {
+    // Compile two halves separately vs fused: fused must cost less than
+    // the sum (the Table 4 claim), with comparable objective.
+    let (half_a, half_b) = NslKddGenerator::new(23).generate_halves(1_600);
+    let a = ModelSpec::builder("part1")
+        .algorithm(Algorithm::Dnn)
+        .data(half_a)
+        .build()
+        .unwrap();
+    let b = ModelSpec::builder("part2")
+        .algorithm(Algorithm::Dnn)
+        .data(half_b)
+        .build()
+        .unwrap();
+    let (fused, decision) = try_fuse(&a, &b, DEFAULT_OVERLAP_THRESHOLD).unwrap();
+    assert!(matches!(decision, FusionDecision::Fused { .. }));
+    let fused = fused.unwrap();
+
+    let options = CompilerOptions {
+        bo_budget: 6,
+        doe_samples: 3,
+        train_epochs: 10,
+        final_epochs: 15,
+        sample_cap: Some(500),
+        parallel: true,
+        seed: 5,
+    };
+    let compile = |s: ModelSpec| {
+        let mut platform = Platform::taurus();
+        platform
+            .constraints_mut()
+            .throughput_gpps(1.0)
+            .latency_ns(500.0);
+        platform.schedule(s).unwrap();
+        let artifact = generate_with(&platform, &options).unwrap();
+        artifact.best().estimate.resources.get("cus")
+    };
+    let cus_a = compile(a);
+    let cus_b = compile(b);
+    let cus_fused = compile(fused);
+    assert!(
+        cus_fused < cus_a + cus_b,
+        "fused {cus_fused} should undercut separate {cus_a}+{cus_b}"
+    );
+}
+
+#[test]
+fn fuse_all_collapses_homogeneous_specs() {
+    let specs = vec![spec("m1", 1), spec("m2", 2), spec("m3", 3)];
+    let fused = fuse_all(specs, DEFAULT_OVERLAP_THRESHOLD).unwrap();
+    // All three share the NSL-KDD schema: everything collapses to one.
+    assert_eq!(fused.len(), 1);
+    assert!(fused[0].name.contains('+'));
+}
+
+#[test]
+fn duplicate_names_rejected_at_schedule_time() {
+    let mut platform = Platform::taurus();
+    let expr = spec("dup", 1) >> spec("dup", 2);
+    assert!(platform.schedule(expr).is_err());
+}

@@ -1,0 +1,118 @@
+//! The analytic estimators and the cycle-level simulators must tell the
+//! compiler the same story — and both must honor the scheduling algebra.
+
+use homunculus::backends::model::{DnnIr, KMeansIr, ModelIr};
+use homunculus::backends::resources::Constraints;
+use homunculus::backends::target::Target;
+use homunculus::backends::taurus::TaurusTarget;
+use homunculus::backends::tofino::TofinoTarget;
+use homunculus::ml::mlp::MlpArchitecture;
+use homunculus::sim::grid::GridSimulator;
+use homunculus::sim::mat::MatSimulator;
+use homunculus::sim::pktgen::{LabeledSample, StreamHarness, TimingModel};
+
+fn dnn(input: usize, hidden: Vec<usize>) -> ModelIr {
+    ModelIr::Dnn(DnnIr::from_architecture(&MlpArchitecture::new(
+        input, hidden, 2,
+    )))
+}
+
+#[test]
+fn grid_simulator_matches_taurus_estimator_resources() {
+    let target = TaurusTarget::default();
+    let sim = GridSimulator::for_target(&target);
+    for model in [
+        dnn(7, vec![16, 4]),
+        dnn(7, vec![10, 10, 5]),
+        dnn(30, vec![10, 10, 10, 10]),
+        dnn(30, vec![5, 5, 5, 5, 5, 5, 5, 5, 5, 5]),
+    ] {
+        let est = target.estimate(&model).unwrap();
+        let stages = sim.lower(&model).unwrap();
+        let sim_cus: usize = stages.iter().map(|s| s.cus).sum::<usize>() + 2;
+        let sim_mus: usize = stages.iter().map(|s| s.mus).sum::<usize>() + 1;
+        assert_eq!(est.resources.get("cus") as usize, sim_cus);
+        assert_eq!(est.resources.get("mus") as usize, sim_mus);
+    }
+}
+
+#[test]
+fn grid_simulator_latency_matches_estimator() {
+    let target = TaurusTarget::default();
+    let sim = GridSimulator::for_target(&target);
+    for model in [dnn(7, vec![16, 4]), dnn(30, vec![10, 10, 10, 10])] {
+        let est = target.estimate(&model).unwrap();
+        let report = sim.simulate(&model, 100).unwrap();
+        assert!(
+            (est.performance.latency_ns - report.latency_ns).abs() < 1.0,
+            "estimator {} vs simulator {}",
+            est.performance.latency_ns,
+            report.latency_ns
+        );
+        assert_eq!(est.performance.throughput_gpps, report.throughput_gpps);
+    }
+}
+
+#[test]
+fn mat_simulator_matches_tofino_mat_costs() {
+    let target = TofinoTarget::default();
+    let sim = MatSimulator::for_target(&target);
+    for k in 1..=5 {
+        let model = ModelIr::KMeans(KMeansIr::from_shape(k, 7));
+        let est = target.estimate(&model).unwrap();
+        let report = sim.simulate(&model, 10).unwrap();
+        assert_eq!(est.resources.get("mats") as usize, report.tables_used);
+    }
+}
+
+#[test]
+fn feasibility_verdicts_agree_under_paper_constraints() {
+    let target = TaurusTarget::default();
+    let sim = GridSimulator::for_target(&target);
+    let constraints = Constraints::new().throughput_gpps(1.0).latency_ns(500.0);
+    for (model, _label) in [
+        (dnn(7, vec![16, 4]), "base-ad"),
+        (dnn(7, vec![48, 24, 12]), "large"),
+        (dnn(30, vec![10, 10, 10, 10]), "base-bd"),
+    ] {
+        let est_ok = target.check(&model, &constraints).unwrap().is_feasible();
+        let rep = sim.simulate(&model, 50).unwrap();
+        let sim_ok = rep.throughput_gpps >= 1.0 && rep.latency_ns <= 500.0;
+        assert_eq!(est_ok, sim_ok);
+    }
+}
+
+#[test]
+fn stream_harness_composes_with_grid_timing() {
+    let sim = GridSimulator::new(16, 16, 1.0);
+    let model = dnn(7, vec![16, 4]);
+    let report = sim.simulate(&model, 1_000).unwrap();
+    let harness = StreamHarness::new(TimingModel::from_grid(&report));
+    let stream: Vec<LabeledSample> = (0..500)
+        .map(|i| LabeledSample {
+            features: vec![i as f32; 7],
+            label: usize::from(i % 2 == 0),
+        })
+        .collect();
+    let out = harness
+        .run(&stream, |f| usize::from((f[0] as usize) % 2 == 0))
+        .unwrap();
+    assert_eq!(out.packets, 500);
+    assert!((out.f1 - 1.0).abs() < 1e-9);
+    // Line-rate pipeline: 1 packet/ns admission, sub-500ns verdicts.
+    assert!(out.reaction_time_ns < 500.0);
+    assert!(out.achieved_gpps > 0.9);
+}
+
+#[test]
+fn oversized_models_flagged_by_both_paths() {
+    let tiny_grid = TaurusTarget::new(4, 4);
+    let sim = GridSimulator::for_target(&tiny_grid);
+    let big = dnn(30, vec![64, 64]);
+    let constraints = Constraints::new().throughput_gpps(1.0);
+    assert!(!tiny_grid.check(&big, &constraints).unwrap().is_feasible());
+    let report = sim.simulate(&big, 10).unwrap();
+    assert!(report.throughput_gpps < 1.0);
+    let stages = sim.lower(&big).unwrap();
+    assert!(sim.place(&stages).is_err(), "placement must also reject");
+}
