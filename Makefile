@@ -1,0 +1,28 @@
+# Tier-1 verification and CI entry points. `make ci` is the full gate.
+
+CARGO ?= cargo
+
+.PHONY: ci fmt fmt-check clippy build test bench examples
+
+ci: fmt-check clippy build test
+
+fmt:
+	$(CARGO) fmt
+
+fmt-check:
+	$(CARGO) fmt --check
+
+clippy:
+	$(CARGO) clippy -q --workspace --all-targets -- -D warnings
+
+build:
+	$(CARGO) build --release --workspace --examples --benches
+
+test:
+	$(CARGO) test -q --workspace
+
+bench:
+	$(CARGO) bench -p homunculus-bench
+
+examples:
+	$(CARGO) build --release --examples

@@ -200,8 +200,8 @@ mod tests {
     fn calibration_matches_table5_baselines() {
         let fpga = FpgaTarget::default();
         let rows = [
-            (dnn(7, vec![16, 4], 2), 6.55, 4.30, 16.969),          // Base-AD
-            (dnn(7, vec![10, 10, 5], 5), 6.69, 4.48, 17.553),      // Base-TC
+            (dnn(7, vec![16, 4], 2), 6.55, 4.30, 16.969), // Base-AD
+            (dnn(7, vec![10, 10, 5], 5), 6.69, 4.48, 17.553), // Base-TC
             (dnn(30, vec![10, 10, 10, 10], 2), 7.29, 4.68, 17.807), // Base-BD
         ];
         for (model, lut, ff, power) in rows {

@@ -231,7 +231,8 @@ mod tests {
         let arch = MlpArchitecture::new(2, vec![4], 2);
         let mut mlp = Mlp::new(&arch, 0).unwrap();
         let x = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]]).unwrap();
-        mlp.train(&x, &[0, 1], &TrainConfig::default().epochs(2)).unwrap();
+        mlp.train(&x, &[0, 1], &TrainConfig::default().epochs(2))
+            .unwrap();
         let ir = DnnIr::from_mlp(&mlp);
         let params = ir.params.as_ref().unwrap();
         assert_eq!(params.len(), 2);
@@ -261,7 +262,11 @@ mod tests {
 
     #[test]
     fn family_names_and_features() {
-        let dnn = ModelIr::Dnn(DnnIr::from_architecture(&MlpArchitecture::new(7, vec![4], 2)));
+        let dnn = ModelIr::Dnn(DnnIr::from_architecture(&MlpArchitecture::new(
+            7,
+            vec![4],
+            2,
+        )));
         assert_eq!(dnn.family(), "dnn");
         assert_eq!(dnn.n_features(), 7);
         let svm = ModelIr::Svm(SvmIr::from_shape(5, 2));
@@ -281,7 +286,9 @@ mod tests {
     #[test]
     fn validate_rejects_degenerate() {
         assert!(ModelIr::Svm(SvmIr::from_shape(0, 2)).validate().is_err());
-        assert!(ModelIr::KMeans(KMeansIr::from_shape(0, 4)).validate().is_err());
+        assert!(ModelIr::KMeans(KMeansIr::from_shape(0, 4))
+            .validate()
+            .is_err());
         assert!(ModelIr::Tree(TreeIr {
             depth: 1,
             n_features: 0,

@@ -59,10 +59,12 @@ impl ResourceVector {
     /// entry (budget entries missing from `self` are fine; quantities
     /// missing from the budget are unconstrained).
     pub fn fits_within(&self, budget: &ResourceVector) -> bool {
-        self.entries.iter().all(|(k, v)| match budget.entries.get(k) {
-            Some(b) => v <= b,
-            None => true,
-        })
+        self.entries
+            .iter()
+            .all(|(k, v)| match budget.entries.get(k) {
+                Some(b) => v <= b,
+                None => true,
+            })
     }
 }
 
@@ -211,7 +213,10 @@ impl fmt::Display for Violation {
             Violation::Throughput {
                 required_gpps,
                 achieved_gpps,
-            } => write!(f, "throughput {achieved_gpps:.3} < required {required_gpps:.3} gpps"),
+            } => write!(
+                f,
+                "throughput {achieved_gpps:.3} < required {required_gpps:.3} gpps"
+            ),
             Violation::Latency {
                 budget_ns,
                 achieved_ns,
@@ -234,6 +239,30 @@ impl FeasibilityReport {
     /// Whether all constraints were met.
     pub fn is_feasible(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// Total *relative* violation magnitude: 0.0 when feasible, and the
+    /// sum of each violation's fractional overshoot otherwise (a resource
+    /// at 2x its cap contributes 1.0). Gives constrained search a gradient
+    /// toward the feasible region before any feasible point is known.
+    pub fn violation_score(&self) -> f64 {
+        self.violations
+            .iter()
+            .map(|v| match v {
+                Violation::Throughput {
+                    required_gpps,
+                    achieved_gpps,
+                } => ((required_gpps - achieved_gpps) / required_gpps.max(f64::MIN_POSITIVE))
+                    .max(0.0),
+                Violation::Latency {
+                    budget_ns,
+                    achieved_ns,
+                } => ((achieved_ns - budget_ns) / budget_ns.max(f64::MIN_POSITIVE)).max(0.0),
+                Violation::Resource { cap, used, .. } => {
+                    ((used - cap) / cap.max(f64::MIN_POSITIVE)).max(0.0)
+                }
+            })
+            .sum()
     }
 }
 

@@ -179,8 +179,8 @@ impl Target for TaurusTarget {
         // this is the mechanism by which "too many iterations in the
         // vector-matrix multiplication loop brings down the device
         // throughput" (§3).
-        let overflow = (cus as f64 / self.cu_capacity() as f64)
-            .max(mus as f64 / self.mu_capacity() as f64);
+        let overflow =
+            (cus as f64 / self.cu_capacity() as f64).max(mus as f64 / self.mu_capacity() as f64);
         let ii = overflow.ceil().max(1.0);
         let throughput_gpps = self.clock_ghz / ii;
         let latency_ns = latency_cycles as f64 / self.clock_ghz;
@@ -275,7 +275,11 @@ mod tests {
         let taurus = TaurusTarget::default();
         let est = taurus.estimate(&dnn(7, vec![16, 4], 2)).unwrap();
         assert_eq!(est.performance.throughput_gpps, 1.0);
-        assert!(est.performance.latency_ns < 500.0, "latency {}", est.performance.latency_ns);
+        assert!(
+            est.performance.latency_ns < 500.0,
+            "latency {}",
+            est.performance.latency_ns
+        );
     }
 
     #[test]

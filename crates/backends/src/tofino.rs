@@ -132,7 +132,11 @@ impl Target for TofinoTarget {
             performance: Performance {
                 // PISA runs at line rate if (and only if) the program fits;
                 // fitting is checked via the MAT budget.
-                throughput_gpps: if mats <= self.mats { self.line_rate_gpps } else { 0.0 },
+                throughput_gpps: if mats <= self.mats {
+                    self.line_rate_gpps
+                } else {
+                    0.0
+                },
                 latency_ns,
             },
         })
@@ -173,7 +177,11 @@ mod tests {
         });
         assert_eq!(TofinoTarget::mat_cost(&tree), 5);
         // DNN via N2Net: 12 MATs per layer.
-        let dnn = ModelIr::Dnn(DnnIr::from_architecture(&MlpArchitecture::new(7, vec![8], 2)));
+        let dnn = ModelIr::Dnn(DnnIr::from_architecture(&MlpArchitecture::new(
+            7,
+            vec![8],
+            2,
+        )));
         assert_eq!(TofinoTarget::mat_cost(&dnn), 24);
     }
 

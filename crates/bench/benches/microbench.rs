@@ -41,7 +41,8 @@ fn bench_mlp_training(c: &mut Criterion) {
         bench.iter_batched(
             || Mlp::new(&arch, 0).unwrap(),
             |mut net| {
-                net.train(&x, &y, &TrainConfig::default().epochs(1)).unwrap();
+                net.train(&x, &y, &TrainConfig::default().epochs(1))
+                    .unwrap();
                 net
             },
             BatchSize::SmallInput,

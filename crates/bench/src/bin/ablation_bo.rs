@@ -49,7 +49,10 @@ fn run(doe_all: bool, seed: u64) -> Result<(f64, f64), Box<dyn std::error::Error
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner("Ablation: BO-guided DSE vs uniform random search (same budget)");
-    println!("{:<8} {:>10} {:>10} {:>12} {:>12}", "seed", "BO F1", "rand F1", "BO feas%", "rand feas%");
+    println!(
+        "{:<8} {:>10} {:>10} {:>12} {:>12}",
+        "seed", "BO F1", "rand F1", "BO feas%", "rand feas%"
+    );
     let mut bo_wins = 0;
     let mut bo_total = 0.0;
     let mut rand_total = 0.0;

@@ -24,7 +24,10 @@ fn train_f1(
     net.train(
         train.features(),
         train.labels(),
-        &TrainConfig::default().epochs(epochs).learning_rate(lr).batch_size(32),
+        &TrainConfig::default()
+            .epochs(epochs)
+            .learning_rate(lr)
+            .batch_size(32),
     )
     .unwrap();
     let pred = net.predict(test.features()).unwrap();
@@ -47,8 +50,20 @@ fn main() {
             };
             let (spread, noise) = (hard, stripes as f64); // column reuse for printing
             let ds = NslKddGenerator::with_config(42, config).generate(6_000);
-            let base = train_f1(&ds, &MlpArchitecture::new(7, vec![16, 4], 2), 60, 0.01, false);
-            let large = train_f1(&ds, &MlpArchitecture::new(7, vec![40, 20], 2), 120, 0.01, false);
+            let base = train_f1(
+                &ds,
+                &MlpArchitecture::new(7, vec![16, 4], 2),
+                60,
+                0.01,
+                false,
+            );
+            let large = train_f1(
+                &ds,
+                &MlpArchitecture::new(7, vec![40, 20], 2),
+                120,
+                0.01,
+                false,
+            );
             println!(
                 "{spread:>6} {noise:>5}  {:>7.2} {:>8.2}  {:+.2}",
                 base * 100.0,
@@ -71,8 +86,20 @@ fn main() {
             };
             let spread = hard; // column label reuse: prints hard fraction
             let ds = IotTrafficGenerator::with_config(11, config).generate(6_000);
-            let base = train_f1(&ds, &MlpArchitecture::new(7, vec![10, 10, 5], 5), 60, 0.01, true);
-            let large = train_f1(&ds, &MlpArchitecture::new(7, vec![40, 20, 10], 5), 120, 0.01, true);
+            let base = train_f1(
+                &ds,
+                &MlpArchitecture::new(7, vec![10, 10, 5], 5),
+                60,
+                0.01,
+                true,
+            );
+            let large = train_f1(
+                &ds,
+                &MlpArchitecture::new(7, vec![40, 20, 10], 5),
+                120,
+                0.01,
+                true,
+            );
             let norm = ds.fit_normalizer();
             let nds = ds.normalized(&norm).unwrap();
             let km = KMeans::fit(nds.features(), &KMeansConfig::new(5).seed(0)).unwrap();

@@ -5,7 +5,9 @@
 //! quickly to a stable plateau, with occasional exploration dips as the
 //! optimizer trades exploitation against exploration.
 
-use homunculus_bench::{ad_dataset, banner, bar, compile_on_taurus, experiment_options, Application};
+use homunculus_bench::{
+    ad_dataset, banner, bar, compile_on_taurus, experiment_options, Application,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner("Figure 4: BO regret plot, anomaly-detection DNN on Taurus");

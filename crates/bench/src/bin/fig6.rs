@@ -15,8 +15,7 @@ fn main() {
     let (train_flows, test_flows) = bd_flows(7);
     let flows: Vec<_> = train_flows.into_iter().chain(test_flows).collect();
     let config = FlowmarkerConfig::figure6(); // PL bin = 64 B, IPT bin = 512 s
-    let (benign_pl, botnet_pl, benign_ipt, botnet_ipt) =
-        averaged_class_histograms(&flows, config);
+    let (benign_pl, botnet_pl, benign_ipt, botnet_ipt) = averaged_class_histograms(&flows, config);
 
     let pl_max = benign_pl
         .iter()
@@ -24,7 +23,10 @@ fn main() {
         .cloned()
         .fold(0.0, f64::max);
     println!("\npacket-length bins (64 B each)");
-    println!("{:>4} {:>10} {:>10}   benign | malicious", "bin", "benign", "malicious");
+    println!(
+        "{:>4} {:>10} {:>10}   benign | malicious",
+        "bin", "benign", "malicious"
+    );
     for (i, (b, m)) in benign_pl.iter().zip(&botnet_pl).enumerate() {
         println!(
             "{:>4} {:>10.2} {:>10.2}   {:<20} | {}",
@@ -42,7 +44,10 @@ fn main() {
         .cloned()
         .fold(0.0, f64::max);
     println!("\ninter-arrival-time bins (512 s each)");
-    println!("{:>4} {:>10} {:>10}   benign | malicious", "bin", "benign", "malicious");
+    println!(
+        "{:>4} {:>10} {:>10}   benign | malicious",
+        "bin", "benign", "malicious"
+    );
     for (i, (b, m)) in benign_ipt.iter().zip(&botnet_ipt).enumerate() {
         println!(
             "{:>4} {:>10.2} {:>10.2}   {:<20} | {}",
@@ -64,8 +69,10 @@ fn main() {
         botnet_high,
         benign_high > botnet_high * 5.0
     );
-    let benign_tail: f64 = benign_ipt[1..].iter().sum::<f64>() / benign_ipt.iter().sum::<f64>().max(1e-9);
-    let botnet_tail: f64 = botnet_ipt[1..].iter().sum::<f64>() / botnet_ipt.iter().sum::<f64>().max(1e-9);
+    let benign_tail: f64 =
+        benign_ipt[1..].iter().sum::<f64>() / benign_ipt.iter().sum::<f64>().max(1e-9);
+    let botnet_tail: f64 =
+        botnet_ipt[1..].iter().sum::<f64>() / botnet_ipt.iter().sum::<f64>().max(1e-9);
     println!(
         "botnet IPT mass shifts to higher bins: {:.3} vs benign {:.3} ({})",
         botnet_tail,

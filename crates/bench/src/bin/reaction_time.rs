@@ -96,8 +96,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "F1 grows with packets seen: first {:.3} -> last {:.3} ({})",
         points.first().map(|p| p.f1).unwrap_or(0.0),
         points.last().map(|p| p.f1).unwrap_or(0.0),
-        points.last().map(|p| p.f1).unwrap_or(0.0)
-            >= points.first().map(|p| p.f1).unwrap_or(0.0)
+        points.last().map(|p| p.f1).unwrap_or(0.0) >= points.first().map(|p| p.f1).unwrap_or(0.0)
     );
     Ok(())
 }

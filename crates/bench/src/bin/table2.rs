@@ -119,8 +119,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // model "achieving an F1 score of 86.5" without waiting for the
     // flow), while the hand-tuned baseline keeps FlowLens' per-flow
     // protocol above.
-    let bd_search_dataset =
-        mixed_partial_histogram_dataset(&train_flows, config, &BD_HORIZONS);
+    let bd_search_dataset = mixed_partial_histogram_dataset(&train_flows, config, &BD_HORIZONS);
     let hom_bd = compile_on_taurus(
         "hom_bd",
         Application::Bd.metric(),

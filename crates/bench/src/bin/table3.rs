@@ -7,9 +7,7 @@
 //! — chaining glue fits into already-allocated CUs.
 
 use homunculus_backends::resources::Performance;
-use homunculus_bench::{
-    ad_dataset, banner, compile_on_taurus, paper, Application,
-};
+use homunculus_bench::{ad_dataset, banner, compile_on_taurus, paper, Application};
 use homunculus_core::alchemy::ModelSpec;
 use homunculus_core::pipeline::CompilerOptions;
 use homunculus_core::schedule::ScheduleExpr;
@@ -96,8 +94,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     // Throughput consistency: all strategies sustain the min throughput.
     let perf4: Vec<Performance> = vec![unit_perf; 4];
-    let seq_perf =
-        (spec("a") >> spec("b") >> spec("c") >> spec("d")).combined_performance(&perf4);
+    let seq_perf = (spec("a") >> spec("b") >> spec("c") >> spec("d")).combined_performance(&perf4);
     println!(
         "sequential chain holds line rate: {} ({} GPkt/s)",
         seq_perf.throughput_gpps >= 1.0,

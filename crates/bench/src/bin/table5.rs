@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let ad = ad_dataset(42);
     let base_ad = train_baseline(Application::Ad, &ad, 0)?;
-    models.push(("Base-AD".into(), Some(ModelIr::Dnn(DnnIr::from_mlp(&base_ad.net)))));
+    models.push((
+        "Base-AD".into(),
+        Some(ModelIr::Dnn(DnnIr::from_mlp(&base_ad.net))),
+    ));
     let hom_ad = compile_on_taurus(
         "hom_ad",
         Application::Ad.metric(),
@@ -36,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let tc = tc_dataset(11);
     let base_tc = train_baseline(Application::Tc, &tc, 0)?;
-    models.push(("Base-TC".into(), Some(ModelIr::Dnn(DnnIr::from_mlp(&base_tc.net)))));
+    models.push((
+        "Base-TC".into(),
+        Some(ModelIr::Dnn(DnnIr::from_mlp(&base_tc.net))),
+    ));
     let hom_tc = compile_on_taurus(
         "hom_tc",
         Application::Tc.metric(),
@@ -48,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = FlowmarkerConfig::paper_reduced();
     let (train_flows, _) = bd_flows(7);
     let base_bd = train_bd_baseline(&train_flows, config, 0)?;
-    models.push(("Base-BD".into(), Some(ModelIr::Dnn(DnnIr::from_mlp(&base_bd.net)))));
+    models.push((
+        "Base-BD".into(),
+        Some(ModelIr::Dnn(DnnIr::from_mlp(&base_bd.net))),
+    ));
     let hom_bd = compile_on_taurus(
         "hom_bd",
         Application::Bd.metric(),

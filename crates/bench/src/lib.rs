@@ -323,7 +323,9 @@ pub fn bar(value: f64, max: f64, width: usize) -> String {
     if max <= 0.0 {
         return String::new();
     }
-    let n = ((value / max) * width as f64).round().clamp(0.0, width as f64) as usize;
+    let n = ((value / max) * width as f64)
+        .round()
+        .clamp(0.0, width as f64) as usize;
     "#".repeat(n)
 }
 
@@ -345,7 +347,11 @@ mod tests {
     fn baseline_training_is_reasonable() {
         let ds = NslKddGenerator::new(0).generate(1_500);
         let b = train_baseline(Application::Ad, &ds, 0).unwrap();
-        assert!(b.objective > 0.5 && b.objective < 0.98, "baseline f1 {}", b.objective);
+        assert!(
+            b.objective > 0.5 && b.objective < 0.98,
+            "baseline f1 {}",
+            b.objective
+        );
     }
 
     #[test]

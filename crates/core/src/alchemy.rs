@@ -188,9 +188,9 @@ impl ModelSpecBuilder {
         if self.name.is_empty() {
             return Err(CoreError::InvalidProgram("model name is empty".into()));
         }
-        let dataset = self
-            .dataset
-            .ok_or_else(|| CoreError::InvalidProgram(format!("model '{}' has no dataset", self.name)))?;
+        let dataset = self.dataset.ok_or_else(|| {
+            CoreError::InvalidProgram(format!("model '{}' has no dataset", self.name))
+        })?;
         if dataset.is_empty() {
             return Err(CoreError::InvalidProgram(format!(
                 "model '{}' has an empty dataset",
@@ -388,7 +388,8 @@ impl Platform {
         let expr = expr.into();
         expr.validate()?;
         let names = expr.model_names();
-        self.iomap.validate(&names.iter().map(String::as_str).collect::<Vec<_>>())?;
+        self.iomap
+            .validate(&names.iter().map(String::as_str).collect::<Vec<_>>())?;
         self.schedule = Some(expr);
         Ok(())
     }
@@ -450,13 +451,21 @@ mod tests {
     use homunculus_ml::tensor::Matrix;
 
     fn toy_dataset() -> Dataset {
-        let x = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0], vec![0.5, 0.5], vec![0.2, 0.8]])
-            .unwrap();
+        let x = Matrix::from_rows(&[
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![0.5, 0.5],
+            vec![0.2, 0.8],
+        ])
+        .unwrap();
         Dataset::new(x, vec![0, 1, 0, 1], 2, vec!["a".into(), "b".into()]).unwrap()
     }
 
     fn spec(name: &str) -> ModelSpec {
-        ModelSpec::builder(name).data(toy_dataset()).build().unwrap()
+        ModelSpec::builder(name)
+            .data(toy_dataset())
+            .build()
+            .unwrap()
     }
 
     #[test]

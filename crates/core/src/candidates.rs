@@ -22,7 +22,10 @@ pub fn minimal_ir(algorithm: Algorithm, n_features: usize, n_classes: usize) -> 
             vec![2],
             n_classes.max(2),
         ))),
-        Algorithm::Svm => ModelIr::Svm(SvmIr::from_shape(2.min(n_features).max(1), n_classes.max(2))),
+        Algorithm::Svm => ModelIr::Svm(SvmIr::from_shape(
+            2.min(n_features).max(1),
+            n_classes.max(2),
+        )),
         Algorithm::KMeans => ModelIr::KMeans(KMeansIr::from_shape(1, n_features)),
         Algorithm::DecisionTree => ModelIr::Tree(TreeIr {
             depth: 1,
@@ -132,7 +135,10 @@ mod tests {
         let mut p = Platform::tofino();
         p.constraints_mut().mats(8);
         let c = candidate_algorithms(&ad_spec(Metric::F1), &p).unwrap();
-        assert!(!c.contains(&Algorithm::Dnn), "dnn should be pre-filtered: {c:?}");
+        assert!(
+            !c.contains(&Algorithm::Dnn),
+            "dnn should be pre-filtered: {c:?}"
+        );
         assert!(c.contains(&Algorithm::Svm) || c.contains(&Algorithm::DecisionTree));
     }
 

@@ -41,7 +41,11 @@ pub enum FusionDecision {
 /// # Errors
 ///
 /// Propagates dataset merge errors (schema mismatches despite overlap).
-pub fn try_fuse(a: &ModelSpec, b: &ModelSpec, threshold: f64) -> Result<(Option<ModelSpec>, FusionDecision)> {
+pub fn try_fuse(
+    a: &ModelSpec,
+    b: &ModelSpec,
+    threshold: f64,
+) -> Result<(Option<ModelSpec>, FusionDecision)> {
     if a.optimization_metric != b.optimization_metric {
         return Ok((None, FusionDecision::IncompatibleObjectives));
     }

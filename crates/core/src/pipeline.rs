@@ -18,14 +18,10 @@ use crate::spaces::design_space_for;
 use crate::trainer::{normalized_split, train_candidate, TrainBudget};
 use crate::{CoreError, Result};
 use homunculus_backends::model::ModelIr;
-use homunculus_backends::resources::{
-    Constraints, Performance, ResourceEstimate, ResourceVector,
-};
+use homunculus_backends::resources::{Constraints, Performance, ResourceEstimate, ResourceVector};
 use homunculus_datasets::dataset::Split;
 use homunculus_optimizer::space::Configuration;
-use homunculus_optimizer::{
-    BayesianOptimizer, Evaluation, OptimizationHistory, OptimizerOptions,
-};
+use homunculus_optimizer::{BayesianOptimizer, Evaluation, OptimizationHistory, OptimizerOptions};
 use serde::{Deserialize, Serialize};
 
 /// Compiler knobs: search/training budgets and reproducibility.
@@ -253,71 +249,71 @@ fn compile_model(
     let search_dataset = match options.sample_cap {
         Some(cap) if spec.dataset.len() > cap => {
             let fraction = cap as f64 / spec.dataset.len() as f64;
-            spec.dataset
-                .stratified_split(fraction, options.seed)?
-                .test
+            spec.dataset.stratified_split(fraction, options.seed)?.test
         }
         _ => spec.dataset.clone(),
     };
     let split = normalized_split(&search_dataset, spec.test_fraction, options.seed)?;
 
     // Parallel candidate runs (Figure 2's "Parallel Candidate Runs").
-    let runs: Vec<(Algorithm, Result<OptimizationHistory>)> = if options.parallel
-        && algorithms.len() > 1
-    {
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = algorithms
+    let runs: Vec<(Algorithm, Result<OptimizationHistory>)> =
+        if options.parallel && algorithms.len() > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = algorithms
+                    .iter()
+                    .map(|&algorithm| {
+                        let split_ref = &split;
+                        scope.spawn(move || {
+                            (
+                                algorithm,
+                                search_algorithm(
+                                    algorithm,
+                                    spec,
+                                    platform,
+                                    constraints,
+                                    split_ref,
+                                    options,
+                                    model_index,
+                                ),
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("search thread panicked"))
+                    .collect()
+            })
+        } else {
+            algorithms
                 .iter()
                 .map(|&algorithm| {
-                    let split_ref = &split;
-                    scope.spawn(move |_| {
-                        (
-                            algorithm,
-                            search_algorithm(
-                                algorithm,
-                                spec,
-                                platform,
-                                constraints,
-                                split_ref,
-                                options,
-                                model_index,
-                            ),
-                        )
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("search thread panicked"))
-                .collect()
-        })
-        .expect("crossbeam scope")
-    } else {
-        algorithms
-            .iter()
-            .map(|&algorithm| {
-                (
-                    algorithm,
-                    search_algorithm(
+                    (
                         algorithm,
-                        spec,
-                        platform,
-                        constraints,
-                        &split,
-                        options,
-                        model_index,
-                    ),
-                )
-            })
-            .collect()
-    };
+                        search_algorithm(
+                            algorithm,
+                            spec,
+                            platform,
+                            constraints,
+                            &split,
+                            options,
+                            model_index,
+                        ),
+                    )
+                })
+                .collect()
+        };
 
     // Final model selection across algorithms. Within each algorithm's
     // history the winner is chosen with an efficiency tie-break (§3: "the
     // most efficient model will use as many resources as needed without
     // over-provisioning"): among configurations within EFFICIENCY_SLACK of
-    // the best objective, the one with the fewest parameters wins.
-    const EFFICIENCY_SLACK: f64 = 0.005;
+    // the best objective, the one with the fewest parameters wins. The
+    // slack sits at the noise floor of the objective estimate: candidates
+    // are scored on a few-hundred-row held-out split, where an F1 reading
+    // carries a standard error of several percentage points, so a sub-0.025
+    // difference is not evidence that the bigger model is actually better.
+    const EFFICIENCY_SLACK: f64 = 0.025;
     let mut algorithm_histories = Vec::new();
     let mut winner: Option<(Algorithm, Configuration, f64)> = None;
     for (algorithm, run) in runs {
@@ -336,7 +332,7 @@ fn compile_model(
         }
         algorithm_histories.push((algorithm, history));
     }
-    let (algorithm, configuration, _) = winner.ok_or_else(|| {
+    let (algorithm, configuration, winner_objective) = winner.ok_or_else(|| {
         CoreError::NoFeasibleModel(format!(
             "model '{}': search budget exhausted without a feasible configuration",
             spec.name
@@ -344,18 +340,39 @@ fn compile_model(
     })?;
 
     // Retrain the winner with the final budget on the full dataset.
+    // Training is stochastic and an unlucky initialization can collapse
+    // into a degenerate model (e.g. one-class predictions, F1 = 0) even
+    // for a configuration that scored well during the search — so take
+    // the best of a few deterministic restarts, stopping early once the
+    // retrain is in range of the search-time score.
+    const FINAL_RESTARTS: u64 = 3;
     let final_split = normalized_split(&spec.dataset, spec.test_fraction, options.seed)?;
-    let final_budget = TrainBudget {
-        epochs: options.final_epochs,
-        seed: options.seed ^ 0xF1A4,
-    };
-    let trained = train_candidate(
-        algorithm,
-        &configuration,
-        &final_split,
-        spec.optimization_metric,
-        final_budget,
-    )?;
+    let search_objective = winner_objective;
+    let mut trained: Option<crate::trainer::TrainedCandidate> = None;
+    for restart in 0..FINAL_RESTARTS {
+        let final_budget = TrainBudget {
+            epochs: options.final_epochs,
+            seed: (options.seed ^ 0xF1A4).wrapping_add(restart.wrapping_mul(0x9E37_79B9)),
+        };
+        let attempt = train_candidate(
+            algorithm,
+            &configuration,
+            &final_split,
+            spec.optimization_metric,
+            final_budget,
+        )?;
+        let good_enough = attempt.objective >= search_objective - EFFICIENCY_SLACK;
+        let better = trained
+            .as_ref()
+            .map_or(true, |t| attempt.objective > t.objective);
+        if better {
+            trained = Some(attempt);
+        }
+        if good_enough {
+            break;
+        }
+    }
+    let trained = trained.expect("at least one final training restart ran");
     let target = platform.effective_target();
     let estimate = target.as_target().estimate(&trained.ir)?;
     let code = target.as_target().generate_code(&trained.ir, &spec.name)?;
@@ -379,6 +396,12 @@ fn compile_model(
         algorithm_histories,
     })
 }
+
+/// Violation sentinel for configurations that failed to train or to
+/// estimate at all: large against real violation scores (O(1..100)) so the
+/// phase-1 feasibility descent never walks toward them, but finite enough
+/// to survive the surrogate's f32 cast.
+const BROKEN_CANDIDATE_VIOLATION: f64 = 1e6;
 
 /// One algorithm's BO search: the black-box objective is train + estimate
 /// + feasibility-check.
@@ -412,6 +435,7 @@ fn search_algorithm(
                 Ok(report) => {
                     let mut evaluation = Evaluation::new(candidate.objective)
                         .feasible(report.is_feasible())
+                        .with_violation(report.violation_score())
                         .with_metric("params", candidate.ir.param_count() as f64);
                     if let Ok(estimate) = target.as_target().estimate(&candidate.ir) {
                         for (name, value) in estimate.resources.iter() {
@@ -419,17 +443,24 @@ fn search_algorithm(
                         }
                         evaluation = evaluation
                             .with_metric("latency_ns", estimate.performance.latency_ns)
-                            .with_metric(
-                                "throughput_gpps",
-                                estimate.performance.throughput_gpps,
-                            );
+                            .with_metric("throughput_gpps", estimate.performance.throughput_gpps);
                     }
                     evaluation
                 }
-                Err(_) => Evaluation::new(candidate.objective).feasible(false),
+                // An uncheckable configuration must not look attractive
+                // to the phase-1 violation descent (violation would
+                // default to 0.0 — the global minimum). The sentinel is
+                // large against real violation scores (O(1..100)) but
+                // stays finite through the surrogate's f32 cast.
+                Err(_) => Evaluation::new(candidate.objective)
+                    .feasible(false)
+                    .with_violation(BROKEN_CANDIDATE_VIOLATION),
             },
-            // A configuration that fails to train at all is infeasible.
-            Err(_) => Evaluation::new(0.0).feasible(false),
+            // A configuration that fails to train at all is infeasible —
+            // same poisoning guard as above.
+            Err(_) => Evaluation::new(0.0)
+                .feasible(false)
+                .with_violation(BROKEN_CANDIDATE_VIOLATION),
         }
     })?;
     Ok(history)

@@ -129,10 +129,7 @@ impl ScheduleExpr {
                         .iter()
                         .map(|p| p.throughput_gpps)
                         .fold(f64::INFINITY, f64::min),
-                    latency_ns: parts
-                        .iter()
-                        .map(|p| p.latency_ns)
-                        .fold(0.0, f64::max),
+                    latency_ns: parts.iter().map(|p| p.latency_ns).fold(0.0, f64::max),
                 }
             }
         }

@@ -37,10 +37,7 @@ pub fn design_space_for(
             let (max_layers, max_width) = dnn_bounds(platform, n_features);
             space.add("n_layers", Parameter::integer(1, max_layers as i64))?;
             space.add("width", Parameter::integer(2, max_width as i64))?;
-            space.add(
-                "taper",
-                Parameter::ordinal(vec![0.5, 0.7, 0.85, 1.0]),
-            )?;
+            space.add("taper", Parameter::ordinal(vec![0.5, 0.7, 0.85, 1.0]))?;
             space.add("log10_lr", Parameter::real(-3.0, -0.8))?;
             space.add("batch", Parameter::ordinal(vec![16.0, 32.0, 64.0, 128.0]))?;
         }
@@ -71,7 +68,9 @@ fn dnn_bounds(platform: &Platform, n_features: usize) -> (usize, usize) {
         PlatformTarget::Taurus(t) => {
             // width * ceil(n_features/8) CUs must fit the grid with room
             // for other layers; cap conservatively at half the capacity.
-            let per_neuron = n_features.div_ceil(homunculus_backends::taurus::VEC_WIDTH).max(1);
+            let per_neuron = n_features
+                .div_ceil(homunculus_backends::taurus::VEC_WIDTH)
+                .max(1);
             let max_width = (t.cu_capacity() / (2 * per_neuron)).clamp(4, 64);
             let max_layers = 10;
             (max_layers, max_width)

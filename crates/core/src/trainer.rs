@@ -123,11 +123,7 @@ fn train_svm(
         n_classes,
         &svm_config,
     )?;
-    let mut ranked: Vec<(usize, f32)> = full
-        .feature_importance()
-        .into_iter()
-        .enumerate()
-        .collect();
+    let mut ranked: Vec<(usize, f32)> = full.feature_importance().into_iter().enumerate().collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
     let mut kept: Vec<usize> = ranked
         .iter()
@@ -155,7 +151,8 @@ fn train_kmeans(
 ) -> Result<TrainedCandidate> {
     let k = config
         .integer("k")
-        .ok_or_else(|| CoreError::Subsystem("kmeans config missing k".into()))? as usize;
+        .ok_or_else(|| CoreError::Subsystem("kmeans config missing k".into()))?
+        as usize;
     let k = k.clamp(1, split.train.len());
     // KMeans with k = 1 cannot be fit meaningfully against V-measure but
     // is a legal (degenerate) configuration: every packet lands in one
@@ -181,7 +178,8 @@ fn train_tree(
     let n_classes = split.train.n_classes();
     let depth = config
         .integer("depth")
-        .ok_or_else(|| CoreError::Subsystem("tree config missing depth".into()))? as usize;
+        .ok_or_else(|| CoreError::Subsystem("tree config missing depth".into()))?
+        as usize;
     let min_leaf = config
         .integer("min_leaf")
         .ok_or_else(|| CoreError::Subsystem("tree config missing min_leaf".into()))?
@@ -247,7 +245,10 @@ mod tests {
             .unwrap()
     }
 
-    const BUDGET: TrainBudget = TrainBudget { epochs: 10, seed: 0 };
+    const BUDGET: TrainBudget = TrainBudget {
+        epochs: 10,
+        seed: 0,
+    };
 
     #[test]
     fn dnn_candidate_trains_and_scores() {
@@ -301,8 +302,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let config = space.sample(&mut rng);
         let depth_cap = config.integer("depth").unwrap() as usize;
-        let c = train_candidate(Algorithm::DecisionTree, &config, &split, Metric::F1, BUDGET)
-            .unwrap();
+        let c =
+            train_candidate(Algorithm::DecisionTree, &config, &split, Metric::F1, BUDGET).unwrap();
         match &c.ir {
             ModelIr::Tree(t) => assert!(t.depth <= depth_cap.max(1)),
             other => panic!("expected tree ir, got {other:?}"),
@@ -326,32 +327,48 @@ mod tests {
         let split = ad_split();
         let space = design_space_for(Algorithm::Dnn, &ad_spec(), &Platform::taurus()).unwrap();
         let mut rng = StdRng::seed_from_u64(8);
-        // Find a tiny and a large configuration by rejection sampling.
-        let mut tiny = None;
-        let mut large = None;
-        for _ in 0..3_000 {
+        // Collect a few tiny and large configurations by rejection
+        // sampling; any single draw can carry a pathological learning
+        // rate, so the claim is only about the class averages.
+        const PER_CLASS: usize = 3;
+        let mut tiny = Vec::new();
+        let mut large = Vec::new();
+        for _ in 0..6_000 {
             let c = space.sample(&mut rng);
             let width = c.integer("width").unwrap();
             let layers = c.integer("n_layers").unwrap();
-            if width <= 4 && layers == 1 && tiny.is_none() {
-                tiny = Some(c.clone());
+            if width <= 4 && layers == 1 && tiny.len() < PER_CLASS {
+                tiny.push(c.clone());
             }
-            if width >= 20 && (2..=4).contains(&layers) && large.is_none() {
-                large = Some(c.clone());
+            if width >= 20 && (2..=4).contains(&layers) && large.len() < PER_CLASS {
+                large.push(c.clone());
             }
-            if tiny.is_some() && large.is_some() {
+            if tiny.len() == PER_CLASS && large.len() == PER_CLASS {
                 break;
             }
         }
-        let (tiny, large) = (tiny.expect("tiny found"), large.expect("large found"));
-        let budget = TrainBudget { epochs: 20, seed: 0 };
-        let t = train_candidate(Algorithm::Dnn, &tiny, &split, Metric::F1, budget).unwrap();
-        let l = train_candidate(Algorithm::Dnn, &large, &split, Metric::F1, budget).unwrap();
+        assert_eq!(tiny.len(), PER_CLASS, "tiny configs found");
+        assert_eq!(large.len(), PER_CLASS, "large configs found");
+        let budget = TrainBudget {
+            epochs: 20,
+            seed: 0,
+        };
+        let mean = |configs: &[Configuration]| -> f64 {
+            configs
+                .iter()
+                .map(|c| {
+                    train_candidate(Algorithm::Dnn, c, &split, Metric::F1, budget)
+                        .unwrap()
+                        .objective
+                })
+                .sum::<f64>()
+                / configs.len() as f64
+        };
+        let t = mean(&tiny);
+        let l = mean(&large);
         assert!(
-            l.objective > t.objective - 0.05,
-            "large {} should not lose badly to tiny {}",
-            l.objective,
-            t.objective
+            l > t - 0.05,
+            "large mean {l} should not lose badly to tiny mean {t}"
         );
     }
 }

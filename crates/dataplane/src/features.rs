@@ -182,7 +182,9 @@ mod tests {
     fn features_are_finite_and_bounded() {
         let mut table = FlowTable::new();
         let mut b = Packet::builder();
-        b.size_bytes(u32::MAX).dst_port(u16::MAX).timestamp_ns(u64::MAX / 2);
+        b.size_bytes(u32::MAX)
+            .dst_port(u16::MAX)
+            .timestamp_ns(u64::MAX / 2);
         let pkt = b.build();
         let stats = table.observe(&pkt);
         for f in packet_features(&pkt, &stats) {
@@ -215,7 +217,10 @@ mod tests {
         a.src_ip("10.0.0.3".parse().unwrap());
         let mut b = Packet::builder();
         b.src_ip("10.0.0.47".parse().unwrap());
-        assert_ne!(header_features(&a.build())[4], header_features(&b.build())[4]);
+        assert_ne!(
+            header_features(&a.build())[4],
+            header_features(&b.build())[4]
+        );
     }
 
     #[test]

@@ -52,13 +52,15 @@ impl Histogram {
     /// Returns [`DataplaneError::InvalidConfig`] for non-positive widths or
     /// zero bins.
     pub fn new(bin_width: f64, bins: usize) -> Result<Self> {
-        if !(bin_width > 0.0) {
+        if bin_width <= 0.0 || bin_width.is_nan() {
             return Err(DataplaneError::InvalidConfig(format!(
                 "bin width must be positive, got {bin_width}"
             )));
         }
         if bins == 0 {
-            return Err(DataplaneError::InvalidConfig("need at least one bin".into()));
+            return Err(DataplaneError::InvalidConfig(
+                "need at least one bin".into(),
+            ));
         }
         Ok(Histogram {
             bin_width,
@@ -116,7 +118,9 @@ impl Histogram {
     /// Returns [`DataplaneError::InvalidConfig`] when `factor == 0`.
     pub fn fuse(&self, factor: usize) -> Result<Histogram> {
         if factor == 0 {
-            return Err(DataplaneError::InvalidConfig("fusion factor must be positive".into()));
+            return Err(DataplaneError::InvalidConfig(
+                "fusion factor must be positive".into(),
+            ));
         }
         let counts: Vec<u64> = self
             .counts
@@ -137,7 +141,9 @@ impl Histogram {
     /// Returns [`DataplaneError::InvalidConfig`] when `bins == 0`.
     pub fn truncate(&self, bins: usize) -> Result<Histogram> {
         if bins == 0 {
-            return Err(DataplaneError::InvalidConfig("need at least one bin".into()));
+            return Err(DataplaneError::InvalidConfig(
+                "need at least one bin".into(),
+            ));
         }
         if bins >= self.counts.len() {
             return Ok(self.clone());

@@ -185,7 +185,9 @@ impl Dataset {
     /// `(0, 1)` or the dataset is empty.
     pub fn stratified_split(&self, test_fraction: f64, seed: u64) -> Result<Split> {
         if self.is_empty() {
-            return Err(DatasetError::Invalid("cannot split an empty dataset".into()));
+            return Err(DatasetError::Invalid(
+                "cannot split an empty dataset".into(),
+            ));
         }
         if !(0.0 < test_fraction && test_fraction < 1.0) {
             return Err(DatasetError::Invalid(format!(
@@ -372,7 +374,8 @@ impl Dataset {
                 .map_err(|_| DatasetError::Invalid(format!("bad label in line '{line}'")))?;
             let row: std::result::Result<Vec<f32>, _> =
                 parts.map(|p| p.trim().parse::<f32>()).collect();
-            let row = row.map_err(|_| DatasetError::Invalid(format!("bad value in line '{line}'")))?;
+            let row =
+                row.map_err(|_| DatasetError::Invalid(format!("bad value in line '{line}'")))?;
             if row.len() != names.len() {
                 return Err(DatasetError::Invalid(format!(
                     "expected {} values, got {}",
@@ -426,13 +429,7 @@ mod tests {
             vec![5.0, 60.0],
         ])
         .unwrap();
-        Dataset::new(
-            x,
-            vec![0, 0, 0, 1, 1, 1],
-            2,
-            vec!["a".into(), "b".into()],
-        )
-        .unwrap()
+        Dataset::new(x, vec![0, 0, 0, 1, 1, 1], 2, vec!["a".into(), "b".into()]).unwrap()
     }
 
     #[test]
@@ -482,7 +479,8 @@ mod tests {
         for c in 0..nds.n_features() {
             let col: Vec<f32> = (0..nds.len()).map(|r| nds.features()[(r, c)]).collect();
             let mean: f32 = col.iter().sum::<f32>() / col.len() as f32;
-            let var: f32 = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / col.len() as f32;
+            let var: f32 =
+                col.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / col.len() as f32;
             assert!(mean.abs() < 1e-5, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-4, "var {var}");
         }

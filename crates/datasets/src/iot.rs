@@ -49,7 +49,10 @@ impl DeviceClass {
 
     /// The class label (index into [`DeviceClass::ALL`]).
     pub fn label(self) -> usize {
-        DeviceClass::ALL.iter().position(|&c| c == self).expect("member of ALL")
+        DeviceClass::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("member of ALL")
     }
 
     /// Lowercase device name.
@@ -165,7 +168,11 @@ impl IotTrafficGenerator {
             .dst_ip(Ipv4Addr::new(10, 0, 0, 1))
             .src_port(sport)
             .dst_port(dport)
-            .protocol(if rng.gen_bool(0.5) { Protocol::Udp } else { Protocol::Tcp })
+            .protocol(if rng.gen_bool(0.5) {
+                Protocol::Udp
+            } else {
+                Protocol::Tcp
+            })
             .build();
         // Projection in *feature* units (size/256 + sport/8192 as in
         // `header_features`), striped into `hard_stripes` cells cycling

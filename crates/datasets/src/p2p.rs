@@ -181,8 +181,12 @@ impl P2pTrafficGenerator {
         let app = if botnet {
             [P2pApp::Storm, P2pApp::Waledac][categorical(rng, &[0.5, 0.5])]
         } else {
-            [P2pApp::UTorrent, P2pApp::Vuze, P2pApp::EMule, P2pApp::FrostWire]
-                [categorical(rng, &[0.3, 0.25, 0.25, 0.2])]
+            [
+                P2pApp::UTorrent,
+                P2pApp::Vuze,
+                P2pApp::EMule,
+                P2pApp::FrostWire,
+            ][categorical(rng, &[0.3, 0.25, 0.25, 0.2])]
         };
 
         let packets = if botnet {
@@ -195,7 +199,11 @@ impl P2pTrafficGenerator {
         if rng.gen_bool(self.config.label_noise) {
             label = 1 - label;
         }
-        FlowTrace { app, label, packets }
+        FlowTrace {
+            app,
+            label,
+            packets,
+        }
     }
 
     /// Botnet C&C: low volume (tens of packets), high duration (~1 h),
@@ -264,7 +272,14 @@ impl P2pTrafficGenerator {
         (src, dst)
     }
 
-    fn packet(&self, rng: &mut StdRng, src: Ipv4Addr, dst: Ipv4Addr, size: u32, t_ns: u64) -> Packet {
+    fn packet(
+        &self,
+        rng: &mut StdRng,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        size: u32,
+        t_ns: u64,
+    ) -> Packet {
         Packet::builder()
             .timestamp_ns(t_ns)
             .size_bytes(size)
@@ -304,9 +319,12 @@ pub fn partial_histogram_dataset(
     packets_seen: usize,
 ) -> Dataset {
     dataset_from_markers(
-        flows
-            .iter()
-            .map(|f| (f.partial_flowmarker(config, packets_seen).feature_vector(), f.label)),
+        flows.iter().map(|f| {
+            (
+                f.partial_flowmarker(config, packets_seen).feature_vector(),
+                f.label,
+            )
+        }),
         config,
     )
 }
@@ -409,8 +427,10 @@ mod tests {
         let bot: Vec<&FlowTrace> = flows.iter().filter(|f| f.app.is_botnet()).collect();
         let ben: Vec<&FlowTrace> = flows.iter().filter(|f| !f.app.is_botnet()).collect();
         assert!(!bot.is_empty() && !ben.is_empty());
-        let bot_pkts: f64 = bot.iter().map(|f| f.packets.len() as f64).sum::<f64>() / bot.len() as f64;
-        let ben_pkts: f64 = ben.iter().map(|f| f.packets.len() as f64).sum::<f64>() / ben.len() as f64;
+        let bot_pkts: f64 =
+            bot.iter().map(|f| f.packets.len() as f64).sum::<f64>() / bot.len() as f64;
+        let ben_pkts: f64 =
+            ben.iter().map(|f| f.packets.len() as f64).sum::<f64>() / ben.len() as f64;
         assert!(
             ben_pkts > bot_pkts * 2.0,
             "benign {ben_pkts} pkts vs botnet {bot_pkts}"

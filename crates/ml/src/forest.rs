@@ -113,7 +113,10 @@ impl RandomForestRegressor {
             let bx = x.select_rows(&idx);
             let by: Vec<f32> = idx.iter().map(|&i| y[i]).collect();
             let tree_config = TreeConfig {
-                seed: config.seed.wrapping_add(t as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                seed: config
+                    .seed
+                    .wrapping_add(t as u64)
+                    .wrapping_mul(0x9E3779B97F4A7C15),
                 ..config.tree.clone()
             };
             trees.push(DecisionTreeRegressor::fit(&bx, &by, &tree_config)?);
@@ -196,10 +199,18 @@ impl RandomForestClassifier {
             let bx = x.select_rows(&idx);
             let by: Vec<usize> = idx.iter().map(|&i| y[i]).collect();
             let tree_config = TreeConfig {
-                seed: config.seed.wrapping_add(t as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                seed: config
+                    .seed
+                    .wrapping_add(t as u64)
+                    .wrapping_mul(0x9E3779B97F4A7C15),
                 ..config.tree.clone()
             };
-            trees.push(DecisionTreeClassifier::fit(&bx, &by, n_classes, &tree_config)?);
+            trees.push(DecisionTreeClassifier::fit(
+                &bx,
+                &by,
+                n_classes,
+                &tree_config,
+            )?);
         }
         Ok(RandomForestClassifier { trees, n_classes })
     }
@@ -255,7 +266,9 @@ mod tests {
     use proptest::prelude::*;
 
     fn quadratic_data(n: usize) -> (Matrix, Vec<f32>) {
-        let rows: Vec<Vec<f32>> = (0..n).map(|i| vec![i as f32 / n as f32 * 4.0 - 2.0]).collect();
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| vec![i as f32 / n as f32 * 4.0 - 2.0])
+            .collect();
         let y: Vec<f32> = rows.iter().map(|r| r[0] * r[0]).collect();
         (Matrix::from_rows(&rows).unwrap(), y)
     }
@@ -288,12 +301,9 @@ mod tests {
     #[test]
     fn regressor_uncertainty_positive_off_manifold() {
         let (x, y) = quadratic_data(40);
-        let forest = RandomForestRegressor::fit(
-            &x,
-            &y,
-            &ForestConfig::default().n_trees(16).seed(3),
-        )
-        .unwrap();
+        let forest =
+            RandomForestRegressor::fit(&x, &y, &ForestConfig::default().n_trees(16).seed(3))
+                .unwrap();
         // Bootstrap variation should produce nonzero spread somewhere.
         let spread: f32 = (0..20)
             .map(|i| forest.predict_mean_std(&[i as f32 * 0.21 - 2.0]).1)
@@ -318,7 +328,10 @@ mod tests {
         let (x, y) = quadratic_data(8);
         assert!(RandomForestRegressor::fit(&x, &y, &ForestConfig::default().n_trees(0)).is_err());
         let labels = vec![0usize; 8];
-        assert!(RandomForestClassifier::fit(&x, &labels, 2, &ForestConfig::default().n_trees(0)).is_err());
+        assert!(
+            RandomForestClassifier::fit(&x, &labels, 2, &ForestConfig::default().n_trees(0))
+                .is_err()
+        );
     }
 
     #[test]

@@ -42,7 +42,9 @@ impl ConfusionMatrix {
     ///   `n_classes == 0`.
     pub fn from_labels(n_classes: usize, y_true: &[usize], y_pred: &[usize]) -> Result<Self> {
         if n_classes == 0 {
-            return Err(MlError::InvalidArgument("n_classes must be positive".into()));
+            return Err(MlError::InvalidArgument(
+                "n_classes must be positive".into(),
+            ));
         }
         if y_true.len() != y_pred.len() {
             return Err(MlError::ShapeMismatch {
@@ -74,7 +76,10 @@ impl ConfusionMatrix {
     ///
     /// Panics if `t` or `p` is out of range.
     pub fn count(&self, t: usize, p: usize) -> u64 {
-        assert!(t < self.n_classes && p < self.n_classes, "class out of range");
+        assert!(
+            t < self.n_classes && p < self.n_classes,
+            "class out of range"
+        );
         self.counts[t * self.n_classes + p]
     }
 

@@ -162,7 +162,7 @@ impl MlpArchitecture {
                 "input and output dimensions must be non-zero".into(),
             ));
         }
-        if self.hidden.iter().any(|&h| h == 0) {
+        if self.hidden.contains(&0) {
             return Err(MlError::InvalidArgument(
                 "hidden layers must have non-zero width".into(),
             ));
@@ -541,11 +541,7 @@ impl Mlp {
                 let mut prev_delta = delta.matmul_transpose(&self.layers[l].weights)?;
                 let act = self.arch.activation;
                 let outputs = &activations[l - 1];
-                for (d, &o) in prev_delta
-                    .as_mut_slice()
-                    .iter_mut()
-                    .zip(outputs.as_slice())
-                {
+                for (d, &o) in prev_delta.as_mut_slice().iter_mut().zip(outputs.as_slice()) {
                     *d *= act.derivative_from_output(o);
                 }
                 delta = prev_delta;
@@ -688,7 +684,10 @@ pub fn cross_entropy(proba: &Matrix, y: &[usize]) -> Result<f32> {
     let mut total = 0.0;
     for (r, &label) in y.iter().enumerate() {
         let p = proba.get(r, label).ok_or_else(|| {
-            MlError::InvalidArgument(format!("label {label} out of range for {} classes", proba.cols()))
+            MlError::InvalidArgument(format!(
+                "label {label} out of range for {} classes",
+                proba.cols()
+            ))
         })?;
         total -= p.max(1e-12).ln();
     }
@@ -741,11 +740,22 @@ mod tests {
         let mut net = Mlp::new(&arch, 7).unwrap();
         let before = net.loss(&x, &y).unwrap();
         let report = net
-            .train(&x, &y, &TrainConfig::default().epochs(800).learning_rate(0.05).batch_size(4))
+            .train(
+                &x,
+                &y,
+                &TrainConfig::default()
+                    .epochs(800)
+                    .learning_rate(0.05)
+                    .batch_size(4),
+            )
             .unwrap();
         let after = net.loss(&x, &y).unwrap();
         assert!(after < before, "loss should drop: {before} -> {after}");
-        assert!(report.final_loss() < 0.1, "final loss {}", report.final_loss());
+        assert!(
+            report.final_loss() < 0.1,
+            "final loss {}",
+            report.final_loss()
+        );
         assert_eq!(net.predict(&x).unwrap(), y);
     }
 

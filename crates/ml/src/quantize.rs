@@ -50,9 +50,14 @@ impl FixedPoint {
             )));
         }
         if frac_bits == 0 {
-            return Err(MlError::InvalidArgument("frac_bits must be positive".into()));
+            return Err(MlError::InvalidArgument(
+                "frac_bits must be positive".into(),
+            ));
         }
-        Ok(FixedPoint { int_bits, frac_bits })
+        Ok(FixedPoint {
+            int_bits,
+            frac_bits,
+        })
     }
 
     /// The Q3.12 format used by the Taurus templates (16-bit words).
@@ -135,7 +140,10 @@ impl FixedPoint {
 
     /// Quantize-dequantize round trip of a slice ("fake quantization").
     pub fn roundtrip_slice(&self, values: &[f32]) -> Vec<f32> {
-        values.iter().map(|&v| self.dequantize(self.quantize(v))).collect()
+        values
+            .iter()
+            .map(|&v| self.dequantize(self.quantize(v)))
+            .collect()
     }
 
     /// Quantize-dequantize round trip of a whole matrix.

@@ -130,7 +130,11 @@ impl LinearSvm {
             let signs: Vec<f32> = y
                 .iter()
                 .map(|&label| {
-                    let positive = if n_classes == 2 { label == 1 } else { label == plane };
+                    let positive = if n_classes == 2 {
+                        label == 1
+                    } else {
+                        label == plane
+                    };
                     if positive {
                         1.0
                     } else {
@@ -294,7 +298,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         for c in 0..3usize {
             for _ in 0..60 {
-                rows.push(vec![c as f32 * 4.0 + rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]);
+                rows.push(vec![
+                    c as f32 * 4.0 + rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                ]);
                 labels.push(c);
             }
         }

@@ -193,7 +193,10 @@ impl Matrix {
     ///
     /// Panics if the index is out of bounds.
     pub fn set(&mut self, r: usize, c: usize, value: f32) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = value;
     }
 
@@ -401,7 +404,7 @@ impl Matrix {
 
     /// Index of the maximum element in each row (first max wins).
     pub fn argmax_rows(&self) -> Vec<usize> {
-        self.iter_rows().map(|row| argmax(row)).collect()
+        self.iter_rows().map(argmax).collect()
     }
 
     /// The Frobenius norm (`sqrt(sum of squares)`).
@@ -496,14 +499,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f32;
 
     fn index(&self, (r, c): (usize, usize)) -> &f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -512,7 +521,12 @@ impl fmt::Display for Matrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Matrix {}x{}", self.rows, self.cols)?;
         for r in 0..self.rows.min(8) {
-            let row: Vec<String> = self.row(r).iter().take(12).map(|v| format!("{v:8.4}")).collect();
+            let row: Vec<String> = self
+                .row(r)
+                .iter()
+                .take(12)
+                .map(|v| format!("{v:8.4}"))
+                .collect();
             writeln!(f, "  [{}]", row.join(", "))?;
         }
         if self.rows > 8 {
@@ -645,7 +659,11 @@ mod tests {
 
     #[test]
     fn select_rows_and_cols() {
-        let a = mat(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0], vec![7.0, 8.0, 9.0]]);
+        let a = mat(&[
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 9.0],
+        ]);
         let r = a.select_rows(&[2, 0]);
         assert_eq!(r, mat(&[vec![7.0, 8.0, 9.0], vec![1.0, 2.0, 3.0]]));
         let c = a.select_cols(&[1]);
@@ -656,7 +674,10 @@ mod tests {
     fn stacking() {
         let a = mat(&[vec![1.0, 2.0]]);
         let b = mat(&[vec![3.0, 4.0]]);
-        assert_eq!(a.vstack(&b).unwrap(), mat(&[vec![1.0, 2.0], vec![3.0, 4.0]]));
+        assert_eq!(
+            a.vstack(&b).unwrap(),
+            mat(&[vec![1.0, 2.0], vec![3.0, 4.0]])
+        );
         assert_eq!(a.hstack(&b).unwrap(), mat(&[vec![1.0, 2.0, 3.0, 4.0]]));
         let bad = Matrix::zeros(1, 3);
         assert!(a.vstack(&bad).is_err());

@@ -93,7 +93,11 @@ fn descend<'a>(nodes: &'a [Node], features: &[f32]) -> &'a Node {
                 left,
                 right,
             } => {
-                idx = if features[*feature] <= *threshold { *left } else { *right };
+                idx = if features[*feature] <= *threshold {
+                    *left
+                } else {
+                    *right
+                };
             }
         }
     }
@@ -267,7 +271,10 @@ fn gini(counts: &[f32], total: f32) -> f32 {
     if total <= 0.0 {
         return 0.0;
     }
-    1.0 - counts.iter().map(|&c| (c / total) * (c / total)).sum::<f32>()
+    1.0 - counts
+        .iter()
+        .map(|&c| (c / total) * (c / total))
+        .sum::<f32>()
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -306,10 +313,7 @@ fn build_classifier(
         nodes.len() - 1
     };
 
-    if depth >= config.max_depth
-        || indices.len() < config.min_samples_split
-        || node_gini == 0.0
-    {
+    if depth >= config.max_depth || indices.len() < config.min_samples_split || node_gini == 0.0 {
         return make_leaf(nodes, &counts);
     }
 
@@ -355,8 +359,28 @@ fn build_classifier(
         value: 0.0,
         distribution: Vec::new(),
     }); // placeholder
-    let left = build_classifier(x, y, n_classes, config, &left_idx, depth + 1, nodes, rng, max_depth_seen);
-    let right = build_classifier(x, y, n_classes, config, &right_idx, depth + 1, nodes, rng, max_depth_seen);
+    let left = build_classifier(
+        x,
+        y,
+        n_classes,
+        config,
+        &left_idx,
+        depth + 1,
+        nodes,
+        rng,
+        max_depth_seen,
+    );
+    let right = build_classifier(
+        x,
+        y,
+        n_classes,
+        config,
+        &right_idx,
+        depth + 1,
+        nodes,
+        rng,
+        max_depth_seen,
+    );
     nodes[slot] = Node::Split {
         feature,
         threshold,
@@ -390,7 +414,16 @@ impl DecisionTreeRegressor {
         let mut nodes = Vec::new();
         let indices: Vec<usize> = (0..x.rows()).collect();
         let mut max_depth_seen = 0;
-        build_regressor(x, y, config, &indices, 0, &mut nodes, &mut rng, &mut max_depth_seen);
+        build_regressor(
+            x,
+            y,
+            config,
+            &indices,
+            0,
+            &mut nodes,
+            &mut rng,
+            &mut max_depth_seen,
+        );
         Ok(DecisionTreeRegressor {
             nodes,
             n_features: x.cols(),
@@ -516,8 +549,26 @@ fn build_regressor(
         value: 0.0,
         distribution: Vec::new(),
     });
-    let left = build_regressor(x, y, config, &left_idx, depth + 1, nodes, rng, max_depth_seen);
-    let right = build_regressor(x, y, config, &right_idx, depth + 1, nodes, rng, max_depth_seen);
+    let left = build_regressor(
+        x,
+        y,
+        config,
+        &left_idx,
+        depth + 1,
+        nodes,
+        rng,
+        max_depth_seen,
+    );
+    let right = build_regressor(
+        x,
+        y,
+        config,
+        &right_idx,
+        depth + 1,
+        nodes,
+        rng,
+        max_depth_seen,
+    );
     nodes[slot] = Node::Split {
         feature,
         threshold,
@@ -566,7 +617,8 @@ mod tests {
         let rows: Vec<Vec<f32>> = (0..32).map(|i| vec![i as f32]).collect();
         let y: Vec<usize> = (0..32).map(|i| i % 2).collect();
         let x = Matrix::from_rows(&rows).unwrap();
-        let tree = DecisionTreeClassifier::fit(&x, &y, 2, &TreeConfig::default().max_depth(3)).unwrap();
+        let tree =
+            DecisionTreeClassifier::fit(&x, &y, 2, &TreeConfig::default().max_depth(3)).unwrap();
         assert!(tree.depth() <= 3, "depth {}", tree.depth());
     }
 
@@ -574,7 +626,8 @@ mod tests {
     fn classifier_proba_sums_to_one() {
         let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]).unwrap();
         let y = vec![0, 0, 1, 1];
-        let tree = DecisionTreeClassifier::fit(&x, &y, 2, &TreeConfig::default().max_depth(1)).unwrap();
+        let tree =
+            DecisionTreeClassifier::fit(&x, &y, 2, &TreeConfig::default().max_depth(1)).unwrap();
         let p = tree.predict_proba_row(&[0.0]);
         assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
     }
@@ -602,7 +655,8 @@ mod tests {
     #[test]
     fn regressor_constant_target_single_leaf() {
         let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![5.0]]).unwrap();
-        let tree = DecisionTreeRegressor::fit(&x, &[2.0, 2.0, 2.0], &TreeConfig::default()).unwrap();
+        let tree =
+            DecisionTreeRegressor::fit(&x, &[2.0, 2.0, 2.0], &TreeConfig::default()).unwrap();
         assert_eq!(tree.node_count(), 1);
         assert!((tree.predict_row(&[9.0]) - 2.0).abs() < 1e-6);
     }
@@ -610,7 +664,9 @@ mod tests {
     #[test]
     fn regressor_interpolates_mean_at_depth_zero() {
         let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
-        let tree = DecisionTreeRegressor::fit(&x, &[0.0, 10.0], &TreeConfig::default().max_depth(0)).unwrap();
+        let tree =
+            DecisionTreeRegressor::fit(&x, &[0.0, 10.0], &TreeConfig::default().max_depth(0))
+                .unwrap();
         assert!((tree.predict_row(&[0.5]) - 5.0).abs() < 1e-6);
     }
 

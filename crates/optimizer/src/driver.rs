@@ -25,6 +25,10 @@ pub struct Evaluation {
     pub objective: f64,
     /// Whether every feasibility constraint was satisfied.
     pub is_feasible: bool,
+    /// How badly constraints were violated (0.0 when feasible). Optional
+    /// signal: while the history holds no feasible point, the search
+    /// minimizes this instead of chasing the objective.
+    pub violation: f64,
     /// Auxiliary metrics recorded for reports (resources, latency, ...).
     pub metrics: BTreeMap<String, f64>,
 }
@@ -35,6 +39,7 @@ impl Evaluation {
         Evaluation {
             objective,
             is_feasible: true,
+            violation: 0.0,
             metrics: BTreeMap::new(),
         }
     }
@@ -42,6 +47,12 @@ impl Evaluation {
     /// Sets feasibility.
     pub fn feasible(mut self, feasible: bool) -> Self {
         self.is_feasible = feasible;
+        self
+    }
+
+    /// Records the constraint-violation magnitude (see [`Evaluation::violation`]).
+    pub fn with_violation(mut self, violation: f64) -> Self {
+        self.violation = violation.max(0.0);
         self
     }
 
@@ -139,7 +150,7 @@ impl OptimizationHistory {
         self.points
             .iter()
             .map(|p| {
-                if p.evaluation.is_feasible && !(p.evaluation.objective <= best) {
+                if p.evaluation.is_feasible && (best.is_nan() || p.evaluation.objective > best) {
                     best = p.evaluation.objective;
                 }
                 best
@@ -241,7 +252,9 @@ impl OptimizerOptions {
 
     fn validate(&self) -> Result<()> {
         if self.budget == 0 {
-            return Err(OptimizerError::InvalidOptions("budget must be positive".into()));
+            return Err(OptimizerError::InvalidOptions(
+                "budget must be positive".into(),
+            ));
         }
         if self.doe_samples == 0 {
             return Err(OptimizerError::InvalidOptions(
@@ -293,7 +306,9 @@ impl BayesianOptimizer {
         F: FnMut(&Configuration) -> Evaluation,
     {
         if self.space.is_empty() {
-            return Err(OptimizerError::InvalidSpace("design space has no parameters".into()));
+            return Err(OptimizerError::InvalidSpace(
+                "design space has no parameters".into(),
+            ));
         }
         self.options.validate()?;
         let mut rng = StdRng::seed_from_u64(self.options.seed);
@@ -330,71 +345,128 @@ impl BayesianOptimizer {
 
     /// Proposes the next configuration given the history so far.
     fn suggest(&self, points: &[EvaluatedPoint], rng: &mut StdRng) -> Result<Configuration> {
-        // Surrogate over *feasible* observations only; if none are feasible
-        // yet, fall back to all observations so the search still has signal.
+        // Surrogate over *feasible* observations only. With no feasible
+        // point yet the search is in a "phase 1" feasibility hunt: the
+        // surrogate is fit on *negative violation magnitude* instead, so
+        // EI walks downhill on constraint overshoot — the paper's
+        // "subsequent iterations will recommend model configurations that
+        // use less resources" (§3.2.2). (The feasibility classifier is
+        // useless there: a single-class history degenerates to a constant.)
         let feasible_history: Vec<(Configuration, f64)> = points
             .iter()
             .filter(|p| p.evaluation.is_feasible)
             .map(|p| (p.configuration.clone(), p.evaluation.objective))
             .collect();
-        let objective_history: Vec<(Configuration, f64)> = if feasible_history.is_empty() {
+        let phase1 = feasible_history.is_empty();
+        let objective_history: Vec<(Configuration, f64)> = if phase1 {
             points
                 .iter()
-                .map(|p| (p.configuration.clone(), p.evaluation.objective))
+                .map(|p| (p.configuration.clone(), -p.evaluation.violation))
                 .collect()
         } else {
             feasible_history
         };
         let surrogate = ObjectiveSurrogate::fit(&objective_history, self.options.seed)?;
 
-        let feasibility_history: Vec<(Configuration, bool)> = points
-            .iter()
-            .map(|p| (p.configuration.clone(), p.evaluation.is_feasible))
-            .collect();
-        let feasibility = FeasibilitySurrogate::fit(&feasibility_history, self.options.seed)?;
-
-        let incumbent = points
-            .iter()
-            .filter(|p| p.evaluation.is_feasible)
-            .map(|p| p.evaluation.objective)
-            .fold(f64::NEG_INFINITY, f64::max);
-        let incumbent = if incumbent.is_finite() {
-            incumbent
+        // The classifier is only worth fitting once both classes exist; in
+        // phase 1 the single-class history degenerates to a constant that
+        // the scoring below would ignore anyway.
+        let feasibility = if phase1 {
+            None
         } else {
-            // No feasible incumbent yet: score raw EI against the best seen.
-            points
+            let feasibility_history: Vec<(Configuration, bool)> = points
                 .iter()
-                .map(|p| p.evaluation.objective)
-                .fold(f64::NEG_INFINITY, f64::max)
+                .map(|p| (p.configuration.clone(), p.evaluation.is_feasible))
+                .collect();
+            Some(FeasibilitySurrogate::fit(
+                &feasibility_history,
+                self.options.seed,
+            )?)
         };
 
-        // Candidate pool: global random + local perturbations of the best.
+        // The incumbent lives on the same scale the surrogate was fit on:
+        // best feasible objective, or (phase 1) smallest observed violation.
+        let incumbent = objective_history
+            .iter()
+            .map(|(_, y)| *y)
+            .fold(f64::NEG_INFINITY, f64::max);
+
+        // Candidate pool: global random + local perturbations of the best
+        // point under the current goal (feasible best, or phase 1's
+        // least-violating point — polishing near the boundary is how the
+        // hunt crosses it).
         let mut candidates: Vec<Configuration> = (0..self.options.candidate_pool)
             .map(|_| self.space.sample(rng))
             .collect();
-        if let Some(best) = points
-            .iter()
-            .filter(|p| p.evaluation.is_feasible)
-            .max_by(|a, b| {
+        let local_base = if phase1 {
+            points.iter().min_by(|a, b| {
                 a.evaluation
-                    .objective
-                    .partial_cmp(&b.evaluation.objective)
+                    .violation
+                    .partial_cmp(&b.evaluation.violation)
                     .unwrap_or(std::cmp::Ordering::Equal)
             })
-        {
-            for _ in 0..self.options.local_candidates {
-                candidates.push(self.space.perturb(&best.configuration, rng));
+        } else {
+            points
+                .iter()
+                .filter(|p| p.evaluation.is_feasible)
+                .max_by(|a, b| {
+                    a.evaluation
+                        .objective
+                        .partial_cmp(&b.evaluation.objective)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+        };
+        if let Some(best) = local_base {
+            // Multi-scale exploitation: coarse moves escape the incumbent's
+            // neighborhood, fine moves (1/5 and 1/25 width) polish it. A
+            // single fixed width makes the endgame a random walk whose step
+            // never shrinks below 10% of the range.
+            const SCALES: [f64; 3] = [1.0, 0.2, 0.04];
+            for i in 0..self.options.local_candidates {
+                let scale = SCALES[i % SCALES.len()];
+                candidates.push(self.space.perturb_scaled(&best.configuration, rng, scale));
             }
         }
 
-        let best_candidate = candidates
+        // Interleave exploitation: EI over an RF surrogate goes to zero in
+        // the incumbent's neighborhood (pure leaves predict the incumbent
+        // itself), so an EI-only endgame degenerates into random
+        // exploration. Every fourth iteration greedily trusts the
+        // surrogate mean instead — the SMAC-style interleaving used by
+        // random-forest BO implementations.
+        let exploit = points.len() % 4 == 3;
+        let scored: Vec<(Configuration, f64, f64)> = candidates
             .into_iter()
             .map(|c| {
                 let (mean, std) = surrogate.predict(&c);
-                let score =
-                    self.options.acquisition.score(mean, std, incumbent) * feasibility.probability(&c);
-                (c, score)
+                let probability = match &feasibility {
+                    Some(model) => model.probability(&c),
+                    None => 1.0,
+                };
+                let score = if exploit {
+                    mean
+                } else {
+                    self.options.acquisition.score(mean, std, incumbent)
+                };
+                (c, score, probability)
             })
+            .collect();
+        // Shift scores to be nonnegative before feasibility weighting, so
+        // a low feasibility probability always hurts (a negative score
+        // times a small probability would otherwise *gain* rank). The
+        // epsilon keeps the probability meaningful when the score
+        // distribution is flat — with a plain shift a flat pool would
+        // score 0.0 everywhere and the feasibility ranking would vanish.
+        let (floor, ceiling) = scored
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), (_, s, _)| {
+                (lo.min(*s), hi.max(*s))
+            });
+        let spread = ceiling - floor;
+        let epsilon = if spread > 0.0 { spread * 1e-9 } else { 1.0 };
+        let best_candidate = scored
+            .into_iter()
+            .map(|(c, score, probability)| (c, (score - floor + epsilon) * probability))
             .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
             .map(|(c, _)| c)
             .expect("candidate pool is non-empty");
@@ -441,17 +513,25 @@ mod tests {
             };
             let bo = BayesianOptimizer::new(
                 quadratic_space(),
-                OptimizerOptions::default().budget(30).doe_samples(5).seed(seed),
+                OptimizerOptions::default()
+                    .budget(30)
+                    .doe_samples(5)
+                    .seed(seed),
             )
             .run(f)
             .unwrap();
             let random = BayesianOptimizer::new(
                 quadratic_space(),
-                OptimizerOptions::default().budget(30).doe_samples(30).seed(seed),
+                OptimizerOptions::default()
+                    .budget(30)
+                    .doe_samples(30)
+                    .seed(seed),
             )
             .run(f)
             .unwrap();
-            if bo.best().unwrap().evaluation.objective >= random.best().unwrap().evaluation.objective {
+            if bo.best().unwrap().evaluation.objective
+                >= random.best().unwrap().evaluation.objective
+            {
                 bo_wins += 1;
             }
         }
@@ -472,7 +552,10 @@ mod tests {
         .unwrap();
         let best = history.best().unwrap();
         assert!(best.configuration.real("x").unwrap() <= 2.0);
-        assert!(best.evaluation.objective > 0.0, "should approach the boundary");
+        assert!(
+            best.evaluation.objective > 0.0,
+            "should approach the boundary"
+        );
     }
 
     #[test]
@@ -491,7 +574,10 @@ mod tests {
     fn history_series_shapes() {
         let history = BayesianOptimizer::new(
             quadratic_space(),
-            OptimizerOptions::default().budget(12).doe_samples(4).seed(1),
+            OptimizerOptions::default()
+                .budget(12)
+                .doe_samples(4)
+                .seed(1),
         )
         .run(|c| Evaluation::new(c.real("x").unwrap()))
         .unwrap();

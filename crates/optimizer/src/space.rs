@@ -135,14 +135,22 @@ impl Parameter {
 
     /// A neighbor of `value` for local-perturbation candidate generation.
     pub fn perturb(&self, value: &ParamValue, rng: &mut StdRng) -> ParamValue {
+        self.perturb_scaled(value, rng, 1.0)
+    }
+
+    /// Like [`Parameter::perturb`] but with the step width scaled by
+    /// `scale` (in `(0, 1]`). Small scales give fine-grained exploitation
+    /// moves around an incumbent; the driver mixes several scales per
+    /// iteration.
+    pub fn perturb_scaled(&self, value: &ParamValue, rng: &mut StdRng, scale: f64) -> ParamValue {
         match (self, value) {
             (Parameter::Real { low, high }, ParamValue::Real(v)) => {
-                let width = (high - low) * 0.1;
+                let width = (high - low) * 0.1 * scale;
                 let u: f64 = rng.gen_range(-1.0..1.0);
                 ParamValue::Real((v + u * width).clamp(*low, *high))
             }
             (Parameter::Integer { low, high }, ParamValue::Integer(v)) => {
-                let span = ((high - low) / 8).max(1);
+                let span = (((high - low) as f64 / 8.0 * scale).round() as i64).max(1);
                 let delta = rng.gen_range(-span..=span);
                 ParamValue::Integer((v + delta).clamp(*low, *high))
             }
@@ -318,6 +326,17 @@ impl DesignSpace {
     /// A local perturbation of `base` (each parameter nudged with
     /// probability 1/2, at least one always changed).
     pub fn perturb(&self, base: &Configuration, rng: &mut StdRng) -> Configuration {
+        self.perturb_scaled(base, rng, 1.0)
+    }
+
+    /// Like [`DesignSpace::perturb`] with every parameter's step width
+    /// scaled by `scale` (see [`Parameter::perturb_scaled`]).
+    pub fn perturb_scaled(
+        &self,
+        base: &Configuration,
+        rng: &mut StdRng,
+        scale: f64,
+    ) -> Configuration {
         let forced = rng.gen_range(0..self.params.len().max(1));
         let values = self
             .params
@@ -325,7 +344,7 @@ impl DesignSpace {
             .enumerate()
             .map(|(i, (_, p))| {
                 if i == forced || rng.gen_bool(0.5) {
-                    p.perturb(&base.values()[i], rng)
+                    p.perturb_scaled(&base.values()[i], rng, scale)
                 } else {
                     base.values()[i].clone()
                 }
@@ -337,7 +356,12 @@ impl DesignSpace {
 
     /// Whether `config` is a member of this space.
     pub fn contains(&self, config: &Configuration) -> bool {
-        config.names() == self.params.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>()
+        config.names()
+            == self
+                .params
+                .iter()
+                .map(|(n, _)| n.clone())
+                .collect::<Vec<_>>()
             && self
                 .params
                 .iter()

@@ -39,8 +39,8 @@ impl ObjectiveSurrogate {
         }
         let rows: Vec<Vec<f32>> = history.iter().map(|(c, _)| c.encode()).collect();
         let targets: Vec<f32> = history.iter().map(|(_, y)| *y as f32).collect();
-        let x = Matrix::from_rows(&rows)
-            .map_err(|e| OptimizerError::InvalidOptions(e.to_string()))?;
+        let x =
+            Matrix::from_rows(&rows).map_err(|e| OptimizerError::InvalidOptions(e.to_string()))?;
         let config = ForestConfig::default().n_trees(32).seed(seed);
         let forest = RandomForestRegressor::fit(&x, &targets, &config)
             .map_err(|e| OptimizerError::InvalidOptions(e.to_string()))?;
@@ -87,8 +87,8 @@ impl FeasibilitySurrogate {
         }
         let rows: Vec<Vec<f32>> = history.iter().map(|(c, _)| c.encode()).collect();
         let labels: Vec<usize> = history.iter().map(|(_, f)| usize::from(*f)).collect();
-        let x = Matrix::from_rows(&rows)
-            .map_err(|e| OptimizerError::InvalidOptions(e.to_string()))?;
+        let x =
+            Matrix::from_rows(&rows).map_err(|e| OptimizerError::InvalidOptions(e.to_string()))?;
         let config = ForestConfig::default().n_trees(24).seed(seed);
         let forest = RandomForestClassifier::fit(&x, &labels, 2, &config)
             .map_err(|e| OptimizerError::InvalidOptions(e.to_string()))?;
@@ -190,8 +190,16 @@ mod tests {
         while high.real("x").unwrap() < 8.0 {
             high = s.sample(&mut rng);
         }
-        assert!(sur.probability(&low) > 0.6, "p(low) {}", sur.probability(&low));
-        assert!(sur.probability(&high) < 0.4, "p(high) {}", sur.probability(&high));
+        assert!(
+            sur.probability(&low) > 0.6,
+            "p(low) {}",
+            sur.probability(&low)
+        );
+        assert!(
+            sur.probability(&high) < 0.4,
+            "p(high) {}",
+            sur.probability(&high)
+        );
     }
 
     #[test]

@@ -214,7 +214,10 @@ impl GridSimulator {
         let capacity = (self.rows * self.cols) as f64;
         let total_cus: f64 = stages.iter().map(|s| s.cus as f64).sum();
         let total_mus: f64 = stages.iter().map(|s| s.mus as f64).sum();
-        (total_cus / capacity).max(total_mus / capacity).ceil().max(1.0) as u64
+        (total_cus / capacity)
+            .max(total_mus / capacity)
+            .ceil()
+            .max(1.0) as u64
     }
 
     /// Pipelines `packets` packets through the placed design, cycle by
@@ -350,8 +353,7 @@ mod tests {
         ] {
             let est = target.check(&model, &constraints).unwrap();
             let report = sim.simulate(&model, 100).unwrap();
-            let sim_feasible =
-                report.throughput_gpps >= 1.0 && report.latency_ns <= 500.0;
+            let sim_feasible = report.throughput_gpps >= 1.0 && report.latency_ns <= 500.0;
             assert_eq!(
                 est.is_feasible(),
                 sim_feasible,

@@ -148,7 +148,10 @@ impl MatSimulator {
                 self.stages
             )));
         }
-        Ok(MatAllocation { tables, stages_used })
+        Ok(MatAllocation {
+            tables,
+            stages_used,
+        })
     }
 
     /// Walks `packets` packets through the allocated pipeline.
@@ -254,7 +257,10 @@ mod tests {
             .simulate(&ModelIr::KMeans(KMeansIr::from_shape(5, 7)), 10)
             .unwrap();
         assert!(large.latency_ns > small.latency_ns);
-        assert_eq!(large.throughput_gpps, small.throughput_gpps, "line rate constant");
+        assert_eq!(
+            large.throughput_gpps, small.throughput_gpps,
+            "line rate constant"
+        );
     }
 
     #[test]

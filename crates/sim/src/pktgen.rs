@@ -135,13 +135,7 @@ impl StreamHarness {
             y_true.push(sample.label);
             y_pred.push(classify(&sample.features));
         }
-        let n_classes = y_true
-            .iter()
-            .chain(&y_pred)
-            .copied()
-            .max()
-            .unwrap_or(0)
-            + 1;
+        let n_classes = y_true.iter().chain(&y_pred).copied().max().unwrap_or(0) + 1;
         let f1 = if n_classes <= 2 {
             f1_binary(&y_true, &y_pred).map_err(|e| SimError::InvalidConfig(e.to_string()))?
         } else {
@@ -152,7 +146,8 @@ impl StreamHarness {
         let acc = accuracy(&y_true, &y_pred).map_err(|e| SimError::InvalidConfig(e.to_string()))?;
 
         let n = stream.len() as f64;
-        let elapsed_ns = (n - 1.0) * self.timing.inter_packet_gap_ns + self.timing.pipeline_latency_ns;
+        let elapsed_ns =
+            (n - 1.0) * self.timing.inter_packet_gap_ns + self.timing.pipeline_latency_ns;
         Ok(StreamReport {
             packets: stream.len(),
             f1,
@@ -207,13 +202,12 @@ where
             if y_true.is_empty() {
                 return Err(SimError::InvalidConfig("empty evaluation".into()));
             }
-            let f1 = f1_binary(&y_true, &y_pred)
-                .map_err(|e| SimError::InvalidConfig(e.to_string()))?;
+            let f1 =
+                f1_binary(&y_true, &y_pred).map_err(|e| SimError::InvalidConfig(e.to_string()))?;
             Ok(ReactionPoint {
                 packets_seen,
                 f1,
-                reaction_time_ns: packets_seen.saturating_sub(1) as f64
-                    * mean_inter_packet_gap_ns
+                reaction_time_ns: packets_seen.saturating_sub(1) as f64 * mean_inter_packet_gap_ns
                     + pipeline_latency_ns,
             })
         })
@@ -251,7 +245,11 @@ mod tests {
         let harness = StreamHarness::new(TimingModel::fixed(1.0, 0.0));
         let report = harness.run(&s, |_| 0).unwrap();
         // 1 ns gap => ~1 GPkt/s.
-        assert!((report.achieved_gpps - 1.0).abs() < 0.01, "{}", report.achieved_gpps);
+        assert!(
+            (report.achieved_gpps - 1.0).abs() < 0.01,
+            "{}",
+            report.achieved_gpps
+        );
     }
 
     #[test]

@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let artifact = homunculus::core::generate_with(&platform, &options)?;
     let best = artifact.best();
 
-    println!("== anomaly detection on {} ==", "taurus-16x16");
+    println!("== anomaly detection on taurus-16x16 ==");
     println!(
         "winner: {} | F1 = {:.3} | params = {} | {}",
         best.algorithm.name(),
@@ -53,12 +53,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{:9}  {:.4}   {:.4}       {}",
             point.iteration + 1,
             point.evaluation.objective,
-            if best_so_far.is_nan() { 0.0 } else { best_so_far },
+            if best_so_far.is_nan() {
+                0.0
+            } else {
+                best_so_far
+            },
             point.evaluation.is_feasible
         );
     }
 
-    println!("\nfeasible fraction: {:.2}", best.history.feasible_fraction());
+    println!(
+        "\nfeasible fraction: {:.2}",
+        best.history.feasible_fraction()
+    );
     println!("\n--- generated Spatial (head) ---");
     for line in best.code.lines().take(20) {
         println!("{line}");

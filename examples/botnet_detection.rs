@@ -41,10 +41,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .grid(16, 16);
     platform.schedule(model)?;
 
-    let artifact = homunculus::core::generate_with(
-        &platform,
-        &CompilerOptions::fast().bo_budget(10).seed(5),
-    )?;
+    let artifact =
+        homunculus::core::generate_with(&platform, &CompilerOptions::fast().bo_budget(10).seed(5))?;
     let best = artifact.best();
     println!(
         "searched model: {} params, F1(full histograms) = {:.3}, {}",
@@ -97,11 +95,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|i| net.predict_row(full_test.features().row(i)).unwrap())
         .collect();
     let full_f1 = f1_binary(full_test.labels(), &pred)?;
-    let mean_duration_s: f64 = test_flows
-        .iter()
-        .map(|f| f.duration_seconds())
-        .sum::<f64>()
-        / test_flows.len() as f64;
+    let mean_duration_s: f64 =
+        test_flows.iter().map(|f| f.duration_seconds()).sum::<f64>() / test_flows.len() as f64;
     println!(
         "\nfull-flow F1 = {full_f1:.4}, but reaction time = {:.0} s (mean flow duration; paper waits 3,600 s)",
         mean_duration_s

@@ -16,10 +16,8 @@ fn compile_one(spec: ModelSpec) -> Result<(f64, f64, f64), Box<dyn std::error::E
         .latency_ns(500.0)
         .grid(16, 16);
     platform.schedule(spec)?;
-    let artifact = homunculus::core::generate_with(
-        &platform,
-        &CompilerOptions::fast().bo_budget(8).seed(21),
-    )?;
+    let artifact =
+        homunculus::core::generate_with(&platform, &CompilerOptions::fast().bo_budget(16).seed(7))?;
     let best = artifact.best();
     Ok((
         best.objective,

@@ -29,10 +29,8 @@ fn compile(strategy: &str, expr: ScheduleExpr) -> Result<(), Box<dyn std::error:
         .latency_ns(2_000.0)
         .grid(16, 16);
     platform.schedule(expr)?;
-    let artifact = homunculus::core::generate_with(
-        &platform,
-        &CompilerOptions::fast().bo_budget(6).seed(9),
-    )?;
+    let artifact =
+        homunculus::core::generate_with(&platform, &CompilerOptions::fast().bo_budget(12).seed(9))?;
     let perf = artifact.combined_performance();
     println!(
         "{strategy:<24} models={} CUs={:>5.0} MUs={:>5.0} tput={:.2}GPkt/s lat={:>6.0}ns",

@@ -14,7 +14,8 @@ fn trained_dnn(input: usize, hidden: Vec<usize>) -> ModelIr {
     let mut net = Mlp::new(&arch, 1).unwrap();
     let x = Matrix::from_fn(32, input, |r, c| ((r * 3 + c) % 7) as f32 / 7.0);
     let y: Vec<usize> = (0..32).map(|i| i % 2).collect();
-    net.train(&x, &y, &TrainConfig::default().epochs(3)).unwrap();
+    net.train(&x, &y, &TrainConfig::default().epochs(3))
+        .unwrap();
     ModelIr::Dnn(DnnIr::from_mlp(&net))
 }
 
@@ -37,7 +38,9 @@ fn spatial_dnn_has_layer_structure() {
 fn spatial_weight_count_scales_with_architecture() {
     let taurus = TaurusTarget::default();
     let small = taurus.generate_code(&trained_dnn(7, vec![4]), "s").unwrap();
-    let large = taurus.generate_code(&trained_dnn(7, vec![32, 16]), "l").unwrap();
+    let large = taurus
+        .generate_code(&trained_dnn(7, vec![32, 16]), "l")
+        .unwrap();
     assert!(
         large.matches(".to[T]").count() > small.matches(".to[T]").count(),
         "bigger net embeds more literals"

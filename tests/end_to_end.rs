@@ -62,7 +62,11 @@ fn traffic_classification_on_tofino() {
     assert_eq!(best.algorithm, Algorithm::KMeans);
     // The hard-regime traffic (45% striped overlap) caps clustering
     // quality well below the clean-archetype ceiling.
-    assert!(best.objective > 0.08, "TC v-measure too low: {}", best.objective);
+    assert!(
+        best.objective > 0.08,
+        "TC v-measure too low: {}",
+        best.objective
+    );
     assert!(best.estimate.resources.get("mats") <= 5.0);
     assert!(best.code.contains("table cluster_0"));
 }
@@ -107,7 +111,10 @@ fn anomaly_detection_on_fpga() {
 
     let artifact = generate_with(&platform, &fast()).unwrap();
     let best = artifact.best();
-    assert!(best.estimate.resources.get("lut_pct") > 5.36, "above loopback floor");
+    assert!(
+        best.estimate.resources.get("lut_pct") > 5.36,
+        "above loopback floor"
+    );
     assert!(best.estimate.resources.get("power_w") > 15.131);
     assert_eq!(best.estimate.resources.get("bram_pct"), 4.15);
 }
@@ -127,7 +134,11 @@ fn svm_and_tree_also_compile() {
         let artifact = generate_with(&platform, &fast()).unwrap();
         let best = artifact.best();
         assert_eq!(best.algorithm, algorithm);
-        assert!(best.objective > 0.4, "{algorithm:?} objective {}", best.objective);
+        assert!(
+            best.objective > 0.4,
+            "{algorithm:?} objective {}",
+            best.objective
+        );
         assert!(best.estimate.resources.get("mats") <= 16.0);
     }
 }

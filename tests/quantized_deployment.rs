@@ -18,7 +18,8 @@ fn trained_net() -> (Mlp, Matrix, Vec<usize>) {
         .collect();
     let arch = MlpArchitecture::new(7, vec![16, 8], 2);
     let mut net = Mlp::new(&arch, 3).unwrap();
-    net.train(&x, &y, &TrainConfig::default().epochs(40)).unwrap();
+    net.train(&x, &y, &TrainConfig::default().epochs(40))
+        .unwrap();
     (net, x, y)
 }
 
@@ -56,7 +57,13 @@ fn quantization_report_accounts_for_every_weight() {
     let all_weights: Vec<f32> = net
         .layers()
         .iter()
-        .flat_map(|l| l.weights.as_slice().iter().copied().chain(l.bias.iter().copied()))
+        .flat_map(|l| {
+            l.weights
+                .as_slice()
+                .iter()
+                .copied()
+                .chain(l.bias.iter().copied())
+        })
         .collect();
     let (raw, report) = quantize_with_report(q, &all_weights);
     assert_eq!(raw.len(), net.param_count());

@@ -1,0 +1,29 @@
+//! In-repo stand-in for `serde`, used because this workspace builds fully
+//! offline (no registry access). The workspace never serializes arbitrary
+//! Rust types — the only wire format is `serde_json::Value`, which has its
+//! own hand-written printer/parser — so `Serialize` and `Deserialize` only
+//! need to exist as marker traits that every type satisfies, and the
+//! derives (re-exported from the sibling `serde_derive` stub) expand to
+//! nothing.
+//!
+//! If a later PR needs real reflective serialization, replace this crate
+//! with the upstream one; call sites will not change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Minimal `serde::de` namespace so `serde::de::DeserializeOwned` paths work.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}

@@ -1,0 +1,20 @@
+//! In-repo stand-in for `serde_derive`, used because this workspace builds
+//! fully offline. The real derives generate (de)serialization impls; here
+//! `serde::Serialize` / `serde::Deserialize` are marker traits with blanket
+//! impls, so the derives only need to accept the syntax and expand to
+//! nothing. The `serde` helper attribute is declared so `#[serde(...)]`
+//! field annotations keep parsing if a later change introduces them.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,65 @@
+//! The `json!` constructor macro: JSON literal syntax with expression
+//! interpolation. Array elements and object values are token-accumulated
+//! until a top-level comma, then fed back through `json!` — so nested
+//! arrays/objects (single token trees) and multi-token Rust expressions
+//! (`self.name`, `low + 1.0`) both work.
+
+/// Builds a [`crate::Value`] from JSON-ish syntax.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => { $crate::Value::Array($crate::json_array_internal!(@elems [] [] $($tt)+)) };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut map = $crate::Map::new();
+        $crate::json_object_internal!(@entries map [] $($tt)+);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::ToJson::to_json(&$other) };
+}
+
+/// Implementation detail of [`json!`]: splits array elements on top-level
+/// commas. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_internal {
+    // All tokens consumed, nothing pending.
+    (@elems [$($done:expr,)*] []) => { ::std::vec![$($done,)*] };
+    // All tokens consumed: flush the final pending element.
+    (@elems [$($done:expr,)*] [$($cur:tt)+]) => {
+        ::std::vec![$($done,)* $crate::json!($($cur)+),]
+    };
+    // Top-level comma: the pending tokens form one element.
+    (@elems [$($done:expr,)*] [$($cur:tt)+] , $($rest:tt)*) => {
+        $crate::json_array_internal!(@elems [$($done,)* $crate::json!($($cur)+),] [] $($rest)*)
+    };
+    // Any other token joins the pending element.
+    (@elems [$($done:expr,)*] [$($cur:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::json_array_internal!(@elems [$($done,)*] [$($cur)* $next] $($rest)*)
+    };
+}
+
+/// Implementation detail of [`json!`]: splits `"key": value` entries on
+/// top-level commas. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_internal {
+    // All tokens consumed, nothing pending.
+    (@entries $map:ident []) => {};
+    // All tokens consumed: flush the final pending entry.
+    (@entries $map:ident [$key:tt : $($val:tt)+]) => {
+        $map.insert(($key).to_string(), $crate::json!($($val)+));
+    };
+    // Top-level comma: the pending tokens form one entry.
+    (@entries $map:ident [$key:tt : $($val:tt)+] , $($rest:tt)*) => {
+        $map.insert(($key).to_string(), $crate::json!($($val)+));
+        $crate::json_object_internal!(@entries $map [] $($rest)*);
+    };
+    // Any other token joins the pending entry.
+    (@entries $map:ident [$($cur:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::json_object_internal!(@entries $map [$($cur)* $next] $($rest)*);
+    };
+}
