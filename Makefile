@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt fmt-check clippy build test bench examples
+.PHONY: ci fmt fmt-check clippy build test bench bench-smoke examples
 
 ci: fmt-check clippy build test
 
@@ -23,6 +23,11 @@ test:
 
 bench:
 	$(CARGO) bench -p homunculus-bench
+
+# Tiny-budget run of the compiled-runtime benchmark; the binary re-reads
+# BENCH_runtime.json and fails unless it parses with all headline fields.
+bench-smoke:
+	$(CARGO) run --release -p homunculus-bench --bin runtime_throughput -- --smoke --out BENCH_runtime.json
 
 examples:
 	$(CARGO) build --release --examples

@@ -11,6 +11,7 @@ use homunculus_ml::kmeans::KMeans;
 use homunculus_ml::mlp::{Activation, Mlp, MlpArchitecture};
 use homunculus_ml::svm::LinearSvm;
 use homunculus_ml::tensor::Matrix;
+use homunculus_ml::tree::{DecisionTreeClassifier, ExportedNode};
 use serde::{Deserialize, Serialize};
 
 /// One dense layer's trained parameters.
@@ -125,7 +126,29 @@ impl KMeansIr {
     }
 }
 
-/// A decision-tree candidate (shape only; depth drives MAT cost).
+/// One node of a trained decision tree, arena-indexed with the root at 0.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TreeNodeIr {
+    /// Terminal node predicting `class`.
+    Leaf {
+        /// Predicted class index.
+        class: usize,
+    },
+    /// Internal split: `feature <= threshold` goes to `left`, else `right`.
+    Split {
+        /// Feature index compared at this node.
+        feature: usize,
+        /// Split threshold.
+        threshold: f32,
+        /// Arena index of the left child.
+        left: usize,
+        /// Arena index of the right child.
+        right: usize,
+    },
+}
+
+/// A decision-tree candidate (depth drives MAT cost; trained nodes, when
+/// present, let the runtime compile the tree to integer comparisons).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TreeIr {
     /// Tree depth.
@@ -134,9 +157,64 @@ pub struct TreeIr {
     pub n_features: usize,
     /// Number of leaves.
     pub leaves: usize,
+    /// Number of classes the tree was trained to separate (None for
+    /// shape-only IRs; leaves alone can underreport it when a class
+    /// never wins a leaf).
+    pub n_classes: Option<usize>,
+    /// Trained arena nodes (root at index 0), if available (None inside
+    /// the BO loop for shape-only estimation).
+    pub nodes: Option<Vec<TreeNodeIr>>,
+}
+
+impl TreeIr {
+    /// Shape-only IR.
+    pub fn from_shape(depth: usize, n_features: usize, leaves: usize) -> Self {
+        TreeIr {
+            depth,
+            n_features,
+            leaves,
+            n_classes: None,
+            nodes: None,
+        }
+    }
+
+    /// Full IR from a trained classifier.
+    pub fn from_tree(tree: &DecisionTreeClassifier) -> Self {
+        let nodes = tree
+            .export_nodes()
+            .into_iter()
+            .map(|node| match node {
+                ExportedNode::Leaf { class } => TreeNodeIr::Leaf { class },
+                ExportedNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => TreeNodeIr::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                },
+            })
+            .collect();
+        TreeIr {
+            depth: tree.depth().max(1),
+            n_features: tree.n_features(),
+            leaves: tree.leaf_count(),
+            n_classes: Some(tree.n_classes()),
+            nodes: Some(nodes),
+        }
+    }
 }
 
 /// The model families the compiler can map to data planes.
+///
+/// A trained `ModelIr` (one carrying parameters) can be lowered to an
+/// executable integer pipeline with `ModelIr::compile(format)` — provided
+/// by the `Compile` extension trait in `homunculus-runtime`, which owns
+/// the fixed-point execution engine (the trait lives there because the
+/// runtime depends on this crate, not the other way around).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ModelIr {
     /// Deep neural network.
@@ -274,13 +352,29 @@ mod tests {
         assert_eq!(svm.param_count(), 12);
         let km = ModelIr::KMeans(KMeansIr::from_shape(3, 4));
         assert_eq!(km.param_count(), 12);
-        let tree = ModelIr::Tree(TreeIr {
-            depth: 4,
-            n_features: 6,
-            leaves: 16,
-        });
+        let tree = ModelIr::Tree(TreeIr::from_shape(4, 6, 16));
         assert_eq!(tree.family(), "decision_tree");
         assert_eq!(tree.param_count(), 0);
+    }
+
+    #[test]
+    fn tree_ir_from_trained_tree_carries_nodes() {
+        use homunculus_ml::tree::TreeConfig;
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let tree =
+            DecisionTreeClassifier::fit(&x, &[0, 0, 1, 1], 2, &TreeConfig::default()).unwrap();
+        let ir = TreeIr::from_tree(&tree);
+        assert_eq!(ir.n_features, 1);
+        assert_eq!(ir.leaves, tree.leaf_count());
+        let nodes = ir.nodes.as_ref().unwrap();
+        assert_eq!(nodes.len(), tree.node_count());
+        assert!(nodes.iter().any(|n| matches!(n, TreeNodeIr::Split { .. })));
+        // Child indices stay inside the arena.
+        for node in nodes {
+            if let TreeNodeIr::Split { left, right, .. } = node {
+                assert!(*left < nodes.len() && *right < nodes.len());
+            }
+        }
     }
 
     #[test]
@@ -289,13 +383,9 @@ mod tests {
         assert!(ModelIr::KMeans(KMeansIr::from_shape(0, 4))
             .validate()
             .is_err());
-        assert!(ModelIr::Tree(TreeIr {
-            depth: 1,
-            n_features: 0,
-            leaves: 2
-        })
-        .validate()
-        .is_err());
+        assert!(ModelIr::Tree(TreeIr::from_shape(1, 0, 2))
+            .validate()
+            .is_err());
         assert!(ModelIr::Svm(SvmIr::from_shape(4, 2)).validate().is_ok());
     }
 }

@@ -317,21 +317,13 @@ mod tests {
         for m in [
             ModelIr::Svm(SvmIr::from_shape(7, 2)),
             ModelIr::KMeans(KMeansIr::from_shape(5, 7)),
-            ModelIr::Tree(TreeIr {
-                depth: 4,
-                n_features: 7,
-                leaves: 16,
-            }),
+            ModelIr::Tree(TreeIr::from_shape(4, 7, 16)),
         ] {
             assert!(taurus.supports(&m));
             let est = taurus.estimate(&m).unwrap();
             assert!(est.resources.get("cus") >= 2.0);
         }
-        let deep_tree = ModelIr::Tree(TreeIr {
-            depth: 40,
-            n_features: 7,
-            leaves: 100,
-        });
+        let deep_tree = ModelIr::Tree(TreeIr::from_shape(40, 7, 100));
         assert!(!taurus.supports(&deep_tree));
         assert!(taurus.estimate(&deep_tree).is_err());
     }

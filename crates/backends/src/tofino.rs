@@ -170,11 +170,7 @@ mod tests {
         let km = ModelIr::KMeans(KMeansIr::from_shape(2, 7));
         assert_eq!(TofinoTarget::mat_cost(&km), 2);
         // Tree: feature tables + leaf table.
-        let tree = ModelIr::Tree(TreeIr {
-            depth: 3,
-            n_features: 4,
-            leaves: 8,
-        });
+        let tree = ModelIr::Tree(TreeIr::from_shape(3, 4, 8));
         assert_eq!(TofinoTarget::mat_cost(&tree), 5);
         // DNN via N2Net: 12 MATs per layer.
         let dnn = ModelIr::Dnn(DnnIr::from_architecture(&MlpArchitecture::new(

@@ -31,6 +31,13 @@ fn bench_tensor(c: &mut Criterion) {
     c.bench_function("tensor/matmul_64x64", |bench| {
         bench.iter(|| a.matmul(&b).unwrap())
     });
+    // The i-k-j kernel on the BO hot path's real shape: one training
+    // batch (256 samples) through a Base-BD-sized layer (30 -> 10).
+    let batch = Matrix::from_fn(256, 30, |r, col| ((r * 7 + col) % 29) as f32 / 29.0);
+    let weights = Matrix::from_fn(30, 10, |r, col| ((r * 13 + col * 5) % 19) as f32 * 0.05);
+    c.bench_function("tensor/matmul_ikj_256x30x10", |bench| {
+        bench.iter(|| batch.matmul(&weights).unwrap())
+    });
 }
 
 fn bench_mlp_training(c: &mut Criterion) {
@@ -147,6 +154,24 @@ fn bench_dataplane(c: &mut Criterion) {
     });
 }
 
+fn bench_runtime(c: &mut Criterion) {
+    use homunculus_ml::quantize::FixedPoint;
+    use homunculus_runtime::{Compile, Scratch};
+
+    let arch = MlpArchitecture::new(7, vec![16, 4], 2);
+    let net = Mlp::new(&arch, 0).unwrap();
+    let ir = ModelIr::Dnn(DnnIr::from_mlp(&net));
+    let pipeline = ir.compile(FixedPoint::taurus_default()).unwrap();
+    let features = [0.3f32, -0.7, 0.1, 0.9, -0.2, 0.5, 0.0];
+    let mut scratch = Scratch::new();
+    c.bench_function("runtime/classify_dnn_7x16x4x2", |bench| {
+        bench.iter(|| pipeline.classify(&features, &mut scratch))
+    });
+    c.bench_function("runtime/float_predict_row_7x16x4x2", |bench| {
+        bench.iter(|| net.predict_row(&features).unwrap())
+    });
+}
+
 fn bench_kmeans(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0);
     use rand::Rng;
@@ -166,6 +191,7 @@ criterion_group!(
     bench_estimators,
     bench_codegen,
     bench_dataplane,
+    bench_runtime,
     bench_kmeans,
 );
 criterion_main!(benches);

@@ -1,0 +1,263 @@
+//! Throughput/latency benchmark of the compiled fixed-point runtime.
+//!
+//! Measures the per-packet inference paths head to head on the AD
+//! workload and writes `BENCH_runtime.json`:
+//!
+//! - **float**: the naive per-sample reference path (`Mlp::predict_row`,
+//!   one matrix allocation and full float forward per packet),
+//! - **compiled**: the integer `CompiledPipeline::classify` path with a
+//!   reused scratch (zero allocation per packet), plus its p50/p99
+//!   per-packet latency,
+//! - **batch**: `classify_batch` sharded across `std::thread::scope`
+//!   workers,
+//!
+//! and the float↔fixed prediction agreement for all four model families.
+//!
+//! Run with: `cargo run --release -p homunculus-bench --bin runtime_throughput`
+//! Flags: `--packets N`, `--out PATH`, `--smoke` (tiny budget + self-check).
+
+use homunculus_backends::model::{DnnIr, KMeansIr, ModelIr, SvmIr, TreeIr};
+use homunculus_bench::{ad_dataset, banner, print_row, train_baseline, Application};
+use homunculus_ml::kmeans::{KMeans, KMeansConfig};
+use homunculus_ml::quantize::FixedPoint;
+use homunculus_ml::svm::{LinearSvm, SvmConfig};
+use homunculus_ml::tensor::Matrix;
+use homunculus_ml::tree::{DecisionTreeClassifier, TreeConfig};
+use homunculus_runtime::{classify_rows, Compile, CompiledPipeline, Scratch};
+use serde_json::json;
+use std::time::Instant;
+
+struct Args {
+    packets: usize,
+    out: String,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        packets: 200_000,
+        out: "BENCH_runtime.json".into(),
+        smoke: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--packets" => {
+                args.packets = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .expect("--packets takes a positive integer");
+            }
+            "--out" => args.out = iter.next().expect("--out takes a path"),
+            "--smoke" => args.smoke = true,
+            other => panic!("unknown flag {other} (expected --packets/--out/--smoke)"),
+        }
+    }
+    if args.smoke {
+        args.packets = args.packets.min(5_000);
+    }
+    args
+}
+
+/// Builds a `packets`-row stream by cycling the rows of `x`.
+fn replicate_stream(x: &Matrix, packets: usize) -> Matrix {
+    Matrix::from_fn(packets, x.cols(), |r, c| x[(r % x.rows(), c)])
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let index = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ns[index.min(sorted_ns.len() - 1)]
+}
+
+fn agreement(a: &[usize], b: &[usize]) -> f64 {
+    let same = a.iter().zip(b).filter(|(x, y)| x == y).count();
+    same as f64 / a.len().max(1) as f64
+}
+
+/// Float↔fixed agreement for one family on its training matrix.
+fn family_agreement(name: &str, float: &[usize], pipeline: &CompiledPipeline, x: &Matrix) -> f64 {
+    let fixed = classify_rows(pipeline, x);
+    let value = agreement(float, &fixed);
+    print_row(
+        &format!("{name} agreement"),
+        &format!("{:.4} over {} samples", value, x.rows()),
+        "1.0 target",
+    );
+    value
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args();
+    let format = FixedPoint::taurus_default();
+    banner("compiled runtime throughput (BENCH_runtime.json)");
+
+    // --- Headline workload: the AD baseline DNN. -----------------------
+    let dataset = ad_dataset(0);
+    let baseline = train_baseline(Application::Ad, &dataset, 0)?;
+    let split = dataset.stratified_split(0.3, 0)?;
+    let test = split.test.normalized(&baseline.normalizer)?;
+    let stream = replicate_stream(test.features(), args.packets);
+    let ir = ModelIr::Dnn(DnnIr::from_mlp(&baseline.net));
+    let pipeline = ir.compile(format)?;
+
+    // Naive per-sample float path (the pre-runtime status quo).
+    let start = Instant::now();
+    let mut float_pred = Vec::with_capacity(stream.rows());
+    for i in 0..stream.rows() {
+        float_pred.push(baseline.net.predict_row(stream.row(i))?);
+    }
+    let float_secs = start.elapsed().as_secs_f64();
+    let float_pps = stream.rows() as f64 / float_secs;
+
+    // Compiled integer path, single thread (throughput pass, untimed
+    // per packet so the clock reads don't pollute the pkt/s number).
+    let mut scratch = Scratch::new();
+    let start = Instant::now();
+    let mut compiled_pred = Vec::with_capacity(stream.rows());
+    for i in 0..stream.rows() {
+        compiled_pred.push(pipeline.classify(stream.row(i), &mut scratch));
+    }
+    let compiled_secs = start.elapsed().as_secs_f64();
+    let compiled_pps = stream.rows() as f64 / compiled_secs;
+
+    // Separate latency pass: per-packet admission-to-verdict wall time
+    // over a bounded sample.
+    let latency_sample = stream.rows().min(50_000);
+    let mut latencies: Vec<u64> = Vec::with_capacity(latency_sample);
+    for i in 0..latency_sample {
+        let t0 = Instant::now();
+        std::hint::black_box(pipeline.classify(stream.row(i), &mut scratch));
+        latencies.push(t0.elapsed().as_nanos() as u64);
+    }
+    latencies.sort_unstable();
+    let p50_ns = percentile(&latencies, 0.50);
+    let p99_ns = percentile(&latencies, 0.99);
+
+    // Compiled batch path across scoped workers.
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let start = Instant::now();
+    let batch_pred = pipeline.classify_batch(&stream, workers);
+    let batch_secs = start.elapsed().as_secs_f64();
+    let batch_pps = stream.rows() as f64 / batch_secs;
+
+    let dnn_agreement = agreement(&float_pred, &compiled_pred);
+    assert_eq!(compiled_pred, batch_pred, "batch path must match classify");
+
+    print_row(
+        "float (naive per-sample)",
+        &format!("{:.0} pkt/s", float_pps),
+        "reference",
+    );
+    print_row(
+        "compiled (1 thread)",
+        &format!(
+            "{:.0} pkt/s, p50 {} ns, p99 {} ns",
+            compiled_pps, p50_ns, p99_ns
+        ),
+        "beats float",
+    );
+    print_row(
+        &format!("compiled batch ({workers} workers)"),
+        &format!(
+            "{:.0} pkt/s ({:.1}x float)",
+            batch_pps,
+            batch_pps / float_pps
+        ),
+        "scales with cores",
+    );
+    print_row(
+        "float<->fixed agreement (dnn)",
+        &format!("{dnn_agreement:.4}"),
+        ">0.99 typical",
+    );
+
+    // --- Per-family agreement on small trained models. ------------------
+    banner("float<->fixed agreement per family");
+    let train = split.train.normalized(&baseline.normalizer)?;
+    let x = train.features();
+    let y = train.labels();
+
+    let svm = LinearSvm::fit(x, y, 2, &SvmConfig::default())?;
+    let svm_agree = family_agreement(
+        "svm",
+        &svm.predict(x)?,
+        &ModelIr::Svm(SvmIr::from_svm(&svm)).compile(format)?,
+        x,
+    );
+
+    let km = KMeans::fit(x, &KMeansConfig::new(4))?;
+    let km_agree = family_agreement(
+        "kmeans",
+        &km.predict(x),
+        &ModelIr::KMeans(KMeansIr::from_kmeans(&km, x.cols())).compile(format)?,
+        x,
+    );
+
+    let tree = DecisionTreeClassifier::fit(x, y, 2, &TreeConfig::default().max_depth(6))?;
+    let tree_agree = family_agreement(
+        "decision_tree",
+        &tree.predict(x),
+        &ModelIr::Tree(TreeIr::from_tree(&tree)).compile(format)?,
+        x,
+    );
+
+    // --- Emit BENCH_runtime.json. ---------------------------------------
+    let report = json!({
+        "benchmark": "runtime_throughput",
+        "packets": stream.rows(),
+        "workers": workers,
+        "format": "Q3.12",
+        "float_pps": float_pps,
+        "compiled_pps": compiled_pps,
+        "batch_pps": batch_pps,
+        "speedup_compiled_vs_float": compiled_pps / float_pps,
+        "speedup_batch_vs_float": batch_pps / float_pps,
+        "p50_latency_ns": p50_ns as f64,
+        "p99_latency_ns": p99_ns as f64,
+        "agreement": {
+            "dnn": dnn_agreement,
+            "svm": svm_agree,
+            "kmeans": km_agree,
+            "decision_tree": tree_agree,
+        },
+    });
+    let text = serde_json::to_string_pretty(&report)?;
+    std::fs::write(&args.out, &text)?;
+    println!("\nwrote {}", args.out);
+
+    // Self-check: the emitted file must parse back and carry the headline
+    // numbers (this is what `make bench-smoke` gates on).
+    let parsed = serde_json::from_str(&std::fs::read_to_string(&args.out)?)
+        .map_err(|e| format!("{}: invalid JSON: {e:?}", args.out))?;
+    for key in [
+        "packets",
+        "float_pps",
+        "compiled_pps",
+        "batch_pps",
+        "p50_latency_ns",
+        "p99_latency_ns",
+        "agreement",
+    ] {
+        match &parsed {
+            serde_json::Value::Object(map) => {
+                assert!(map.contains_key(key), "{}: missing key {key}", args.out)
+            }
+            _ => panic!("{}: expected a JSON object", args.out),
+        }
+    }
+    println!("{} parses and carries all headline fields", args.out);
+
+    if args.smoke {
+        println!("smoke mode: skipping throughput assertions (budget too small to be stable)");
+    } else {
+        assert!(
+            batch_pps > float_pps,
+            "compiled batch path ({batch_pps:.0} pkt/s) must beat the naive float path ({float_pps:.0} pkt/s)"
+        );
+    }
+    Ok(())
+}

@@ -27,11 +27,7 @@ pub fn minimal_ir(algorithm: Algorithm, n_features: usize, n_classes: usize) -> 
             n_classes.max(2),
         )),
         Algorithm::KMeans => ModelIr::KMeans(KMeansIr::from_shape(1, n_features)),
-        Algorithm::DecisionTree => ModelIr::Tree(TreeIr {
-            depth: 1,
-            n_features,
-            leaves: 2,
-        }),
+        Algorithm::DecisionTree => ModelIr::Tree(TreeIr::from_shape(1, n_features, 2)),
     }
 }
 

@@ -15,13 +15,15 @@
 use crate::alchemy::{Algorithm, Metric, ModelSpec, Platform};
 use crate::candidates::candidate_algorithms;
 use crate::spaces::design_space_for;
-use crate::trainer::{normalized_split, train_candidate, TrainBudget};
+use crate::trainer::{normalized_split, normalized_split_with, train_candidate, TrainBudget};
 use crate::{CoreError, Result};
 use homunculus_backends::model::ModelIr;
 use homunculus_backends::resources::{Constraints, Performance, ResourceEstimate, ResourceVector};
-use homunculus_datasets::dataset::Split;
+use homunculus_datasets::dataset::{Normalizer, Split};
+use homunculus_ml::quantize::FixedPoint;
 use homunculus_optimizer::space::Configuration;
 use homunculus_optimizer::{BayesianOptimizer, Evaluation, OptimizationHistory, OptimizerOptions};
+use homunculus_runtime::{Compile, CompiledPipeline};
 use serde::{Deserialize, Serialize};
 
 /// Compiler knobs: search/training budgets and reproducibility.
@@ -113,6 +115,13 @@ pub struct ModelReport {
     pub estimate: ResourceEstimate,
     /// The final trained model IR.
     pub ir: ModelIr,
+    /// The IR lowered to the integer fixed-point execution engine
+    /// (Q3.12, the Taurus word format) — what actually runs per packet.
+    /// `None` only if lowering failed, which a trained IR should never do.
+    pub compiled: Option<CompiledPipeline>,
+    /// The feature normalizer the final model was trained under; fresh
+    /// traffic must be normalized with it before `compiled.classify`.
+    pub normalizer: Normalizer,
     /// Generated platform code.
     pub code: String,
     /// The winning algorithm's optimization history (Figure 4's series).
@@ -256,6 +265,10 @@ fn compile_model(
     let split = normalized_split(&search_dataset, spec.test_fraction, options.seed)?;
 
     // Parallel candidate runs (Figure 2's "Parallel Candidate Runs").
+    // A panic in one candidate's search is captured and surfaced as a
+    // CoreError for that algorithm instead of aborting the whole compile:
+    // the remaining candidates still finish, and the caller sees which
+    // search died and why.
     let runs: Vec<(Algorithm, Result<OptimizationHistory>)> =
         if options.parallel && algorithms.len() > 1 {
             std::thread::scope(|scope| {
@@ -263,25 +276,32 @@ fn compile_model(
                     .iter()
                     .map(|&algorithm| {
                         let split_ref = &split;
-                        scope.spawn(move || {
-                            (
+                        let handle = scope.spawn(move || {
+                            search_algorithm(
                                 algorithm,
-                                search_algorithm(
-                                    algorithm,
-                                    spec,
-                                    platform,
-                                    constraints,
-                                    split_ref,
-                                    options,
-                                    model_index,
-                                ),
+                                spec,
+                                platform,
+                                constraints,
+                                split_ref,
+                                options,
+                                model_index,
                             )
-                        })
+                        });
+                        (algorithm, handle)
                     })
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("search thread panicked"))
+                    .map(|(algorithm, handle)| {
+                        let run = handle.join().unwrap_or_else(|payload| {
+                            Err(CoreError::Subsystem(format!(
+                                "search thread for {} panicked: {}",
+                                algorithm.name(),
+                                panic_message(payload.as_ref())
+                            )))
+                        });
+                        (algorithm, run)
+                    })
                     .collect()
             })
         } else {
@@ -316,8 +336,18 @@ fn compile_model(
     const EFFICIENCY_SLACK: f64 = 0.025;
     let mut algorithm_histories = Vec::new();
     let mut winner: Option<(Algorithm, Configuration, f64)> = None;
+    let mut first_error: Option<CoreError> = None;
     for (algorithm, run) in runs {
-        let history = run?;
+        // One failed (or panicked) search does not doom the compile as
+        // long as another candidate produced a feasible model; the error
+        // is only surfaced when nothing won.
+        let history = match run {
+            Ok(history) => history,
+            Err(error) => {
+                first_error.get_or_insert(error);
+                continue;
+            }
+        };
         if let Some(best) = history.best_efficient(EFFICIENCY_SLACK, "params") {
             let better = winner
                 .as_ref()
@@ -332,12 +362,17 @@ fn compile_model(
         }
         algorithm_histories.push((algorithm, history));
     }
-    let (algorithm, configuration, winner_objective) = winner.ok_or_else(|| {
-        CoreError::NoFeasibleModel(format!(
-            "model '{}': search budget exhausted without a feasible configuration",
-            spec.name
-        ))
-    })?;
+    let (algorithm, configuration, winner_objective) = match winner {
+        Some(winner) => winner,
+        None => {
+            return Err(first_error.unwrap_or_else(|| {
+                CoreError::NoFeasibleModel(format!(
+                    "model '{}': search budget exhausted without a feasible configuration",
+                    spec.name
+                ))
+            }))
+        }
+    };
 
     // Retrain the winner with the final budget on the full dataset.
     // Training is stochastic and an unlucky initialization can collapse
@@ -346,7 +381,8 @@ fn compile_model(
     // the best of a few deterministic restarts, stopping early once the
     // retrain is in range of the search-time score.
     const FINAL_RESTARTS: u64 = 3;
-    let final_split = normalized_split(&spec.dataset, spec.test_fraction, options.seed)?;
+    let (final_split, normalizer) =
+        normalized_split_with(&spec.dataset, spec.test_fraction, options.seed)?;
     let search_objective = winner_objective;
     let mut trained: Option<crate::trainer::TrainedCandidate> = None;
     for restart in 0..FINAL_RESTARTS {
@@ -376,6 +412,11 @@ fn compile_model(
     let target = platform.effective_target();
     let estimate = target.as_target().estimate(&trained.ir)?;
     let code = target.as_target().generate_code(&trained.ir, &spec.name)?;
+    // Lower the winner to the integer runtime — the executable twin of
+    // the generated data-plane code. A trained IR always lowers; failure
+    // would indicate an IR bug, so it degrades to None rather than
+    // invalidating an otherwise complete compile.
+    let compiled = trained.ir.compile(FixedPoint::taurus_default()).ok();
 
     let history = algorithm_histories
         .iter()
@@ -391,10 +432,23 @@ fn compile_model(
         configuration,
         estimate,
         ir: trained.ir,
+        compiled,
+        normalizer,
         code,
         history,
         algorithm_histories,
     })
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(message) = payload.downcast_ref::<&'static str>() {
+        message
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message
+    } else {
+        "non-string panic payload"
+    }
 }
 
 /// Violation sentinel for configurations that failed to train or to
@@ -514,6 +568,15 @@ mod tests {
         assert_eq!(best.estimate.performance.throughput_gpps, 1.0);
         // History has exactly the budgeted points.
         assert_eq!(best.history.points().len(), 8);
+        // The winner carries its compiled integer twin, ready to serve.
+        let compiled = best
+            .compiled
+            .as_ref()
+            .expect("trained winner lowers to the integer runtime");
+        assert_eq!(compiled.n_features(), 7);
+        assert_eq!(compiled.n_classes(), 2);
+        let mut scratch = homunculus_runtime::Scratch::new();
+        assert!(compiled.classify(&[0.25; 7], &mut scratch) < 2);
     }
 
     #[test]

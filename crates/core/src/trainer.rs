@@ -11,7 +11,7 @@ use crate::alchemy::{Algorithm, Metric};
 use crate::spaces::{decode_dnn_architecture, decode_dnn_training};
 use crate::{CoreError, Result};
 use homunculus_backends::model::{DnnIr, KMeansIr, ModelIr, SvmIr, TreeIr};
-use homunculus_datasets::dataset::{Dataset, Split};
+use homunculus_datasets::dataset::{Dataset, Normalizer, Split};
 use homunculus_ml::kmeans::{KMeans, KMeansConfig};
 use homunculus_ml::metrics::{accuracy, f1_binary, f1_macro, v_measure};
 use homunculus_ml::mlp::Mlp;
@@ -199,11 +199,7 @@ fn train_tree(
     let pred = model.predict(split.test.features());
     let objective = score(metric, n_classes, split.test.labels(), &pred)?;
     Ok(TrainedCandidate {
-        ir: ModelIr::Tree(TreeIr {
-            depth: model.depth().max(1),
-            n_features: split.train.n_features(),
-            leaves: model.leaf_count(),
-        }),
+        ir: ModelIr::Tree(TreeIr::from_tree(&model)),
         objective,
     })
 }
@@ -215,12 +211,29 @@ fn train_tree(
 ///
 /// Propagates dataset errors.
 pub fn normalized_split(dataset: &Dataset, test_fraction: f64, seed: u64) -> Result<Split> {
+    Ok(normalized_split_with(dataset, test_fraction, seed)?.0)
+}
+
+/// Like [`normalized_split`], but also returns the fitted normalizer so
+/// deployment paths can preprocess fresh traffic identically.
+///
+/// # Errors
+///
+/// Propagates dataset errors.
+pub fn normalized_split_with(
+    dataset: &Dataset,
+    test_fraction: f64,
+    seed: u64,
+) -> Result<(Split, Normalizer)> {
     let split = dataset.stratified_split(test_fraction, seed)?;
     let norm = split.train.fit_normalizer();
-    Ok(Split {
-        train: split.train.normalized(&norm)?,
-        test: split.test.normalized(&norm)?,
-    })
+    Ok((
+        Split {
+            train: split.train.normalized(&norm)?,
+            test: split.test.normalized(&norm)?,
+        },
+        norm,
+    ))
 }
 
 #[cfg(test)]

@@ -428,6 +428,44 @@ impl Mlp {
         Ok(self.predict(&x)?[0])
     }
 
+    /// Pre-softmax output scores ("logits") for a single feature vector.
+    ///
+    /// Softmax is monotone, so `argmax(logits) == predict_row`; the raw
+    /// scores are the float reference oracle the compiled fixed-point
+    /// runtime is compared against (margins are meaningful in logit
+    /// space, unlike post-softmax probabilities).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::ShapeMismatch`] if `features.len() != input_dim`.
+    pub fn logits_row(&self, features: &[f32]) -> Result<Vec<f32>> {
+        if features.len() != self.arch.input_dim {
+            return Err(MlError::ShapeMismatch {
+                op: "logits_row",
+                left: (1, features.len()),
+                right: (1, self.arch.input_dim),
+            });
+        }
+        let mut current = features.to_vec();
+        let last = self.layers.len() - 1;
+        for (idx, layer) in self.layers.iter().enumerate() {
+            let mut next = layer.bias.clone();
+            for (k, &x) in current.iter().enumerate() {
+                for (n, &w) in next.iter_mut().zip(layer.weights.row(k)) {
+                    *n += x * w;
+                }
+            }
+            if idx < last {
+                let act = self.arch.activation;
+                for v in &mut next {
+                    *v = act.apply(*v);
+                }
+            }
+            current = next;
+        }
+        Ok(current)
+    }
+
     /// Mean cross-entropy loss of the network on `(x, y)`.
     ///
     /// # Errors
@@ -783,6 +821,31 @@ mod tests {
         a.train(&x, &y, &cfg).unwrap();
         b.train(&x, &y, &cfg).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn logits_row_matches_predict_and_proba() {
+        let arch = MlpArchitecture::new(3, vec![5, 4], 3);
+        let net = Mlp::new(&arch, 2).unwrap();
+        for seed in 0..6 {
+            let features: Vec<f32> = (0..3).map(|c| (seed * 3 + c) as f32 * 0.17 - 0.8).collect();
+            let logits = net.logits_row(&features).unwrap();
+            assert_eq!(logits.len(), 3);
+            // Softmax is monotone: argmax of logits is the prediction.
+            assert_eq!(
+                crate::tensor::argmax(&logits),
+                net.predict_row(&features).unwrap()
+            );
+            // Softmaxing the logits reproduces predict_proba.
+            let x = Matrix::from_vec(1, 3, features.clone()).unwrap();
+            let proba = net.predict_proba(&x).unwrap();
+            let mut m = Matrix::from_vec(1, 3, logits).unwrap();
+            softmax_rows(&mut m);
+            for (a, b) in m.as_slice().iter().zip(proba.as_slice()) {
+                assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+            }
+        }
+        assert!(net.logits_row(&[1.0]).is_err());
     }
 
     #[test]

@@ -158,6 +158,112 @@ impl FixedPoint {
             .map(|&v| (v - self.dequantize(self.quantize(v))).abs())
             .fold(0.0, f32::max)
     }
+
+    // -----------------------------------------------------------------
+    // Integer layer kernels
+    //
+    // These are the per-packet arithmetic primitives the compiled runtime
+    // executes: every op works on raw fixed-point integers, widens to i64
+    // only for the product, shifts back by `frac_bits` (arithmetic shift,
+    // i.e. truncation toward negative infinity — what the hardware's
+    // barrel shifter does), and saturates into i32.
+    // -----------------------------------------------------------------
+
+    /// Quantizes `values` into a caller-provided buffer (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != values.len()`.
+    pub fn quantize_into(&self, values: &[f32], out: &mut [i32]) {
+        assert_eq!(values.len(), out.len(), "quantize_into length mismatch");
+        for (o, &v) in out.iter_mut().zip(values) {
+            *o = self.quantize(v);
+        }
+    }
+
+    /// Fixed-point product of two raw values: `(a * b) >> frac_bits`,
+    /// saturated to the i32 range.
+    #[inline]
+    pub fn fixed_mul(&self, a: i32, b: i32) -> i32 {
+        saturate_i64((i64::from(a) * i64::from(b)) >> self.frac_bits)
+    }
+
+    /// Fixed-point dot product with a saturating i32 accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    #[inline]
+    pub fn fixed_dot(&self, a: &[i32], b: &[i32]) -> i32 {
+        assert_eq!(a.len(), b.len(), "fixed_dot length mismatch");
+        let mut acc = 0i32;
+        for (&x, &y) in a.iter().zip(b) {
+            acc = acc.saturating_add(self.fixed_mul(x, y));
+        }
+        acc
+    }
+
+    /// Fixed-point squared Euclidean distance with a saturating i32
+    /// accumulator (each squared difference is shifted back by
+    /// `frac_bits`, so the result stays in the same Q format).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    #[inline]
+    pub fn fixed_squared_distance(&self, a: &[i32], b: &[i32]) -> i32 {
+        assert_eq!(a.len(), b.len(), "fixed_squared_distance length mismatch");
+        let mut acc = 0i32;
+        for (&x, &y) in a.iter().zip(b) {
+            let d = x.saturating_sub(y);
+            acc = acc.saturating_add(self.fixed_mul(d, d));
+        }
+        acc
+    }
+
+    /// Dense-layer kernel: `out = bias + x * W` on raw fixed-point values,
+    /// with `W` stored row-major as `input x output`.
+    ///
+    /// The loop order is k-then-j (the i-k-j order of a 1-row matmul), so
+    /// the inner loop streams contiguously over one weight row and the
+    /// output accumulators — the same dataflow the Taurus map/reduce
+    /// template implements in hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != x.len() * out.len()` or
+    /// `bias.len() != out.len()`.
+    pub fn fixed_matvec(&self, weights: &[i32], bias: &[i32], x: &[i32], out: &mut [i32]) {
+        let output = out.len();
+        assert_eq!(
+            weights.len(),
+            x.len() * output,
+            "fixed_matvec weight shape mismatch"
+        );
+        assert_eq!(bias.len(), output, "fixed_matvec bias length mismatch");
+        out.copy_from_slice(bias);
+        for (k, &xv) in x.iter().enumerate() {
+            if xv == 0 {
+                continue;
+            }
+            let row = &weights[k * output..(k + 1) * output];
+            for (o, &w) in out.iter_mut().zip(row) {
+                *o = o.saturating_add(self.fixed_mul(xv, w));
+            }
+        }
+    }
+}
+
+/// Saturates a 64-bit intermediate into the i32 range.
+#[inline]
+pub fn saturate_i64(v: i64) -> i32 {
+    v.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32
+}
+
+/// Fixed-point ReLU: `max(0, raw)` (format-independent).
+#[inline]
+pub fn fixed_relu(raw: i32) -> i32 {
+    raw.max(0)
 }
 
 /// Statistics of quantizing a trained model's weights.
@@ -272,6 +378,95 @@ mod tests {
         }
     }
 
+    #[test]
+    fn fixed_mul_matches_float_product() {
+        let q = FixedPoint::new(3, 12).unwrap();
+        for (a, b) in [(1.5f32, 2.0f32), (-0.75, 0.5), (3.25, -1.25), (0.0, 4.0)] {
+            let raw = q.fixed_mul(q.quantize(a), q.quantize(b));
+            let err = (q.dequantize(raw) - a * b).abs();
+            assert!(
+                err <= 2.0 * q.max_error() + 1.0 / q.scale(),
+                "{a} * {b}: err {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_mul_saturates_instead_of_wrapping() {
+        let q = FixedPoint::new(3, 12).unwrap();
+        let big = i32::MAX / 2;
+        assert_eq!(q.fixed_mul(big, big), i32::MAX);
+        assert_eq!(q.fixed_mul(big, -big), i32::MIN);
+    }
+
+    #[test]
+    fn fixed_dot_matches_float_dot() {
+        let q = FixedPoint::new(3, 12).unwrap();
+        let a = [0.5f32, -1.25, 2.0, 0.125];
+        let b = [1.0f32, 0.75, -0.5, 3.0];
+        let qa = q.quantize_slice(&a);
+        let qb = q.quantize_slice(&b);
+        let float: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let fixed = q.dequantize(q.fixed_dot(&qa, &qb));
+        assert!((float - fixed).abs() < 0.01, "float {float} fixed {fixed}");
+    }
+
+    #[test]
+    fn fixed_squared_distance_matches_float() {
+        let q = FixedPoint::new(3, 12).unwrap();
+        let a = [0.5f32, -1.0, 2.0];
+        let b = [1.5f32, 0.0, -0.25];
+        let float: f32 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
+        let fixed =
+            q.dequantize(q.fixed_squared_distance(&q.quantize_slice(&a), &q.quantize_slice(&b)));
+        assert!((float - fixed).abs() < 0.02, "float {float} fixed {fixed}");
+    }
+
+    #[test]
+    fn fixed_matvec_matches_float_layer() {
+        let q = FixedPoint::new(3, 12).unwrap();
+        // 2-input, 3-output layer, row-major input x output.
+        let w = [0.5f32, -1.0, 0.25, 1.5, 0.75, -0.5];
+        let bias = [0.125f32, -0.25, 0.0];
+        let x = [1.0f32, -2.0];
+        let qw = q.quantize_slice(&w);
+        let qb = q.quantize_slice(&bias);
+        let qx = q.quantize_slice(&x);
+        let mut out = [0i32; 3];
+        q.fixed_matvec(&qw, &qb, &qx, &mut out);
+        for j in 0..3 {
+            let float = bias[j] + x[0] * w[j] + x[1] * w[3 + j];
+            let fixed = q.dequantize(out[j]);
+            assert!(
+                (float - fixed).abs() < 0.01,
+                "out[{j}]: float {float} fixed {fixed}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantize_into_matches_quantize_slice() {
+        let q = FixedPoint::new(2, 8).unwrap();
+        let values = [0.1f32, -1.7, 3.9, 0.0];
+        let mut out = [0i32; 4];
+        q.quantize_into(&values, &mut out);
+        assert_eq!(out.to_vec(), q.quantize_slice(&values));
+    }
+
+    #[test]
+    fn fixed_relu_clamps_negative() {
+        assert_eq!(fixed_relu(-5), 0);
+        assert_eq!(fixed_relu(0), 0);
+        assert_eq!(fixed_relu(7), 7);
+    }
+
+    #[test]
+    fn saturate_i64_bounds() {
+        assert_eq!(saturate_i64(i64::MAX), i32::MAX);
+        assert_eq!(saturate_i64(i64::MIN), i32::MIN);
+        assert_eq!(saturate_i64(-42), -42);
+    }
+
     proptest! {
         #[test]
         fn prop_in_range_error_bounded(v in -7.9f32..7.9) {
@@ -301,6 +496,24 @@ mod tests {
             let ce = (v - coarse.dequantize(coarse.quantize(v))).abs();
             let fe = (v - fine.dequantize(fine.quantize(v))).abs();
             prop_assert!(fe <= ce + 1e-6);
+        }
+
+        #[test]
+        fn prop_fixed_mul_error_bounded(a in -2.0f32..2.0, b in -2.0f32..2.0) {
+            let q = FixedPoint::new(3, 12).unwrap();
+            let fixed = q.dequantize(q.fixed_mul(q.quantize(a), q.quantize(b)));
+            // Input quantization contributes |a|*eps + |b|*eps + eps^2, the
+            // post-product shift at most one step.
+            let bound = (a.abs() + b.abs() + 1.0) * q.max_error() + 1.0 / q.scale() + 1e-6;
+            prop_assert!((fixed - a * b).abs() <= bound, "a={a} b={b} fixed={fixed}");
+        }
+
+        #[test]
+        fn prop_fixed_dot_is_commutative(seed in 0u64..200) {
+            let q = FixedPoint::new(3, 12).unwrap();
+            let a: Vec<i32> = (0..8).map(|i| ((seed as i64 * 37 + i * 911) % 4096) as i32 - 2048).collect();
+            let b: Vec<i32> = (0..8).map(|i| ((seed as i64 * 71 + i * 577) % 4096) as i32 - 2048).collect();
+            prop_assert_eq!(q.fixed_dot(&a, &b), q.fixed_dot(&b, &a));
         }
     }
 }

@@ -207,9 +207,13 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     ///
-    /// The inner loop is an explicit dot product (element-wise multiply map,
-    /// additive reduce) mirroring the Spatial template the Taurus backend
-    /// generates for DNN layers.
+    /// The kernel runs in cache-friendly i-k-j order: the inner loop
+    /// streams contiguously over one `rhs` row and the output row (an
+    /// axpy), which is both the fastest order for row-major storage and
+    /// exactly the map-multiply/reduce-add dataflow the Taurus backend
+    /// lowers to Spatial templates. Zero `lhs` entries skip their whole
+    /// axpy — ReLU activations make these common on the training hot
+    /// path.
     ///
     /// # Errors
     ///
@@ -223,16 +227,18 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            let lhs_row = self.row(i);
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &l) in lhs_row.iter().enumerate() {
+        let n = rhs.cols.max(1);
+        for (lhs_row, out_row) in self
+            .data
+            .chunks_exact(self.cols.max(1))
+            .zip(out.data.chunks_exact_mut(n))
+        {
+            for (&l, rhs_row) in lhs_row.iter().zip(rhs.data.chunks_exact(n)) {
                 if l == 0.0 {
                     continue;
                 }
-                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (j, &r) in rhs_row.iter().enumerate() {
-                    out_row[j] += l * r;
+                for (o, &r) in out_row.iter_mut().zip(rhs_row) {
+                    *o += l * r;
                 }
             }
         }

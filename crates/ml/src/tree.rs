@@ -81,6 +81,28 @@ enum Node {
     },
 }
 
+/// A read-only view of one fitted tree node, for lowering a trained tree
+/// into backend IRs (and from there into the compiled integer runtime).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ExportedNode {
+    /// Terminal node predicting `class`.
+    Leaf {
+        /// Majority class at this leaf.
+        class: usize,
+    },
+    /// Internal split: `feature <= threshold` goes to `left`, else `right`.
+    Split {
+        /// Feature index compared at this node.
+        feature: usize,
+        /// Split threshold.
+        threshold: f32,
+        /// Arena index of the left child.
+        left: usize,
+        /// Arena index of the right child.
+        right: usize,
+    },
+}
+
 /// Walks a fitted arena to a leaf for one sample.
 fn descend<'a>(nodes: &'a [Node], features: &[f32]) -> &'a Node {
     let mut idx = 0;
@@ -213,9 +235,37 @@ impl DecisionTreeClassifier {
         self.n_classes
     }
 
+    /// Number of features the tree was trained on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
     /// Depth actually reached while fitting.
     pub fn depth(&self) -> usize {
         self.depth
+    }
+
+    /// Exports the fitted arena (root at index 0) for lowering to IR.
+    pub fn export_nodes(&self) -> Vec<ExportedNode> {
+        self.nodes
+            .iter()
+            .map(|node| match node {
+                Node::Leaf { value, .. } => ExportedNode::Leaf {
+                    class: *value as usize,
+                },
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => ExportedNode::Split {
+                    feature: *feature,
+                    threshold: *threshold,
+                    left: *left,
+                    right: *right,
+                },
+            })
+            .collect()
     }
 
     /// Number of nodes in the fitted tree.
@@ -668,6 +718,40 @@ mod tests {
             DecisionTreeRegressor::fit(&x, &[0.0, 10.0], &TreeConfig::default().max_depth(0))
                 .unwrap();
         assert!((tree.predict_row(&[0.5]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exported_nodes_replay_the_tree() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let y = vec![0, 0, 1, 1];
+        let tree = DecisionTreeClassifier::fit(&x, &y, 2, &TreeConfig::default()).unwrap();
+        let nodes = tree.export_nodes();
+        assert_eq!(nodes.len(), tree.node_count());
+        assert_eq!(tree.n_features(), 1);
+        // Replay the exported arena by hand and compare to predict_row.
+        let walk = |features: &[f32]| -> usize {
+            let mut idx = 0;
+            loop {
+                match nodes[idx] {
+                    ExportedNode::Leaf { class } => return class,
+                    ExportedNode::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    } => {
+                        idx = if features[feature] <= threshold {
+                            left
+                        } else {
+                            right
+                        };
+                    }
+                }
+            }
+        };
+        for v in [0.0f32, 0.6, 1.4, 2.5, 3.5] {
+            assert_eq!(walk(&[v]), tree.predict_row(&[v]), "at {v}");
+        }
     }
 
     #[test]

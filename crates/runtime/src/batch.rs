@@ -1,0 +1,98 @@
+//! Batched classification sharded across scoped worker threads.
+//!
+//! Throughput runs (and the multi-core serving path) classify packets in
+//! bulk: the feature matrix is split into contiguous row shards, each
+//! worker owns a private [`Scratch`], and `std::thread::scope` joins the
+//! shards without any `'static` bounds or heap-allocated channels.
+
+use crate::pipeline::{CompiledPipeline, Scratch};
+use homunculus_ml::tensor::Matrix;
+
+impl CompiledPipeline {
+    /// Classifies every row of `x` using up to `workers` threads.
+    ///
+    /// `workers` is clamped to `[1, x.rows()]`; with one worker the call
+    /// degenerates to a single-threaded loop with one reused scratch.
+    /// Output order matches row order regardless of sharding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.n_features()` (from
+    /// [`CompiledPipeline::classify`]).
+    pub fn classify_batch(&self, x: &Matrix, workers: usize) -> Vec<usize> {
+        let n = x.rows();
+        let mut out = vec![0usize; n];
+        if n == 0 {
+            return out;
+        }
+        let workers = workers.clamp(1, n);
+        if workers == 1 {
+            let mut scratch = Scratch::new();
+            for (o, row) in out.iter_mut().zip(x.iter_rows()) {
+                *o = self.classify(row, &mut scratch);
+            }
+            return out;
+        }
+        let chunk = n.div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (shard, out_chunk) in out.chunks_mut(chunk).enumerate() {
+                let start = shard * chunk;
+                scope.spawn(move || {
+                    let mut scratch = Scratch::new();
+                    for (offset, o) in out_chunk.iter_mut().enumerate() {
+                        *o = self.classify(x.row(start + offset), &mut scratch);
+                    }
+                });
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{classify_rows, Compile};
+    use homunculus_backends::model::{DnnIr, ModelIr};
+    use homunculus_ml::mlp::{Mlp, MlpArchitecture, TrainConfig};
+    use homunculus_ml::quantize::FixedPoint;
+
+    fn pipeline_and_data(rows: usize) -> (CompiledPipeline, Matrix) {
+        let x = Matrix::from_fn(rows, 3, |r, c| ((r * 5 + c * 3) % 11) as f32 / 11.0 - 0.5);
+        let y: Vec<usize> = (0..rows).map(|r| r % 2).collect();
+        let arch = MlpArchitecture::new(3, vec![6], 2);
+        let mut net = Mlp::new(&arch, 2).unwrap();
+        net.train(&x, &y, &TrainConfig::default().epochs(10))
+            .unwrap();
+        let pipeline = ModelIr::Dnn(DnnIr::from_mlp(&net))
+            .compile(FixedPoint::taurus_default())
+            .unwrap();
+        (pipeline, x)
+    }
+
+    #[test]
+    fn batch_matches_single_threaded_for_any_worker_count() {
+        let (pipeline, x) = pipeline_and_data(97);
+        let reference = classify_rows(&pipeline, &x);
+        for workers in [1, 2, 3, 8, 97, 500] {
+            assert_eq!(
+                pipeline.classify_batch(&x, workers),
+                reference,
+                "workers = {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_handles_empty_matrix() {
+        let (pipeline, _) = pipeline_and_data(4);
+        let empty = Matrix::zeros(0, 3);
+        assert!(pipeline.classify_batch(&empty, 4).is_empty());
+    }
+
+    #[test]
+    fn batch_zero_workers_clamps_to_one() {
+        let (pipeline, x) = pipeline_and_data(10);
+        assert_eq!(pipeline.classify_batch(&x, 0), classify_rows(&pipeline, &x));
+    }
+}

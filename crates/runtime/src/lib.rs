@@ -1,0 +1,101 @@
+//! # homunculus-runtime
+//!
+//! The compiled fixed-point inference runtime.
+//!
+//! The paper's deployed pipelines execute as quantized integer arithmetic
+//! on the data plane — Taurus runs int8/fixed-point MapReduce kernels per
+//! packet, and MAT switches execute integer comparisons. This crate is the
+//! software equivalent of that deployment artifact: it lowers a trained
+//! [`ModelIr`](homunculus_backends::model::ModelIr) into a
+//! [`CompiledPipeline`] that classifies packets with **true integer
+//! fixed-point arithmetic** (i32 accumulators, per-format shifts,
+//! saturating ops) instead of re-running the float trainer's forward pass.
+//!
+//! - [`pipeline::CompiledPipeline`] — the lowered model: per-packet
+//!   [`classify`](pipeline::CompiledPipeline::classify) is
+//!   allocation-free given a reusable [`pipeline::Scratch`].
+//! - [`pipeline::Compile`] — the lowering entry point, an extension trait
+//!   giving `ModelIr::compile(format)`.
+//! - [`batch`] — a batched `classify_batch` API sharded across
+//!   `std::thread::scope` workers for throughput runs.
+//!
+//! The float model stays available as the *reference oracle*: agreement
+//! between the two paths is bounded by
+//! [`pipeline::CompiledPipeline::score_tolerance`], which derives a
+//! worst-case score deviation from the fixed-point format's
+//! `max_error` and the lowered weights.
+//!
+//! # Example
+//!
+//! ```
+//! use homunculus_backends::model::{DnnIr, ModelIr};
+//! use homunculus_ml::mlp::{Mlp, MlpArchitecture};
+//! use homunculus_ml::quantize::FixedPoint;
+//! use homunculus_runtime::pipeline::{Compile, Scratch};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let arch = MlpArchitecture::new(4, vec![8], 2);
+//! let net = Mlp::new(&arch, 7)?;
+//! let ir = ModelIr::Dnn(DnnIr::from_mlp(&net));
+//! let pipeline = ir.compile(FixedPoint::taurus_default())?;
+//! let mut scratch = Scratch::new();
+//! let class = pipeline.classify(&[0.5, -0.25, 1.0, 0.0], &mut scratch);
+//! assert!(class < 2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod batch;
+pub mod pipeline;
+
+pub use pipeline::{classify_rows, Compile, CompiledPipeline, Scratch};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when lowering a model IR to the integer runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// The IR carries no trained parameters (shape-only IRs cannot run).
+    MissingParams(String),
+    /// The IR is internally inconsistent (bad shapes, dangling indices).
+    InvalidModel(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::MissingParams(msg) => write!(f, "missing trained parameters: {msg}"),
+            RuntimeError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
+        }
+    }
+}
+
+impl Error for RuntimeError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, RuntimeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            RuntimeError::MissingParams("dnn".into()).to_string(),
+            "missing trained parameters: dnn"
+        );
+        assert_eq!(
+            RuntimeError::InvalidModel("x".into()).to_string(),
+            "invalid model: x"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RuntimeError>();
+        assert_send_sync::<CompiledPipeline>();
+    }
+}

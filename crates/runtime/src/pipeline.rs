@@ -1,0 +1,1007 @@
+//! Lowering trained model IRs to integer execution engines.
+//!
+//! A [`CompiledPipeline`] is what the generated data-plane program
+//! *computes*, expressed as portable Rust: all weights, biases, centroids,
+//! and thresholds are quantized once at compile time into raw fixed-point
+//! integers, and every per-packet operation is integer-only — widening
+//! multiplies with a post-product arithmetic shift, saturating i32
+//! accumulation, integer comparisons, and (for sigmoid/tanh hidden
+//! layers) a lookup table, exactly as the hardware templates implement
+//! them.
+
+use crate::{Result, RuntimeError};
+use homunculus_backends::model::{ModelIr, TreeNodeIr};
+use homunculus_ml::mlp::Activation;
+use homunculus_ml::quantize::{fixed_relu, FixedPoint};
+use homunculus_ml::tensor::Matrix;
+
+/// Number of index bits in an activation lookup table (2048 entries).
+const LUT_BITS: u32 = 11;
+
+/// Reusable per-worker buffers so [`CompiledPipeline::classify`] performs
+/// no allocation per packet (buffers grow on first use, then stay).
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    /// Quantized input features.
+    qx: Vec<i32>,
+    /// Ping buffer for layer outputs / decision scores.
+    a: Vec<i32>,
+    /// Pong buffer for layer outputs.
+    b: Vec<i32>,
+}
+
+impl Scratch {
+    /// Creates an empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    fn ensure(&mut self, features: usize, width: usize) {
+        if self.qx.len() < features {
+            self.qx.resize(features, 0);
+        }
+        if self.a.len() < width {
+            self.a.resize(width, 0);
+        }
+        if self.b.len() < width {
+            self.b.resize(width, 0);
+        }
+    }
+}
+
+/// One lowered dense layer: quantized weights (row-major `input x output`,
+/// matching the float trainer's storage) and bias in the same Q format.
+#[derive(Debug, Clone, PartialEq)]
+struct DenseKernel {
+    weights: Vec<i32>,
+    bias: Vec<i32>,
+    input: usize,
+    output: usize,
+}
+
+/// Hidden-layer activation in integer form. Sigmoid/tanh use a lookup
+/// table over the representable input range — the same strategy the
+/// hardware templates use ("implemented via LUT on hardware").
+#[derive(Debug, Clone, PartialEq)]
+enum ActKernel {
+    Relu,
+    Linear,
+    Lut {
+        table: Vec<i32>,
+        shift: u32,
+        min_raw: i32,
+        max_raw: i32,
+        /// Lipschitz constant of the approximated function (for error
+        /// bounds): 0.25 for sigmoid, 1.0 for tanh.
+        lipschitz: f32,
+    },
+}
+
+impl ActKernel {
+    fn build(format: FixedPoint, activation: Activation) -> Self {
+        match activation {
+            Activation::Relu => ActKernel::Relu,
+            Activation::Linear => ActKernel::Linear,
+            Activation::Sigmoid | Activation::Tanh => {
+                let min_raw = format.quantize(f32::NEG_INFINITY);
+                let max_raw = format.quantize(f32::INFINITY);
+                let range_bits = format.total_bits();
+                let shift = range_bits.saturating_sub(LUT_BITS);
+                let entries = (((i64::from(max_raw) - i64::from(min_raw)) >> shift) + 1) as usize;
+                let half_step = (1i64 << shift) / 2;
+                let table = (0..entries)
+                    .map(|i| {
+                        let raw_mid = i64::from(min_raw) + ((i as i64) << shift) + half_step;
+                        format.quantize(activation.apply(format.dequantize(raw_mid as i32)))
+                    })
+                    .collect();
+                ActKernel::Lut {
+                    table,
+                    shift,
+                    min_raw,
+                    max_raw,
+                    lipschitz: if activation == Activation::Sigmoid {
+                        0.25
+                    } else {
+                        1.0
+                    },
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn apply(&self, raw: i32) -> i32 {
+        match self {
+            ActKernel::Relu => fixed_relu(raw),
+            ActKernel::Linear => raw,
+            ActKernel::Lut {
+                table,
+                shift,
+                min_raw,
+                max_raw,
+                ..
+            } => {
+                let clamped = raw.clamp(*min_raw, *max_raw);
+                let index = ((i64::from(clamped) - i64::from(*min_raw)) >> shift) as usize;
+                table[index.min(table.len() - 1)]
+            }
+        }
+    }
+
+    /// Worst-case float error the LUT adds on top of an exact activation
+    /// (input discretization times Lipschitz constant, plus output
+    /// quantization), and the Lipschitz constant itself.
+    fn error_terms(&self, format: FixedPoint) -> (f32, f32) {
+        match self {
+            ActKernel::Relu | ActKernel::Linear => (0.0, 1.0),
+            ActKernel::Lut {
+                shift, lipschitz, ..
+            } => {
+                let input_step = (1u64 << shift) as f32 / format.scale();
+                (lipschitz * input_step + format.max_error(), *lipschitz)
+            }
+        }
+    }
+}
+
+/// The lowered per-family execution kernel.
+#[derive(Debug, Clone, PartialEq)]
+enum Kernel {
+    Dnn {
+        layers: Vec<DenseKernel>,
+        activation: ActKernel,
+    },
+    Svm {
+        /// One (weights, bias) hyperplane per decision plane.
+        planes: Vec<(Vec<i32>, i32)>,
+        binary: bool,
+    },
+    KMeans {
+        centroids: Vec<Vec<i32>>,
+    },
+    Tree {
+        nodes: Vec<TreeNodeIr>,
+        /// Thresholds quantized once at compile time, indexed like `nodes`.
+        thresholds: Vec<i32>,
+    },
+}
+
+/// A trained model lowered to an integer fixed-point execution engine.
+///
+/// Construct one with [`Compile::compile`] on a trained
+/// [`ModelIr`]; classify packets with [`CompiledPipeline::classify`]
+/// (zero-allocation given a reusable [`Scratch`]) or in bulk with
+/// [`CompiledPipeline::classify_batch`](crate::batch).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledPipeline {
+    format: FixedPoint,
+    n_features: usize,
+    n_classes: usize,
+    /// Widest intermediate buffer any kernel stage needs.
+    width: usize,
+    kernel: Kernel,
+}
+
+/// Lowers a trained [`ModelIr`] into a [`CompiledPipeline`].
+///
+/// This is the `ModelIr::compile(format)` entry point; it lives here as an
+/// extension trait because the runtime depends on `homunculus-backends`
+/// (the IR's home), not the other way around.
+pub trait Compile {
+    /// Lowers the model to integer fixed-point inference in `format`.
+    ///
+    /// # Errors
+    ///
+    /// - [`RuntimeError::MissingParams`] when the IR is shape-only.
+    /// - [`RuntimeError::InvalidModel`] for inconsistent IRs.
+    fn compile(&self, format: FixedPoint) -> Result<CompiledPipeline>;
+}
+
+impl Compile for ModelIr {
+    fn compile(&self, format: FixedPoint) -> Result<CompiledPipeline> {
+        CompiledPipeline::from_ir(self, format)
+    }
+}
+
+impl CompiledPipeline {
+    /// Lowers a trained IR (see [`Compile::compile`]).
+    ///
+    /// # Errors
+    ///
+    /// - [`RuntimeError::MissingParams`] when the IR is shape-only.
+    /// - [`RuntimeError::InvalidModel`] for inconsistent IRs.
+    pub fn from_ir(ir: &ModelIr, format: FixedPoint) -> Result<Self> {
+        ir.validate()
+            .map_err(|e| RuntimeError::InvalidModel(e.to_string()))?;
+        match ir {
+            ModelIr::Dnn(dnn) => {
+                let params = dnn.params.as_ref().ok_or_else(|| {
+                    RuntimeError::MissingParams("dnn ir has no trained layers".into())
+                })?;
+                let dims = dnn.arch.layer_dims();
+                if params.len() != dims.len() {
+                    return Err(RuntimeError::InvalidModel(format!(
+                        "dnn ir has {} trained layers but the architecture declares {}",
+                        params.len(),
+                        dims.len()
+                    )));
+                }
+                let mut layers = Vec::with_capacity(params.len());
+                for (layer, (input, output)) in params.iter().zip(dims) {
+                    if layer.weights.shape() != (input, output) || layer.bias.len() != output {
+                        return Err(RuntimeError::InvalidModel(format!(
+                            "dnn layer shape {:?} disagrees with architecture ({input}, {output})",
+                            layer.weights.shape()
+                        )));
+                    }
+                    layers.push(DenseKernel {
+                        weights: format.quantize_slice(layer.weights.as_slice()),
+                        bias: format.quantize_slice(&layer.bias),
+                        input,
+                        output,
+                    });
+                }
+                let width = layers.iter().map(|l| l.output).max().unwrap_or(0);
+                Ok(CompiledPipeline {
+                    format,
+                    n_features: dnn.arch.input_dim,
+                    n_classes: dnn.arch.output_dim,
+                    width,
+                    kernel: Kernel::Dnn {
+                        layers,
+                        activation: ActKernel::build(format, dnn.arch.activation),
+                    },
+                })
+            }
+            ModelIr::Svm(svm) => {
+                let (weights, biases) = svm.planes.as_ref().ok_or_else(|| {
+                    RuntimeError::MissingParams("svm ir has no trained planes".into())
+                })?;
+                if weights.len() != biases.len()
+                    || weights.iter().any(|w| w.len() != svm.n_features)
+                {
+                    return Err(RuntimeError::InvalidModel(
+                        "svm planes disagree with feature count".into(),
+                    ));
+                }
+                let expected_planes = if svm.n_classes == 2 { 1 } else { svm.n_classes };
+                if weights.len() != expected_planes {
+                    return Err(RuntimeError::InvalidModel(format!(
+                        "svm ir has {} planes but {} classes need {}",
+                        weights.len(),
+                        svm.n_classes,
+                        expected_planes
+                    )));
+                }
+                let planes: Vec<(Vec<i32>, i32)> = weights
+                    .iter()
+                    .zip(biases)
+                    .map(|(w, &b)| (format.quantize_slice(w), format.quantize(b)))
+                    .collect();
+                let binary = svm.n_classes == 2 && planes.len() == 1;
+                Ok(CompiledPipeline {
+                    format,
+                    n_features: svm.n_features,
+                    n_classes: svm.n_classes,
+                    width: planes.len().max(2),
+                    kernel: Kernel::Svm { planes, binary },
+                })
+            }
+            ModelIr::KMeans(km) => {
+                let centroids = km.centroids.as_ref().ok_or_else(|| {
+                    RuntimeError::MissingParams("kmeans ir has no trained centroids".into())
+                })?;
+                if centroids.len() != km.k || centroids.iter().any(|c| c.len() != km.n_features) {
+                    return Err(RuntimeError::InvalidModel(
+                        "kmeans centroids disagree with (k, n_features)".into(),
+                    ));
+                }
+                Ok(CompiledPipeline {
+                    format,
+                    n_features: km.n_features,
+                    n_classes: km.k,
+                    width: km.k,
+                    kernel: Kernel::KMeans {
+                        centroids: centroids.iter().map(|c| format.quantize_slice(c)).collect(),
+                    },
+                })
+            }
+            ModelIr::Tree(tree) => {
+                let nodes = tree.nodes.as_ref().ok_or_else(|| {
+                    RuntimeError::MissingParams("tree ir has no trained nodes".into())
+                })?;
+                if nodes.is_empty() {
+                    return Err(RuntimeError::InvalidModel("tree ir has no nodes".into()));
+                }
+                let mut n_classes = 0usize;
+                let mut thresholds = Vec::with_capacity(nodes.len());
+                for (index, node) in nodes.iter().enumerate() {
+                    match node {
+                        TreeNodeIr::Leaf { class } => {
+                            n_classes = n_classes.max(class + 1);
+                            thresholds.push(0);
+                        }
+                        TreeNodeIr::Split {
+                            feature,
+                            threshold,
+                            left,
+                            right,
+                        } => {
+                            // Children must point strictly forward in the
+                            // arena (true for every fitted tree, which
+                            // pushes parents before children) — this is
+                            // what guarantees classify() terminates on
+                            // any IR that passes lowering.
+                            if *feature >= tree.n_features
+                                || *left >= nodes.len()
+                                || *right >= nodes.len()
+                                || *left <= index
+                                || *right <= index
+                            {
+                                return Err(RuntimeError::InvalidModel(
+                                    "tree node references out-of-range feature or child".into(),
+                                ));
+                            }
+                            thresholds.push(format.quantize(*threshold));
+                        }
+                    }
+                }
+                // The declared class count wins over the leaf-derived one:
+                // a depth-limited tree may never grow a leaf for some
+                // class, but consumers sizing per-class tables still need
+                // the full range.
+                let n_classes = tree.n_classes.unwrap_or(0).max(n_classes).max(2);
+                Ok(CompiledPipeline {
+                    format,
+                    n_features: tree.n_features,
+                    n_classes,
+                    width: 0,
+                    kernel: Kernel::Tree {
+                        nodes: nodes.clone(),
+                        thresholds,
+                    },
+                })
+            }
+        }
+    }
+
+    /// The fixed-point format the pipeline executes in.
+    pub fn format(&self) -> FixedPoint {
+        self.format
+    }
+
+    /// Number of input features per packet.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of output classes (clusters for KMeans).
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Short lowercase family name of the lowered model.
+    pub fn family(&self) -> &'static str {
+        match self.kernel {
+            Kernel::Dnn { .. } => "dnn",
+            Kernel::Svm { .. } => "svm",
+            Kernel::KMeans { .. } => "kmeans",
+            Kernel::Tree { .. } => "decision_tree",
+        }
+    }
+
+    /// Classifies one packet's feature vector on the integer path.
+    ///
+    /// Allocation-free after the first call on a given `scratch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != self.n_features()`.
+    pub fn classify(&self, features: &[f32], scratch: &mut Scratch) -> usize {
+        assert_eq!(
+            features.len(),
+            self.n_features,
+            "expected {} features, got {}",
+            self.n_features,
+            features.len()
+        );
+        scratch.ensure(self.n_features, self.width);
+        self.format
+            .quantize_into(features, &mut scratch.qx[..self.n_features]);
+        match &self.kernel {
+            Kernel::Dnn { layers, activation } => {
+                let logits = dnn_forward(self.format, layers, activation, scratch);
+                argmax_i32(logits)
+            }
+            Kernel::Svm { planes, binary } => {
+                let qx = &scratch.qx[..self.n_features];
+                if *binary {
+                    let (w, b) = &planes[0];
+                    usize::from(self.format.fixed_dot(w, qx).saturating_add(*b) >= 0)
+                } else {
+                    for (score, (w, b)) in scratch.a.iter_mut().zip(planes) {
+                        *score = self.format.fixed_dot(w, qx).saturating_add(*b);
+                    }
+                    argmax_i32(&scratch.a[..planes.len()])
+                }
+            }
+            Kernel::KMeans { centroids } => {
+                let qx = &scratch.qx[..self.n_features];
+                let mut best = 0usize;
+                let mut best_d = i32::MAX;
+                for (i, c) in centroids.iter().enumerate() {
+                    let d = self.format.fixed_squared_distance(c, qx);
+                    if d < best_d {
+                        best = i;
+                        best_d = d;
+                    }
+                }
+                best
+            }
+            Kernel::Tree { nodes, thresholds } => {
+                let qx = &scratch.qx[..self.n_features];
+                let mut index = 0usize;
+                loop {
+                    match &nodes[index] {
+                        TreeNodeIr::Leaf { class } => return *class,
+                        TreeNodeIr::Split {
+                            feature,
+                            left,
+                            right,
+                            ..
+                        } => {
+                            index = if qx[*feature] <= thresholds[index] {
+                                *left
+                            } else {
+                                *right
+                            };
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Dequantized decision scores for one packet (argmax = predicted
+    /// class), or `None` for decision trees, whose verdicts are not
+    /// score-shaped.
+    ///
+    /// For binary SVMs the scores are `[-s, s]` around the single
+    /// hyperplane score `s`; for KMeans they are negated distances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != self.n_features()`.
+    pub fn scores(&self, features: &[f32], scratch: &mut Scratch) -> Option<Vec<f32>> {
+        assert_eq!(features.len(), self.n_features, "feature count mismatch");
+        scratch.ensure(self.n_features, self.width);
+        self.format
+            .quantize_into(features, &mut scratch.qx[..self.n_features]);
+        match &self.kernel {
+            Kernel::Dnn { layers, activation } => {
+                let logits = dnn_forward(self.format, layers, activation, scratch);
+                Some(logits.iter().map(|&r| self.format.dequantize(r)).collect())
+            }
+            Kernel::Svm { planes, binary } => {
+                let qx = &scratch.qx[..self.n_features];
+                if *binary {
+                    let (w, b) = &planes[0];
+                    let raw = self.format.fixed_dot(w, qx).saturating_add(*b);
+                    let s = self.format.dequantize(raw);
+                    // A raw score of exactly zero classifies as class 1
+                    // (the float SVM's `>= 0` rule); nudge the class-1
+                    // score so first-max-wins argmax agrees with
+                    // classify() on that tie.
+                    Some(vec![-s, if raw == 0 { f32::MIN_POSITIVE } else { s }])
+                } else {
+                    Some(
+                        planes
+                            .iter()
+                            .map(|(w, b)| {
+                                self.format
+                                    .dequantize(self.format.fixed_dot(w, qx).saturating_add(*b))
+                            })
+                            .collect(),
+                    )
+                }
+            }
+            Kernel::KMeans { centroids } => {
+                let qx = &scratch.qx[..self.n_features];
+                Some(
+                    centroids
+                        .iter()
+                        .map(|c| {
+                            -self
+                                .format
+                                .dequantize(self.format.fixed_squared_distance(c, qx))
+                        })
+                        .collect(),
+                )
+            }
+            Kernel::Tree { .. } => None,
+        }
+    }
+
+    /// Worst-case deviation between this pipeline's decision scores and
+    /// the float reference model's, for inputs bounded by `input_bound`
+    /// in absolute value — derived from the format's
+    /// [`max_error`](FixedPoint::max_error) and the lowered weights.
+    ///
+    /// Returns `None` for decision trees (their disagreement criterion is
+    /// a threshold-margin walk, not a score distance). The bound assumes
+    /// no accumulator saturation, which holds for normalized inputs and
+    /// trained-scale weights.
+    pub fn score_tolerance(&self, input_bound: f32) -> Option<f32> {
+        let eq = self.format.max_error();
+        let step = 1.0 / self.format.scale();
+        match &self.kernel {
+            Kernel::Dnn { layers, activation } => {
+                let mut err = eq;
+                let mut bound = input_bound;
+                let last = layers.len() - 1;
+                for (li, layer) in layers.iter().enumerate() {
+                    let (err_out, bound_out) = dense_bound(self.format, layer, err, bound);
+                    err = err_out;
+                    bound = bound_out;
+                    if li < last {
+                        let (act_err, lipschitz) = activation.error_terms(self.format);
+                        err = lipschitz * err + act_err;
+                        if matches!(activation, ActKernel::Lut { .. }) {
+                            bound = 1.0 + eq;
+                        }
+                    }
+                }
+                Some(err)
+            }
+            Kernel::Svm { planes, .. } => {
+                let err = planes
+                    .iter()
+                    .map(|(w, _)| {
+                        let mut e = eq; // bias quantization
+                        for &qw in w {
+                            let wa = self.format.dequantize(qw).abs();
+                            e += input_bound * eq + (wa + 2.0 * eq) * eq + step;
+                        }
+                        e
+                    })
+                    .fold(0.0f32, f32::max);
+                Some(err)
+            }
+            Kernel::KMeans { centroids } => {
+                let d = self.n_features as f32;
+                let bound = input_bound.max(
+                    centroids
+                        .iter()
+                        .flatten()
+                        .map(|&q| self.format.dequantize(q).abs())
+                        .fold(0.0, f32::max),
+                );
+                // Per dimension: |(x̂-ĉ)² - (x-c)²| ≤ (|x̂-ĉ| + |x-c|)·|(x̂-x)-(ĉ-c)|
+                // with |x-c| ≤ 2·bound and each rounding error ≤ eq.
+                Some(d * ((4.0 * bound + 2.0 * eq) * 2.0 * eq + step))
+            }
+            Kernel::Tree { .. } => None,
+        }
+    }
+}
+
+/// Error/bound propagation through one dense layer: returns the
+/// worst-case output-score error and output magnitude bound given the
+/// input error and magnitude bound.
+fn dense_bound(format: FixedPoint, layer: &DenseKernel, err_in: f32, bound_in: f32) -> (f32, f32) {
+    let eq = format.max_error();
+    let step = 1.0 / format.scale();
+    let mut worst_err = 0.0f32;
+    let mut worst_bound = 0.0f32;
+    for j in 0..layer.output {
+        let mut err = eq; // bias quantization
+        let mut bound = format.dequantize(layer.bias[j]).abs() + eq;
+        for k in 0..layer.input {
+            let w = format.dequantize(layer.weights[k * layer.output + j]).abs();
+            err += bound_in * eq + (w + 2.0 * eq) * err_in + step;
+            bound += w * bound_in;
+        }
+        worst_err = worst_err.max(err);
+        worst_bound = worst_bound.max(bound + err);
+    }
+    (worst_err, worst_bound)
+}
+
+/// Runs the quantized dense stack over the scratch's ping-pong buffers
+/// and returns the final logit slice.
+fn dnn_forward<'s>(
+    format: FixedPoint,
+    layers: &[DenseKernel],
+    activation: &ActKernel,
+    scratch: &'s mut Scratch,
+) -> &'s [i32] {
+    let Scratch { qx, a, b } = scratch;
+    let last = layers.len() - 1;
+    let mut in_a = false; // which pong buffer currently holds the input
+    let mut prev_out = 0usize;
+    for (li, layer) in layers.iter().enumerate() {
+        match (li, in_a) {
+            (0, _) => {
+                format.fixed_matvec(
+                    &layer.weights,
+                    &layer.bias,
+                    &qx[..layer.input],
+                    &mut a[..layer.output],
+                );
+                in_a = true;
+            }
+            (_, true) => {
+                format.fixed_matvec(
+                    &layer.weights,
+                    &layer.bias,
+                    &a[..prev_out],
+                    &mut b[..layer.output],
+                );
+                in_a = false;
+            }
+            (_, false) => {
+                format.fixed_matvec(
+                    &layer.weights,
+                    &layer.bias,
+                    &b[..prev_out],
+                    &mut a[..layer.output],
+                );
+                in_a = true;
+            }
+        }
+        prev_out = layer.output;
+        if li < last {
+            let dst = if in_a {
+                &mut a[..prev_out]
+            } else {
+                &mut b[..prev_out]
+            };
+            for v in dst {
+                *v = activation.apply(*v);
+            }
+        }
+    }
+    if in_a {
+        &a[..prev_out]
+    } else {
+        &b[..prev_out]
+    }
+}
+
+/// Index of the maximum raw value (first max wins, matching
+/// [`homunculus_ml::tensor::argmax`]).
+fn argmax_i32(values: &[i32]) -> usize {
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate() {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Convenience: classify every row of a feature matrix on one thread.
+///
+/// See [`crate::batch`] for the multi-worker variant.
+pub fn classify_rows(pipeline: &CompiledPipeline, x: &Matrix) -> Vec<usize> {
+    let mut scratch = Scratch::new();
+    x.iter_rows()
+        .map(|row| pipeline.classify(row, &mut scratch))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homunculus_backends::model::{DnnIr, KMeansIr, SvmIr, TreeIr};
+    use homunculus_ml::kmeans::{KMeans, KMeansConfig};
+    use homunculus_ml::mlp::{Mlp, MlpArchitecture, TrainConfig};
+    use homunculus_ml::svm::{LinearSvm, SvmConfig};
+    use homunculus_ml::tree::{DecisionTreeClassifier, TreeConfig};
+
+    fn q() -> FixedPoint {
+        FixedPoint::taurus_default()
+    }
+
+    fn separable(n: usize) -> (Matrix, Vec<usize>) {
+        let x = Matrix::from_fn(n, 4, |r, c| {
+            let sign = if r % 2 == 0 { 1.0 } else { -1.0 };
+            sign * (0.8 + 0.1 * ((r * 7 + c * 3) % 5) as f32)
+        });
+        let y = (0..n).map(|r| r % 2).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn dnn_pipeline_matches_float_predictions() {
+        let (x, y) = separable(80);
+        let arch = MlpArchitecture::new(4, vec![8], 2);
+        let mut net = Mlp::new(&arch, 3).unwrap();
+        net.train(&x, &y, &TrainConfig::default().epochs(60))
+            .unwrap();
+        let ir = ModelIr::Dnn(DnnIr::from_mlp(&net));
+        let pipeline = ir.compile(q()).unwrap();
+        assert_eq!(pipeline.family(), "dnn");
+        assert_eq!(pipeline.n_features(), 4);
+        let float = net.predict(&x).unwrap();
+        let fixed = classify_rows(&pipeline, &x);
+        let agree = float.iter().zip(&fixed).filter(|(a, b)| a == b).count();
+        assert!(
+            agree as f64 / x.rows() as f64 > 0.95,
+            "agreement {agree}/{}",
+            x.rows()
+        );
+    }
+
+    #[test]
+    fn dnn_lut_activations_stay_close_to_float() {
+        for activation in [Activation::Sigmoid, Activation::Tanh] {
+            let arch = MlpArchitecture::new(3, vec![6], 2).with_activation(activation);
+            let net = Mlp::new(&arch, 11).unwrap();
+            let ir = ModelIr::Dnn(DnnIr::from_mlp(&net));
+            let pipeline = ir.compile(q()).unwrap();
+            let tol = pipeline.score_tolerance(2.0).unwrap();
+            let mut scratch = Scratch::new();
+            for seed in 0..20 {
+                let features: Vec<f32> = (0..3)
+                    .map(|c| ((seed * 13 + c * 7) % 17) as f32 / 17.0 * 3.0 - 1.5)
+                    .collect();
+                let fixed = pipeline.scores(&features, &mut scratch).unwrap();
+                let float = net.logits_row(&features).unwrap();
+                for (f, g) in float.iter().zip(&fixed) {
+                    assert!(
+                        (f - g).abs() <= tol,
+                        "{activation:?}: float {f} fixed {g} tol {tol}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dnn_scores_within_tolerance_of_float_logits() {
+        let (x, y) = separable(60);
+        let arch = MlpArchitecture::new(4, vec![6, 4], 2);
+        let mut net = Mlp::new(&arch, 5).unwrap();
+        net.train(&x, &y, &TrainConfig::default().epochs(40))
+            .unwrap();
+        let pipeline = ModelIr::Dnn(DnnIr::from_mlp(&net)).compile(q()).unwrap();
+        let tol = pipeline.score_tolerance(2.0).unwrap();
+        assert!(tol > 0.0 && tol < 1.0, "tolerance {tol}");
+        let mut scratch = Scratch::new();
+        for row in x.iter_rows().take(30) {
+            let fixed = pipeline.scores(row, &mut scratch).unwrap();
+            let float = net.logits_row(row).unwrap();
+            for (f, g) in float.iter().zip(&fixed) {
+                assert!((f - g).abs() <= tol, "float {f} fixed {g} tol {tol}");
+            }
+        }
+    }
+
+    #[test]
+    fn svm_pipeline_matches_float() {
+        let (x, y) = separable(60);
+        let svm = LinearSvm::fit(&x, &y, 2, &SvmConfig::default()).unwrap();
+        let pipeline = ModelIr::Svm(SvmIr::from_svm(&svm)).compile(q()).unwrap();
+        assert_eq!(pipeline.family(), "svm");
+        let float = svm.predict(&x).unwrap();
+        let fixed = classify_rows(&pipeline, &x);
+        let tol = pipeline.score_tolerance(2.0).unwrap();
+        for (i, row) in x.iter_rows().enumerate() {
+            if float[i] != fixed[i] {
+                // Disagreements are only legal inside the tolerance band.
+                let margin = svm.decision_row(row).unwrap()[0].abs();
+                assert!(margin <= tol, "margin {margin} > tol {tol}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiclass_svm_compiles_and_classifies() {
+        let x = Matrix::from_fn(90, 2, |r, c| {
+            let cluster = r % 3;
+            cluster as f32 * 3.0 + if c == 0 { 0.0 } else { 0.3 }
+        });
+        let y: Vec<usize> = (0..90).map(|r| r % 3).collect();
+        let svm = LinearSvm::fit(&x, &y, 3, &SvmConfig::default().epochs(60)).unwrap();
+        let pipeline = ModelIr::Svm(SvmIr::from_svm(&svm)).compile(q()).unwrap();
+        assert_eq!(pipeline.n_classes(), 3);
+        let float = svm.predict(&x).unwrap();
+        let fixed = classify_rows(&pipeline, &x);
+        let agree = float.iter().zip(&fixed).filter(|(a, b)| a == b).count();
+        assert!(agree >= 85, "agreement {agree}/90");
+    }
+
+    #[test]
+    fn kmeans_pipeline_matches_float_assignments() {
+        let x = Matrix::from_fn(60, 2, |r, _| (r % 3) as f32 * 4.0 + 0.1);
+        let model = KMeans::fit(&x, &KMeansConfig::new(3)).unwrap();
+        let pipeline = ModelIr::KMeans(KMeansIr::from_kmeans(&model, 2))
+            .compile(q())
+            .unwrap();
+        assert_eq!(pipeline.family(), "kmeans");
+        assert_eq!(pipeline.n_classes(), 3);
+        assert_eq!(classify_rows(&pipeline, &x), model.predict(&x));
+    }
+
+    #[test]
+    fn tree_pipeline_matches_float_walk() {
+        // Stay inside Q3.12's representable range with margins far above
+        // the quantization step, so float and fixed walks agree exactly.
+        let x = Matrix::from_fn(40, 2, |r, c| (r * 2 + c) as f32 * 0.05);
+        let y: Vec<usize> = (0..40).map(|r| usize::from(r >= 20)).collect();
+        let tree = DecisionTreeClassifier::fit(&x, &y, 2, &TreeConfig::default()).unwrap();
+        let pipeline = ModelIr::Tree(TreeIr::from_tree(&tree))
+            .compile(q())
+            .unwrap();
+        assert_eq!(pipeline.family(), "decision_tree");
+        assert!(pipeline.score_tolerance(2.0).is_none());
+        assert_eq!(classify_rows(&pipeline, &x), tree.predict(&x));
+    }
+
+    #[test]
+    fn shape_only_irs_are_rejected() {
+        let arch = MlpArchitecture::new(4, vec![8], 2);
+        let cases = [
+            ModelIr::Dnn(DnnIr::from_architecture(&arch)),
+            ModelIr::Svm(SvmIr::from_shape(4, 2)),
+            ModelIr::KMeans(KMeansIr::from_shape(3, 4)),
+            ModelIr::Tree(TreeIr::from_shape(3, 4, 8)),
+        ];
+        for ir in cases {
+            assert!(
+                matches!(ir.compile(q()), Err(RuntimeError::MissingParams(_))),
+                "{} should be rejected",
+                ir.family()
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_ir_rejected_as_invalid() {
+        let ir = ModelIr::Svm(SvmIr::from_shape(0, 2));
+        assert!(matches!(
+            ir.compile(q()),
+            Err(RuntimeError::InvalidModel(_))
+        ));
+        // Tree with a dangling child index.
+        let bad = ModelIr::Tree(TreeIr {
+            depth: 1,
+            n_features: 2,
+            leaves: 1,
+            n_classes: None,
+            nodes: Some(vec![TreeNodeIr::Split {
+                feature: 0,
+                threshold: 0.5,
+                left: 7,
+                right: 8,
+            }]),
+        });
+        assert!(matches!(
+            bad.compile(q()),
+            Err(RuntimeError::InvalidModel(_))
+        ));
+    }
+
+    #[test]
+    fn tree_pipeline_reports_declared_class_count() {
+        // 5 declared classes, but a depth-1 tree only grows leaves for
+        // two of them: n_classes() must still report 5.
+        let x = Matrix::from_fn(50, 1, |r, _| r as f32 * 0.1);
+        let y: Vec<usize> = (0..50).map(|r| (r / 10).min(4)).collect();
+        let tree =
+            DecisionTreeClassifier::fit(&x, &y, 5, &TreeConfig::default().max_depth(1)).unwrap();
+        let pipeline = ModelIr::Tree(TreeIr::from_tree(&tree))
+            .compile(q())
+            .unwrap();
+        assert_eq!(pipeline.n_classes(), 5);
+    }
+
+    #[test]
+    fn cyclic_tree_arena_rejected_instead_of_looping() {
+        // Children that do not point strictly forward would make
+        // classify() spin forever; lowering must refuse them.
+        let cyclic = ModelIr::Tree(TreeIr {
+            depth: 1,
+            n_features: 2,
+            leaves: 1,
+            n_classes: None,
+            nodes: Some(vec![
+                TreeNodeIr::Split {
+                    feature: 0,
+                    threshold: 0.5,
+                    left: 0,
+                    right: 1,
+                },
+                TreeNodeIr::Leaf { class: 0 },
+            ]),
+        });
+        assert!(matches!(
+            cyclic.compile(q()),
+            Err(RuntimeError::InvalidModel(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_dnn_params_rejected() {
+        let arch = MlpArchitecture::new(4, vec![8], 2);
+        let net = Mlp::new(&arch, 1).unwrap();
+        let mut ir = DnnIr::from_mlp(&net);
+        ir.params.as_mut().unwrap().pop(); // drop the output layer
+        assert!(matches!(
+            ModelIr::Dnn(ir).compile(q()),
+            Err(RuntimeError::InvalidModel(_))
+        ));
+    }
+
+    #[test]
+    fn svm_plane_count_must_match_classes() {
+        // 5 classes but only 2 trained planes: classify() could never
+        // return classes 2..5, so lowering must refuse.
+        let ir = ModelIr::Svm(SvmIr {
+            n_features: 3,
+            n_classes: 5,
+            planes: Some((vec![vec![0.1; 3]; 2], vec![0.0; 2])),
+        });
+        assert!(matches!(
+            ir.compile(q()),
+            Err(RuntimeError::InvalidModel(_))
+        ));
+    }
+
+    #[test]
+    fn binary_svm_scores_argmax_agrees_with_classify_on_zero() {
+        // All-zero weights and bias make the raw score exactly 0; the
+        // float rule (`>= 0` => class 1) must hold on both APIs.
+        let ir = ModelIr::Svm(SvmIr {
+            n_features: 2,
+            n_classes: 2,
+            planes: Some((vec![vec![0.0, 0.0]], vec![0.0])),
+        });
+        let pipeline = ir.compile(q()).unwrap();
+        let mut scratch = Scratch::new();
+        let class = pipeline.classify(&[0.5, -0.5], &mut scratch);
+        let scores = pipeline.scores(&[0.5, -0.5], &mut scratch).unwrap();
+        assert_eq!(class, 1);
+        let score_argmax = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        assert_eq!(score_argmax, class);
+    }
+
+    #[test]
+    fn classify_is_deterministic_and_reuses_scratch() {
+        let (x, y) = separable(40);
+        let arch = MlpArchitecture::new(4, vec![8, 4], 2);
+        let mut net = Mlp::new(&arch, 9).unwrap();
+        net.train(&x, &y, &TrainConfig::default().epochs(30))
+            .unwrap();
+        let pipeline = ModelIr::Dnn(DnnIr::from_mlp(&net)).compile(q()).unwrap();
+        let mut scratch = Scratch::new();
+        let first: Vec<usize> = x
+            .iter_rows()
+            .map(|row| pipeline.classify(row, &mut scratch))
+            .collect();
+        let second: Vec<usize> = x
+            .iter_rows()
+            .map(|row| pipeline.classify(row, &mut scratch))
+            .collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 4 features")]
+    fn classify_rejects_wrong_dimension() {
+        let (x, y) = separable(20);
+        let arch = MlpArchitecture::new(4, vec![4], 2);
+        let mut net = Mlp::new(&arch, 1).unwrap();
+        net.train(&x, &y, &TrainConfig::default().epochs(5))
+            .unwrap();
+        let pipeline = ModelIr::Dnn(DnnIr::from_mlp(&net)).compile(q()).unwrap();
+        pipeline.classify(&[1.0, 2.0], &mut Scratch::new());
+    }
+}

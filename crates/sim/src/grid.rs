@@ -374,11 +374,7 @@ mod tests {
     #[test]
     fn tree_unsupported() {
         let sim = GridSimulator::new(16, 16, 1.0);
-        let tree = ModelIr::Tree(TreeIr {
-            depth: 3,
-            n_features: 7,
-            leaves: 8,
-        });
+        let tree = ModelIr::Tree(TreeIr::from_shape(3, 7, 8));
         assert!(matches!(sim.lower(&tree), Err(SimError::Unsupported(_))));
     }
 

@@ -266,11 +266,7 @@ mod tests {
     #[test]
     fn tree_allocates_feature_tables() {
         let sim = MatSimulator::new(12, 4, 1.0);
-        let tree = ModelIr::Tree(TreeIr {
-            depth: 3,
-            n_features: 4,
-            leaves: 8,
-        });
+        let tree = ModelIr::Tree(TreeIr::from_shape(3, 4, 8));
         let alloc = sim.allocate(&tree).unwrap();
         assert_eq!(alloc.tables.len(), 5);
         assert_eq!(alloc.tables.last().unwrap().name, "leaves");

@@ -14,6 +14,7 @@
 
 use crate::{Result, SimError};
 use homunculus_ml::metrics::{accuracy, f1_binary, f1_macro};
+use homunculus_runtime::{CompiledPipeline, Scratch};
 use serde::{Deserialize, Serialize};
 
 /// One labeled packet-equivalent in a replayed stream.
@@ -158,6 +159,61 @@ impl StreamHarness {
             reaction_time_ns: self.timing.pipeline_latency_ns,
         })
     }
+
+    /// Replays `stream` through a compiled integer pipeline — the
+    /// deployment-faithful path: the same fixed-point arithmetic the
+    /// generated data-plane code executes, with one scratch reused across
+    /// all packets (zero allocation per packet).
+    ///
+    /// The float-closure [`StreamHarness::run`] stays available as the
+    /// reference oracle for agreement tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for an empty stream or when the
+    /// stream's feature width disagrees with the pipeline.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use homunculus_backends::model::{DnnIr, ModelIr};
+    /// use homunculus_ml::mlp::{Mlp, MlpArchitecture};
+    /// use homunculus_ml::quantize::FixedPoint;
+    /// use homunculus_runtime::Compile;
+    /// use homunculus_sim::pktgen::{LabeledSample, StreamHarness, TimingModel};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let net = Mlp::new(&MlpArchitecture::new(2, vec![4], 2), 1)?;
+    /// let pipeline = ModelIr::Dnn(DnnIr::from_mlp(&net)).compile(FixedPoint::taurus_default())?;
+    /// let stream: Vec<LabeledSample> = (0..10)
+    ///     .map(|i| LabeledSample { features: vec![i as f32 * 0.1, 0.5], label: i % 2 })
+    ///     .collect();
+    /// let harness = StreamHarness::new(TimingModel::fixed(1.0, 100.0));
+    /// let report = harness.run_compiled(&stream, &pipeline)?;
+    /// assert_eq!(report.packets, 10);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn run_compiled(
+        &self,
+        stream: &[LabeledSample],
+        pipeline: &CompiledPipeline,
+    ) -> Result<StreamReport> {
+        // Samples carry their own feature vectors, so the stream can be
+        // ragged — check every packet up front rather than panicking
+        // mid-replay inside classify().
+        for (index, sample) in stream.iter().enumerate() {
+            if sample.features.len() != pipeline.n_features() {
+                return Err(SimError::InvalidConfig(format!(
+                    "stream packet {index} has {} features but pipeline expects {}",
+                    sample.features.len(),
+                    pipeline.n_features()
+                )));
+            }
+        }
+        let mut scratch = Scratch::new();
+        self.run(stream, |features| pipeline.classify(features, &mut scratch))
+    }
 }
 
 /// A point on a reaction-time curve: quality after observing a prefix.
@@ -273,6 +329,88 @@ mod tests {
         let report = harness.run(&s, |f| (f[0] as usize) % 3).unwrap();
         assert!(report.f1.is_nan(), "binary f1 undefined for 3 classes");
         assert!((report.macro_f1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_compiled_matches_float_oracle() {
+        use homunculus_backends::model::{DnnIr, ModelIr};
+        use homunculus_ml::mlp::{Mlp, MlpArchitecture, TrainConfig};
+        use homunculus_ml::quantize::FixedPoint;
+        use homunculus_ml::tensor::Matrix;
+        use homunculus_runtime::Compile;
+
+        let x = Matrix::from_fn(60, 2, |r, c| {
+            let sign = if r % 2 == 0 { 1.0 } else { -1.0 };
+            sign * (0.9 + 0.05 * c as f32)
+        });
+        let y: Vec<usize> = (0..60).map(|r| r % 2).collect();
+        let mut net = Mlp::new(&MlpArchitecture::new(2, vec![6], 2), 4).unwrap();
+        net.train(&x, &y, &TrainConfig::default().epochs(60))
+            .unwrap();
+        let pipeline = ModelIr::Dnn(DnnIr::from_mlp(&net))
+            .compile(FixedPoint::taurus_default())
+            .unwrap();
+
+        let stream: Vec<LabeledSample> = (0..x.rows())
+            .map(|i| LabeledSample {
+                features: x.row(i).to_vec(),
+                label: y[i],
+            })
+            .collect();
+        let harness = StreamHarness::new(TimingModel::fixed(1.0, 120.0));
+        let compiled_report = harness.run_compiled(&stream, &pipeline).unwrap();
+        let float_report = harness
+            .run(&stream, |f| net.predict_row(f).unwrap())
+            .unwrap();
+        assert_eq!(compiled_report.packets, 60);
+        assert_eq!(compiled_report.reaction_time_ns, 120.0);
+        // The integer path preserves the float path's quality on a
+        // comfortably separable stream.
+        assert!(
+            (compiled_report.f1 - float_report.f1).abs() < 0.05,
+            "float f1 {} vs compiled f1 {}",
+            float_report.f1,
+            compiled_report.f1
+        );
+    }
+
+    #[test]
+    fn run_compiled_rejects_feature_width_mismatch() {
+        use homunculus_backends::model::{DnnIr, ModelIr};
+        use homunculus_ml::mlp::{Mlp, MlpArchitecture};
+        use homunculus_ml::quantize::FixedPoint;
+        use homunculus_runtime::Compile;
+
+        let net = Mlp::new(&MlpArchitecture::new(3, vec![4], 2), 0).unwrap();
+        let pipeline = ModelIr::Dnn(DnnIr::from_mlp(&net))
+            .compile(FixedPoint::taurus_default())
+            .unwrap();
+        let harness = StreamHarness::new(TimingModel::fixed(1.0, 1.0));
+        let stream = vec![LabeledSample {
+            features: vec![1.0, 2.0],
+            label: 0,
+        }];
+        assert!(matches!(
+            harness.run_compiled(&stream, &pipeline),
+            Err(SimError::InvalidConfig(_))
+        ));
+
+        // Ragged stream: the first packet is fine, a later one is not —
+        // still an error, never a mid-replay panic.
+        let ragged = vec![
+            LabeledSample {
+                features: vec![1.0, 2.0, 3.0],
+                label: 0,
+            },
+            LabeledSample {
+                features: vec![1.0, 2.0],
+                label: 1,
+            },
+        ];
+        assert!(matches!(
+            harness.run_compiled(&ragged, &pipeline),
+            Err(SimError::InvalidConfig(_))
+        ));
     }
 
     #[test]

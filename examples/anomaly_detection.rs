@@ -6,6 +6,8 @@
 use homunculus::core::alchemy::{Algorithm, Metric, ModelSpec, Platform};
 use homunculus::core::pipeline::CompilerOptions;
 use homunculus::datasets::nslkdd::NslKddGenerator;
+use homunculus::sim::grid::GridSimulator;
+use homunculus::sim::pktgen::{LabeledSample, StreamHarness, TimingModel};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dataset = NslKddGenerator::new(7).generate(6_000);
@@ -70,5 +72,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for line in best.code.lines().take(20) {
         println!("{line}");
     }
+
+    // End-to-end deployment replay: stream fresh traffic through the
+    // COMPILED integer pipeline (the fixed-point twin of the generated
+    // Spatial code), timed by the cycle-level grid simulator.
+    let pipeline = best
+        .compiled
+        .as_ref()
+        .expect("trained winner lowers to the integer runtime");
+    // The report carries the normalizer the winner was trained under;
+    // fresh traffic goes through the same preprocessing.
+    let fresh = NslKddGenerator::new(101)
+        .generate(2_000)
+        .normalized(&best.normalizer)?;
+    let stream: Vec<LabeledSample> = (0..fresh.len())
+        .map(|i| LabeledSample {
+            features: fresh.features().row(i).to_vec(),
+            label: fresh.labels()[i],
+        })
+        .collect();
+    let sim = GridSimulator::new(16, 16, 1.0);
+    let timing = sim.simulate(&best.ir, stream.len())?;
+    let harness = StreamHarness::new(TimingModel::from_grid(&timing));
+    let replay = harness.run_compiled(&stream, pipeline)?;
+    println!(
+        "\ncompiled integer replay: {} pkts | F1 = {:.3} | {:.2} GPkt/s | verdict in {:.0} ns",
+        replay.packets, replay.f1, replay.achieved_gpps, replay.reaction_time_ns
+    );
     Ok(())
 }

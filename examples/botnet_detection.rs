@@ -16,7 +16,7 @@ use homunculus::datasets::p2p::{
 };
 use homunculus::ml::metrics::f1_binary;
 use homunculus::sim::grid::GridSimulator;
-use homunculus::sim::pktgen::reaction_time_curve;
+use homunculus::sim::pktgen::{reaction_time_curve, LabeledSample, StreamHarness, TimingModel};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 30-bin reduced flowmarkers (23 PL + 7 IPT), as in the paper.
@@ -57,11 +57,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         other => panic!("expected a dnn, got {}", other.family()),
     };
     let net = rebuild_mlp(&ir);
-    // Normalization must match the final training pass inside the compiler.
-    let norm = {
-        let split = best_split(&best_dataset(&train_flows, config))?;
-        split.fit_normalizer()
-    };
+    // The report carries the normalizer from the compiler's final
+    // training pass; partial histograms go through the same preprocessing.
+    let norm = best.normalizer.clone();
 
     let sim = GridSimulator::new(16, 16, 1.0);
     let timing = sim.simulate(&best.ir, 1_000)?;
@@ -106,6 +104,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         config.total_bins(),
         151 / config.total_bins()
     );
+
+    // Deployment replay: per-packet partial histograms streamed through
+    // the COMPILED integer pipeline (the fixed-point arithmetic the
+    // switch actually executes), against the float oracle.
+    let pipeline = best
+        .compiled
+        .as_ref()
+        .expect("trained winner lowers to the integer runtime");
+    let partial = partial_histogram_dataset(&test_flows, config, 4).normalized(&norm)?;
+    let stream: Vec<LabeledSample> = (0..partial.len())
+        .map(|i| LabeledSample {
+            features: partial.features().row(i).to_vec(),
+            label: partial.labels()[i],
+        })
+        .collect();
+    let harness = StreamHarness::new(TimingModel::from_grid(&timing));
+    let replay = harness.run_compiled(&stream, pipeline)?;
+    let float_replay = harness.run(&stream, |f| net.predict_row(f).expect("dims match"))?;
+    println!(
+        "\ncompiled integer replay @4 pkts seen: F1 = {:.4} (float oracle {:.4}), {:.2} GPkt/s",
+        replay.f1, float_replay.f1, replay.achieved_gpps
+    );
     Ok(())
 }
 
@@ -123,20 +143,6 @@ fn rebuild_mlp(ir: &homunculus::backends::model::DnnIr) -> homunculus::ml::mlp::
         .collect();
     net.set_layers(layers).expect("same shapes");
     net
-}
-
-fn best_dataset(
-    flows: &[homunculus::datasets::p2p::FlowTrace],
-    config: FlowmarkerConfig,
-) -> homunculus::datasets::dataset::Dataset {
-    flowmarker_dataset(flows, config)
-}
-
-fn best_split(
-    dataset: &homunculus::datasets::dataset::Dataset,
-) -> Result<homunculus::datasets::dataset::Dataset, Box<dyn std::error::Error>> {
-    // Matches the compiler's final split (test_fraction 0.3, seed 0).
-    Ok(dataset.stratified_split(0.3, 0)?.train)
 }
 
 fn mean_inter_packet_gap_ns(flows: &[homunculus::datasets::p2p::FlowTrace]) -> f64 {

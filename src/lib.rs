@@ -23,6 +23,8 @@
 //! - [`datasets`] — synthetic NSL-KDD-like, IoT, and P2P/botnet generators.
 //! - [`optimizer`] — HyperMapper-style constrained Bayesian optimization.
 //! - [`backends`] — Taurus/Tofino/FPGA resource models and Spatial/P4 codegen.
+//! - [`runtime`] — the compiled fixed-point inference runtime (integer
+//!   execution engines lowered from trained model IRs).
 //! - [`sim`] — cycle-level MapReduce-grid and MAT-pipeline simulators.
 //! - [`core`] — the Alchemy DSL and the compiler pipeline itself.
 //!
@@ -66,4 +68,5 @@ pub use homunculus_dataplane as dataplane;
 pub use homunculus_datasets as datasets;
 pub use homunculus_ml as ml;
 pub use homunculus_optimizer as optimizer;
+pub use homunculus_runtime as runtime;
 pub use homunculus_sim as sim;

@@ -6,8 +6,13 @@
 //! xoshiro256++ whose stream is part of this workspace's contract) — fails
 //! loudly instead of silently shifting every seeded experiment.
 
+use homunculus::backends::model::{DnnIr, LayerParams, ModelIr};
 use homunculus::datasets::nslkdd::NslKddGenerator;
+use homunculus::ml::mlp::MlpArchitecture;
+use homunculus::ml::quantize::FixedPoint;
+use homunculus::ml::tensor::Matrix;
 use homunculus::optimizer::space::{DesignSpace, Parameter};
+use homunculus::runtime::{Compile, Scratch};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
@@ -61,6 +66,56 @@ fn nslkdd_generator_fingerprint() {
         assert_eq!(*v, e, "NslKddGenerator(42) first row drifted");
     }
     assert_eq!(&ds.labels()[..10], &[1, 1, 0, 0, 0, 0, 0, 0, 1, 1]);
+}
+
+#[test]
+fn compiled_pipeline_classification_fingerprint() {
+    // Lower a handcrafted DNN (rational weights, ReLU — no libm anywhere
+    // on the path, only IEEE-exact +,*,/,sqrt and integer ops) and
+    // classify the frozen NSL-KDD-like stream. The verdict sequence is
+    // part of the workspace's contract: a change here means the compiled
+    // integer path itself shifted.
+    let ds = NslKddGenerator::new(42).generate(200);
+    let norm = ds.fit_normalizer();
+    let nds = ds.normalized(&norm).unwrap();
+    let arch = MlpArchitecture::new(7, vec![8], 2);
+    let dims = arch.layer_dims();
+    let params: Vec<LayerParams> = dims
+        .iter()
+        .enumerate()
+        .map(|(layer, &(input, output))| LayerParams {
+            weights: Matrix::from_fn(input, output, |r, c| {
+                ((layer * 59 + r * 31 + c * 17) % 23) as f32 / 23.0 - 0.5
+            }),
+            bias: (0..output)
+                .map(|j| ((layer * 13 + j * 7) % 11) as f32 / 11.0 - 0.5)
+                .collect(),
+        })
+        .collect();
+    let ir = ModelIr::Dnn(DnnIr {
+        arch,
+        params: Some(params),
+    });
+    let pipeline = ir.compile(FixedPoint::taurus_default()).unwrap();
+
+    let mut scratch = Scratch::new();
+    let verdicts: Vec<usize> = (0..32)
+        .map(|i| pipeline.classify(nds.features().row(i), &mut scratch))
+        .collect();
+    let expected = [
+        0usize, 1, 1, 1, 0, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 1, 1, 1, 1, 0, 1,
+        1, 1, 1,
+    ];
+    assert_eq!(
+        verdicts,
+        expected.to_vec(),
+        "compiled integer classification drifted on the frozen stream"
+    );
+    // Checksum over the whole stream pins the tail too.
+    let checksum: usize = (0..nds.len())
+        .map(|i| pipeline.classify(nds.features().row(i), &mut scratch) * (i + 1))
+        .sum();
+    assert_eq!(checksum, 17_777, "compiled verdict checksum drifted");
 }
 
 #[test]

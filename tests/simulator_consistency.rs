@@ -6,7 +6,11 @@ use homunculus::backends::resources::Constraints;
 use homunculus::backends::target::Target;
 use homunculus::backends::taurus::TaurusTarget;
 use homunculus::backends::tofino::TofinoTarget;
-use homunculus::ml::mlp::MlpArchitecture;
+use homunculus::ml::kmeans::{KMeans, KMeansConfig};
+use homunculus::ml::mlp::{Mlp, MlpArchitecture, TrainConfig};
+use homunculus::ml::quantize::FixedPoint;
+use homunculus::ml::tensor::Matrix;
+use homunculus::runtime::Compile;
 use homunculus::sim::grid::GridSimulator;
 use homunculus::sim::mat::MatSimulator;
 use homunculus::sim::pktgen::{LabeledSample, StreamHarness, TimingModel};
@@ -83,25 +87,79 @@ fn feasibility_verdicts_agree_under_paper_constraints() {
 }
 
 #[test]
-fn stream_harness_composes_with_grid_timing() {
+fn stream_harness_runs_compiled_pipeline_with_grid_timing() {
+    // The consistency path end to end: train a model, simulate its timing
+    // on the grid, and replay a stream through the *compiled integer*
+    // pipeline — the same arithmetic the generated hardware executes.
+    let x = Matrix::from_fn(400, 7, |r, c| {
+        let sign = if r % 2 == 0 { 1.0 } else { -1.0 };
+        sign * (0.8 + 0.02 * ((r + c) % 7) as f32)
+    });
+    let y: Vec<usize> = (0..400).map(|r| usize::from(r % 2 == 0)).collect();
+    let mut net = Mlp::new(&MlpArchitecture::new(7, vec![16, 4], 2), 1).unwrap();
+    net.train(&x, &y, &TrainConfig::default().epochs(40))
+        .unwrap();
+    let model = ModelIr::Dnn(DnnIr::from_mlp(&net));
+    let pipeline = model.compile(FixedPoint::taurus_default()).unwrap();
+
     let sim = GridSimulator::new(16, 16, 1.0);
-    let model = dnn(7, vec![16, 4]);
     let report = sim.simulate(&model, 1_000).unwrap();
     let harness = StreamHarness::new(TimingModel::from_grid(&report));
-    let stream: Vec<LabeledSample> = (0..500)
+    let stream: Vec<LabeledSample> = (0..400)
         .map(|i| LabeledSample {
-            features: vec![i as f32; 7],
-            label: usize::from(i % 2 == 0),
+            features: x.row(i).to_vec(),
+            label: y[i],
         })
         .collect();
-    let out = harness
-        .run(&stream, |f| usize::from((f[0] as usize) % 2 == 0))
-        .unwrap();
-    assert_eq!(out.packets, 500);
-    assert!((out.f1 - 1.0).abs() < 1e-9);
+    let out = harness.run_compiled(&stream, &pipeline).unwrap();
+    assert_eq!(out.packets, 400);
+    assert!(out.f1 > 0.95, "compiled integer f1 {}", out.f1);
     // Line-rate pipeline: 1 packet/ns admission, sub-500ns verdicts.
     assert!(out.reaction_time_ns < 500.0);
     assert!(out.achieved_gpps > 0.9);
+
+    // The float closure stays available as the reference oracle, and the
+    // two paths must tell the same accuracy story.
+    let float = harness
+        .run(&stream, |f| net.predict_row(f).unwrap())
+        .unwrap();
+    assert!(
+        (float.f1 - out.f1).abs() < 0.05,
+        "float f1 {} vs compiled f1 {}",
+        float.f1,
+        out.f1
+    );
+}
+
+#[test]
+fn stream_harness_runs_compiled_kmeans_with_mat_timing() {
+    // Same consistency story on the MAT pipeline: a trained KMeans is
+    // compiled to integer distance kernels and replayed with the MAT
+    // simulator's timing model.
+    let x = Matrix::from_fn(300, 2, |r, c| (r % 3) as f32 * 2.5 - 2.5 + 0.05 * c as f32);
+    let km = KMeans::fit(&x, &KMeansConfig::new(3)).unwrap();
+    let model = ModelIr::KMeans(KMeansIr::from_kmeans(&km, 2));
+    let pipeline = model.compile(FixedPoint::taurus_default()).unwrap();
+
+    let sim = MatSimulator::for_target(&TofinoTarget::default());
+    let report = sim.simulate(&model, 300).unwrap();
+    let harness = StreamHarness::new(TimingModel::from_mat(&report));
+    let float_labels = km.predict(&x);
+    let stream: Vec<LabeledSample> = (0..x.rows())
+        .map(|i| LabeledSample {
+            features: x.row(i).to_vec(),
+            label: float_labels[i],
+        })
+        .collect();
+    let out = harness.run_compiled(&stream, &pipeline).unwrap();
+    assert_eq!(out.packets, 300);
+    // Labels are the float model's own assignments, so accuracy here IS
+    // float<->fixed agreement.
+    assert!(out.accuracy > 0.99, "agreement {}", out.accuracy);
+    // Elapsed includes the pipeline drain, so the achieved rate sits just
+    // under the MAT line rate.
+    assert!(out.achieved_gpps > 0.5 * report.throughput_gpps);
+    assert!(out.achieved_gpps <= report.throughput_gpps + 1e-9);
 }
 
 #[test]
