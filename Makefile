@@ -24,10 +24,13 @@ test:
 bench:
 	$(CARGO) bench -p homunculus-bench
 
-# Tiny-budget run of the compiled-runtime benchmark; the binary re-reads
-# BENCH_runtime.json and fails unless it parses with all headline fields.
+# Tiny-budget runs of the compiled-runtime and multi-tenant-serving
+# benchmarks; each binary re-reads its JSON and fails unless it parses
+# with all headline fields (serving also asserts served verdicts match
+# isolated classify_batch runs and that activation LUTs are shared).
 bench-smoke:
 	$(CARGO) run --release -p homunculus-bench --bin runtime_throughput -- --smoke --out BENCH_runtime.json
+	$(CARGO) run --release -p homunculus-bench --bin serving_throughput -- --smoke --out BENCH_serving.json
 
 examples:
 	$(CARGO) build --release --examples

@@ -1,0 +1,228 @@
+//! Multi-tenant serving throughput benchmark.
+//!
+//! Measures the [`PipelineServer`] serving path as the number of tenants
+//! grows (1/2/4/8 sigmoid DNN apps, one batch each) and writes
+//! `BENCH_serving.json`:
+//!
+//! - **aggregate pkt/s** per tenant count, with parallelism coming from
+//!   tenant multiplexing (one work item per tenant batch, so a single
+//!   tenant occupies a single worker — the serving model, not the
+//!   intra-batch sharding `classify_batch` already covers),
+//! - **fairness spread** across tenants: `(max - min) / mean` of the
+//!   per-tenant mean per-packet latency,
+//! - **LUT sharing**: every run asserts the schedule built exactly one
+//!   activation table regardless of tenant count,
+//! - **isolation**: per-tenant served verdicts are asserted bit-identical
+//!   to each tenant's isolated `classify_batch` run.
+//!
+//! Run with: `cargo run --release -p homunculus-bench --bin serving_throughput`
+//! Flags: `--packets N` (per tenant), `--out PATH`, `--smoke`
+//! (2 tenants max, tiny stream, no throughput assertions).
+
+use homunculus_backends::model::{DnnIr, ModelIr};
+use homunculus_bench::{ad_dataset, banner, print_row};
+use homunculus_ml::mlp::{Activation, Mlp, MlpArchitecture};
+use homunculus_ml::quantize::FixedPoint;
+use homunculus_ml::tensor::Matrix;
+use homunculus_runtime::{PipelineServer, ServeOptions, TenantBatch, TenantId};
+use serde_json::json;
+
+struct Args {
+    packets: usize,
+    out: String,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        packets: 60_000,
+        out: "BENCH_serving.json".into(),
+        smoke: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--packets" => {
+                args.packets = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .expect("--packets takes a positive integer");
+            }
+            "--out" => args.out = iter.next().expect("--out takes a path"),
+            "--smoke" => args.smoke = true,
+            other => panic!("unknown flag {other} (expected --packets/--out/--smoke)"),
+        }
+    }
+    if args.smoke {
+        args.packets = args.packets.min(2_000);
+    }
+    args
+}
+
+/// Builds a `packets`-row stream by cycling the rows of `x`.
+fn replicate_stream(x: &Matrix, packets: usize) -> Matrix {
+    Matrix::from_fn(packets, x.cols(), |r, c| x[(r % x.rows(), c)])
+}
+
+/// One schedule of `tenants` sigmoid-DNN apps on a fresh server.
+fn build_server(tenants: usize, format: FixedPoint) -> (PipelineServer, Vec<TenantId>) {
+    let mut server = PipelineServer::new();
+    let arch = MlpArchitecture::new(7, vec![16, 8], 2).with_activation(Activation::Sigmoid);
+    let ids = (0..tenants)
+        .map(|t| {
+            let net = Mlp::new(&arch, t as u64).expect("valid architecture");
+            server
+                .register_model(
+                    &format!("tenant{t}"),
+                    &ModelIr::Dnn(DnnIr::from_mlp(&net)),
+                    format,
+                    None,
+                )
+                .expect("tenant registers")
+        })
+        .collect();
+    (server, ids)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args();
+    let format = FixedPoint::taurus_default();
+    banner("multi-tenant serving throughput (BENCH_serving.json)");
+
+    // A normalized AD feature stream shared by every tenant.
+    let dataset = ad_dataset(7);
+    let normalizer = dataset.fit_normalizer();
+    let normalized = dataset.normalized(&normalizer)?;
+    let stream = replicate_stream(normalized.features(), args.packets);
+
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let tenant_counts: &[usize] = if args.smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let mut runs = Vec::new();
+    let mut single_tenant_pps = 0.0f64;
+
+    for &tenants in tenant_counts {
+        let (server, ids) = build_server(tenants, format);
+        assert_eq!(
+            server.luts().builds(),
+            1,
+            "{tenants}-tenant schedule must share one LUT per format"
+        );
+
+        let batches: Vec<TenantBatch> = ids
+            .iter()
+            .map(|&id| TenantBatch::new(id, stream.clone()))
+            .collect();
+        // One work item per tenant batch: parallelism across tenants.
+        let options = ServeOptions::default().workers(workers);
+        let output = server.serve(&batches, &options)?;
+
+        // Isolation: served verdicts must be bit-identical to each
+        // tenant's own classify_batch run.
+        for (batch, verdicts) in batches.iter().zip(output.verdicts()) {
+            let isolated = server
+                .pipeline(batch.tenant)
+                .expect("registered tenant")
+                .classify_batch(&batch.features, 1);
+            assert_eq!(
+                verdicts, &isolated,
+                "{}: served verdicts diverged from the isolated run",
+                batch.tenant
+            );
+        }
+
+        let aggregate_pps = output.aggregate_pps();
+        let served: Vec<_> = output.stats().iter().filter(|s| s.packets > 0).collect();
+        let means: Vec<f64> = served.iter().map(|s| s.mean_ns).collect();
+        let mean_of_means = means.iter().sum::<f64>() / means.len().max(1) as f64;
+        let fairness_spread = if means.len() > 1 && mean_of_means > 0.0 {
+            let max = means.iter().fold(f64::MIN, |a, &b| a.max(b));
+            let min = means.iter().fold(f64::MAX, |a, &b| a.min(b));
+            (max - min) / mean_of_means
+        } else {
+            0.0
+        };
+        let p50_ns = served.iter().map(|s| s.p50_ns).max().unwrap_or(0);
+        let p99_ns = served.iter().map(|s| s.p99_ns).max().unwrap_or(0);
+
+        if tenants == 1 {
+            single_tenant_pps = aggregate_pps;
+        }
+        print_row(
+            &format!("{tenants} tenant(s)"),
+            &format!(
+                "{aggregate_pps:.0} pkt/s aggregate ({:.2}x single), spread {fairness_spread:.3}, p99 {p99_ns} ns",
+                aggregate_pps / single_tenant_pps.max(f64::MIN_POSITIVE)
+            ),
+            "scales with tenants",
+        );
+        runs.push(json!({
+            "tenants": tenants,
+            "total_packets": output.total_packets,
+            "aggregate_pps": aggregate_pps,
+            "speedup_vs_single_tenant": aggregate_pps / single_tenant_pps.max(f64::MIN_POSITIVE),
+            "fairness_spread": fairness_spread,
+            "p50_latency_ns": p50_ns as f64,
+            "p99_latency_ns": p99_ns as f64,
+            "lut_builds": server.luts().builds(),
+            "lut_hits": server.luts().hits(),
+        }));
+    }
+
+    let report = json!({
+        "benchmark": "serving_throughput",
+        "workers": workers,
+        "per_tenant_packets": stream.rows(),
+        "format": "Q3.12",
+        "verdicts_match_isolated": true,
+        "runs": runs,
+    });
+    let text = serde_json::to_string_pretty(&report)?;
+    std::fs::write(&args.out, &text)?;
+    println!("\nwrote {}", args.out);
+
+    // Self-check: the emitted file must parse back and carry the headline
+    // numbers (what `make bench-smoke` gates on).
+    let parsed: serde_json::Value = serde_json::from_str(&std::fs::read_to_string(&args.out)?)
+        .map_err(|e| format!("{}: invalid JSON: {e:?}", args.out))?;
+    let map = parsed
+        .as_object()
+        .unwrap_or_else(|| panic!("{}: expected a JSON object", args.out));
+    for key in [
+        "workers",
+        "per_tenant_packets",
+        "verdicts_match_isolated",
+        "runs",
+    ] {
+        assert!(map.contains_key(key), "{}: missing key {key}", args.out);
+    }
+    let run_entries = map["runs"].as_array().expect("runs is an array");
+    assert_eq!(run_entries.len(), tenant_counts.len());
+    for entry in run_entries {
+        for key in ["tenants", "aggregate_pps", "fairness_spread", "lut_builds"] {
+            assert!(
+                entry.as_object().is_some_and(|o| o.contains_key(key)),
+                "{}: run entry missing {key}",
+                args.out
+            );
+        }
+    }
+    println!("{} parses and carries all headline fields", args.out);
+
+    if args.smoke {
+        println!("smoke mode: skipping throughput assertions (budget too small to be stable)");
+    } else if workers < 2 {
+        println!("single-core host: skipping tenant-scaling assertion (no parallelism to win)");
+    } else {
+        let eight = runs
+            .iter()
+            .find(|r| r["tenants"] == 8)
+            .expect("8-tenant run present");
+        let speedup = eight["speedup_vs_single_tenant"].as_f64().unwrap();
+        assert!(
+            speedup >= 2.0,
+            "8-tenant aggregate must reach 2x single-tenant throughput, got {speedup:.2}x"
+        );
+    }
+    Ok(())
+}

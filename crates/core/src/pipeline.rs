@@ -23,7 +23,7 @@ use homunculus_datasets::dataset::{Normalizer, Split};
 use homunculus_ml::quantize::FixedPoint;
 use homunculus_optimizer::space::Configuration;
 use homunculus_optimizer::{BayesianOptimizer, Evaluation, OptimizationHistory, OptimizerOptions};
-use homunculus_runtime::{Compile, CompiledPipeline};
+use homunculus_runtime::{Compile, CompiledPipeline, PipelineServer};
 use serde::{Deserialize, Serialize};
 
 /// Compiler knobs: search/training budgets and reproducibility.
@@ -168,6 +168,40 @@ impl CompiledArtifact {
     /// The generated data-plane source (all models concatenated).
     pub fn code(&self) -> &str {
         &self.combined_code
+    }
+
+    /// Builds a multi-tenant [`PipelineServer`] from the schedule's
+    /// winning models: one tenant per [`ModelReport`], registered under
+    /// the model's name with its deployment normalizer, all compiled
+    /// through one shared LUT cache (so a many-model schedule
+    /// materializes at most one sigmoid/tanh table per fixed-point
+    /// format).
+    ///
+    /// Look tenants up by model name via
+    /// [`PipelineServer::tenant_id`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Subsystem`] if a winning IR fails to lower —
+    /// which a trained IR never should.
+    pub fn build_server(&self) -> Result<PipelineServer> {
+        let mut server = PipelineServer::new();
+        for report in &self.reports {
+            server
+                .register_model(
+                    &report.name,
+                    &report.ir,
+                    FixedPoint::taurus_default(),
+                    Some(report.normalizer.clone()),
+                )
+                .map_err(|e| {
+                    CoreError::Subsystem(format!(
+                        "registering winning model '{}' for serving failed: {e}",
+                        report.name
+                    ))
+                })?;
+        }
+        Ok(server)
     }
 }
 
@@ -649,6 +683,31 @@ mod tests {
         assert!(artifact.report("missing").is_none());
         // Combined code contains both pipelines.
         assert!(artifact.code().matches("@spatial object").count() >= 2);
+
+        // The artifact serves: one tenant per winning model, and served
+        // verdicts match the report's own compiled pipeline run in
+        // isolation on normalized features.
+        let server = artifact.build_server().unwrap();
+        assert_eq!(server.tenant_count(), 2);
+        let tenant = server.tenant_id("a").unwrap();
+        let raw = homunculus_ml::tensor::Matrix::from_fn(16, 7, |r, c| (r * 7 + c) as f32 * 0.05);
+        let output = server
+            .serve(
+                &[homunculus_runtime::TenantBatch::new(tenant, raw.clone())],
+                &homunculus_runtime::ServeOptions::default().workers(2),
+            )
+            .unwrap();
+        let report = artifact.report("a").unwrap();
+        let mut normalized = raw;
+        for r in 0..normalized.rows() {
+            report.normalizer.apply(normalized.row_mut(r));
+        }
+        let isolated = report
+            .compiled
+            .as_ref()
+            .unwrap()
+            .classify_batch(&normalized, 1);
+        assert_eq!(output.verdicts()[0], isolated);
     }
 
     #[test]

@@ -392,28 +392,11 @@ impl Dataset {
     }
 }
 
-/// A fitted z-score feature normalizer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Normalizer {
-    /// Per-feature mean.
-    pub mean: Vec<f32>,
-    /// Per-feature standard deviation (1.0 for constant features).
-    pub std: Vec<f32>,
-}
-
-impl Normalizer {
-    /// Transforms a single feature vector in place.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `features.len()` differs from the fitted dimensionality.
-    pub fn apply(&self, features: &mut [f32]) {
-        assert_eq!(features.len(), self.mean.len(), "dimensionality mismatch");
-        for ((f, m), s) in features.iter_mut().zip(&self.mean).zip(&self.std) {
-            *f = (*f - m) / s;
-        }
-    }
-}
+// `Normalizer` itself lives in the ML substrate (so the inference runtime
+// can carry one per tenant without depending on dataset generation); this
+// re-export keeps the long-standing `homunculus_datasets::dataset::Normalizer`
+// path working.
+pub use homunculus_ml::preprocess::Normalizer;
 
 #[cfg(test)]
 mod tests {

@@ -52,6 +52,7 @@ pub mod forest;
 pub mod kmeans;
 pub mod metrics;
 pub mod mlp;
+pub mod preprocess;
 pub mod quantize;
 pub mod svm;
 pub mod tensor;

@@ -1,0 +1,59 @@
+//! Feature preprocessing shared between training and deployment.
+//!
+//! A model is only as good as the feature scaling it was trained under:
+//! the [`Normalizer`] fitted on the training split must travel with the
+//! model to deployment (the serving layer applies it to raw traffic
+//! before the compiled pipeline classifies). It lives here — in the ML
+//! substrate — so the inference runtime can depend on it without pulling
+//! in dataset generation.
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted z-score feature normalizer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Normalizer {
+    /// Per-feature mean.
+    pub mean: Vec<f32>,
+    /// Per-feature standard deviation (1.0 for constant features).
+    pub std: Vec<f32>,
+}
+
+impl Normalizer {
+    /// Transforms a single feature vector in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the fitted dimensionality.
+    pub fn apply(&self, features: &mut [f32]) {
+        assert_eq!(features.len(), self.mean.len(), "dimensionality mismatch");
+        for ((f, m), s) in features.iter_mut().zip(&self.mean).zip(&self.std) {
+            *f = (*f - m) / s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_zscores_in_place() {
+        let norm = Normalizer {
+            mean: vec![1.0, 10.0],
+            std: vec![2.0, 5.0],
+        };
+        let mut features = vec![3.0, 0.0];
+        norm.apply(&mut features);
+        assert_eq!(features, vec![1.0, -2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn apply_rejects_wrong_width() {
+        let norm = Normalizer {
+            mean: vec![0.0],
+            std: vec![1.0],
+        };
+        norm.apply(&mut [1.0, 2.0]);
+    }
+}

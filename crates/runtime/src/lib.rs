@@ -18,6 +18,12 @@
 //!   giving `ModelIr::compile(format)`.
 //! - [`batch`] — a batched `classify_batch` API sharded across
 //!   `std::thread::scope` workers for throughput runs.
+//! - [`serve`] — the multi-tenant serving layer: a
+//!   [`serve::PipelineServer`] multiplexes many compiled pipelines (one
+//!   per scheduled app) over a shared worker pool, with per-tenant stats
+//!   and chained execution.
+//! - [`lut`] — the shared activation-LUT cache: one sigmoid/tanh table
+//!   per `(format, activation)` pair across a whole schedule.
 //!
 //! The float model stays available as the *reference oracle*: agreement
 //! between the two paths is bounded by
@@ -46,9 +52,13 @@
 //! ```
 
 pub mod batch;
+pub mod lut;
 pub mod pipeline;
+pub mod serve;
 
+pub use lut::LutCache;
 pub use pipeline::{classify_rows, Compile, CompiledPipeline, Scratch};
+pub use serve::{PipelineServer, ServeOptions, ServeOutput, TenantBatch, TenantId, TenantStats};
 
 use std::error::Error;
 use std::fmt;
@@ -60,6 +70,9 @@ pub enum RuntimeError {
     MissingParams(String),
     /// The IR is internally inconsistent (bad shapes, dangling indices).
     InvalidModel(String),
+    /// A serving-layer request was malformed (unknown tenant, duplicate
+    /// registration, width mismatch).
+    Serve(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -67,6 +80,7 @@ impl fmt::Display for RuntimeError {
         match self {
             RuntimeError::MissingParams(msg) => write!(f, "missing trained parameters: {msg}"),
             RuntimeError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
+            RuntimeError::Serve(msg) => write!(f, "serving error: {msg}"),
         }
     }
 }
@@ -90,6 +104,10 @@ mod tests {
             RuntimeError::InvalidModel("x".into()).to_string(),
             "invalid model: x"
         );
+        assert_eq!(
+            RuntimeError::Serve("y".into()).to_string(),
+            "serving error: y"
+        );
     }
 
     #[test]
@@ -97,5 +115,7 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<RuntimeError>();
         assert_send_sync::<CompiledPipeline>();
+        assert_send_sync::<PipelineServer>();
+        assert_send_sync::<LutCache>();
     }
 }

@@ -9,14 +9,13 @@
 //! layers) a lookup table, exactly as the hardware templates implement
 //! them.
 
+use crate::lut::{ActLut, LutCache};
 use crate::{Result, RuntimeError};
 use homunculus_backends::model::{ModelIr, TreeNodeIr};
 use homunculus_ml::mlp::Activation;
 use homunculus_ml::quantize::{fixed_relu, FixedPoint};
 use homunculus_ml::tensor::Matrix;
-
-/// Number of index bits in an activation lookup table (2048 entries).
-const LUT_BITS: u32 = 11;
+use std::sync::Arc;
 
 /// Reusable per-worker buffers so [`CompiledPipeline::classify`] performs
 /// no allocation per packet (buffers grow on first use, then stay).
@@ -60,53 +59,25 @@ struct DenseKernel {
 }
 
 /// Hidden-layer activation in integer form. Sigmoid/tanh use a lookup
-/// table over the representable input range — the same strategy the
-/// hardware templates use ("implemented via LUT on hardware").
+/// table over the representable input range ([`ActLut`]), held behind an
+/// `Arc` so every pipeline compiled through the same [`LutCache`] shares
+/// one table per `(format, activation)` pair instead of building its own.
 #[derive(Debug, Clone, PartialEq)]
 enum ActKernel {
     Relu,
     Linear,
-    Lut {
-        table: Vec<i32>,
-        shift: u32,
-        min_raw: i32,
-        max_raw: i32,
-        /// Lipschitz constant of the approximated function (for error
-        /// bounds): 0.25 for sigmoid, 1.0 for tanh.
-        lipschitz: f32,
-    },
+    Lut(Arc<ActLut>),
 }
 
 impl ActKernel {
-    fn build(format: FixedPoint, activation: Activation) -> Self {
+    fn build(format: FixedPoint, activation: Activation, luts: &LutCache) -> Self {
         match activation {
             Activation::Relu => ActKernel::Relu,
             Activation::Linear => ActKernel::Linear,
-            Activation::Sigmoid | Activation::Tanh => {
-                let min_raw = format.quantize(f32::NEG_INFINITY);
-                let max_raw = format.quantize(f32::INFINITY);
-                let range_bits = format.total_bits();
-                let shift = range_bits.saturating_sub(LUT_BITS);
-                let entries = (((i64::from(max_raw) - i64::from(min_raw)) >> shift) + 1) as usize;
-                let half_step = (1i64 << shift) / 2;
-                let table = (0..entries)
-                    .map(|i| {
-                        let raw_mid = i64::from(min_raw) + ((i as i64) << shift) + half_step;
-                        format.quantize(activation.apply(format.dequantize(raw_mid as i32)))
-                    })
-                    .collect();
-                ActKernel::Lut {
-                    table,
-                    shift,
-                    min_raw,
-                    max_raw,
-                    lipschitz: if activation == Activation::Sigmoid {
-                        0.25
-                    } else {
-                        1.0
-                    },
-                }
-            }
+            Activation::Sigmoid | Activation::Tanh => ActKernel::Lut(
+                luts.get_or_build(format, activation)
+                    .expect("sigmoid/tanh always build a table"),
+            ),
         }
     }
 
@@ -115,32 +86,16 @@ impl ActKernel {
         match self {
             ActKernel::Relu => fixed_relu(raw),
             ActKernel::Linear => raw,
-            ActKernel::Lut {
-                table,
-                shift,
-                min_raw,
-                max_raw,
-                ..
-            } => {
-                let clamped = raw.clamp(*min_raw, *max_raw);
-                let index = ((i64::from(clamped) - i64::from(*min_raw)) >> shift) as usize;
-                table[index.min(table.len() - 1)]
-            }
+            ActKernel::Lut(lut) => lut.apply(raw),
         }
     }
 
-    /// Worst-case float error the LUT adds on top of an exact activation
-    /// (input discretization times Lipschitz constant, plus output
-    /// quantization), and the Lipschitz constant itself.
+    /// Worst-case float error the LUT adds on top of an exact activation,
+    /// and the Lipschitz constant of the activation.
     fn error_terms(&self, format: FixedPoint) -> (f32, f32) {
         match self {
             ActKernel::Relu | ActKernel::Linear => (0.0, 1.0),
-            ActKernel::Lut {
-                shift, lipschitz, ..
-            } => {
-                let input_step = (1u64 << shift) as f32 / format.scale();
-                (lipschitz * input_step + format.max_error(), *lipschitz)
-            }
+            ActKernel::Lut(lut) => lut.error_terms(format),
         }
     }
 }
@@ -196,22 +151,49 @@ pub trait Compile {
     /// - [`RuntimeError::MissingParams`] when the IR is shape-only.
     /// - [`RuntimeError::InvalidModel`] for inconsistent IRs.
     fn compile(&self, format: FixedPoint) -> Result<CompiledPipeline>;
+
+    /// Like [`Compile::compile`], but activation lookup tables are taken
+    /// from (and installed into) `luts`, so many models compiled through
+    /// one cache share one table per `(format, activation)` pair —
+    /// the many-model-schedule path a [`crate::serve::PipelineServer`]
+    /// uses.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Compile::compile`].
+    fn compile_shared(&self, format: FixedPoint, luts: &LutCache) -> Result<CompiledPipeline>;
 }
 
 impl Compile for ModelIr {
     fn compile(&self, format: FixedPoint) -> Result<CompiledPipeline> {
         CompiledPipeline::from_ir(self, format)
     }
+
+    fn compile_shared(&self, format: FixedPoint, luts: &LutCache) -> Result<CompiledPipeline> {
+        CompiledPipeline::from_ir_shared(self, format, luts)
+    }
 }
 
 impl CompiledPipeline {
-    /// Lowers a trained IR (see [`Compile::compile`]).
+    /// Lowers a trained IR with a private, single-use LUT cache (see
+    /// [`Compile::compile`]).
     ///
     /// # Errors
     ///
     /// - [`RuntimeError::MissingParams`] when the IR is shape-only.
     /// - [`RuntimeError::InvalidModel`] for inconsistent IRs.
     pub fn from_ir(ir: &ModelIr, format: FixedPoint) -> Result<Self> {
+        CompiledPipeline::from_ir_shared(ir, format, &LutCache::new())
+    }
+
+    /// Lowers a trained IR, sharing activation LUTs through `luts` (see
+    /// [`Compile::compile_shared`]).
+    ///
+    /// # Errors
+    ///
+    /// - [`RuntimeError::MissingParams`] when the IR is shape-only.
+    /// - [`RuntimeError::InvalidModel`] for inconsistent IRs.
+    pub fn from_ir_shared(ir: &ModelIr, format: FixedPoint, luts: &LutCache) -> Result<Self> {
         ir.validate()
             .map_err(|e| RuntimeError::InvalidModel(e.to_string()))?;
         match ir {
@@ -250,7 +232,7 @@ impl CompiledPipeline {
                     width,
                     kernel: Kernel::Dnn {
                         layers,
-                        activation: ActKernel::build(format, dnn.arch.activation),
+                        activation: ActKernel::build(format, dnn.arch.activation, luts),
                     },
                 })
             }

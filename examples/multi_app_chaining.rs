@@ -1,16 +1,26 @@
-//! Multi-application scheduling on one switch (§5.1.3, Table 3).
+//! Multi-application scheduling *and serving* on one switch (§5.1.3,
+//! Table 3).
 //!
 //! Alchemy's compositional operators place several models on a single
 //! data plane: `>>` (the paper's `>`) runs models sequentially, `|` in
 //! parallel. Resources are summed regardless of strategy while the
 //! combined throughput follows the min-rule.
 //!
+//! After compiling, the sequential schedule is **served**: every winning
+//! model registers as a tenant of one `PipelineServer` (sharing activation
+//! LUTs), a fresh traffic stream is multiplexed across the tenants on the
+//! integer fixed-point path, and a chained run feeds one app's verdict to
+//! a downstream escalation model — the paper's `a > b` dataflow.
+//!
 //! Run with: `cargo run --release --example multi_app_chaining`
 
+use homunculus::backends::model::{ModelIr, SvmIr};
 use homunculus::core::alchemy::{Algorithm, Metric, ModelSpec, Platform};
-use homunculus::core::pipeline::CompilerOptions;
+use homunculus::core::pipeline::{CompiledArtifact, CompilerOptions};
 use homunculus::core::schedule::ScheduleExpr;
 use homunculus::datasets::nslkdd::NslKddGenerator;
+use homunculus::ml::quantize::FixedPoint;
+use homunculus::runtime::{ServeOptions, TenantBatch};
 
 fn spec(name: &str, seed: u64) -> ModelSpec {
     ModelSpec::builder(name)
@@ -21,7 +31,10 @@ fn spec(name: &str, seed: u64) -> ModelSpec {
         .expect("valid spec")
 }
 
-fn compile(strategy: &str, expr: ScheduleExpr) -> Result<(), Box<dyn std::error::Error>> {
+fn compile(
+    strategy: &str,
+    expr: ScheduleExpr,
+) -> Result<CompiledArtifact, Box<dyn std::error::Error>> {
     let mut platform = Platform::taurus();
     platform
         .constraints_mut()
@@ -40,14 +53,14 @@ fn compile(strategy: &str, expr: ScheduleExpr) -> Result<(), Box<dyn std::error:
         perf.throughput_gpps,
         perf.latency_ns,
     );
-    Ok(())
+    Ok(artifact)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("app-chaining strategies (Table 3 shape):\n");
 
-    // DNN > DNN > DNN > DNN
-    compile(
+    // DNN > DNN > DNN > DNN — kept for serving below.
+    let sequential = compile(
         "a >> b >> c >> d",
         spec("a", 1) >> spec("b", 2) >> spec("c", 3) >> spec("d", 4),
     )?;
@@ -65,5 +78,81 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     println!("\nresources scale with the number of models, not the strategy.");
+
+    // ------------------------------------------------------------------
+    // Serve the sequential schedule: all four winners become tenants of
+    // one server, multiplexed over a shared worker pool on the compiled
+    // integer path (raw traffic in; each tenant's own normalizer applies).
+    // ------------------------------------------------------------------
+    let server = sequential.build_server()?;
+    println!(
+        "\nserving {} tenants (activation LUTs built: {}, shared hits: {})\n",
+        server.tenant_count(),
+        server.luts().builds(),
+        server.luts().hits(),
+    );
+
+    let traffic = NslKddGenerator::new(99).generate(4_000);
+    let batches: Vec<TenantBatch> = sequential
+        .reports()
+        .iter()
+        .map(|report| {
+            let id = server.tenant_id(&report.name).expect("registered tenant");
+            TenantBatch::new(id, traffic.features().clone()).with_oracle(traffic.labels().to_vec())
+        })
+        .collect();
+    let output = server.serve(&batches, &ServeOptions::default().workers(4))?;
+    println!("tenant     packets   verdicts[benign, attack]   p50ns  p99ns  label-agreement");
+    for stats in output.stats() {
+        println!(
+            "{:<10} {:>7}   {:<24}   {:>5}  {:>5}  {:.3}",
+            stats.name,
+            stats.packets,
+            format!("{:?}", stats.verdict_histogram),
+            stats.p50_ns,
+            stats.p99_ns,
+            stats.oracle_agreement().unwrap_or(f64::NAN),
+        );
+    }
+    println!(
+        "aggregate: {} packets in {:.2} ms = {:.0} pkt/s",
+        output.total_packets,
+        output.elapsed_ns as f64 / 1e6,
+        output.aggregate_pps(),
+    );
+
+    // ------------------------------------------------------------------
+    // Chained execution (the paper's `a > escalation`): a hand-built
+    // escalation SVM takes the 7 base features *plus* tenant a's verdict
+    // and only escalates traffic that app `a` already flagged.
+    // ------------------------------------------------------------------
+    let mut server = server;
+    let escalation_ir = ModelIr::Svm(SvmIr {
+        n_features: 8,
+        n_classes: 2,
+        // Escalate iff the upstream verdict (feature 7) is 1 *and* the
+        // flow's traffic-volume feature (feature 4, raw scale ~0..5) is
+        // above 1.0: score = f4 + 4*verdict - 5.
+        planes: Some((
+            vec![vec![0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 4.0]],
+            vec![-5.0],
+        )),
+    });
+    let escalation = server.register_model(
+        "escalate",
+        &escalation_ir,
+        FixedPoint::taurus_default(),
+        None,
+    )?;
+    let first = server.tenant_id("a").expect("tenant a");
+    let staged = server.run_chain(&[first, escalation], traffic.features())?;
+    let flagged = staged[0].iter().filter(|&&v| v == 1).count();
+    let escalated = staged[1].iter().filter(|&&v| v == 1).count();
+    println!(
+        "\nchain a >> escalate: {} / {} packets flagged by 'a', {} escalated downstream",
+        flagged,
+        traffic.len(),
+        escalated,
+    );
     Ok(())
 }

@@ -24,7 +24,9 @@
 //! - [`optimizer`] — HyperMapper-style constrained Bayesian optimization.
 //! - [`backends`] — Taurus/Tofino/FPGA resource models and Spatial/P4 codegen.
 //! - [`runtime`] — the compiled fixed-point inference runtime (integer
-//!   execution engines lowered from trained model IRs).
+//!   execution engines lowered from trained model IRs) and the
+//!   multi-tenant serving layer (`PipelineServer` multiplexing many
+//!   compiled apps over one worker pool with shared activation LUTs).
 //! - [`sim`] — cycle-level MapReduce-grid and MAT-pipeline simulators.
 //! - [`core`] — the Alchemy DSL and the compiler pipeline itself.
 //!

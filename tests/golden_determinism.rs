@@ -6,13 +6,13 @@
 //! xoshiro256++ whose stream is part of this workspace's contract) — fails
 //! loudly instead of silently shifting every seeded experiment.
 
-use homunculus::backends::model::{DnnIr, LayerParams, ModelIr};
+use homunculus::backends::model::{DnnIr, LayerParams, ModelIr, SvmIr};
 use homunculus::datasets::nslkdd::NslKddGenerator;
 use homunculus::ml::mlp::MlpArchitecture;
 use homunculus::ml::quantize::FixedPoint;
 use homunculus::ml::tensor::Matrix;
 use homunculus::optimizer::space::{DesignSpace, Parameter};
-use homunculus::runtime::{Compile, Scratch};
+use homunculus::runtime::{Compile, PipelineServer, Scratch, ServeOptions, TenantBatch};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
@@ -68,16 +68,9 @@ fn nslkdd_generator_fingerprint() {
     assert_eq!(&ds.labels()[..10], &[1, 1, 0, 0, 0, 0, 0, 0, 1, 1]);
 }
 
-#[test]
-fn compiled_pipeline_classification_fingerprint() {
-    // Lower a handcrafted DNN (rational weights, ReLU — no libm anywhere
-    // on the path, only IEEE-exact +,*,/,sqrt and integer ops) and
-    // classify the frozen NSL-KDD-like stream. The verdict sequence is
-    // part of the workspace's contract: a change here means the compiled
-    // integer path itself shifted.
-    let ds = NslKddGenerator::new(42).generate(200);
-    let norm = ds.fit_normalizer();
-    let nds = ds.normalized(&norm).unwrap();
+/// A handcrafted trained DNN IR (rational weights, ReLU — no libm
+/// anywhere on the path, only IEEE-exact +,*,/,sqrt and integer ops).
+fn handcrafted_dnn_ir() -> ModelIr {
     let arch = MlpArchitecture::new(7, vec![8], 2);
     let dims = arch.layer_dims();
     let params: Vec<LayerParams> = dims
@@ -92,11 +85,36 @@ fn compiled_pipeline_classification_fingerprint() {
                 .collect(),
         })
         .collect();
-    let ir = ModelIr::Dnn(DnnIr {
+    ModelIr::Dnn(DnnIr {
         arch,
         params: Some(params),
-    });
-    let pipeline = ir.compile(FixedPoint::taurus_default()).unwrap();
+    })
+}
+
+/// A handcrafted binary SVM IR with rational weights over the 7 NSL-KDD
+/// features.
+fn handcrafted_svm_ir() -> ModelIr {
+    ModelIr::Svm(SvmIr {
+        n_features: 7,
+        n_classes: 2,
+        planes: Some((
+            vec![(0..7).map(|c| (c as f32 - 3.0) / 4.0).collect()],
+            vec![0.25],
+        )),
+    })
+}
+
+#[test]
+fn compiled_pipeline_classification_fingerprint() {
+    // Lower the handcrafted DNN and classify the frozen NSL-KDD-like
+    // stream. The verdict sequence is part of the workspace's contract: a
+    // change here means the compiled integer path itself shifted.
+    let ds = NslKddGenerator::new(42).generate(200);
+    let norm = ds.fit_normalizer();
+    let nds = ds.normalized(&norm).unwrap();
+    let pipeline = handcrafted_dnn_ir()
+        .compile(FixedPoint::taurus_default())
+        .unwrap();
 
     let mut scratch = Scratch::new();
     let verdicts: Vec<usize> = (0..32)
@@ -116,6 +134,78 @@ fn compiled_pipeline_classification_fingerprint() {
         .map(|i| pipeline.classify(nds.features().row(i), &mut scratch) * (i + 1))
         .sum();
     assert_eq!(checksum, 17_777, "compiled verdict checksum drifted");
+}
+
+#[test]
+fn served_multi_tenant_verdicts_fingerprint() {
+    // Two handcrafted tenants serve the frozen normalized stream over a
+    // 3-worker pool at 7-row dispatch granularity. Because the serving
+    // layer writes into pre-assigned slots, the interleaved per-tenant
+    // verdict sequence is bit-wise deterministic no matter how the
+    // workers get scheduled — this pins it so dispatch-order
+    // nondeterminism can never silently leak into results.
+    let ds = NslKddGenerator::new(42).generate(200);
+    let norm = ds.fit_normalizer();
+    let nds = ds.normalized(&norm).unwrap();
+    let format = FixedPoint::taurus_default();
+
+    let mut server = PipelineServer::new();
+    let dnn = server
+        .register_model("dnn_app", &handcrafted_dnn_ir(), format, None)
+        .unwrap();
+    let svm = server
+        .register_model("svm_app", &handcrafted_svm_ir(), format, None)
+        .unwrap();
+
+    let batches = [
+        TenantBatch::new(dnn, nds.features().clone()),
+        TenantBatch::new(svm, nds.features().clone()),
+    ];
+    for (workers, chunk) in [(1, 0), (3, 7), (8, 1)] {
+        let output = server
+            .serve(
+                &batches,
+                &ServeOptions::default().workers(workers).chunk_rows(chunk),
+            )
+            .unwrap();
+        let expected_dnn = [
+            0usize, 1, 1, 1, 0, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 1, 1, 1, 1,
+            0, 1, 1, 1, 1,
+        ];
+        let expected_svm = [
+            1usize, 1, 0, 1, 0, 1, 0, 1, 1, 0, 0, 1, 1, 0, 1, 0, 0, 1, 1, 0, 1, 1, 0, 1, 1, 1, 1,
+            0, 1, 1, 0, 0,
+        ];
+        assert_eq!(
+            &output.verdicts()[0][..32],
+            &expected_dnn,
+            "workers={workers} chunk={chunk}: dnn tenant verdicts drifted"
+        );
+        assert_eq!(
+            &output.verdicts()[1][..32],
+            &expected_svm,
+            "workers={workers} chunk={chunk}: svm tenant verdicts drifted"
+        );
+        // Position-weighted checksum over the full interleaved output
+        // pins the tails of both tenants.
+        let checksum: usize = output
+            .verdicts()
+            .iter()
+            .enumerate()
+            .map(|(batch, verdicts)| {
+                verdicts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| v * (i + 1) * (batch * 2 + 1))
+                    .sum::<usize>()
+            })
+            .sum();
+        assert_eq!(checksum, 50_483, "served verdict checksum drifted");
+        // Stats are deterministic too (timing aside).
+        assert_eq!(output.stats()[0].packets, 200);
+        assert_eq!(output.stats()[1].packets, 200);
+        assert_eq!(output.total_packets, 400);
+    }
 }
 
 #[test]
