@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt fmt-check clippy build test bench bench-smoke examples
+.PHONY: ci fmt fmt-check clippy build test doc bench bench-smoke examples
 
-ci: fmt-check clippy build test
+ci: fmt-check clippy build test doc
 
 fmt:
 	$(CARGO) fmt
@@ -21,16 +21,25 @@ build:
 test:
 	$(CARGO) test -q --workspace
 
+# API docs for the homunculus crates (vendor stand-ins excluded), with
+# rustdoc warnings denied so broken intra-doc links fail the gate.
+doc:
+	RUSTDOCFLAGS="-D warnings" $(CARGO) doc -q --no-deps --workspace \
+		--exclude serde --exclude serde_derive --exclude serde_json \
+		--exclude rand --exclude proptest --exclude criterion
+
 bench:
 	$(CARGO) bench -p homunculus-bench
 
-# Tiny-budget runs of the compiled-runtime and multi-tenant-serving
-# benchmarks; each binary re-reads its JSON and fails unless it parses
-# with all headline fields (serving also asserts served verdicts match
-# isolated classify_batch runs and that activation LUTs are shared).
+# Tiny-budget runs of the compiled-runtime, multi-tenant-serving, and
+# persistent-deployment benchmarks; each binary re-reads its JSON and
+# fails unless it parses with all headline fields (serving/deployment
+# also assert verdicts match isolated classify_batch runs, activation
+# LUTs are shared, and weighted dispatch shares stay inside their bound).
 bench-smoke:
 	$(CARGO) run --release -p homunculus-bench --bin runtime_throughput -- --smoke --out BENCH_runtime.json
 	$(CARGO) run --release -p homunculus-bench --bin serving_throughput -- --smoke --out BENCH_serving.json
+	$(CARGO) run --release -p homunculus-bench --bin deployment_throughput -- --smoke --out BENCH_deploy.json
 
 examples:
 	$(CARGO) build --release --examples

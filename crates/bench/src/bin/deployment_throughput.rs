@@ -1,0 +1,389 @@
+//! Persistent-deployment serving benchmark.
+//!
+//! Quantifies the two claims the `Deployment` redesign makes and writes
+//! `BENCH_deploy.json`:
+//!
+//! - **amortized pool setup**: the same per-call workload is served once
+//!   through the legacy spawn-per-call path (`PipelineServer::serve`, now
+//!   a one-shot-deployment wrapper that launches and joins workers every
+//!   call) and once through a single persistent [`Deployment`] that is
+//!   launched once and fed `calls` times — aggregate pkt/s compared
+//!   side-by-side, with per-call verdicts asserted bit-identical;
+//! - **weighted QoS**: a paused deployment stages an equal backlog for
+//!   tenants weighted 1/2/4, resumes, and replays the recorded dispatch
+//!   sequence to measure each tenant's observed share of dispatched rows
+//!   against its weight share — the reported `max_share_error` must stay
+//!   inside an analytic chunk-granularity bound.
+//!
+//! Run with: `cargo run --release -p homunculus-bench --bin deployment_throughput`
+//! Flags: `--rows N` (per tenant per call), `--calls N`, `--out PATH`,
+//! `--smoke` (tiny workload, no throughput assertion).
+
+use homunculus_backends::model::{DnnIr, ModelIr};
+use homunculus_bench::{ad_dataset, banner, print_row};
+use homunculus_ml::mlp::{Activation, Mlp, MlpArchitecture};
+use homunculus_ml::quantize::FixedPoint;
+use homunculus_ml::tensor::Matrix;
+use homunculus_runtime::{
+    Deployment, PipelineServer, SchedulePolicy, ServeOptions, TenantBatch, TenantId,
+};
+use serde_json::json;
+use std::time::Instant;
+
+const TENANTS: usize = 4;
+const FAIRNESS_WEIGHTS: [f64; 3] = [1.0, 2.0, 4.0];
+const FAIRNESS_CHUNK_ROWS: usize = 16;
+const FAIRNESS_BATCHES_PER_TENANT: usize = 24;
+
+struct Args {
+    rows: usize,
+    calls: usize,
+    out: String,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    // Small per-call batches on many calls: the quantity under test is
+    // the per-call pool-setup overhead, which large batches would hide.
+    let mut args = Args {
+        rows: 500,
+        calls: 96,
+        out: "BENCH_deploy.json".into(),
+        smoke: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--rows" => {
+                args.rows = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .expect("--rows takes a positive integer");
+            }
+            "--calls" => {
+                args.calls = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .expect("--calls takes a positive integer");
+            }
+            "--out" => args.out = iter.next().expect("--out takes a path"),
+            "--smoke" => args.smoke = true,
+            other => panic!("unknown flag {other} (expected --rows/--calls/--out/--smoke)"),
+        }
+    }
+    if args.smoke {
+        args.rows = args.rows.min(200);
+        args.calls = args.calls.min(6);
+    }
+    args
+}
+
+fn tenant_irs() -> Vec<ModelIr> {
+    let arch = MlpArchitecture::new(7, vec![16, 8], 2).with_activation(Activation::Sigmoid);
+    (0..TENANTS)
+        .map(|t| {
+            ModelIr::Dnn(DnnIr::from_mlp(
+                &Mlp::new(&arch, t as u64).expect("valid architecture"),
+            ))
+        })
+        .collect()
+}
+
+/// Builds a `rows`-row stream by cycling the rows of `x`.
+fn replicate_stream(x: &Matrix, rows: usize) -> Matrix {
+    Matrix::from_fn(rows, x.cols(), |r, c| x[(r % x.rows(), c)])
+}
+
+/// Legacy path: one `PipelineServer::serve` call per round — worker
+/// launch and teardown paid every time.
+fn run_spawn_per_call(
+    irs: &[ModelIr],
+    stream: &Matrix,
+    calls: usize,
+    workers: usize,
+) -> (f64, Vec<Vec<usize>>) {
+    let format = FixedPoint::taurus_default();
+    let mut server = PipelineServer::new();
+    let ids: Vec<TenantId> = irs
+        .iter()
+        .enumerate()
+        .map(|(t, ir)| {
+            server
+                .register_model(&format!("tenant{t}"), ir, format, None)
+                .expect("tenant registers")
+        })
+        .collect();
+    let batches: Vec<TenantBatch> = ids
+        .iter()
+        .map(|&id| TenantBatch::new(id, stream.clone()))
+        .collect();
+    let options = ServeOptions::default().workers(workers);
+    let start = Instant::now();
+    let mut verdicts = Vec::new();
+    for call in 0..calls {
+        let output = server.serve(&batches, &options).expect("serve succeeds");
+        if call == 0 {
+            verdicts = output.into_verdicts();
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let total = (stream.rows() * irs.len() * calls) as f64;
+    (total / elapsed.max(f64::MIN_POSITIVE), verdicts)
+}
+
+/// Persistent path: one resident deployment launched before the clock
+/// starts, then `calls` submit+wait rounds against it.
+fn run_persistent(
+    irs: &[ModelIr],
+    stream: &Matrix,
+    calls: usize,
+    workers: usize,
+) -> (f64, Vec<Vec<usize>>, usize) {
+    let format = FixedPoint::taurus_default();
+    let deployment = Deployment::builder()
+        .workers(workers)
+        .queue_depth(irs.len().max(1))
+        .build();
+    let ids: Vec<TenantId> = irs
+        .iter()
+        .enumerate()
+        .map(|(t, ir)| {
+            deployment
+                .add_model(&format!("tenant{t}"), ir, format, None)
+                .expect("tenant deploys")
+        })
+        .collect();
+    let lut_builds = deployment.luts().builds();
+    let start = Instant::now();
+    let mut verdicts = Vec::new();
+    for call in 0..calls {
+        let tickets: Vec<_> = ids
+            .iter()
+            .map(|&id| {
+                deployment
+                    .submit(TenantBatch::new(id, stream.clone()))
+                    .expect("submit succeeds")
+            })
+            .collect();
+        let round: Vec<Vec<usize>> = tickets.into_iter().map(|t| t.wait().into_vec()).collect();
+        if call == 0 {
+            verdicts = round;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    deployment.drain();
+    deployment.shutdown();
+    let total = (stream.rows() * irs.len() * calls) as f64;
+    (total / elapsed.max(f64::MIN_POSITIVE), verdicts, lut_builds)
+}
+
+/// Stages an equal backlog for weighted tenants on a paused deployment,
+/// resumes, and measures per-tenant dispatch shares from the recorded
+/// sequence. Returns `(weights, expected, observed, max_share_error,
+/// bound)`, where shares are evaluated over the longest prefix on which
+/// every lane is still backlogged (afterwards drained lanes shift the
+/// remaining shares by design).
+fn run_weighted_fairness(stream: &Matrix) -> (Vec<f64>, Vec<f64>, Vec<f64>, f64, f64) {
+    let format = FixedPoint::taurus_default();
+    let deployment = Deployment::builder()
+        .workers(2)
+        .chunk_rows(FAIRNESS_CHUNK_ROWS)
+        .queue_depth(FAIRNESS_WEIGHTS.len() * FAIRNESS_BATCHES_PER_TENANT)
+        .paused(true)
+        .record_dispatch(true)
+        .build();
+    let arch = MlpArchitecture::new(7, vec![8], 2).with_activation(Activation::Sigmoid);
+    let ids: Vec<TenantId> = FAIRNESS_WEIGHTS
+        .iter()
+        .enumerate()
+        .map(|(t, &weight)| {
+            let ir = ModelIr::Dnn(DnnIr::from_mlp(
+                &Mlp::new(&arch, t as u64 + 50).expect("valid architecture"),
+            ));
+            deployment
+                .add_model_with(
+                    &format!("weighted{t}"),
+                    &ir,
+                    format,
+                    None,
+                    SchedulePolicy::weighted(weight),
+                )
+                .expect("tenant deploys")
+        })
+        .collect();
+    let batch_rows = FAIRNESS_CHUNK_ROWS * 4;
+    let batch = replicate_stream(stream, batch_rows);
+    let mut tickets = Vec::new();
+    for _ in 0..FAIRNESS_BATCHES_PER_TENANT {
+        for &id in &ids {
+            tickets.push(
+                deployment
+                    .submit(TenantBatch::new(id, batch.clone()))
+                    .expect("submit succeeds"),
+            );
+        }
+    }
+    deployment.resume();
+    deployment.drain();
+    for ticket in tickets {
+        assert!(ticket.is_done(), "drain completes every ticket");
+    }
+    let log = deployment.dispatch_log().expect("dispatch recording on");
+    deployment.shutdown();
+
+    // Replay the dispatch sequence: evaluate shares over the prefix where
+    // all lanes are still backlogged.
+    let per_tenant_total = (batch_rows * FAIRNESS_BATCHES_PER_TENANT) as u64;
+    let weight_sum: f64 = FAIRNESS_WEIGHTS.iter().sum();
+    let expected: Vec<f64> = FAIRNESS_WEIGHTS.iter().map(|w| w / weight_sum).collect();
+    let mut served = vec![0u64; FAIRNESS_WEIGHTS.len()];
+    let mut total = 0u64;
+    let mut max_error = 0.0f64;
+    // Chunk granularity limits precision early on: only judge prefixes
+    // once every tenant has been dispatched at least a few chunks.
+    let warmup_rows = (FAIRNESS_CHUNK_ROWS * FAIRNESS_WEIGHTS.len() * 4) as u64;
+    for &(lane, rows) in &log {
+        served[lane] += rows as u64;
+        total += rows as u64;
+        if served.iter().any(|&s| s >= per_tenant_total) {
+            break; // a lane drained; remaining shares shift by design
+        }
+        if total < warmup_rows {
+            continue;
+        }
+        for (index, &rows_served) in served.iter().enumerate() {
+            let share = rows_served as f64 / total as f64;
+            max_error = max_error.max((share - expected[index]).abs());
+        }
+    }
+    let observed: Vec<f64> = served
+        .iter()
+        .map(|&s| s as f64 / total.max(1) as f64)
+        .collect();
+    // Stride scheduling lags the ideal fluid schedule by at most one
+    // chunk per lane; normalized by the warmup prefix this bounds the
+    // share error.
+    let bound = (FAIRNESS_CHUNK_ROWS * FAIRNESS_WEIGHTS.len()) as f64 / warmup_rows as f64;
+    (
+        FAIRNESS_WEIGHTS.to_vec(),
+        expected,
+        observed,
+        max_error,
+        bound,
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args();
+    banner("persistent deployment throughput (BENCH_deploy.json)");
+
+    let dataset = ad_dataset(11);
+    let normalizer = dataset.fit_normalizer();
+    let normalized = dataset.normalized(&normalizer)?;
+    let stream = replicate_stream(normalized.features(), args.rows);
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let irs = tenant_irs();
+
+    let (spawn_pps, spawn_verdicts) = run_spawn_per_call(&irs, &stream, args.calls, workers);
+    let (persistent_pps, persistent_verdicts, lut_builds) =
+        run_persistent(&irs, &stream, args.calls, workers);
+    assert_eq!(
+        spawn_verdicts, persistent_verdicts,
+        "persistent verdicts diverged from the spawn-per-call path"
+    );
+    assert_eq!(
+        lut_builds, 1,
+        "a sigmoid-only schedule must share one activation LUT"
+    );
+    let speedup = persistent_pps / spawn_pps.max(f64::MIN_POSITIVE);
+    print_row(
+        "spawn-per-call",
+        &format!("{spawn_pps:.0} pkt/s aggregate over {} calls", args.calls),
+        "pool setup every call",
+    );
+    print_row(
+        "persistent",
+        &format!("{persistent_pps:.0} pkt/s aggregate ({speedup:.2}x)"),
+        "pool setup amortized",
+    );
+
+    let (weights, expected, observed, max_share_error, share_bound) =
+        run_weighted_fairness(normalized.features());
+    print_row(
+        "weighted shares 1:2:4",
+        &format!("observed {observed:?} (max error {max_share_error:.4})"),
+        "per-model throughput floors",
+    );
+    assert!(
+        max_share_error <= share_bound,
+        "weighted share error {max_share_error:.4} exceeds the chunk-granularity bound \
+         {share_bound:.4}"
+    );
+
+    let report = json!({
+        "benchmark": "deployment_throughput",
+        "workers": workers,
+        "tenants": TENANTS,
+        "calls": args.calls,
+        "rows_per_call_per_tenant": stream.rows(),
+        "format": "Q3.12",
+        "verdicts_match_spawn_per_call": true,
+        "lut_builds": lut_builds,
+        "spawn_per_call_pps": spawn_pps,
+        "persistent_pps": persistent_pps,
+        "speedup_persistent_vs_spawn": speedup,
+        "fairness": {
+            "weights": weights,
+            "expected_shares": expected,
+            "observed_shares": observed,
+            "max_share_error": max_share_error,
+            "share_error_bound": share_bound,
+            "chunk_rows": FAIRNESS_CHUNK_ROWS,
+        },
+        "smoke": args.smoke,
+    });
+    let text = serde_json::to_string_pretty(&report)?;
+    std::fs::write(&args.out, &text)?;
+    println!("\nwrote {}", args.out);
+
+    // Self-check: the emitted file must parse back and carry the headline
+    // numbers (what `make bench-smoke` gates on).
+    let parsed: serde_json::Value = serde_json::from_str(&std::fs::read_to_string(&args.out)?)
+        .map_err(|e| format!("{}: invalid JSON: {e:?}", args.out))?;
+    let map = parsed
+        .as_object()
+        .unwrap_or_else(|| panic!("{}: expected a JSON object", args.out));
+    for key in [
+        "workers",
+        "spawn_per_call_pps",
+        "persistent_pps",
+        "speedup_persistent_vs_spawn",
+        "verdicts_match_spawn_per_call",
+        "fairness",
+    ] {
+        assert!(map.contains_key(key), "{}: missing key {key}", args.out);
+    }
+    let fairness = map["fairness"].as_object().expect("fairness is an object");
+    for key in ["weights", "observed_shares", "max_share_error"] {
+        assert!(
+            fairness.contains_key(key),
+            "{}: fairness missing {key}",
+            args.out
+        );
+    }
+    println!("{} parses and carries all headline fields", args.out);
+
+    if args.smoke {
+        println!("smoke mode: skipping throughput assertion (budget too small to be stable)");
+    } else if workers < 2 {
+        println!("single-core host: skipping speedup assertion (spawn cost is the only delta)");
+    } else {
+        assert!(
+            speedup >= 1.05,
+            "persistent path must beat spawn-per-call on a multi-core host, got {speedup:.2}x"
+        );
+    }
+    Ok(())
+}

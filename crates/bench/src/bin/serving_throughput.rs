@@ -1,8 +1,7 @@
 //! Multi-tenant serving throughput benchmark.
 //!
-//! Measures the [`PipelineServer`] serving path as the number of tenants
-//! grows (1/2/4/8 sigmoid DNN apps, one batch each) and writes
-//! `BENCH_serving.json`:
+//! Measures the serving path as the number of tenants grows (1/2/4/8
+//! sigmoid DNN apps, one batch each) and writes `BENCH_serving.json`:
 //!
 //! - **aggregate pkt/s** per tenant count, with parallelism coming from
 //!   tenant multiplexing (one work item per tenant batch, so a single
@@ -15,22 +14,33 @@
 //! - **isolation**: per-tenant served verdicts are asserted bit-identical
 //!   to each tenant's isolated `classify_batch` run.
 //!
+//! Two modes make the spawn-per-call overhead measurable: the default
+//! serves through the legacy `PipelineServer::serve` (worker launch and
+//! teardown every call), while `--persistent` serves the same batches
+//! through a resident [`Deployment`] that is launched once and warmed up
+//! before the clock starts. The emitted JSON records the `mode`, so
+//! `BENCH_serving.json` and `BENCH_deploy.json` are directly comparable.
+//!
 //! Run with: `cargo run --release -p homunculus-bench --bin serving_throughput`
-//! Flags: `--packets N` (per tenant), `--out PATH`, `--smoke`
-//! (2 tenants max, tiny stream, no throughput assertions).
+//! Flags: `--packets N` (per tenant), `--out PATH`, `--persistent`,
+//! `--smoke` (2 tenants max, tiny stream, no throughput assertions).
 
 use homunculus_backends::model::{DnnIr, ModelIr};
 use homunculus_bench::{ad_dataset, banner, print_row};
 use homunculus_ml::mlp::{Activation, Mlp, MlpArchitecture};
 use homunculus_ml::quantize::FixedPoint;
 use homunculus_ml::tensor::Matrix;
-use homunculus_runtime::{PipelineServer, ServeOptions, TenantBatch, TenantId};
+use homunculus_runtime::{
+    Compile, Deployment, PipelineServer, ServeOptions, TenantBatch, TenantId,
+};
 use serde_json::json;
+use std::time::Instant;
 
 struct Args {
     packets: usize,
     out: String,
     smoke: bool,
+    persistent: bool,
 }
 
 fn parse_args() -> Args {
@@ -38,6 +48,7 @@ fn parse_args() -> Args {
         packets: 60_000,
         out: "BENCH_serving.json".into(),
         smoke: false,
+        persistent: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -51,7 +62,10 @@ fn parse_args() -> Args {
             }
             "--out" => args.out = iter.next().expect("--out takes a path"),
             "--smoke" => args.smoke = true,
-            other => panic!("unknown flag {other} (expected --packets/--out/--smoke)"),
+            "--persistent" => args.persistent = true,
+            other => {
+                panic!("unknown flag {other} (expected --packets/--out/--persistent/--smoke)")
+            }
         }
     }
     if args.smoke {
@@ -65,30 +79,134 @@ fn replicate_stream(x: &Matrix, packets: usize) -> Matrix {
     Matrix::from_fn(packets, x.cols(), |r, c| x[(r % x.rows(), c)])
 }
 
-/// One schedule of `tenants` sigmoid-DNN apps on a fresh server.
-fn build_server(tenants: usize, format: FixedPoint) -> (PipelineServer, Vec<TenantId>) {
-    let mut server = PipelineServer::new();
+fn tenant_irs(tenants: usize) -> Vec<ModelIr> {
     let arch = MlpArchitecture::new(7, vec![16, 8], 2).with_activation(Activation::Sigmoid);
-    let ids = (0..tenants)
+    (0..tenants)
         .map(|t| {
-            let net = Mlp::new(&arch, t as u64).expect("valid architecture");
+            ModelIr::Dnn(DnnIr::from_mlp(
+                &Mlp::new(&arch, t as u64).expect("valid architecture"),
+            ))
+        })
+        .collect()
+}
+
+/// One serving run's headline numbers, mode-independent.
+struct RunOutput {
+    verdicts: Vec<Vec<usize>>,
+    total_packets: usize,
+    aggregate_pps: f64,
+    tenant_means_ns: Vec<f64>,
+    p50_ns: u64,
+    p99_ns: u64,
+    lut_builds: usize,
+    lut_hits: usize,
+}
+
+/// Legacy path: one `PipelineServer::serve` call (worker launch/teardown
+/// inside the measured window).
+fn run_spawn_per_call(irs: &[ModelIr], stream: &Matrix, workers: usize) -> RunOutput {
+    let format = FixedPoint::taurus_default();
+    let mut server = PipelineServer::new();
+    let ids: Vec<TenantId> = irs
+        .iter()
+        .enumerate()
+        .map(|(t, ir)| {
             server
-                .register_model(
-                    &format!("tenant{t}"),
-                    &ModelIr::Dnn(DnnIr::from_mlp(&net)),
-                    format,
-                    None,
-                )
+                .register_model(&format!("tenant{t}"), ir, format, None)
                 .expect("tenant registers")
         })
         .collect();
-    (server, ids)
+    let batches: Vec<TenantBatch> = ids
+        .iter()
+        .map(|&id| TenantBatch::new(id, stream.clone()))
+        .collect();
+    let options = ServeOptions::default().workers(workers);
+    let output = server.serve(&batches, &options).expect("serve succeeds");
+
+    let served: Vec<_> = output.stats().iter().filter(|s| s.packets > 0).collect();
+    RunOutput {
+        total_packets: output.total_packets,
+        aggregate_pps: output.aggregate_pps(),
+        tenant_means_ns: served.iter().map(|s| s.mean_ns).collect(),
+        p50_ns: served.iter().map(|s| s.p50_ns).max().unwrap_or(0),
+        p99_ns: served.iter().map(|s| s.p99_ns).max().unwrap_or(0),
+        lut_builds: server.luts().builds(),
+        lut_hits: server.luts().hits(),
+        verdicts: output.into_verdicts(),
+    }
+}
+
+/// Persistent path: a resident deployment launched and warmed up before
+/// the clock starts, then one timed submit+wait round.
+fn run_persistent(irs: &[ModelIr], stream: &Matrix, workers: usize) -> RunOutput {
+    let format = FixedPoint::taurus_default();
+    let deployment = Deployment::builder()
+        .workers(workers)
+        .queue_depth(irs.len().max(1))
+        .build();
+    let ids: Vec<TenantId> = irs
+        .iter()
+        .enumerate()
+        .map(|(t, ir)| {
+            deployment
+                .add_model(&format!("tenant{t}"), ir, format, None)
+                .expect("tenant deploys")
+        })
+        .collect();
+    // Warmup: park the workers on real traffic once so the timed round
+    // measures steady-state serving, not first-touch effects — then drop
+    // the warmup samples so every reported stat covers the timed round
+    // only (mean, p50, and p99 all from the same window).
+    let warmup = replicate_stream(stream, stream.rows().min(256));
+    for &id in &ids {
+        deployment
+            .submit(TenantBatch::new(id, warmup.clone()))
+            .expect("warmup submit succeeds")
+            .wait();
+    }
+    deployment.reset_stats();
+
+    let start = Instant::now();
+    let tickets: Vec<_> = ids
+        .iter()
+        .map(|&id| {
+            deployment
+                .submit(TenantBatch::new(id, stream.clone()))
+                .expect("submit succeeds")
+        })
+        .collect();
+    let verdicts: Vec<Vec<usize>> = tickets.into_iter().map(|t| t.wait().into_vec()).collect();
+    let elapsed_ns = start.elapsed().as_nanos().max(1) as u64;
+
+    let after = deployment.stats_snapshot();
+    let total_packets: usize = verdicts.iter().map(Vec::len).sum();
+    let served: Vec<_> = after.tenants.iter().filter(|s| s.packets > 0).collect();
+    let tenant_means_ns: Vec<f64> = served.iter().map(|s| s.mean_ns).collect();
+    let output = RunOutput {
+        total_packets,
+        aggregate_pps: total_packets as f64 / (elapsed_ns as f64 / 1e9),
+        tenant_means_ns,
+        p50_ns: served.iter().map(|s| s.p50_ns).max().unwrap_or(0),
+        p99_ns: served.iter().map(|s| s.p99_ns).max().unwrap_or(0),
+        lut_builds: deployment.luts().builds(),
+        lut_hits: deployment.luts().hits(),
+        verdicts,
+    };
+    deployment.shutdown();
+    output
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args();
     let format = FixedPoint::taurus_default();
-    banner("multi-tenant serving throughput (BENCH_serving.json)");
+    let mode = if args.persistent {
+        "persistent"
+    } else {
+        "spawn_per_call"
+    };
+    banner(&format!(
+        "multi-tenant serving throughput, {mode} mode (BENCH_serving.json)"
+    ));
 
     // A normalized AD feature stream shared by every tenant.
     let dataset = ad_dataset(7);
@@ -102,38 +220,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut single_tenant_pps = 0.0f64;
 
     for &tenants in tenant_counts {
-        let (server, ids) = build_server(tenants, format);
+        let irs = tenant_irs(tenants);
+        let output = if args.persistent {
+            run_persistent(&irs, &stream, workers)
+        } else {
+            run_spawn_per_call(&irs, &stream, workers)
+        };
         assert_eq!(
-            server.luts().builds(),
-            1,
+            output.lut_builds, 1,
             "{tenants}-tenant schedule must share one LUT per format"
         );
 
-        let batches: Vec<TenantBatch> = ids
-            .iter()
-            .map(|&id| TenantBatch::new(id, stream.clone()))
-            .collect();
-        // One work item per tenant batch: parallelism across tenants.
-        let options = ServeOptions::default().workers(workers);
-        let output = server.serve(&batches, &options)?;
-
         // Isolation: served verdicts must be bit-identical to each
         // tenant's own classify_batch run.
-        for (batch, verdicts) in batches.iter().zip(output.verdicts()) {
-            let isolated = server
-                .pipeline(batch.tenant)
-                .expect("registered tenant")
-                .classify_batch(&batch.features, 1);
+        for (t, (ir, verdicts)) in irs.iter().zip(&output.verdicts).enumerate() {
+            let isolated = ir
+                .compile(format)
+                .expect("ir lowers")
+                .classify_batch(&stream, 1);
             assert_eq!(
                 verdicts, &isolated,
-                "{}: served verdicts diverged from the isolated run",
-                batch.tenant
+                "tenant{t}: served verdicts diverged from the isolated run"
             );
         }
 
-        let aggregate_pps = output.aggregate_pps();
-        let served: Vec<_> = output.stats().iter().filter(|s| s.packets > 0).collect();
-        let means: Vec<f64> = served.iter().map(|s| s.mean_ns).collect();
+        let means = &output.tenant_means_ns;
         let mean_of_means = means.iter().sum::<f64>() / means.len().max(1) as f64;
         let fairness_spread = if means.len() > 1 && mean_of_means > 0.0 {
             let max = means.iter().fold(f64::MIN, |a, &b| a.max(b));
@@ -142,35 +253,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             0.0
         };
-        let p50_ns = served.iter().map(|s| s.p50_ns).max().unwrap_or(0);
-        let p99_ns = served.iter().map(|s| s.p99_ns).max().unwrap_or(0);
 
         if tenants == 1 {
-            single_tenant_pps = aggregate_pps;
+            single_tenant_pps = output.aggregate_pps;
         }
         print_row(
             &format!("{tenants} tenant(s)"),
             &format!(
-                "{aggregate_pps:.0} pkt/s aggregate ({:.2}x single), spread {fairness_spread:.3}, p99 {p99_ns} ns",
-                aggregate_pps / single_tenant_pps.max(f64::MIN_POSITIVE)
+                "{:.0} pkt/s aggregate ({:.2}x single), spread {fairness_spread:.3}, p99 {} ns",
+                output.aggregate_pps,
+                output.aggregate_pps / single_tenant_pps.max(f64::MIN_POSITIVE),
+                output.p99_ns
             ),
             "scales with tenants",
         );
         runs.push(json!({
             "tenants": tenants,
             "total_packets": output.total_packets,
-            "aggregate_pps": aggregate_pps,
-            "speedup_vs_single_tenant": aggregate_pps / single_tenant_pps.max(f64::MIN_POSITIVE),
+            "aggregate_pps": output.aggregate_pps,
+            "speedup_vs_single_tenant":
+                output.aggregate_pps / single_tenant_pps.max(f64::MIN_POSITIVE),
             "fairness_spread": fairness_spread,
-            "p50_latency_ns": p50_ns as f64,
-            "p99_latency_ns": p99_ns as f64,
-            "lut_builds": server.luts().builds(),
-            "lut_hits": server.luts().hits(),
+            "p50_latency_ns": output.p50_ns as f64,
+            "p99_latency_ns": output.p99_ns as f64,
+            "lut_builds": output.lut_builds,
+            "lut_hits": output.lut_hits,
         }));
     }
 
     let report = json!({
         "benchmark": "serving_throughput",
+        "mode": mode,
         "workers": workers,
         "per_tenant_packets": stream.rows(),
         "format": "Q3.12",
@@ -189,6 +302,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .as_object()
         .unwrap_or_else(|| panic!("{}: expected a JSON object", args.out));
     for key in [
+        "mode",
         "workers",
         "per_tenant_packets",
         "verdicts_match_isolated",

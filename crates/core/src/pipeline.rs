@@ -23,7 +23,9 @@ use homunculus_datasets::dataset::{Normalizer, Split};
 use homunculus_ml::quantize::FixedPoint;
 use homunculus_optimizer::space::Configuration;
 use homunculus_optimizer::{BayesianOptimizer, Evaluation, OptimizationHistory, OptimizerOptions};
-use homunculus_runtime::{Compile, CompiledPipeline, PipelineServer};
+use homunculus_runtime::{
+    Compile, CompiledPipeline, Deployment, DeploymentBuilder, PipelineServer,
+};
 use serde::{Deserialize, Serialize};
 
 /// Compiler knobs: search/training budgets and reproducibility.
@@ -202,6 +204,43 @@ impl CompiledArtifact {
                 })?;
         }
         Ok(server)
+    }
+
+    /// Launches a persistent [`Deployment`] serving the schedule's winning
+    /// models: resident workers configured by `builder`, one tenant per
+    /// [`ModelReport`] (registered in schedule order under the model's
+    /// name with its deployment normalizer), all compiled through the
+    /// deployment's shared LUT cache. Unlike
+    /// [`build_server`](CompiledArtifact::build_server), the returned
+    /// session amortizes worker launch across every subsequent
+    /// [`submit`](Deployment::submit).
+    ///
+    /// Look tenants up by model name via [`Deployment::tenant_id`]; add
+    /// QoS weights afterwards by registering extra tenants with
+    /// [`Deployment::add_model_with`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Subsystem`] if a winning IR fails to lower —
+    /// which a trained IR never should.
+    pub fn build_deployment(&self, builder: DeploymentBuilder) -> Result<Deployment> {
+        let deployment = builder.build();
+        for report in &self.reports {
+            deployment
+                .add_model(
+                    &report.name,
+                    &report.ir,
+                    FixedPoint::taurus_default(),
+                    Some(report.normalizer.clone()),
+                )
+                .map_err(|e| {
+                    CoreError::Subsystem(format!(
+                        "deploying winning model '{}' failed: {e}",
+                        report.name
+                    ))
+                })?;
+        }
+        Ok(deployment)
     }
 }
 
@@ -708,6 +747,21 @@ mod tests {
             .unwrap()
             .classify_batch(&normalized, 1);
         assert_eq!(output.verdicts()[0], isolated);
+
+        // The persistent path serves the same artifact: one submit to a
+        // resident-worker deployment yields the same verdicts.
+        let deployment = artifact
+            .build_deployment(homunculus_runtime::Deployment::builder().workers(2))
+            .unwrap();
+        assert_eq!(deployment.tenant_count(), 2);
+        let tenant = deployment.tenant_id("a").unwrap();
+        let raw = homunculus_ml::tensor::Matrix::from_fn(16, 7, |r, c| (r * 7 + c) as f32 * 0.05);
+        let deployed = deployment
+            .submit(homunculus_runtime::TenantBatch::new(tenant, raw))
+            .unwrap()
+            .wait();
+        assert_eq!(deployed.into_vec(), isolated);
+        deployment.shutdown();
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Scheduling multiple models on one data plane (§3.1/§5.1.3).
 //!
 //! Alchemy lets operators compose models "either sequentially `>` or in
-//! parallel `|`, [forming] a directed acyclic graph of any depth as long
+//! parallel `|`, \[forming\] a directed acyclic graph of any depth as long
 //! as the resources permit". Rust cannot overload `>`, so the sequential
 //! operator is `>>` ([`std::ops::Shr`]); parallel composition keeps `|`
 //! ([`std::ops::BitOr`]).

@@ -1,7 +1,7 @@
 //! Design spaces: named parameters with bounds, sampling, and encoding.
 //!
 //! The paper's design spaces mix variable kinds — "real (continuous),
-//! integer, ordinal, or categorical as in [HyperMapper]" (§3.2.3). A
+//! integer, ordinal, or categorical as in \[HyperMapper\]" (§3.2.3). A
 //! [`DesignSpace`] maps names to [`Parameter`]s; a [`Configuration`] is one
 //! point of the space. Spaces also serialize to the HyperMapper JSON
 //! configuration format, mirroring how the paper's implementation feeds

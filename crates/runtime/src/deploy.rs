@@ -1,0 +1,1698 @@
+//! Persistent deployment serving: resident workers, an ingress queue,
+//! and weighted tenant QoS.
+//!
+//! [`PipelineServer::serve`](crate::serve::PipelineServer::serve) is
+//! call-at-a-time: it spawns a scoped worker pool, joins it, and returns,
+//! paying pool setup on every batch. A switch data plane never stops — the
+//! paper's serving story (and Taurus, which it compiles for) is a resident
+//! pipeline with per-model throughput floors. This module is that model's
+//! software twin:
+//!
+//! - a [`Deployment`] owns **resident worker threads** fed by a bounded
+//!   multi-producer ingress queue — pool setup is paid once, not per call;
+//! - [`Deployment::submit`] is non-blocking with respect to completion: it
+//!   enqueues a [`TenantBatch`] and hands back a [`Ticket`] whose
+//!   [`wait`](Ticket::wait) yields the batch's [`Verdicts`];
+//! - tenants can be added and removed **at runtime**
+//!   ([`add_tenant`](Deployment::add_tenant) /
+//!   [`remove_tenant`](Deployment::remove_tenant)) without stopping the
+//!   workers;
+//! - each tenant carries a [`SchedulePolicy`]: plain round-robin, or a
+//!   weighted share with an optional **minimum-share floor** — the paper's
+//!   per-model throughput guarantees — enforced by deficit-weighted
+//!   (stride) dispatch at chunk granularity;
+//! - [`stats_snapshot`](Deployment::stats_snapshot) exposes live
+//!   per-tenant counters and observed shares while the deployment runs;
+//! - [`drain`](Deployment::drain) and [`shutdown`](Deployment::shutdown)
+//!   are graceful: every already-accepted ticket completes, and only new
+//!   submissions are refused.
+//!
+//! Verdicts stay **bit-wise deterministic**: every work item writes into
+//! pre-assigned slots of its ticket, so worker scheduling can change
+//! timing but never results — the same contract the call-at-a-time path
+//! pins in `tests/golden_determinism.rs`.
+
+use crate::lut::LutCache;
+use crate::pipeline::{Compile, CompiledPipeline, Scratch};
+use crate::serve::{next_server_tag, percentile, TenantBatch, TenantId, TenantStats};
+use crate::{Result, RuntimeError};
+use homunculus_backends::model::ModelIr;
+use homunculus_ml::preprocess::Normalizer;
+use homunculus_ml::quantize::FixedPoint;
+use homunculus_ml::tensor::Matrix;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Per-tenant dispatch policy.
+///
+/// | Policy | Dispatch behaviour |
+/// |---|---|
+/// | `RoundRobin` | Equal share: identical to `Weighted { weight: 1.0, min_share: 0.0 }`. |
+/// | `Weighted` | Proportional share `weight / Σ weights` among backlogged tenants, with an optional floor. |
+///
+/// The floor (`min_share`) implements the paper's per-model throughput
+/// guarantees: whenever a backlogged tenant's observed share of dispatched
+/// rows sits below its floor, the dispatcher serves it before any
+/// weight-proportional pick. Floors are fractions of the aggregate, so the
+/// sum of floors across active tenants must stay ≤ 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedulePolicy {
+    /// Equal share at chunk granularity (the PR-3 behaviour).
+    RoundRobin,
+    /// Deficit-weighted share with an optional minimum-share floor.
+    Weighted {
+        /// Relative share of dispatched rows; must be positive and finite.
+        weight: f64,
+        /// Guaranteed fraction of aggregate dispatched rows in `[0, 1)`.
+        min_share: f64,
+    },
+}
+
+impl SchedulePolicy {
+    /// A weighted policy with no floor.
+    pub fn weighted(weight: f64) -> Self {
+        SchedulePolicy::Weighted {
+            weight,
+            min_share: 0.0,
+        }
+    }
+
+    /// Sets the minimum-share floor (converts `RoundRobin` to a
+    /// unit-weight `Weighted`).
+    #[must_use]
+    pub fn with_min_share(self, min_share: f64) -> Self {
+        SchedulePolicy::Weighted {
+            weight: self.weight(),
+            min_share,
+        }
+    }
+
+    /// The relative dispatch weight (1.0 for `RoundRobin`).
+    pub fn weight(self) -> f64 {
+        match self {
+            SchedulePolicy::RoundRobin => 1.0,
+            SchedulePolicy::Weighted { weight, .. } => weight,
+        }
+    }
+
+    /// The guaranteed aggregate-share floor (0.0 for `RoundRobin`).
+    pub fn min_share(self) -> f64 {
+        match self {
+            SchedulePolicy::RoundRobin => 0.0,
+            SchedulePolicy::Weighted { min_share, .. } => min_share,
+        }
+    }
+
+    fn validate(self) -> Result<()> {
+        let weight = self.weight();
+        let min_share = self.min_share();
+        if !(weight.is_finite() && weight > 0.0) {
+            return Err(RuntimeError::Serve(format!(
+                "schedule weight must be positive and finite, got {weight}"
+            )));
+        }
+        if !(0.0..1.0).contains(&min_share) {
+            return Err(RuntimeError::Serve(format!(
+                "min_share must lie in [0, 1), got {min_share}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// One registered tenant of a deployment, shared with in-flight work via
+/// `Arc` so removal never invalidates accepted tickets. The pipeline is
+/// `Arc`-shared too, so frontends that already hold one (the
+/// `PipelineServer` shim) register without copying model weights.
+#[derive(Debug)]
+struct TenantEntry {
+    name: String,
+    pipeline: Arc<CompiledPipeline>,
+    normalizer: Option<Normalizer>,
+    policy: SchedulePolicy,
+    accum: Mutex<TenantAccum>,
+}
+
+impl TenantEntry {
+    /// Normalizes (if a normalizer is installed) and classifies one
+    /// packet; `row` is a reusable buffer for the normalized copy.
+    fn classify(&self, features: &[f32], row: &mut Vec<f32>, scratch: &mut Scratch) -> usize {
+        match &self.normalizer {
+            Some(normalizer) => {
+                row.clear();
+                row.extend_from_slice(features);
+                normalizer.apply(row);
+                self.pipeline.classify(row, scratch)
+            }
+            None => self.pipeline.classify(features, scratch),
+        }
+    }
+}
+
+/// Running per-tenant counters, merged across every completed work item.
+#[derive(Debug, Default)]
+struct TenantAccum {
+    packets: usize,
+    verdict_histogram: Vec<usize>,
+    latencies_ns: Vec<u64>,
+    oracle_packets: usize,
+    oracle_agreements: usize,
+}
+
+/// One dispatched unit of work: a contiguous row range of a submitted
+/// batch, carrying everything needed to complete without the registry.
+struct WorkItem {
+    entry: Arc<TenantEntry>,
+    ticket: Arc<TicketState>,
+    features: Arc<Matrix>,
+    oracle: Option<Arc<Vec<usize>>>,
+    start: usize,
+    rows: usize,
+}
+
+/// A tenant's ingress lane: its FIFO of pending work items plus the
+/// dispatch-accounting state the scheduler reads.
+struct Lane {
+    queue: VecDeque<WorkItem>,
+    queued_rows: u64,
+    served_rows: u64,
+    /// Stride-scheduling virtual time: advances by `rows / weight` per
+    /// dispatched item, so lower-`vt` lanes are behind their fair share.
+    vt: f64,
+    weight: f64,
+    min_share: f64,
+}
+
+/// All mutable ingress state, guarded by one mutex.
+struct Ingress {
+    open: bool,
+    paused: bool,
+    lanes: Vec<Lane>,
+    queued_items: usize,
+    in_flight_tickets: usize,
+    submitted_tickets: u64,
+    completed_tickets: u64,
+    total_served_rows: u64,
+    /// Virtual time of the most recent dispatch; newly-active lanes jump
+    /// here so an idle tenant cannot bank credit and later starve others.
+    current_vt: f64,
+    dispatch_log: Option<Vec<(usize, usize)>>,
+}
+
+impl Ingress {
+    /// Picks the lane the next work item comes from, or `None` when every
+    /// lane is empty. Two passes:
+    ///
+    /// 1. **Floor pass** — among backlogged lanes whose observed share of
+    ///    dispatched rows is below their `min_share`, the most starved
+    ///    (lowest `share / min_share`) wins.
+    /// 2. **Stride pass** — otherwise the backlogged lane with the lowest
+    ///    virtual time wins; ties go to the lowest index.
+    ///
+    /// Both passes are deterministic functions of dispatch history, so
+    /// under a backlogged queue the dispatch *sequence* is identical no
+    /// matter how many workers pull from it.
+    fn pick_lane(&self) -> Option<usize> {
+        let mut floor_pick: Option<(usize, f64)> = None;
+        if self.total_served_rows > 0 {
+            for (index, lane) in self.lanes.iter().enumerate() {
+                if lane.queue.is_empty() || lane.min_share <= 0.0 {
+                    continue;
+                }
+                let share = lane.served_rows as f64 / self.total_served_rows as f64;
+                if share < lane.min_share {
+                    let starvation = share / lane.min_share;
+                    if floor_pick.map_or(true, |(_, best)| starvation < best) {
+                        floor_pick = Some((index, starvation));
+                    }
+                }
+            }
+        }
+        if let Some((index, _)) = floor_pick {
+            return Some(index);
+        }
+        let mut pick: Option<(usize, f64)> = None;
+        for (index, lane) in self.lanes.iter().enumerate() {
+            if lane.queue.is_empty() {
+                continue;
+            }
+            if pick.map_or(true, |(_, vt)| lane.vt < vt) {
+                pick = Some((index, lane.vt));
+            }
+        }
+        pick.map(|(index, _)| index)
+    }
+
+    /// Pops the next work item per the scheduling policy, updating
+    /// dispatch accounting.
+    fn pop_item(&mut self) -> Option<WorkItem> {
+        let index = self.pick_lane()?;
+        // The fair frontier newly-(re)joining lanes jump to is the
+        // *minimum* backlogged virtual time, not the picked lane's: a
+        // floor-pass pick can come from a tiny-weight lane whose vt is
+        // orders of magnitude ahead, and adopting it would freeze every
+        // later joiner out of the stride pass until the whole pool
+        // caught up.
+        self.current_vt = self
+            .lanes
+            .iter()
+            .filter(|lane| !lane.queue.is_empty())
+            .map(|lane| lane.vt)
+            .fold(f64::INFINITY, f64::min);
+        let lane = &mut self.lanes[index];
+        let item = lane.queue.pop_front().expect("picked lane is non-empty");
+        let rows = item.rows as u64;
+        lane.queued_rows -= rows;
+        lane.served_rows += rows;
+        lane.vt += item.rows.max(1) as f64 / lane.weight;
+        self.total_served_rows += rows;
+        self.queued_items -= 1;
+        if let Some(log) = &mut self.dispatch_log {
+            log.push((index, item.rows));
+        }
+        Some(item)
+    }
+}
+
+/// Completion state shared between a [`Ticket`] and the workers filling
+/// its verdict slots.
+#[derive(Debug)]
+struct TicketState {
+    inner: Mutex<TicketInner>,
+    done: Condvar,
+}
+
+#[derive(Debug)]
+struct TicketInner {
+    verdicts: Vec<usize>,
+    remaining_items: usize,
+    done: bool,
+    /// Set when a worker panicked while classifying this ticket's rows;
+    /// [`Ticket::wait`] re-raises it instead of returning bogus verdicts.
+    panicked: Option<String>,
+}
+
+/// A handle to one submitted batch. Obtain with
+/// [`Deployment::submit`]; redeem with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    state: Arc<TicketState>,
+    tenant: TenantId,
+    rows: usize,
+    submitted: Instant,
+}
+
+impl Ticket {
+    /// The tenant the batch was addressed to.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// Number of packets in the batch.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether every verdict slot has been filled (never blocks).
+    pub fn is_done(&self) -> bool {
+        self.state.inner.lock().expect("ticket poisoned").done
+    }
+
+    /// Blocks until the batch completes and yields its verdicts.
+    ///
+    /// Always terminates: [`Deployment::drain`] / shutdown complete every
+    /// accepted ticket, and a dropped deployment drains before its workers
+    /// exit. Even a classification panic completes the ticket (and is
+    /// re-raised here) rather than hanging waiters.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a worker panic that occurred while classifying this
+    /// batch's rows — the resident pool's equivalent of the panic a
+    /// scoped-thread join would have propagated.
+    pub fn wait(self) -> Verdicts {
+        let mut inner = self.state.inner.lock().expect("ticket poisoned");
+        while !inner.done {
+            inner = self.state.done.wait(inner).expect("ticket poisoned");
+        }
+        if let Some(message) = &inner.panicked {
+            panic!(
+                "deployment worker panicked while classifying a batch for {}: {message}",
+                self.tenant
+            );
+        }
+        Verdicts {
+            tenant: self.tenant,
+            wait_ns: self.submitted.elapsed().as_nanos() as u64,
+            verdicts: std::mem::take(&mut inner.verdicts),
+        }
+    }
+}
+
+/// The completed result of one ticket: per-row verdicts in submission
+/// order (bit-wise deterministic under any worker count).
+#[derive(Debug, Clone)]
+pub struct Verdicts {
+    /// The tenant that served the batch.
+    pub tenant: TenantId,
+    /// Submission-to-redemption latency in nanoseconds (queueing included).
+    pub wait_ns: u64,
+    verdicts: Vec<usize>,
+}
+
+/// Equality compares the verdict vector only: `wait_ns` is timing noise
+/// and [`TenantId`]s carry per-instance tags, so deriving over all fields
+/// would make results from two different (but identically configured)
+/// deployments compare unequal even when every verdict matches.
+impl PartialEq for Verdicts {
+    fn eq(&self, other: &Self) -> bool {
+        self.verdicts == other.verdicts
+    }
+}
+
+impl Eq for Verdicts {}
+
+impl Verdicts {
+    /// Per-row verdicts, in batch row order.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.verdicts
+    }
+
+    /// Consumes the result, yielding the verdict vector.
+    pub fn into_vec(self) -> Vec<usize> {
+        self.verdicts
+    }
+
+    /// Number of verdicts (== submitted rows).
+    pub fn len(&self) -> usize {
+        self.verdicts.len()
+    }
+
+    /// Whether the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.verdicts.is_empty()
+    }
+}
+
+/// A registered tenant's slot: stays in place after removal so indices
+/// remain stable and historical stats survive.
+struct Slot {
+    entry: Arc<TenantEntry>,
+    active: bool,
+}
+
+/// Everything the resident workers share with the [`Deployment`] handle.
+struct Shared {
+    tag: u32,
+    workers: usize,
+    queue_depth: usize,
+    chunk_rows: usize,
+    default_policy: SchedulePolicy,
+    registry: RwLock<Vec<Slot>>,
+    luts: LutCache,
+    ingress: Mutex<Ingress>,
+    /// Workers wait here for items (or closure).
+    work_ready: Condvar,
+    /// Blocking submitters wait here for queue-depth admission.
+    space_ready: Condvar,
+    /// `drain()` waits here for the in-flight ticket count to hit zero.
+    idle: Condvar,
+    started: Instant,
+}
+
+/// Configures and launches a [`Deployment`].
+///
+/// ```
+/// use homunculus_runtime::deploy::{Deployment, SchedulePolicy};
+///
+/// let deployment = Deployment::builder()
+///     .workers(4)
+///     .queue_depth(32)
+///     .chunk_rows(64)
+///     .policy(SchedulePolicy::RoundRobin)
+///     .build();
+/// assert_eq!(deployment.workers(), 4);
+/// deployment.shutdown();
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeploymentBuilder {
+    workers: usize,
+    queue_depth: usize,
+    chunk_rows: usize,
+    policy: SchedulePolicy,
+    paused: bool,
+    record_dispatch: bool,
+}
+
+impl Default for DeploymentBuilder {
+    fn default() -> Self {
+        DeploymentBuilder {
+            workers: 1,
+            queue_depth: 64,
+            chunk_rows: 0,
+            policy: SchedulePolicy::RoundRobin,
+            paused: false,
+            record_dispatch: false,
+        }
+    }
+}
+
+impl DeploymentBuilder {
+    /// Resident worker threads; clamped to at least 1.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Maximum tickets in flight (submitted but not completed); clamped to
+    /// at least 1. [`Deployment::submit`] blocks at the bound,
+    /// [`Deployment::try_submit`] errors instead — backpressure either way.
+    #[must_use]
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Dispatch granularity in rows. `0` keeps each batch one work item;
+    /// a positive value splits batches so one tenant's large batch cannot
+    /// occupy a worker past the chunk boundary.
+    #[must_use]
+    pub fn chunk_rows(mut self, rows: usize) -> Self {
+        self.chunk_rows = rows;
+        self
+    }
+
+    /// Default [`SchedulePolicy`] for tenants added via
+    /// [`Deployment::add_tenant`] / [`Deployment::add_model`].
+    #[must_use]
+    pub fn policy(mut self, policy: SchedulePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Starts the deployment paused: workers accept no items until
+    /// [`Deployment::resume`]. Useful to stage a backlog and observe the
+    /// scheduler's dispatch order deterministically.
+    #[must_use]
+    pub fn paused(mut self, paused: bool) -> Self {
+        self.paused = paused;
+        self
+    }
+
+    /// Records every dispatch as `(tenant index, rows)` for
+    /// [`Deployment::dispatch_log`] — fairness instrumentation, off by
+    /// default.
+    #[must_use]
+    pub fn record_dispatch(mut self, record: bool) -> Self {
+        self.record_dispatch = record;
+        self
+    }
+
+    /// Launches the resident workers and returns the live deployment.
+    pub fn build(self) -> Deployment {
+        let shared = Arc::new(Shared {
+            tag: next_server_tag(),
+            workers: self.workers.max(1),
+            queue_depth: self.queue_depth.max(1),
+            chunk_rows: self.chunk_rows,
+            default_policy: self.policy,
+            registry: RwLock::new(Vec::new()),
+            luts: LutCache::new(),
+            ingress: Mutex::new(Ingress {
+                open: true,
+                paused: self.paused,
+                lanes: Vec::new(),
+                queued_items: 0,
+                in_flight_tickets: 0,
+                submitted_tickets: 0,
+                completed_tickets: 0,
+                total_served_rows: 0,
+                current_vt: 0.0,
+                dispatch_log: self.record_dispatch.then(Vec::new),
+            }),
+            work_ready: Condvar::new(),
+            space_ready: Condvar::new(),
+            idle: Condvar::new(),
+            started: Instant::now(),
+        });
+        let handles = (0..shared.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Deployment {
+            shared,
+            handles: Mutex::new(handles),
+        }
+    }
+}
+
+/// A resident worker: pull an item under the scheduling policy, classify
+/// its rows, publish verdicts into the ticket's pre-assigned slots.
+fn worker_loop(shared: &Shared) {
+    let mut scratch = Scratch::new();
+    let mut row: Vec<f32> = Vec::new();
+    loop {
+        let item = {
+            let mut ingress = shared.ingress.lock().expect("ingress poisoned");
+            loop {
+                if !ingress.paused {
+                    if let Some(item) = ingress.pop_item() {
+                        break Some(item);
+                    }
+                }
+                if !ingress.open && ingress.queued_items == 0 {
+                    break None;
+                }
+                ingress = shared.work_ready.wait(ingress).expect("ingress poisoned");
+            }
+        };
+        let Some(item) = item else { return };
+        if !process_item(shared, &item, &mut row, &mut scratch) {
+            // A classify panic may have left the reusable buffers in an
+            // arbitrary (but memory-safe) state; start the next item clean.
+            scratch = Scratch::new();
+            row = Vec::new();
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(message) = payload.downcast_ref::<&'static str>() {
+        message
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message
+    } else {
+        "non-string panic payload"
+    }
+}
+
+/// Classifies one work item and publishes its verdicts + stats. Returns
+/// `false` when the classify loop panicked — the ticket still completes
+/// (carrying the panic for [`Ticket::wait`] to re-raise), so a model bug
+/// can never wedge `drain()`/`shutdown()`/`Drop`.
+fn process_item(
+    shared: &Shared,
+    item: &WorkItem,
+    row: &mut Vec<f32>,
+    scratch: &mut Scratch,
+) -> bool {
+    let mut verdicts = Vec::with_capacity(item.rows);
+    let mut latencies = Vec::with_capacity(item.rows);
+    // No lock is held across classify, so a panic here poisons nothing;
+    // it is caught and re-raised at the ticket's wait() instead of
+    // killing the resident worker with bookkeeping half-done.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        for offset in 0..item.rows {
+            let features = item.features.row(item.start + offset);
+            let t0 = Instant::now();
+            verdicts.push(item.entry.classify(features, row, scratch));
+            latencies.push(t0.elapsed().as_nanos() as u64);
+        }
+    }));
+    let panicked = outcome
+        .err()
+        .map(|payload| panic_message(payload.as_ref()).to_string());
+
+    if panicked.is_none() {
+        let mut accum = item.entry.accum.lock().expect("tenant stats poisoned");
+        accum.packets += item.rows;
+        for &verdict in &verdicts {
+            if verdict >= accum.verdict_histogram.len() {
+                accum.verdict_histogram.resize(verdict + 1, 0);
+            }
+            accum.verdict_histogram[verdict] += 1;
+        }
+        accum.latencies_ns.extend_from_slice(&latencies);
+        if let Some(oracle) = &item.oracle {
+            accum.oracle_packets += item.rows;
+            accum.oracle_agreements += oracle[item.start..item.start + item.rows]
+                .iter()
+                .zip(&verdicts)
+                .filter(|(a, b)| a == b)
+                .count();
+        }
+    }
+
+    let ok = panicked.is_none();
+    let mut inner = item.ticket.inner.lock().expect("ticket poisoned");
+    if let Some(message) = panicked {
+        inner.panicked.get_or_insert(message);
+    }
+    verdicts.resize(item.rows, 0);
+    inner.verdicts[item.start..item.start + item.rows].copy_from_slice(&verdicts);
+    inner.remaining_items -= 1;
+    let finished = inner.remaining_items == 0;
+    if finished {
+        inner.done = true;
+        // The ingress counters update *before* the ticket lock releases
+        // (ingress is never locked while holding a ticket elsewhere, so
+        // the ordering is deadlock-free): anyone returning from
+        // `Ticket::wait` — and `drain()`, which watches the in-flight
+        // count — observes counters that already include this ticket.
+        {
+            let mut ingress = shared.ingress.lock().expect("ingress poisoned");
+            ingress.in_flight_tickets -= 1;
+            ingress.completed_tickets += 1;
+        }
+    }
+    drop(inner);
+    if finished {
+        item.ticket.done.notify_all();
+        shared.space_ready.notify_all();
+        shared.idle.notify_all();
+    }
+    ok
+}
+
+/// A live per-tenant share view from [`Deployment::stats_snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantShare {
+    /// The tenant this share belongs to.
+    pub tenant: TenantId,
+    /// Relative dispatch weight from the tenant's [`SchedulePolicy`].
+    pub weight: f64,
+    /// Guaranteed aggregate-share floor.
+    pub min_share: f64,
+    /// Rows dispatched to workers for this tenant so far.
+    pub served_rows: u64,
+    /// Rows still queued for this tenant.
+    pub queued_rows: u64,
+    /// `served_rows / Σ served_rows` (0.0 before the first dispatch).
+    pub observed_share: f64,
+    /// Whether the tenant still accepts submissions.
+    pub active: bool,
+}
+
+/// A point-in-time view of a running deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentStats {
+    /// Per-tenant serving stats, indexed by [`TenantId::index`] (removed
+    /// tenants keep their history).
+    pub tenants: Vec<TenantStats>,
+    /// Per-tenant scheduling shares, aligned with `tenants`.
+    pub shares: Vec<TenantShare>,
+    /// Tickets accepted since launch.
+    pub submitted_tickets: u64,
+    /// Tickets fully completed since launch.
+    pub completed_tickets: u64,
+    /// Rows currently waiting in the ingress queue.
+    pub queued_rows: u64,
+    /// Rows dispatched to workers since launch.
+    pub served_rows: u64,
+    /// Resident worker threads.
+    pub workers: usize,
+    /// Nanoseconds since the deployment launched.
+    pub uptime_ns: u64,
+}
+
+impl DeploymentStats {
+    /// Total packets classified across all tenants.
+    pub fn total_packets(&self) -> usize {
+        self.tenants.iter().map(|t| t.packets).sum()
+    }
+}
+
+/// A long-lived multi-tenant serving session over resident workers.
+///
+/// # Example
+///
+/// ```
+/// use homunculus_backends::model::{DnnIr, ModelIr};
+/// use homunculus_ml::mlp::{Activation, Mlp, MlpArchitecture};
+/// use homunculus_ml::quantize::FixedPoint;
+/// use homunculus_ml::tensor::Matrix;
+/// use homunculus_runtime::deploy::Deployment;
+/// use homunculus_runtime::serve::TenantBatch;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let deployment = Deployment::builder().workers(2).build();
+/// let format = FixedPoint::taurus_default();
+/// let arch = MlpArchitecture::new(4, vec![8], 2).with_activation(Activation::Sigmoid);
+/// let a = deployment.add_model(
+///     "app_a",
+///     &ModelIr::Dnn(DnnIr::from_mlp(&Mlp::new(&arch, 1)?)),
+///     format,
+///     None,
+/// )?;
+///
+/// let packets = Matrix::from_fn(64, 4, |r, c| (r * 3 + c) as f32 * 0.01);
+/// // submit() returns immediately; wait() redeems the verdicts.
+/// let ticket = deployment.submit(TenantBatch::new(a, packets))?;
+/// let verdicts = ticket.wait();
+/// assert_eq!(verdicts.len(), 64);
+///
+/// deployment.drain();
+/// assert_eq!(deployment.stats_snapshot().total_packets(), 64);
+/// deployment.shutdown();
+/// assert!(deployment.submit(TenantBatch::new(a, Matrix::zeros(1, 4))).is_err());
+/// # Ok(())
+/// # }
+/// ```
+pub struct Deployment {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Deployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Deployment")
+            .field("workers", &self.shared.workers)
+            .field("queue_depth", &self.shared.queue_depth)
+            .field("chunk_rows", &self.shared.chunk_rows)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Deployment {
+    fn default() -> Self {
+        Deployment::builder().build()
+    }
+}
+
+impl Deployment {
+    /// Starts configuring a deployment.
+    pub fn builder() -> DeploymentBuilder {
+        DeploymentBuilder::default()
+    }
+
+    /// Registers an already-compiled pipeline under the builder's default
+    /// policy. Callable while the deployment serves traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Serve`] for empty/duplicate names or a
+    /// normalizer whose dimensionality disagrees with the pipeline.
+    pub fn add_tenant(
+        &self,
+        name: &str,
+        pipeline: CompiledPipeline,
+        normalizer: Option<Normalizer>,
+    ) -> Result<TenantId> {
+        self.add_tenant_with(name, pipeline, normalizer, self.shared.default_policy)
+    }
+
+    /// [`add_tenant`](Deployment::add_tenant) with an explicit per-tenant
+    /// [`SchedulePolicy`].
+    ///
+    /// # Errors
+    ///
+    /// The [`add_tenant`](Deployment::add_tenant) cases, plus an invalid
+    /// policy or a `min_share` that would push the sum of active floors
+    /// over 1.
+    pub fn add_tenant_with(
+        &self,
+        name: &str,
+        pipeline: CompiledPipeline,
+        normalizer: Option<Normalizer>,
+        policy: SchedulePolicy,
+    ) -> Result<TenantId> {
+        self.add_tenant_shared(name, Arc::new(pipeline), normalizer, policy)
+    }
+
+    /// [`add_tenant_with`](Deployment::add_tenant_with) over an
+    /// already-shared pipeline — no weight copy (used by the
+    /// `PipelineServer` compatibility shim).
+    pub(crate) fn add_tenant_shared(
+        &self,
+        name: &str,
+        pipeline: Arc<CompiledPipeline>,
+        normalizer: Option<Normalizer>,
+        policy: SchedulePolicy,
+    ) -> Result<TenantId> {
+        policy.validate()?;
+        if name.is_empty() {
+            return Err(RuntimeError::Serve("tenant name must be non-empty".into()));
+        }
+        if let Some(normalizer) = &normalizer {
+            if normalizer.mean.len() != pipeline.n_features()
+                || normalizer.std.len() != pipeline.n_features()
+            {
+                return Err(RuntimeError::Serve(format!(
+                    "tenant '{name}': normalizer covers {} mean / {} std features but the \
+                     pipeline expects {}",
+                    normalizer.mean.len(),
+                    normalizer.std.len(),
+                    pipeline.n_features()
+                )));
+            }
+        }
+        let mut registry = self.shared.registry.write().expect("registry poisoned");
+        if registry.iter().any(|s| s.active && s.entry.name == name) {
+            return Err(RuntimeError::Serve(format!(
+                "tenant '{name}' is already registered"
+            )));
+        }
+        let floor_budget: f64 = registry
+            .iter()
+            .filter(|s| s.active)
+            .map(|s| s.entry.policy.min_share())
+            .sum();
+        if floor_budget + policy.min_share() > 1.0 {
+            return Err(RuntimeError::Serve(format!(
+                "tenant '{name}': min_share {} would push the sum of active floors to {:.3} (> 1)",
+                policy.min_share(),
+                floor_budget + policy.min_share()
+            )));
+        }
+        let index = registry.len();
+        let entry = Arc::new(TenantEntry {
+            name: name.to_string(),
+            normalizer,
+            policy,
+            accum: Mutex::new(TenantAccum {
+                verdict_histogram: vec![0; pipeline.n_classes()],
+                ..TenantAccum::default()
+            }),
+            pipeline,
+        });
+        registry.push(Slot {
+            entry,
+            active: true,
+        });
+        // The lane is pushed while the registry write lock is still held
+        // (registry → ingress is the crate-wide lock order, cf.
+        // stats_snapshot), so registry indices and lane indices can never
+        // desynchronize under concurrent registration, and a tenant
+        // visible to `tenant_id`/`submit` always has its lane in place.
+        let mut ingress = self.shared.ingress.lock().expect("ingress poisoned");
+        let current_vt = ingress.current_vt;
+        ingress.lanes.push(Lane {
+            queue: VecDeque::new(),
+            queued_rows: 0,
+            served_rows: 0,
+            vt: current_vt,
+            weight: policy.weight(),
+            min_share: policy.min_share(),
+        });
+        Ok(TenantId::mint(index, self.shared.tag))
+    }
+
+    /// Compiles a trained IR through the deployment's shared [`LutCache`]
+    /// and registers it under the default policy.
+    ///
+    /// # Errors
+    ///
+    /// Lowering errors from [`Compile::compile_shared`], plus the
+    /// [`add_tenant`](Deployment::add_tenant) cases.
+    pub fn add_model(
+        &self,
+        name: &str,
+        ir: &ModelIr,
+        format: FixedPoint,
+        normalizer: Option<Normalizer>,
+    ) -> Result<TenantId> {
+        let pipeline = ir.compile_shared(format, &self.shared.luts)?;
+        self.add_tenant(name, pipeline, normalizer)
+    }
+
+    /// [`add_model`](Deployment::add_model) with an explicit policy.
+    ///
+    /// # Errors
+    ///
+    /// As [`add_model`](Deployment::add_model) plus policy validation.
+    pub fn add_model_with(
+        &self,
+        name: &str,
+        ir: &ModelIr,
+        format: FixedPoint,
+        normalizer: Option<Normalizer>,
+        policy: SchedulePolicy,
+    ) -> Result<TenantId> {
+        let pipeline = ir.compile_shared(format, &self.shared.luts)?;
+        self.add_tenant_with(name, pipeline, normalizer, policy)
+    }
+
+    /// Deactivates a tenant: new submissions are refused, already-accepted
+    /// tickets (queued or in flight) still complete, and historical stats
+    /// remain visible in [`stats_snapshot`](Deployment::stats_snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Serve`] for foreign, unknown, or
+    /// already-removed ids.
+    pub fn remove_tenant(&self, id: TenantId) -> Result<()> {
+        if id.server() != self.shared.tag {
+            return Err(RuntimeError::Serve(format!(
+                "{id} was minted by a different deployment"
+            )));
+        }
+        let mut registry = self.shared.registry.write().expect("registry poisoned");
+        let slot = registry
+            .get_mut(id.index())
+            .ok_or_else(|| RuntimeError::Serve(format!("{id} is not registered here")))?;
+        if !slot.active {
+            return Err(RuntimeError::Serve(format!("{id} was already removed")));
+        }
+        slot.active = false;
+        Ok(())
+    }
+
+    /// Number of active tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.shared
+            .registry
+            .read()
+            .expect("registry poisoned")
+            .iter()
+            .filter(|s| s.active)
+            .count()
+    }
+
+    /// Looks up an active tenant's id by name.
+    pub fn tenant_id(&self, name: &str) -> Option<TenantId> {
+        self.shared
+            .registry
+            .read()
+            .expect("registry poisoned")
+            .iter()
+            .position(|s| s.active && s.entry.name == name)
+            .map(|index| TenantId::mint(index, self.shared.tag))
+    }
+
+    /// An active tenant's registered name.
+    pub fn tenant_name(&self, id: TenantId) -> Option<String> {
+        self.entry(id).ok().map(|e| e.name.clone())
+    }
+
+    /// An active tenant's expected feature width.
+    pub fn n_features(&self, id: TenantId) -> Option<usize> {
+        self.entry(id).ok().map(|e| e.pipeline.n_features())
+    }
+
+    /// The shared activation-LUT cache used by
+    /// [`add_model`](Deployment::add_model).
+    pub fn luts(&self) -> &LutCache {
+        &self.shared.luts
+    }
+
+    /// Resident worker threads.
+    pub fn workers(&self) -> usize {
+        self.shared.workers
+    }
+
+    /// Maximum tickets in flight before submission backpressure.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue_depth
+    }
+
+    fn entry(&self, id: TenantId) -> Result<Arc<TenantEntry>> {
+        if id.server() != self.shared.tag {
+            return Err(RuntimeError::Serve(format!(
+                "{id} was minted by a different deployment"
+            )));
+        }
+        let registry = self.shared.registry.read().expect("registry poisoned");
+        let slot = registry
+            .get(id.index())
+            .ok_or_else(|| RuntimeError::Serve(format!("{id} is not registered here")))?;
+        if !slot.active {
+            return Err(RuntimeError::Serve(format!("{id} was removed")));
+        }
+        Ok(Arc::clone(&slot.entry))
+    }
+
+    /// Enqueues a batch and returns its [`Ticket`] without waiting for
+    /// verdicts. Blocks only for queue-depth admission (backpressure when
+    /// `queue_depth` tickets are already in flight).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Serve`] after
+    /// [`shutdown`](Deployment::shutdown), for unknown/removed/foreign
+    /// tenants, feature-width mismatches, or oracle-length mismatches.
+    pub fn submit(&self, batch: TenantBatch) -> Result<Ticket> {
+        self.submit_inner(batch, true)
+    }
+
+    /// Strictly non-blocking [`submit`](Deployment::submit): a full
+    /// ingress queue is an error instead of a wait.
+    ///
+    /// # Errors
+    ///
+    /// The [`submit`](Deployment::submit) cases, plus
+    /// [`RuntimeError::Serve`] when `queue_depth` tickets are in flight.
+    pub fn try_submit(&self, batch: TenantBatch) -> Result<Ticket> {
+        self.submit_inner(batch, false)
+    }
+
+    fn submit_inner(&self, batch: TenantBatch, block: bool) -> Result<Ticket> {
+        let entry = self.entry(batch.tenant)?;
+        let rows = batch.features.rows();
+        if batch.features.cols() != entry.pipeline.n_features() {
+            return Err(RuntimeError::Serve(format!(
+                "batch for '{}': {} features per packet but the tenant expects {}",
+                entry.name,
+                batch.features.cols(),
+                entry.pipeline.n_features()
+            )));
+        }
+        if let Some(oracle) = &batch.oracle {
+            if oracle.len() != rows {
+                return Err(RuntimeError::Serve(format!(
+                    "batch for '{}': {} oracle verdicts for {rows} packets",
+                    entry.name,
+                    oracle.len()
+                )));
+            }
+        }
+
+        let chunk = if self.shared.chunk_rows == 0 {
+            rows.max(1)
+        } else {
+            self.shared.chunk_rows
+        };
+        let n_items = rows.div_ceil(chunk);
+        let state = Arc::new(TicketState {
+            inner: Mutex::new(TicketInner {
+                verdicts: vec![0; rows],
+                remaining_items: n_items,
+                done: n_items == 0,
+                panicked: None,
+            }),
+            done: Condvar::new(),
+        });
+        let ticket = Ticket {
+            state: Arc::clone(&state),
+            tenant: batch.tenant,
+            rows,
+            submitted: Instant::now(),
+        };
+        if n_items == 0 {
+            // An empty batch completes instantly and never occupies queue
+            // depth (still validated above like any other submission).
+            return Ok(ticket);
+        }
+
+        let features = Arc::new(batch.features);
+        let oracle = batch.oracle.map(Arc::new);
+        let mut ingress = self.shared.ingress.lock().expect("ingress poisoned");
+        loop {
+            if !ingress.open {
+                return Err(RuntimeError::Serve(
+                    "deployment is shut down; submissions are rejected".into(),
+                ));
+            }
+            if ingress.in_flight_tickets < self.shared.queue_depth {
+                break;
+            }
+            if !block {
+                return Err(RuntimeError::Serve(format!(
+                    "ingress queue is full ({} tickets in flight, depth {})",
+                    ingress.in_flight_tickets, self.shared.queue_depth
+                )));
+            }
+            ingress = self
+                .shared
+                .space_ready
+                .wait(ingress)
+                .expect("ingress poisoned");
+        }
+        ingress.in_flight_tickets += 1;
+        ingress.submitted_tickets += 1;
+        ingress.queued_items += n_items;
+        let current_vt = ingress.current_vt;
+        let lane = &mut ingress.lanes[batch.tenant.index()];
+        if lane.queue.is_empty() {
+            // A lane that sat idle must not have banked credit: rejoin at
+            // the dispatcher's current virtual time.
+            lane.vt = lane.vt.max(current_vt);
+        }
+        for item_index in 0..n_items {
+            let start = item_index * chunk;
+            lane.queue.push_back(WorkItem {
+                entry: Arc::clone(&entry),
+                ticket: Arc::clone(&state),
+                features: Arc::clone(&features),
+                oracle: oracle.clone(),
+                start,
+                rows: chunk.min(rows - start),
+            });
+        }
+        lane.queued_rows += rows as u64;
+        drop(ingress);
+        self.shared.work_ready.notify_all();
+        Ok(ticket)
+    }
+
+    /// Wakes the workers of a deployment built with
+    /// [`paused`](DeploymentBuilder::paused).
+    pub fn resume(&self) {
+        let mut ingress = self.shared.ingress.lock().expect("ingress poisoned");
+        ingress.paused = false;
+        drop(ingress);
+        self.shared.work_ready.notify_all();
+    }
+
+    /// Blocks until every accepted ticket has completed (resuming a paused
+    /// deployment first — a paused backlog would otherwise never drain).
+    /// New submissions remain allowed; use
+    /// [`shutdown`](Deployment::shutdown) to also close the ingress.
+    pub fn drain(&self) {
+        let mut ingress = self.shared.ingress.lock().expect("ingress poisoned");
+        if ingress.paused {
+            ingress.paused = false;
+            self.shared.work_ready.notify_all();
+        }
+        while ingress.in_flight_tickets > 0 {
+            ingress = self.shared.idle.wait(ingress).expect("ingress poisoned");
+        }
+    }
+
+    /// Graceful shutdown: closes the ingress (subsequent
+    /// [`submit`](Deployment::submit) returns [`RuntimeError::Serve`]),
+    /// completes every already-accepted ticket, and joins the workers.
+    /// Idempotent; also invoked on drop.
+    pub fn shutdown(&self) {
+        {
+            let mut ingress = self.shared.ingress.lock().expect("ingress poisoned");
+            ingress.open = false;
+            ingress.paused = false;
+        }
+        self.shared.work_ready.notify_all();
+        self.shared.space_ready.notify_all();
+        self.drain();
+        let handles = std::mem::take(&mut *self.handles.lock().expect("worker handles poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    /// A point-in-time snapshot of per-tenant stats, scheduling shares,
+    /// and queue counters. Safe to call while traffic flows.
+    pub fn stats_snapshot(&self) -> DeploymentStats {
+        let registry = self.shared.registry.read().expect("registry poisoned");
+        let (lane_rows, counters) = {
+            let ingress = self.shared.ingress.lock().expect("ingress poisoned");
+            let lanes: Vec<(u64, u64)> = ingress
+                .lanes
+                .iter()
+                .map(|lane| (lane.served_rows, lane.queued_rows))
+                .collect();
+            (
+                lanes,
+                (
+                    ingress.submitted_tickets,
+                    ingress.completed_tickets,
+                    ingress.total_served_rows,
+                ),
+            )
+        };
+        let (submitted_tickets, completed_tickets, total_served) = counters;
+
+        let mut tenants = Vec::with_capacity(registry.len());
+        let mut shares = Vec::with_capacity(registry.len());
+        for (index, slot) in registry.iter().enumerate() {
+            let id = TenantId::mint(index, self.shared.tag);
+            let accum = slot.entry.accum.lock().expect("tenant stats poisoned");
+            let mut latencies = accum.latencies_ns.clone();
+            latencies.sort_unstable();
+            let mean_ns = if latencies.is_empty() {
+                0.0
+            } else {
+                latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
+            };
+            tenants.push(TenantStats {
+                tenant: id,
+                name: slot.entry.name.clone(),
+                packets: accum.packets,
+                verdict_histogram: accum.verdict_histogram.clone(),
+                p50_ns: percentile(&latencies, 0.50),
+                p99_ns: percentile(&latencies, 0.99),
+                mean_ns,
+                oracle_packets: accum.oracle_packets,
+                oracle_agreements: accum.oracle_agreements,
+            });
+            let (served_rows, queued_rows) = lane_rows.get(index).copied().unwrap_or((0, 0));
+            shares.push(TenantShare {
+                tenant: id,
+                weight: slot.entry.policy.weight(),
+                min_share: slot.entry.policy.min_share(),
+                served_rows,
+                queued_rows,
+                observed_share: if total_served == 0 {
+                    0.0
+                } else {
+                    served_rows as f64 / total_served as f64
+                },
+                active: slot.active,
+            });
+        }
+        let queued_rows = shares.iter().map(|s| s.queued_rows).sum();
+        DeploymentStats {
+            tenants,
+            shares,
+            submitted_tickets,
+            completed_tickets,
+            queued_rows,
+            served_rows: total_served,
+            workers: self.shared.workers,
+            uptime_ns: self.shared.started.elapsed().as_nanos() as u64,
+        }
+    }
+
+    /// Clears every tenant's accumulated serving stats (packets,
+    /// histogram, latency samples, oracle counters) without touching
+    /// dispatch shares, queue state, or in-flight work — call between a
+    /// warmup and a measured window so latency percentiles cover only the
+    /// window of interest.
+    pub fn reset_stats(&self) {
+        let registry = self.shared.registry.read().expect("registry poisoned");
+        for slot in registry.iter() {
+            let mut accum = slot.entry.accum.lock().expect("tenant stats poisoned");
+            let classes = slot.entry.pipeline.n_classes();
+            *accum = TenantAccum {
+                verdict_histogram: vec![0; classes],
+                ..TenantAccum::default()
+            };
+        }
+    }
+
+    /// The recorded `(tenant index, rows)` dispatch sequence, when the
+    /// deployment was built with
+    /// [`record_dispatch`](DeploymentBuilder::record_dispatch). Under a
+    /// staged (paused-then-resumed) backlog this sequence is a
+    /// deterministic function of the scheduling policies alone.
+    pub fn dispatch_log(&self) -> Option<Vec<(usize, usize)>> {
+        self.shared
+            .ingress
+            .lock()
+            .expect("ingress poisoned")
+            .dispatch_log
+            .clone()
+    }
+}
+
+impl Drop for Deployment {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homunculus_backends::model::SvmIr;
+
+    fn q() -> FixedPoint {
+        FixedPoint::taurus_default()
+    }
+
+    /// A hand-built binary SVM: class 1 iff `w . x + b >= 0`.
+    fn svm_pipeline(weights: Vec<f32>, bias: f32) -> CompiledPipeline {
+        ModelIr::Svm(SvmIr {
+            n_features: weights.len(),
+            n_classes: 2,
+            planes: Some((vec![weights], vec![bias])),
+        })
+        .compile(q())
+        .unwrap()
+    }
+
+    fn packets(rows: usize, cols: usize, seed: u64) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            ((r * 13 + c * 7 + seed as usize * 3) % 29) as f32 / 29.0 - 0.5
+        })
+    }
+
+    #[test]
+    fn policy_validation() {
+        assert!(SchedulePolicy::RoundRobin.validate().is_ok());
+        assert!(SchedulePolicy::weighted(2.5).validate().is_ok());
+        assert!(SchedulePolicy::weighted(0.0).validate().is_err());
+        assert!(SchedulePolicy::weighted(-1.0).validate().is_err());
+        assert!(SchedulePolicy::weighted(f64::INFINITY).validate().is_err());
+        assert!(SchedulePolicy::weighted(1.0)
+            .with_min_share(1.0)
+            .validate()
+            .is_err());
+        assert!(SchedulePolicy::weighted(1.0)
+            .with_min_share(-0.1)
+            .validate()
+            .is_err());
+        let floored = SchedulePolicy::RoundRobin.with_min_share(0.3);
+        assert_eq!(floored.weight(), 1.0);
+        assert_eq!(floored.min_share(), 0.3);
+    }
+
+    #[test]
+    fn builder_clamps_and_defaults() {
+        let deployment = Deployment::builder().workers(0).queue_depth(0).build();
+        assert_eq!(deployment.workers(), 1);
+        assert_eq!(deployment.queue_depth(), 1);
+        assert_eq!(deployment.tenant_count(), 0);
+        deployment.shutdown();
+    }
+
+    #[test]
+    fn registration_rejects_bad_inputs() {
+        let deployment = Deployment::builder().build();
+        let id = deployment
+            .add_tenant("app", svm_pipeline(vec![1.0, 0.0], 0.0), None)
+            .unwrap();
+        assert!(deployment
+            .add_tenant("app", svm_pipeline(vec![1.0, 0.0], 0.0), None)
+            .is_err());
+        assert!(deployment
+            .add_tenant("", svm_pipeline(vec![1.0], 0.0), None)
+            .is_err());
+        let bad_norm = Normalizer {
+            mean: vec![0.0; 3],
+            std: vec![1.0; 3],
+        };
+        assert!(deployment
+            .add_tenant("other", svm_pipeline(vec![1.0, 0.0], 0.0), Some(bad_norm))
+            .is_err());
+        // Floors must fit in the aggregate.
+        deployment
+            .add_tenant_with(
+                "floor_a",
+                svm_pipeline(vec![1.0], 0.0),
+                None,
+                SchedulePolicy::weighted(1.0).with_min_share(0.7),
+            )
+            .unwrap();
+        assert!(matches!(
+            deployment.add_tenant_with(
+                "floor_b",
+                svm_pipeline(vec![1.0], 0.0),
+                None,
+                SchedulePolicy::weighted(1.0).with_min_share(0.4),
+            ),
+            Err(RuntimeError::Serve(_))
+        ));
+        assert_eq!(deployment.tenant_id("app"), Some(id));
+        assert_eq!(deployment.tenant_name(id).as_deref(), Some("app"));
+        assert_eq!(deployment.n_features(id), Some(2));
+        assert_eq!(deployment.tenant_count(), 2);
+    }
+
+    #[test]
+    fn foreign_and_removed_ids_are_rejected() {
+        let deployment = Deployment::builder().build();
+        let id = deployment
+            .add_tenant("app", svm_pipeline(vec![1.0, 0.0], 0.0), None)
+            .unwrap();
+        let other = Deployment::builder().build();
+        let foreign = other
+            .add_tenant("impostor", svm_pipeline(vec![1.0, 0.0], 0.0), None)
+            .unwrap();
+        assert!(deployment
+            .submit(TenantBatch::new(foreign, packets(4, 2, 0)))
+            .is_err());
+        assert!(deployment.remove_tenant(foreign).is_err());
+        assert!(deployment.tenant_name(foreign).is_none());
+
+        deployment.remove_tenant(id).unwrap();
+        assert!(deployment.remove_tenant(id).is_err(), "double remove");
+        assert!(matches!(
+            deployment.submit(TenantBatch::new(id, packets(4, 2, 0))),
+            Err(RuntimeError::Serve(_))
+        ));
+        assert_eq!(deployment.tenant_count(), 0);
+        assert!(deployment.tenant_id("app").is_none());
+        // History survives removal.
+        let snapshot = deployment.stats_snapshot();
+        assert_eq!(snapshot.tenants.len(), 1);
+        assert!(!snapshot.shares[0].active);
+    }
+
+    #[test]
+    fn submit_validates_widths_and_oracles() {
+        let deployment = Deployment::builder().build();
+        let id = deployment
+            .add_tenant("app", svm_pipeline(vec![1.0, 0.0], 0.0), None)
+            .unwrap();
+        assert!(deployment
+            .submit(TenantBatch::new(id, packets(4, 3, 0)))
+            .is_err());
+        assert!(deployment
+            .submit(TenantBatch::new(id, packets(4, 2, 0)).with_oracle(vec![0; 3]))
+            .is_err());
+        // Empty batches complete instantly.
+        let ticket = deployment
+            .submit(TenantBatch::new(id, Matrix::zeros(0, 2)))
+            .unwrap();
+        assert!(ticket.is_done());
+        assert!(ticket.wait().is_empty());
+    }
+
+    #[test]
+    fn verdicts_match_isolated_classification_under_any_pool_shape() {
+        let reference_pipeline = svm_pipeline(vec![1.0, -0.5], 0.1);
+        let features = packets(53, 2, 3);
+        let isolated = reference_pipeline.classify_batch(&features, 1);
+        for (workers, chunk) in [(1, 0), (2, 5), (4, 1), (3, 7)] {
+            let deployment = Deployment::builder()
+                .workers(workers)
+                .chunk_rows(chunk)
+                .build();
+            let id = deployment
+                .add_tenant("app", svm_pipeline(vec![1.0, -0.5], 0.1), None)
+                .unwrap();
+            let verdicts = deployment
+                .submit(TenantBatch::new(id, features.clone()))
+                .unwrap()
+                .wait();
+            assert_eq!(
+                verdicts.as_slice(),
+                &isolated[..],
+                "workers={workers} chunk={chunk}"
+            );
+            assert_eq!(verdicts.tenant, id);
+            deployment.shutdown();
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_across_submissions() {
+        let deployment = Deployment::builder().workers(2).chunk_rows(2).build();
+        let id = deployment
+            .add_tenant("svm", svm_pipeline(vec![1.0, 0.0], 0.0), None)
+            .unwrap();
+        let features =
+            Matrix::from_rows(&[vec![1.0, 0.0], vec![-1.0, 0.0], vec![2.0, 0.0]]).unwrap();
+        let oracle = vec![1, 0, 0]; // last disagrees
+        for _ in 0..3 {
+            deployment
+                .submit(TenantBatch::new(id, features.clone()).with_oracle(oracle.clone()))
+                .unwrap()
+                .wait();
+        }
+        let snapshot = deployment.stats_snapshot();
+        let stats = &snapshot.tenants[0];
+        assert_eq!(stats.packets, 9);
+        assert_eq!(stats.verdict_histogram, vec![3, 6]);
+        assert_eq!(stats.oracle_packets, 9);
+        assert_eq!(stats.oracle_agreements, 6);
+        assert_eq!(snapshot.submitted_tickets, 3);
+        assert_eq!(snapshot.completed_tickets, 3);
+        assert_eq!(snapshot.served_rows, 9);
+        assert_eq!(snapshot.queued_rows, 0);
+        assert_eq!(snapshot.total_packets(), 9);
+        assert!(snapshot.uptime_ns > 0);
+        assert!((snapshot.shares[0].observed_share - 1.0).abs() < 1e-12);
+
+        // reset_stats clears the serving accumulators (measurement
+        // windows) but never the dispatch shares or ticket counters.
+        deployment.reset_stats();
+        let reset = deployment.stats_snapshot();
+        assert_eq!(reset.tenants[0].packets, 0);
+        assert_eq!(reset.tenants[0].verdict_histogram, vec![0, 0]);
+        assert_eq!(reset.tenants[0].p99_ns, 0);
+        assert_eq!(reset.tenants[0].oracle_packets, 0);
+        assert_eq!(reset.served_rows, 9);
+        assert_eq!(reset.completed_tickets, 3);
+        deployment
+            .submit(TenantBatch::new(id, features).with_oracle(oracle))
+            .unwrap()
+            .wait();
+        assert_eq!(deployment.stats_snapshot().tenants[0].packets, 3);
+    }
+
+    #[test]
+    fn paused_deployment_dispatches_in_policy_order() {
+        // Stage a backlog while paused, then resume: with one lane per
+        // tenant and uniform item sizes, round-robin policy must strictly
+        // alternate lanes in the dispatch log.
+        let deployment = Deployment::builder()
+            .workers(2)
+            .paused(true)
+            .record_dispatch(true)
+            .queue_depth(16)
+            .build();
+        let a = deployment
+            .add_tenant("a", svm_pipeline(vec![1.0], 0.0), None)
+            .unwrap();
+        let b = deployment
+            .add_tenant("b", svm_pipeline(vec![1.0], 0.0), None)
+            .unwrap();
+        let mut tickets = Vec::new();
+        for round in 0..4 {
+            tickets.push(
+                deployment
+                    .submit(TenantBatch::new(a, packets(8, 1, round)))
+                    .unwrap(),
+            );
+            tickets.push(
+                deployment
+                    .submit(TenantBatch::new(b, packets(8, 1, round + 100)))
+                    .unwrap(),
+            );
+        }
+        assert!(!tickets[0].is_done(), "paused deployment must not serve");
+        deployment.resume();
+        deployment.drain();
+        for ticket in tickets {
+            assert!(ticket.is_done());
+        }
+        let log = deployment.dispatch_log().expect("dispatch recording on");
+        assert_eq!(log.len(), 8);
+        let lanes: Vec<usize> = log.iter().map(|&(lane, _)| lane).collect();
+        assert_eq!(lanes, vec![0, 1, 0, 1, 0, 1, 0, 1], "round-robin order");
+    }
+
+    #[test]
+    fn try_submit_reports_backpressure() {
+        let deployment = Deployment::builder()
+            .workers(1)
+            .paused(true)
+            .queue_depth(1)
+            .build();
+        let id = deployment
+            .add_tenant("app", svm_pipeline(vec![1.0], 0.0), None)
+            .unwrap();
+        let first = deployment
+            .try_submit(TenantBatch::new(id, packets(4, 1, 0)))
+            .unwrap();
+        assert!(matches!(
+            deployment.try_submit(TenantBatch::new(id, packets(4, 1, 1))),
+            Err(RuntimeError::Serve(_))
+        ));
+        deployment.drain();
+        assert!(first.is_done());
+        // Space freed: accepted again.
+        deployment
+            .try_submit(TenantBatch::new(id, packets(4, 1, 2)))
+            .unwrap();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_closes_ingress() {
+        let deployment = Deployment::builder().workers(2).build();
+        let id = deployment
+            .add_tenant("app", svm_pipeline(vec![1.0], 0.0), None)
+            .unwrap();
+        let ticket = deployment
+            .submit(TenantBatch::new(id, packets(16, 1, 0)))
+            .unwrap();
+        deployment.shutdown();
+        assert!(ticket.is_done(), "in-flight ticket completes on shutdown");
+        assert!(matches!(
+            deployment.submit(TenantBatch::new(id, packets(4, 1, 0))),
+            Err(RuntimeError::Serve(_))
+        ));
+        deployment.shutdown(); // second call is a no-op
+    }
+
+    #[test]
+    fn floor_pass_picks_do_not_inflate_the_join_frontier() {
+        // Regression: `current_vt` (the virtual time newly-joining lanes
+        // adopt) must track the *minimum* backlogged vt, not the picked
+        // lane's. A tiny-weight floored lane accumulates an enormous vt
+        // (rows / 0.05); if a floor pick published that as the frontier,
+        // a tenant added later would start hopelessly "ahead" and starve
+        // behind every incumbent until the pool caught up.
+        let entry = Arc::new(TenantEntry {
+            name: "t".into(),
+            pipeline: Arc::new(svm_pipeline(vec![1.0], 0.0)),
+            normalizer: None,
+            policy: SchedulePolicy::RoundRobin,
+            accum: Mutex::new(TenantAccum::default()),
+        });
+        let ticket = Arc::new(TicketState {
+            inner: Mutex::new(TicketInner {
+                verdicts: Vec::new(),
+                remaining_items: usize::MAX,
+                done: false,
+                panicked: None,
+            }),
+            done: Condvar::new(),
+        });
+        let item = |rows: usize| WorkItem {
+            entry: Arc::clone(&entry),
+            ticket: Arc::clone(&ticket),
+            features: Arc::new(Matrix::zeros(0, 1)),
+            oracle: None,
+            start: 0,
+            rows,
+        };
+        let lane = |weight: f64, min_share: f64, items: usize| Lane {
+            queue: (0..items).map(|_| item(1)).collect(),
+            queued_rows: items as u64,
+            served_rows: 0,
+            vt: 0.0,
+            weight,
+            min_share,
+        };
+        let mut ingress = Ingress {
+            open: true,
+            paused: false,
+            // Lane 0: tiny weight, 50% floor — the floor pass serves it
+            // constantly and its vt rockets. Lane 1: a normal tenant.
+            lanes: vec![lane(0.05, 0.5, 50), lane(1.0, 0.0, 50)],
+            queued_items: 100,
+            in_flight_tickets: 0,
+            submitted_tickets: 0,
+            completed_tickets: 0,
+            total_served_rows: 0,
+            current_vt: 0.0,
+            dispatch_log: Some(Vec::new()),
+        };
+        for _ in 0..40 {
+            ingress.pop_item().expect("backlogged");
+        }
+        let floored = &ingress.lanes[0];
+        assert!(
+            floored.served_rows >= 19,
+            "floor held ~half the dispatches, got {}",
+            floored.served_rows
+        );
+        assert!(
+            ingress.current_vt < floored.vt / 10.0,
+            "join frontier {} trailed the floored lane's inflated vt {}",
+            ingress.current_vt,
+            floored.vt
+        );
+        // A lane joining now at the frontier competes immediately: it
+        // wins a stride-pass pick within the first few dispatches.
+        let mut newcomer = lane(1.0, 0.0, 50);
+        newcomer.vt = ingress.current_vt;
+        ingress.lanes.push(newcomer);
+        ingress.queued_items += 50;
+        let log_start = ingress.dispatch_log.as_ref().unwrap().len();
+        for _ in 0..6 {
+            ingress.pop_item().expect("backlogged");
+        }
+        let log = ingress.dispatch_log.as_ref().unwrap();
+        assert!(
+            log[log_start..].iter().any(|&(lane, _)| lane == 2),
+            "newly-joined lane never dispatched: {:?}",
+            &log[log_start..]
+        );
+    }
+
+    #[test]
+    fn deployment_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Deployment>();
+        assert_send_sync::<Ticket>();
+        assert_send_sync::<Verdicts>();
+        assert_send_sync::<DeploymentStats>();
+    }
+}

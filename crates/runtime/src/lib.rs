@@ -18,10 +18,15 @@
 //!   giving `ModelIr::compile(format)`.
 //! - [`batch`] — a batched `classify_batch` API sharded across
 //!   `std::thread::scope` workers for throughput runs.
-//! - [`serve`] — the multi-tenant serving layer: a
-//!   [`serve::PipelineServer`] multiplexes many compiled pipelines (one
-//!   per scheduled app) over a shared worker pool, with per-tenant stats
-//!   and chained execution.
+//! - [`deploy`] — the persistent serving layer: a [`deploy::Deployment`]
+//!   keeps resident workers fed by a bounded ingress queue, with
+//!   ticket-based submission, runtime tenant add/remove, weighted QoS
+//!   scheduling (per-model throughput floors), live stats snapshots, and
+//!   graceful drain/shutdown.
+//! - [`serve`] — the call-at-a-time serving frontend: a
+//!   [`serve::PipelineServer`] registers many compiled pipelines (one per
+//!   scheduled app); its `serve` is now a thin compatibility wrapper over
+//!   a one-shot [`deploy::Deployment`]. Chained execution lives here too.
 //! - [`lut`] — the shared activation-LUT cache: one sigmoid/tanh table
 //!   per `(format, activation)` pair across a whole schedule.
 //!
@@ -52,10 +57,14 @@
 //! ```
 
 pub mod batch;
+pub mod deploy;
 pub mod lut;
 pub mod pipeline;
 pub mod serve;
 
+pub use deploy::{
+    Deployment, DeploymentBuilder, DeploymentStats, SchedulePolicy, TenantShare, Ticket, Verdicts,
+};
 pub use lut::LutCache;
 pub use pipeline::{classify_rows, Compile, CompiledPipeline, Scratch};
 pub use serve::{PipelineServer, ServeOptions, ServeOutput, TenantBatch, TenantId, TenantStats};

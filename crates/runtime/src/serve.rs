@@ -1,4 +1,4 @@
-//! Multi-tenant pipeline serving.
+//! Multi-tenant pipeline serving (the call-at-a-time frontend).
 //!
 //! The paper's headline deployment serves *many* ML apps on one switch:
 //! models are scheduled sequentially or in parallel on a shared data
@@ -6,13 +6,18 @@
 //! This module is the software twin of that multiplexed switch: a
 //! [`PipelineServer`] registers one tenant per scheduled app (compiled
 //! pipeline + the feature normalizer it was trained under), compiles all
-//! of them through one shared [`LutCache`], and dispatches packet batches
-//! tagged by tenant over a `std::thread::scope` worker pool.
+//! of them through one shared [`LutCache`], and serves packet batches
+//! tagged by tenant.
 //!
-//! Dispatch is round-robin across tenants at a configurable chunk
-//! granularity: work items are interleaved tenant-by-tenant before the
-//! workers pull them, so no tenant starves behind a large batch. Results
-//! are written into pre-assigned slots, which makes every verdict
+//! Since the `Deployment` redesign, [`PipelineServer::serve`] is a thin
+//! compatibility wrapper: each call stands up a one-shot
+//! [`Deployment`], runs the batches through its
+//! resident workers, and tears it down — identical verdicts and stats,
+//! but pool setup is still paid per call. New code that serves more than
+//! once should hold a persistent [`Deployment`]
+//! instead (see [`crate::deploy`]).
+//!
+//! Results are written into pre-assigned slots, which makes every verdict
 //! **independent of thread scheduling** — the serving layer is bit-wise
 //! deterministic even though the worker pool is not.
 //!
@@ -21,6 +26,7 @@
 //! and a stage whose pipeline expects one extra feature consumes the
 //! previous stage's verdict in that slot.
 
+use crate::deploy::{Deployment, SchedulePolicy};
 use crate::lut::LutCache;
 use crate::pipeline::{Compile, CompiledPipeline, Scratch};
 use crate::{Result, RuntimeError};
@@ -28,16 +34,22 @@ use homunculus_backends::model::ModelIr;
 use homunculus_ml::preprocess::Normalizer;
 use homunculus_ml::quantize::FixedPoint;
 use homunculus_ml::tensor::Matrix;
-use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::Mutex;
+use std::sync::Arc;
 use std::time::Instant;
 
-/// Monotonic tag distinguishing server instances, so a [`TenantId`]
-/// minted by one server can never silently address another server's
+/// Monotonic tag distinguishing server/deployment instances, so a
+/// [`TenantId`] minted by one can never silently address another's
 /// tenant that happens to share the index.
 static NEXT_SERVER_TAG: AtomicU32 = AtomicU32::new(1);
+
+/// Mints the next instance tag (shared by [`PipelineServer`] and
+/// [`Deployment`], so ids are unique across
+/// both frontends).
+pub(crate) fn next_server_tag() -> u32 {
+    NEXT_SERVER_TAG.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Identifies a registered tenant (a scheduled app) of one specific
 /// server: ids carry the minting server's tag, and every entry point
@@ -53,6 +65,16 @@ impl TenantId {
     pub fn index(self) -> usize {
         self.index
     }
+
+    /// Mints an id for `index` under instance tag `server`.
+    pub(crate) fn mint(index: usize, server: u32) -> Self {
+        TenantId { index, server }
+    }
+
+    /// The minting instance's tag.
+    pub(crate) fn server(self) -> u32 {
+        self.server
+    }
 }
 
 impl fmt::Display for TenantId {
@@ -65,24 +87,8 @@ impl fmt::Display for TenantId {
 #[derive(Debug, Clone)]
 struct Tenant {
     name: String,
-    pipeline: CompiledPipeline,
+    pipeline: Arc<CompiledPipeline>,
     normalizer: Option<Normalizer>,
-}
-
-impl Tenant {
-    /// Normalizes (if a normalizer is installed) and classifies one
-    /// packet. `row` is a reusable buffer for the normalized copy.
-    fn classify(&self, features: &[f32], row: &mut Vec<f32>, scratch: &mut Scratch) -> usize {
-        match &self.normalizer {
-            Some(normalizer) => {
-                row.clear();
-                row.extend_from_slice(features);
-                normalizer.apply(row);
-                self.pipeline.classify(row, scratch)
-            }
-            None => self.pipeline.classify(features, scratch),
-        }
-    }
 }
 
 /// A batch of packets addressed to one tenant, optionally carrying oracle
@@ -222,14 +228,6 @@ impl ServeOutput {
     }
 }
 
-/// One unit of dispatched work: a contiguous row range of one batch and
-/// the output slots its verdicts land in.
-struct WorkItem<'out> {
-    batch: usize,
-    start: usize,
-    out: &'out mut [usize],
-}
-
 /// A multi-tenant serving frontend over many compiled pipelines.
 ///
 /// # Example
@@ -281,7 +279,7 @@ impl PipelineServer {
         PipelineServer {
             tenants: Vec::new(),
             luts: LutCache::new(),
-            tag: NEXT_SERVER_TAG.fetch_add(1, Ordering::Relaxed),
+            tag: next_server_tag(),
         }
     }
 
@@ -327,7 +325,7 @@ impl PipelineServer {
         };
         self.tenants.push(Tenant {
             name: name.to_string(),
-            pipeline,
+            pipeline: Arc::new(pipeline),
             normalizer,
         });
         Ok(id)
@@ -382,7 +380,7 @@ impl PipelineServer {
 
     /// A tenant's compiled pipeline (`None` for another server's id).
     pub fn pipeline(&self, id: TenantId) -> Option<&CompiledPipeline> {
-        self.tenant(id).ok().map(|t| &t.pipeline)
+        self.tenant(id).ok().map(|t| t.pipeline.as_ref())
     }
 
     fn tenant(&self, id: TenantId) -> Result<&Tenant> {
@@ -396,8 +394,17 @@ impl PipelineServer {
             .ok_or_else(|| RuntimeError::Serve(format!("{id} is not registered here")))
     }
 
-    /// Serves a set of tenant-tagged packet batches over a scoped worker
-    /// pool and returns per-batch verdicts plus per-tenant stats.
+    /// Serves a set of tenant-tagged packet batches and returns per-batch
+    /// verdicts plus per-tenant stats.
+    ///
+    /// **Deprecated in favor of [`Deployment`]:**
+    /// this call-at-a-time entry point now stands up a one-shot deployment
+    /// per call — verdicts and stats are unchanged (bit-wise identical to
+    /// the pre-redesign scoped pool), but worker launch and teardown are
+    /// paid on *every* call. Code that serves repeatedly should build one
+    /// [`Deployment`] and
+    /// [`submit`](crate::deploy::Deployment::submit) to it instead; this
+    /// wrapper stays for downstream callers and golden tests.
     ///
     /// Verdicts are bit-wise deterministic: each work item writes into
     /// pre-assigned output slots, so thread scheduling can affect timing
@@ -430,135 +437,81 @@ impl PipelineServer {
             }
         }
 
-        let mut verdicts: Vec<Vec<usize>> = batches
+        // One-shot deployment: every registered tenant re-registers in
+        // index order (ids map 1:1), all batches are submitted up front
+        // (queue depth == batch count, so submit never blocks), and the
+        // tickets are redeemed in submission order. The clock starts
+        // before the pool launches and stops after it joins, so
+        // `elapsed_ns` keeps charging this path its per-call setup and
+        // teardown — exactly what the pre-redesign scoped pool paid.
+        // Workers stay clamped to the work-item count (also as before):
+        // no idle resident threads are spawned for a small call.
+        let work_items: usize = batches
             .iter()
-            .map(|b| vec![0usize; b.features.rows()])
-            .collect();
-
-        // Cut each batch into work items, then interleave them round-robin
-        // across batches so every tenant makes progress from the first
-        // dispatch round on.
-        let mut per_batch: Vec<VecDeque<WorkItem<'_>>> = verdicts
-            .iter_mut()
-            .enumerate()
-            .map(|(batch, out)| {
-                let rows = out.len();
+            .map(|batch| {
+                let rows = batch.features.rows();
                 let chunk = if options.chunk_rows == 0 {
                     rows.max(1)
                 } else {
                     options.chunk_rows
                 };
-                out.chunks_mut(chunk)
-                    .enumerate()
-                    .map(|(index, slice)| WorkItem {
-                        batch,
-                        start: index * chunk,
-                        out: slice,
-                    })
-                    .collect()
+                rows.div_ceil(chunk)
             })
-            .collect();
-        let mut queue: VecDeque<WorkItem<'_>> = VecDeque::new();
-        loop {
-            let mut drained = true;
-            for pending in &mut per_batch {
-                if let Some(item) = pending.pop_front() {
-                    queue.push_back(item);
-                    drained = false;
-                }
-            }
-            if drained {
-                break;
-            }
-        }
-
-        let workers = options.workers.clamp(1, queue.len().max(1));
-        let queue = Mutex::new(queue);
-        // Per-work-item latency records, merged per tenant after the join.
-        let finished: Mutex<Vec<(usize, Vec<u64>)>> = Mutex::new(Vec::new());
+            .sum();
         let start = Instant::now();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    let mut scratch = Scratch::new();
-                    let mut row: Vec<f32> = Vec::new();
-                    loop {
-                        let item = queue.lock().expect("work queue poisoned").pop_front();
-                        let Some(item) = item else { break };
-                        let batch = &batches[item.batch];
-                        let tenant = &self.tenants[batch.tenant.index];
-                        let mut latencies = Vec::with_capacity(item.out.len());
-                        for (offset, slot) in item.out.iter_mut().enumerate() {
-                            let t0 = Instant::now();
-                            *slot = tenant.classify(
-                                batch.features.row(item.start + offset),
-                                &mut row,
-                                &mut scratch,
-                            );
-                            latencies.push(t0.elapsed().as_nanos() as u64);
-                        }
-                        finished
-                            .lock()
-                            .expect("latency sink poisoned")
-                            .push((item.batch, latencies));
-                    }
-                });
-            }
-        });
-        let elapsed_ns = start.elapsed().as_nanos() as u64;
-
-        let mut per_tenant_latencies: Vec<Vec<u64>> = vec![Vec::new(); self.tenants.len()];
-        for (batch, latencies) in finished.into_inner().expect("latency sink poisoned") {
-            per_tenant_latencies[batches[batch].tenant.index].extend(latencies);
+        let deployment = Deployment::builder()
+            .workers(options.workers.clamp(1, work_items.max(1)))
+            .chunk_rows(options.chunk_rows)
+            .queue_depth(batches.len().max(1))
+            .build();
+        let mut ids = Vec::with_capacity(self.tenants.len());
+        for tenant in &self.tenants {
+            let id = deployment
+                .add_tenant_shared(
+                    &tenant.name,
+                    Arc::clone(&tenant.pipeline),
+                    tenant.normalizer.clone(),
+                    SchedulePolicy::RoundRobin,
+                )
+                .map_err(|e| {
+                    RuntimeError::Serve(format!(
+                        "one-shot deployment rejected tenant '{}': {e}",
+                        tenant.name
+                    ))
+                })?;
+            ids.push(id);
         }
 
-        let mut stats: Vec<TenantStats> = self
+        let mut tickets = Vec::with_capacity(batches.len());
+        for batch in batches {
+            let staged = TenantBatch {
+                tenant: ids[batch.tenant.index],
+                features: batch.features.clone(),
+                oracle: batch.oracle.clone(),
+            };
+            tickets.push(deployment.submit(staged)?);
+        }
+        let verdicts: Vec<Vec<usize>> = tickets
+            .into_iter()
+            .map(|ticket| ticket.wait().into_vec())
+            .collect();
+        deployment.shutdown();
+        let elapsed_ns = start.elapsed().as_nanos() as u64;
+        let snapshot = deployment.stats_snapshot();
+
+        // Re-tag the snapshot's per-tenant stats with this server's ids.
+        let stats = snapshot
             .tenants
-            .iter()
+            .into_iter()
             .enumerate()
-            .map(|(index, tenant)| TenantStats {
+            .map(|(index, stats)| TenantStats {
                 tenant: TenantId {
                     index,
                     server: self.tag,
                 },
-                name: tenant.name.clone(),
-                packets: 0,
-                verdict_histogram: vec![0; tenant.pipeline.n_classes()],
-                p50_ns: 0,
-                p99_ns: 0,
-                mean_ns: 0.0,
-                oracle_packets: 0,
-                oracle_agreements: 0,
+                ..stats
             })
             .collect();
-        for (batch, batch_verdicts) in batches.iter().zip(&verdicts) {
-            let entry = &mut stats[batch.tenant.index];
-            entry.packets += batch_verdicts.len();
-            for &verdict in batch_verdicts {
-                if verdict >= entry.verdict_histogram.len() {
-                    entry.verdict_histogram.resize(verdict + 1, 0);
-                }
-                entry.verdict_histogram[verdict] += 1;
-            }
-            if let Some(oracle) = &batch.oracle {
-                entry.oracle_packets += oracle.len();
-                entry.oracle_agreements += oracle
-                    .iter()
-                    .zip(batch_verdicts)
-                    .filter(|(a, b)| a == b)
-                    .count();
-            }
-        }
-        for (entry, mut latencies) in stats.iter_mut().zip(per_tenant_latencies) {
-            if latencies.is_empty() {
-                continue;
-            }
-            latencies.sort_unstable();
-            entry.p50_ns = percentile(&latencies, 0.50);
-            entry.p99_ns = percentile(&latencies, 0.99);
-            entry.mean_ns = latencies.iter().sum::<u64>() as f64 / latencies.len() as f64;
-        }
-
         let total_packets = verdicts.iter().map(Vec::len).sum();
         Ok(ServeOutput {
             verdicts,
@@ -633,7 +586,7 @@ impl PipelineServer {
 }
 
 /// Value at quantile `p` of an ascending-sorted latency sample.
-fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
+pub(crate) fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
     if sorted_ns.is_empty() {
         return 0;
     }

@@ -15,6 +15,7 @@
 use crate::{Result, SimError};
 use homunculus_ml::metrics::{accuracy, f1_binary, f1_macro};
 use homunculus_ml::tensor::Matrix;
+use homunculus_runtime::deploy::Deployment;
 use homunculus_runtime::serve::{PipelineServer, ServeOptions, TenantBatch, TenantId};
 use homunculus_runtime::{CompiledPipeline, Scratch};
 use serde::{Deserialize, Serialize};
@@ -339,6 +340,82 @@ impl StreamHarness {
             })
             .collect()
     }
+
+    /// Windowed multi-tenant replay through a **persistent**
+    /// [`Deployment`] — the resident-worker twin of
+    /// [`run_served`](StreamHarness::run_served). Every replay round
+    /// submits one window per still-active tenant as a ticket and redeems
+    /// them in submission order, so verdicts (and the returned
+    /// [`StreamReport`]s) are bit-identical to the call-at-a-time path
+    /// under any worker count; only the pool-setup cost differs (paid once
+    /// by the deployment, not per round).
+    ///
+    /// Streams carry **raw** features — each tenant's deployment
+    /// normalizer applies inside the deployment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for `window == 0`, no streams,
+    /// an empty stream, unknown/removed tenants, or feature-width
+    /// mismatches.
+    pub fn run_deployed(
+        &self,
+        deployment: &Deployment,
+        streams: &[(TenantId, &[LabeledSample])],
+        window: usize,
+    ) -> Result<Vec<StreamReport>> {
+        if window == 0 {
+            return Err(SimError::InvalidConfig("window must be positive".into()));
+        }
+        if streams.is_empty() {
+            return Err(SimError::InvalidConfig("no tenant streams".into()));
+        }
+        for (tenant, stream) in streams {
+            let expected = deployment
+                .n_features(*tenant)
+                .ok_or_else(|| SimError::InvalidConfig(format!("{tenant} is not deployed here")))?;
+            if stream.is_empty() {
+                return Err(SimError::InvalidConfig(format!("{tenant}: empty stream")));
+            }
+            check_stream_width(stream, expected)?;
+        }
+
+        let mut predictions: Vec<Vec<usize>> = streams.iter().map(|_| Vec::new()).collect();
+        let mut offset = 0usize;
+        loop {
+            // One window per tenant with packets left, in input order;
+            // tickets redeem in the same order, keeping output stable.
+            let mut tickets = Vec::new();
+            for (index, (tenant, stream)) in streams.iter().enumerate() {
+                if offset >= stream.len() {
+                    continue;
+                }
+                let chunk = &stream[offset..stream.len().min(offset + window)];
+                let cols = chunk[0].features.len();
+                let features = Matrix::from_fn(chunk.len(), cols, |r, c| chunk[r].features[c]);
+                let ticket = deployment
+                    .submit(TenantBatch::new(*tenant, features))
+                    .map_err(|e| SimError::InvalidConfig(e.to_string()))?;
+                tickets.push((index, ticket));
+            }
+            if tickets.is_empty() {
+                break;
+            }
+            for (owner, ticket) in tickets {
+                predictions[owner].extend(ticket.wait().into_vec());
+            }
+            offset += window;
+        }
+
+        streams
+            .iter()
+            .zip(&predictions)
+            .map(|((_, stream), y_pred)| {
+                let y_true: Vec<usize> = stream.iter().map(|s| s.label).collect();
+                self.report_for(&y_true, y_pred, window)
+            })
+            .collect()
+    }
 }
 
 /// Streams can be ragged (samples carry their own vectors) — check every
@@ -643,6 +720,70 @@ mod tests {
         assert_eq!(reports[1].packets, short.len());
         // Windowed timing: 7 fill gaps on top of the pipeline latency.
         assert_eq!(reports[0].reaction_time_ns, 7.0 * 10.0 + 100.0);
+    }
+
+    #[test]
+    fn deployed_replay_matches_served_replay() {
+        use homunculus_runtime::{Deployment, PipelineServer};
+
+        let (pipeline, stream) = trained_pipeline();
+        let mut server = PipelineServer::new();
+        let a = server
+            .register_pipeline("app_a", pipeline.clone(), None)
+            .unwrap();
+        let b = server
+            .register_pipeline("app_b", pipeline.clone(), None)
+            .unwrap();
+        let harness = StreamHarness::new(TimingModel::fixed(10.0, 100.0));
+        let short = &stream[..33];
+        let served = harness
+            .run_served(&server, &[(a, &stream), (b, short)], 8, 2)
+            .unwrap();
+
+        for workers in [1, 2, 4] {
+            let deployment = Deployment::builder().workers(workers).build();
+            let da = deployment
+                .add_tenant("app_a", pipeline.clone(), None)
+                .unwrap();
+            let db = deployment
+                .add_tenant("app_b", pipeline.clone(), None)
+                .unwrap();
+            let deployed = harness
+                .run_deployed(&deployment, &[(da, &stream), (db, short)], 8)
+                .unwrap();
+            assert_eq!(deployed, served, "workers={workers}");
+            deployment.shutdown();
+        }
+    }
+
+    #[test]
+    fn deployed_replay_validates_inputs() {
+        use homunculus_runtime::Deployment;
+
+        let (pipeline, stream) = trained_pipeline();
+        let deployment = Deployment::builder().build();
+        let id = deployment
+            .add_tenant("app", pipeline.clone(), None)
+            .unwrap();
+        let harness = StreamHarness::new(TimingModel::fixed(1.0, 1.0));
+        assert!(matches!(
+            harness.run_deployed(&deployment, &[], 4),
+            Err(SimError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            harness.run_deployed(&deployment, &[(id, &stream)], 0),
+            Err(SimError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            harness.run_deployed(&deployment, &[(id, &stream[..0])], 4),
+            Err(SimError::InvalidConfig(_))
+        ));
+        // A removed tenant no longer replays.
+        deployment.remove_tenant(id).unwrap();
+        assert!(matches!(
+            harness.run_deployed(&deployment, &[(id, &stream)], 4),
+            Err(SimError::InvalidConfig(_))
+        ));
     }
 
     #[test]

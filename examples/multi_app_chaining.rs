@@ -6,11 +6,13 @@
 //! parallel. Resources are summed regardless of strategy while the
 //! combined throughput follows the min-rule.
 //!
-//! After compiling, the sequential schedule is **served**: every winning
-//! model registers as a tenant of one `PipelineServer` (sharing activation
-//! LUTs), a fresh traffic stream is multiplexed across the tenants on the
-//! integer fixed-point path, and a chained run feeds one app's verdict to
-//! a downstream escalation model — the paper's `a > b` dataflow.
+//! After compiling, the sequential schedule is **deployed**: every winning
+//! model becomes a tenant of one persistent `Deployment` (resident
+//! workers, shared activation LUTs), a fresh traffic stream is multiplexed
+//! across the tenants call after call on the integer fixed-point path —
+//! pool setup paid once, not per call — and a chained run feeds one app's
+//! verdict to an escalation model registered **at runtime** — the paper's
+//! `a > b` dataflow on a switch that never stops.
 //!
 //! Run with: `cargo run --release --example multi_app_chaining`
 
@@ -20,7 +22,8 @@ use homunculus::core::pipeline::{CompiledArtifact, CompilerOptions};
 use homunculus::core::schedule::ScheduleExpr;
 use homunculus::datasets::nslkdd::NslKddGenerator;
 use homunculus::ml::quantize::FixedPoint;
-use homunculus::runtime::{ServeOptions, TenantBatch};
+use homunculus::ml::tensor::Matrix;
+use homunculus::runtime::{Deployment, SchedulePolicy, TenantBatch};
 
 fn spec(name: &str, seed: u64) -> ModelSpec {
     ModelSpec::builder(name)
@@ -80,30 +83,53 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nresources scale with the number of models, not the strategy.");
 
     // ------------------------------------------------------------------
-    // Serve the sequential schedule: all four winners become tenants of
-    // one server, multiplexed over a shared worker pool on the compiled
-    // integer path (raw traffic in; each tenant's own normalizer applies).
+    // Deploy the sequential schedule: all four winners become tenants of
+    // one persistent Deployment — resident workers fed by an ingress
+    // queue, launched once and reused for every serving round below (raw
+    // traffic in; each tenant's own normalizer applies).
     // ------------------------------------------------------------------
-    let server = sequential.build_server()?;
+    let deployment = sequential.build_deployment(
+        Deployment::builder()
+            .workers(4)
+            .queue_depth(16)
+            .policy(SchedulePolicy::RoundRobin),
+    )?;
     println!(
-        "\nserving {} tenants (activation LUTs built: {}, shared hits: {})\n",
-        server.tenant_count(),
-        server.luts().builds(),
-        server.luts().hits(),
+        "\ndeployed {} tenants on {} resident workers (activation LUTs built: {}, shared hits: {})\n",
+        deployment.tenant_count(),
+        deployment.workers(),
+        deployment.luts().builds(),
+        deployment.luts().hits(),
     );
 
     let traffic = NslKddGenerator::new(99).generate(4_000);
-    let batches: Vec<TenantBatch> = sequential
+    let ids: Vec<_> = sequential
         .reports()
         .iter()
-        .map(|report| {
-            let id = server.tenant_id(&report.name).expect("registered tenant");
-            TenantBatch::new(id, traffic.features().clone()).with_oracle(traffic.labels().to_vec())
-        })
+        .map(|report| deployment.tenant_id(&report.name).expect("deployed tenant"))
         .collect();
-    let output = server.serve(&batches, &ServeOptions::default().workers(4))?;
+    // Several serving rounds against the same resident pool — the
+    // call-at-a-time path would pay worker launch on each of these.
+    const ROUNDS: usize = 4;
+    let start = std::time::Instant::now();
+    for _ in 0..ROUNDS {
+        let tickets: Vec<_> = ids
+            .iter()
+            .map(|&id| {
+                deployment.submit(
+                    TenantBatch::new(id, traffic.features().clone())
+                        .with_oracle(traffic.labels().to_vec()),
+                )
+            })
+            .collect::<Result<_, _>>()?;
+        for ticket in tickets {
+            ticket.wait();
+        }
+    }
+    let elapsed = start.elapsed();
+    let snapshot = deployment.stats_snapshot();
     println!("tenant     packets   verdicts[benign, attack]   p50ns  p99ns  label-agreement");
-    for stats in output.stats() {
+    for stats in &snapshot.tenants {
         println!(
             "{:<10} {:>7}   {:<24}   {:>5}  {:>5}  {:.3}",
             stats.name,
@@ -115,18 +141,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!(
-        "aggregate: {} packets in {:.2} ms = {:.0} pkt/s",
-        output.total_packets,
-        output.elapsed_ns as f64 / 1e6,
-        output.aggregate_pps(),
+        "aggregate: {} packets over {} rounds in {:.2} ms = {:.0} pkt/s ({} tickets completed)",
+        snapshot.total_packets(),
+        ROUNDS,
+        elapsed.as_secs_f64() * 1e3,
+        snapshot.total_packets() as f64 / elapsed.as_secs_f64(),
+        snapshot.completed_tickets,
     );
 
     // ------------------------------------------------------------------
-    // Chained execution (the paper's `a > escalation`): a hand-built
-    // escalation SVM takes the 7 base features *plus* tenant a's verdict
-    // and only escalates traffic that app `a` already flagged.
+    // Chained execution (the paper's `a > escalation`) on the *live*
+    // deployment: a hand-built escalation SVM taking the 7 base features
+    // *plus* tenant a's verdict is added at runtime — with a weighted
+    // policy so the latency-critical escalation stage holds a 25%
+    // throughput floor — and stage 2 consumes stage 1's verdicts.
     // ------------------------------------------------------------------
-    let mut server = server;
     let escalation_ir = ModelIr::Svm(SvmIr {
         n_features: 8,
         n_classes: 2,
@@ -138,21 +167,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             vec![-5.0],
         )),
     });
-    let escalation = server.register_model(
+    let escalation = deployment.add_model_with(
         "escalate",
         &escalation_ir,
         FixedPoint::taurus_default(),
         None,
+        SchedulePolicy::weighted(2.0).with_min_share(0.25),
     )?;
-    let first = server.tenant_id("a").expect("tenant a");
-    let staged = server.run_chain(&[first, escalation], traffic.features())?;
-    let flagged = staged[0].iter().filter(|&&v| v == 1).count();
-    let escalated = staged[1].iter().filter(|&&v| v == 1).count();
+
+    // Stage 1: tenant a classifies the raw stream.
+    let flagged_verdicts = deployment
+        .submit(TenantBatch::new(ids[0], traffic.features().clone()))?
+        .wait()
+        .into_vec();
+    // Stage 2: the escalation tenant sees the base features plus stage
+    // 1's verdict in the trailing slot — the `a > b` dataflow.
+    let base = traffic.features();
+    let augmented = Matrix::from_fn(base.rows(), base.cols() + 1, |r, c| {
+        if c < base.cols() {
+            base[(r, c)]
+        } else {
+            flagged_verdicts[r] as f32
+        }
+    });
+    let escalated_verdicts = deployment
+        .submit(TenantBatch::new(escalation, augmented))?
+        .wait()
+        .into_vec();
+    let flagged = flagged_verdicts.iter().filter(|&&v| v == 1).count();
+    let escalated = escalated_verdicts.iter().filter(|&&v| v == 1).count();
     println!(
         "\nchain a >> escalate: {} / {} packets flagged by 'a', {} escalated downstream",
         flagged,
         traffic.len(),
         escalated,
     );
+
+    // Graceful teardown: every accepted ticket has already completed.
+    deployment.drain();
+    deployment.shutdown();
+    println!("deployment drained and shut down; post-shutdown submits are rejected.");
     Ok(())
 }

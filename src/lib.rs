@@ -25,8 +25,10 @@
 //! - [`backends`] — Taurus/Tofino/FPGA resource models and Spatial/P4 codegen.
 //! - [`runtime`] — the compiled fixed-point inference runtime (integer
 //!   execution engines lowered from trained model IRs) and the
-//!   multi-tenant serving layer (`PipelineServer` multiplexing many
-//!   compiled apps over one worker pool with shared activation LUTs).
+//!   multi-tenant serving layer: a persistent `Deployment` with resident
+//!   workers, ticket-based submission, and weighted tenant QoS, plus the
+//!   call-at-a-time `PipelineServer` shim (shared activation LUTs in
+//!   both).
 //! - [`sim`] — cycle-level MapReduce-grid and MAT-pipeline simulators.
 //! - [`core`] — the Alchemy DSL and the compiler pipeline itself.
 //!

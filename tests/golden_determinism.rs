@@ -12,7 +12,9 @@ use homunculus::ml::mlp::MlpArchitecture;
 use homunculus::ml::quantize::FixedPoint;
 use homunculus::ml::tensor::Matrix;
 use homunculus::optimizer::space::{DesignSpace, Parameter};
-use homunculus::runtime::{Compile, PipelineServer, Scratch, ServeOptions, TenantBatch};
+use homunculus::runtime::{
+    Compile, Deployment, PipelineServer, Scratch, ServeOptions, TenantBatch,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
@@ -205,6 +207,81 @@ fn served_multi_tenant_verdicts_fingerprint() {
         assert_eq!(output.stats()[0].packets, 200);
         assert_eq!(output.stats()[1].packets, 200);
         assert_eq!(output.total_packets, 400);
+    }
+}
+
+#[test]
+fn deployed_verdicts_fingerprint_matches_call_at_a_time_path() {
+    // The persistent Deployment must be bit-identical to the
+    // call-at-a-time `PipelineServer::serve` path for the same tenant
+    // batches under any worker count: same handcrafted tenants, same
+    // frozen stream, same pinned checksum (50_483, the PR-3 golden
+    // value). A drift here means the resident-worker redesign leaked
+    // scheduling nondeterminism into results.
+    let ds = NslKddGenerator::new(42).generate(200);
+    let norm = ds.fit_normalizer();
+    let nds = ds.normalized(&norm).unwrap();
+    let format = FixedPoint::taurus_default();
+
+    let mut server = PipelineServer::new();
+    let dnn = server
+        .register_model("dnn_app", &handcrafted_dnn_ir(), format, None)
+        .unwrap();
+    let svm = server
+        .register_model("svm_app", &handcrafted_svm_ir(), format, None)
+        .unwrap();
+    let reference = server
+        .serve(
+            &[
+                TenantBatch::new(dnn, nds.features().clone()),
+                TenantBatch::new(svm, nds.features().clone()),
+            ],
+            &ServeOptions::default(),
+        )
+        .unwrap();
+
+    for workers in [1, 2, 4] {
+        let deployment = Deployment::builder().workers(workers).chunk_rows(7).build();
+        let dnn = deployment
+            .add_model("dnn_app", &handcrafted_dnn_ir(), format, None)
+            .unwrap();
+        let svm = deployment
+            .add_model("svm_app", &handcrafted_svm_ir(), format, None)
+            .unwrap();
+        let tickets = [
+            deployment
+                .submit(TenantBatch::new(dnn, nds.features().clone()))
+                .unwrap(),
+            deployment
+                .submit(TenantBatch::new(svm, nds.features().clone()))
+                .unwrap(),
+        ];
+        let deployed: Vec<Vec<usize>> = tickets
+            .into_iter()
+            .map(|ticket| ticket.wait().into_vec())
+            .collect();
+        assert_eq!(
+            deployed,
+            reference.verdicts(),
+            "workers={workers}: deployed verdicts diverged from the call-at-a-time path"
+        );
+        let checksum: usize = deployed
+            .iter()
+            .enumerate()
+            .map(|(batch, verdicts)| {
+                verdicts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| v * (i + 1) * (batch * 2 + 1))
+                    .sum::<usize>()
+            })
+            .sum();
+        assert_eq!(checksum, 50_483, "deployed verdict checksum drifted");
+        let snapshot = deployment.stats_snapshot();
+        assert_eq!(snapshot.tenants[0].packets, 200);
+        assert_eq!(snapshot.tenants[1].packets, 200);
+        assert_eq!(snapshot.total_packets(), 400);
+        deployment.shutdown();
     }
 }
 
