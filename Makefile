@@ -31,15 +31,18 @@ doc:
 bench:
 	$(CARGO) bench -p homunculus-bench
 
-# Tiny-budget runs of the compiled-runtime, multi-tenant-serving, and
-# persistent-deployment benchmarks; each binary re-reads its JSON and
-# fails unless it parses with all headline fields (serving/deployment
-# also assert verdicts match isolated classify_batch runs, activation
-# LUTs are shared, and weighted dispatch shares stay inside their bound).
+# Tiny-budget runs of the compiled-runtime, multi-tenant-serving,
+# persistent-deployment, and staged-compile benchmarks; each binary
+# re-reads its JSON and fails unless it parses with all headline fields
+# (serving/deployment also assert verdicts match isolated classify_batch
+# runs, activation LUTs are shared, and weighted dispatch shares stay
+# inside their bound; compile_stages also asserts a saved artifact
+# reloads and serves bit-identical verdicts).
 bench-smoke:
 	$(CARGO) run --release -p homunculus-bench --bin runtime_throughput -- --smoke --out BENCH_runtime.json
 	$(CARGO) run --release -p homunculus-bench --bin serving_throughput -- --smoke --out BENCH_serving.json
 	$(CARGO) run --release -p homunculus-bench --bin deployment_throughput -- --smoke --out BENCH_deploy.json
+	$(CARGO) run --release -p homunculus-bench --bin compile_stages -- --smoke --out BENCH_compile.json
 
 examples:
 	$(CARGO) build --release --examples

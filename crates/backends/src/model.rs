@@ -13,6 +13,35 @@ use homunculus_ml::svm::LinearSvm;
 use homunculus_ml::tensor::Matrix;
 use homunculus_ml::tree::{DecisionTreeClassifier, ExportedNode};
 use serde::{Deserialize, Serialize};
+use serde_json::{json, ToJson, Value};
+
+/// Shorthand for the recurring "field missing or mistyped" decode error.
+fn decode_err(context: &str) -> BackendError {
+    BackendError::InvalidModel(format!("model IR decode: {context}"))
+}
+
+/// Decodes a non-negative integer field.
+fn decode_usize(value: &Value, field: &str) -> Result<usize> {
+    value[field]
+        .as_i64()
+        .filter(|&v| v >= 0)
+        .map(|v| v as usize)
+        .ok_or_else(|| decode_err(&format!("needs non-negative integer '{field}'")))
+}
+
+/// Decodes an `f32` array field.
+fn decode_f32s(value: &Value) -> Result<Vec<f32>> {
+    value
+        .as_array()
+        .ok_or_else(|| decode_err("expected a numeric array"))?
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .map(|v| v as f32)
+                .ok_or_else(|| decode_err("array entries must be numeric"))
+        })
+        .collect()
+}
 
 /// One dense layer's trained parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -21,6 +50,28 @@ pub struct LayerParams {
     pub weights: Matrix,
     /// Bias vector, length `output_dim`.
     pub bias: Vec<f32>,
+}
+
+/// JSON document form: `{"weights": <matrix>, "bias": [..]}`.
+impl ToJson for LayerParams {
+    fn to_json(&self) -> Value {
+        json!({ "weights": self.weights, "bias": self.bias })
+    }
+}
+
+impl LayerParams {
+    /// Decodes the [`ToJson`] document form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::InvalidModel`] on malformed fields.
+    pub fn from_json(value: &Value) -> Result<Self> {
+        Ok(LayerParams {
+            weights: Matrix::from_json(&value["weights"])
+                .map_err(|e| BackendError::InvalidModel(e.to_string()))?,
+            bias: decode_f32s(&value["bias"])?,
+        })
+    }
 }
 
 /// A DNN candidate (shape + optional trained layers).
@@ -62,6 +113,34 @@ impl DnnIr {
     pub fn param_count(&self) -> usize {
         self.arch.param_count()
     }
+
+    /// Decodes the [`ToJson`] document form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::InvalidModel`] on malformed fields.
+    pub fn from_json(value: &Value) -> Result<Self> {
+        let arch = MlpArchitecture::from_json(&value["arch"])
+            .map_err(|e| BackendError::InvalidModel(e.to_string()))?;
+        let params = match &value["params"] {
+            Value::Null => None,
+            Value::Array(layers) => Some(
+                layers
+                    .iter()
+                    .map(LayerParams::from_json)
+                    .collect::<Result<Vec<_>>>()?,
+            ),
+            _ => return Err(decode_err("dnn params must be an array or null")),
+        };
+        Ok(DnnIr { arch, params })
+    }
+}
+
+/// JSON document form: `{"arch": <architecture>, "params": [..]|null}`.
+impl ToJson for DnnIr {
+    fn to_json(&self) -> Value {
+        json!({ "arch": self.arch, "params": self.params })
+    }
 }
 
 /// A linear SVM candidate.
@@ -92,6 +171,47 @@ impl SvmIr {
             n_classes: svm.n_classes(),
             planes: Some((svm.weights().to_vec(), svm.biases().to_vec())),
         }
+    }
+
+    /// Decodes the [`ToJson`] document form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::InvalidModel`] on malformed fields.
+    pub fn from_json(value: &Value) -> Result<Self> {
+        let planes = match &value["planes"] {
+            Value::Null => None,
+            planes => {
+                let weights = planes["weights"]
+                    .as_array()
+                    .ok_or_else(|| decode_err("svm planes need a weights array"))?
+                    .iter()
+                    .map(decode_f32s)
+                    .collect::<Result<Vec<_>>>()?;
+                Some((weights, decode_f32s(&planes["biases"])?))
+            }
+        };
+        Ok(SvmIr {
+            n_features: decode_usize(value, "n_features")?,
+            n_classes: decode_usize(value, "n_classes")?,
+            planes,
+        })
+    }
+}
+
+/// JSON document form: `{"n_features", "n_classes", "planes":
+/// {"weights": [[..]..], "biases": [..]}|null}`.
+impl ToJson for SvmIr {
+    fn to_json(&self) -> Value {
+        let planes = match &self.planes {
+            Some((weights, biases)) => json!({ "weights": weights, "biases": biases }),
+            None => Value::Null,
+        };
+        json!({
+            "n_features": self.n_features,
+            "n_classes": self.n_classes,
+            "planes": planes,
+        })
     }
 }
 
@@ -124,6 +244,35 @@ impl KMeansIr {
             centroids: Some(model.centroids().to_vec()),
         }
     }
+
+    /// Decodes the [`ToJson`] document form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::InvalidModel`] on malformed fields.
+    pub fn from_json(value: &Value) -> Result<Self> {
+        let centroids = match &value["centroids"] {
+            Value::Null => None,
+            Value::Array(rows) => Some(rows.iter().map(decode_f32s).collect::<Result<Vec<_>>>()?),
+            _ => return Err(decode_err("kmeans centroids must be an array or null")),
+        };
+        Ok(KMeansIr {
+            k: decode_usize(value, "k")?,
+            n_features: decode_usize(value, "n_features")?,
+            centroids,
+        })
+    }
+}
+
+/// JSON document form: `{"k", "n_features", "centroids": [[..]..]|null}`.
+impl ToJson for KMeansIr {
+    fn to_json(&self) -> Value {
+        json!({
+            "k": self.k,
+            "n_features": self.n_features,
+            "centroids": self.centroids,
+        })
+    }
 }
 
 /// One node of a trained decision tree, arena-indexed with the root at 0.
@@ -145,6 +294,57 @@ pub enum TreeNodeIr {
         /// Arena index of the right child.
         right: usize,
     },
+}
+
+/// JSON document form: `{"leaf": class}` for terminals,
+/// `{"split": {"feature", "threshold", "left", "right"}}` otherwise.
+impl ToJson for TreeNodeIr {
+    fn to_json(&self) -> Value {
+        match self {
+            TreeNodeIr::Leaf { class } => json!({ "leaf": *class }),
+            TreeNodeIr::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => json!({
+                "split": {
+                    "feature": *feature,
+                    "threshold": *threshold,
+                    "left": *left,
+                    "right": *right,
+                },
+            }),
+        }
+    }
+}
+
+impl TreeNodeIr {
+    /// Decodes the [`ToJson`] document form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::InvalidModel`] on malformed fields.
+    pub fn from_json(value: &Value) -> Result<Self> {
+        if let Some(class) = value["leaf"].as_i64().filter(|&c| c >= 0) {
+            return Ok(TreeNodeIr::Leaf {
+                class: class as usize,
+            });
+        }
+        let split = &value["split"];
+        if split.is_null() {
+            return Err(decode_err("tree node must be a leaf or a split"));
+        }
+        Ok(TreeNodeIr::Split {
+            feature: decode_usize(split, "feature")?,
+            threshold: split["threshold"]
+                .as_f64()
+                .ok_or_else(|| decode_err("split needs a numeric threshold"))?
+                as f32,
+            left: decode_usize(split, "left")?,
+            right: decode_usize(split, "right")?,
+        })
+    }
 }
 
 /// A decision-tree candidate (depth drives MAT cost; trained nodes, when
@@ -205,6 +405,54 @@ impl TreeIr {
             n_classes: Some(tree.n_classes()),
             nodes: Some(nodes),
         }
+    }
+
+    /// Decodes the [`ToJson`] document form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::InvalidModel`] on malformed fields.
+    pub fn from_json(value: &Value) -> Result<Self> {
+        let n_classes = match &value["n_classes"] {
+            Value::Null => None,
+            n => Some(
+                n.as_i64()
+                    .filter(|&c| c >= 0)
+                    .map(|c| c as usize)
+                    .ok_or_else(|| decode_err("tree n_classes must be an integer or null"))?,
+            ),
+        };
+        let nodes = match &value["nodes"] {
+            Value::Null => None,
+            Value::Array(nodes) => Some(
+                nodes
+                    .iter()
+                    .map(TreeNodeIr::from_json)
+                    .collect::<Result<Vec<_>>>()?,
+            ),
+            _ => return Err(decode_err("tree nodes must be an array or null")),
+        };
+        Ok(TreeIr {
+            depth: decode_usize(value, "depth")?,
+            n_features: decode_usize(value, "n_features")?,
+            leaves: decode_usize(value, "leaves")?,
+            n_classes,
+            nodes,
+        })
+    }
+}
+
+/// JSON document form: `{"depth", "n_features", "leaves",
+/// "n_classes": n|null, "nodes": [..]|null}`.
+impl ToJson for TreeIr {
+    fn to_json(&self) -> Value {
+        json!({
+            "depth": self.depth,
+            "n_features": self.n_features,
+            "leaves": self.leaves,
+            "n_classes": self.n_classes,
+            "nodes": self.nodes,
+        })
     }
 }
 
@@ -286,6 +534,46 @@ impl ModelIr {
             ModelIr::Dnn(d) => Some(d.arch.activation),
             _ => None,
         }
+    }
+
+    /// Decodes the [`ToJson`] document form (the inverse of the `{"family",
+    /// "model"}` tagging), validating the decoded shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::InvalidModel`] for an unknown family tag,
+    /// malformed fields, or a degenerate decoded shape.
+    pub fn from_json(value: &Value) -> Result<Self> {
+        let family = value["family"]
+            .as_str()
+            .ok_or_else(|| decode_err("needs a family tag"))?;
+        let model = &value["model"];
+        let ir = match family {
+            "dnn" => ModelIr::Dnn(DnnIr::from_json(model)?),
+            "svm" => ModelIr::Svm(SvmIr::from_json(model)?),
+            "kmeans" => ModelIr::KMeans(KMeansIr::from_json(model)?),
+            "decision_tree" => ModelIr::Tree(TreeIr::from_json(model)?),
+            other => return Err(decode_err(&format!("unknown family '{other}'"))),
+        };
+        ir.validate()?;
+        Ok(ir)
+    }
+}
+
+/// JSON document form: `{"family": <name>, "model": <family document>}`
+/// with the family strings of [`ModelIr::family`]. This is the portable
+/// on-disk form of a trained model: a saved artifact's IRs reload through
+/// [`ModelIr::from_json`] and re-lower to the integer runtime bit-exactly
+/// (weights round-trip losslessly through the JSON float syntax).
+impl ToJson for ModelIr {
+    fn to_json(&self) -> Value {
+        let model = match self {
+            ModelIr::Dnn(d) => d.to_json(),
+            ModelIr::Svm(s) => s.to_json(),
+            ModelIr::KMeans(k) => k.to_json(),
+            ModelIr::Tree(t) => t.to_json(),
+        };
+        json!({ "family": self.family(), "model": model })
     }
 }
 
@@ -375,6 +663,62 @@ mod tests {
                 assert!(*left < nodes.len() && *right < nodes.len());
             }
         }
+    }
+
+    #[test]
+    fn every_family_roundtrips_through_json() {
+        use homunculus_ml::mlp::TrainConfig;
+        use homunculus_ml::tree::TreeConfig;
+
+        let x = Matrix::from_rows(&[
+            vec![-1.0, 0.1],
+            vec![-2.0, 0.3],
+            vec![1.0, -0.2],
+            vec![2.0, -0.4],
+        ])
+        .unwrap();
+        let y = [0usize, 0, 1, 1];
+
+        let mut mlp = Mlp::new(&MlpArchitecture::new(2, vec![3], 2), 1).unwrap();
+        mlp.train(&x, &y, &TrainConfig::default().epochs(3))
+            .unwrap();
+        let svm = LinearSvm::fit(&x, &y, 2, &homunculus_ml::svm::SvmConfig::default()).unwrap();
+        let km = KMeans::fit(&x, &KMeansConfig::new(2)).unwrap();
+        let tree = DecisionTreeClassifier::fit(&x, &y, 2, &TreeConfig::default()).unwrap();
+
+        let irs = [
+            ModelIr::Dnn(DnnIr::from_mlp(&mlp)),
+            ModelIr::Dnn(DnnIr::from_architecture(&MlpArchitecture::new(
+                4,
+                vec![2],
+                2,
+            ))),
+            ModelIr::Svm(SvmIr::from_svm(&svm)),
+            ModelIr::Svm(SvmIr::from_shape(3, 2)),
+            ModelIr::KMeans(KMeansIr::from_kmeans(&km, 2)),
+            ModelIr::KMeans(KMeansIr::from_shape(4, 3)),
+            ModelIr::Tree(TreeIr::from_tree(&tree)),
+            ModelIr::Tree(TreeIr::from_shape(3, 2, 4)),
+        ];
+        for ir in irs {
+            let text = serde_json::to_string(&ir.to_json()).unwrap();
+            let decoded = ModelIr::from_json(&serde_json::from_str(&text).unwrap()).unwrap();
+            assert_eq!(ir, decoded, "{} IR drifted through JSON", ir.family());
+        }
+    }
+
+    #[test]
+    fn json_decode_rejects_malformed() {
+        let bad = serde_json::from_str("{\"family\": \"transformer\", \"model\": {}}").unwrap();
+        assert!(ModelIr::from_json(&bad).is_err(), "unknown family");
+        let bad = serde_json::from_str("{\"model\": {}}").unwrap();
+        assert!(ModelIr::from_json(&bad).is_err(), "missing family");
+        // Degenerate decoded shapes are rejected by validate().
+        let bad = serde_json::from_str(
+            "{\"family\": \"svm\", \"model\": {\"n_features\": 0, \"n_classes\": 2, \"planes\": null}}",
+        )
+        .unwrap();
+        assert!(ModelIr::from_json(&bad).is_err(), "degenerate shape");
     }
 
     #[test]

@@ -79,6 +79,39 @@ impl fmt::Display for ResourceVector {
     }
 }
 
+/// JSON document form: a flat `{name: value}` object in name order.
+impl serde_json::ToJson for ResourceVector {
+    fn to_json(&self) -> serde_json::Value {
+        let mut map = serde_json::Map::new();
+        for (name, value) in &self.entries {
+            map.insert(name.clone(), serde_json::json!(*value));
+        }
+        serde_json::Value::Object(map)
+    }
+}
+
+impl ResourceVector {
+    /// Decodes the [`serde_json::ToJson`] document form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::BackendError::InvalidModel`] when `value` is not a
+    /// numeric-valued object.
+    pub fn from_json(value: &serde_json::Value) -> crate::Result<Self> {
+        let map = value.as_object().ok_or_else(|| {
+            crate::BackendError::InvalidModel("resource vector must be an object".into())
+        })?;
+        let mut entries = BTreeMap::new();
+        for (name, quantity) in map.iter() {
+            let quantity = quantity.as_f64().ok_or_else(|| {
+                crate::BackendError::InvalidModel(format!("resource '{name}' must be numeric"))
+            })?;
+            entries.insert(name.clone(), quantity);
+        }
+        Ok(ResourceVector { entries })
+    }
+}
+
 /// Performance envelope of a mapped model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Performance {
@@ -88,6 +121,36 @@ pub struct Performance {
     pub latency_ns: f64,
 }
 
+/// JSON document form: `{"throughput_gpps", "latency_ns"}`.
+impl serde_json::ToJson for Performance {
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "throughput_gpps": self.throughput_gpps,
+            "latency_ns": self.latency_ns,
+        })
+    }
+}
+
+impl Performance {
+    /// Decodes the [`serde_json::ToJson`] document form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::BackendError::InvalidModel`] on missing or
+    /// non-numeric fields.
+    pub fn from_json(value: &serde_json::Value) -> crate::Result<Self> {
+        let field = |name: &str| {
+            value[name].as_f64().ok_or_else(|| {
+                crate::BackendError::InvalidModel(format!("performance needs numeric {name}"))
+            })
+        };
+        Ok(Performance {
+            throughput_gpps: field("throughput_gpps")?,
+            latency_ns: field("latency_ns")?,
+        })
+    }
+}
+
 /// A backend's full estimate for one model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ResourceEstimate {
@@ -95,6 +158,30 @@ pub struct ResourceEstimate {
     pub resources: ResourceVector,
     /// Performance envelope.
     pub performance: Performance,
+}
+
+/// JSON document form: `{"resources": {..}, "performance": {..}}`.
+impl serde_json::ToJson for ResourceEstimate {
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "resources": self.resources,
+            "performance": self.performance,
+        })
+    }
+}
+
+impl ResourceEstimate {
+    /// Decodes the [`serde_json::ToJson`] document form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::BackendError::InvalidModel`] on malformed fields.
+    pub fn from_json(value: &serde_json::Value) -> crate::Result<Self> {
+        Ok(ResourceEstimate {
+            resources: ResourceVector::from_json(&value["resources"])?,
+            performance: Performance::from_json(&value["performance"])?,
+        })
+    }
 }
 
 /// Network + resource constraints from the Alchemy program.

@@ -1,0 +1,271 @@
+//! Per-stage compile benchmark of the staged `Compiler` session.
+//!
+//! Runs the AD workload through `open -> search -> train -> check ->
+//! codegen`, timing every stage with the session's own
+//! `StageFinished` events (cross-checked against wall-clock around the
+//! stage calls), and writes `BENCH_compile.json`:
+//!
+//! - per-stage wall-clock (`search_ns` .. `codegen_ns`) and the search
+//!   stage's **BO iterations/second** (the compile-throughput headline),
+//! - the event-stream accounting (one `CandidateEvaluated` per BO
+//!   evaluation — asserted against the recorded histories),
+//! - an artifact **portability check**: the artifact is saved to JSON,
+//!   reloaded, and both copies must serve bit-identical verdicts through
+//!   `build_deployment` (asserted, not just reported).
+//!
+//! Run with: `cargo run --release -p homunculus-bench --bin compile_stages`
+//! Flags: `--budget N`, `--samples N`, `--out PATH`, `--smoke`.
+
+use homunculus_bench::{banner, taurus_platform};
+use homunculus_core::alchemy::Metric;
+use homunculus_core::pipeline::{CompiledArtifact, CompilerOptions};
+use homunculus_core::session::{CollectingObserver, CompileEvent, CompileStage, Compiler};
+use homunculus_datasets::nslkdd::NslKddGenerator;
+use homunculus_ml::tensor::Matrix;
+use homunculus_runtime::{Deployment, TenantBatch};
+use serde_json::json;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Args {
+    budget: usize,
+    samples: usize,
+    out: String,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        budget: 20,
+        samples: 4_000,
+        out: "BENCH_compile.json".into(),
+        smoke: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--budget" => {
+                args.budget = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .expect("--budget takes a positive integer");
+            }
+            "--samples" => {
+                args.samples = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 100)
+                    .expect("--samples takes an integer >= 100");
+            }
+            "--out" => args.out = iter.next().expect("--out takes a path"),
+            "--smoke" => args.smoke = true,
+            other => panic!("unknown flag {other} (expected --budget/--samples/--out/--smoke)"),
+        }
+    }
+    if args.smoke {
+        args.budget = args.budget.min(5);
+        args.samples = args.samples.min(800);
+    }
+    args
+}
+
+/// Sum of whole-stage (model: None) `StageFinished` timings for `stage`.
+fn stage_ns(events: &[CompileEvent], stage: CompileStage) -> u64 {
+    events
+        .iter()
+        .filter_map(|event| match event {
+            CompileEvent::StageFinished {
+                stage: s,
+                model: None,
+                elapsed_ns,
+            } if *s == stage => Some(*elapsed_ns),
+            _ => None,
+        })
+        .sum()
+}
+
+/// Serves a fixed probe stream through a fresh 2-worker deployment built
+/// from `artifact` and returns the per-tenant verdicts.
+fn probe_verdicts(artifact: &CompiledArtifact, stream: &Matrix) -> Vec<Vec<usize>> {
+    let deployment = artifact
+        .build_deployment(Deployment::builder().workers(2).chunk_rows(16))
+        .expect("artifact deploys");
+    let tickets: Vec<_> = artifact
+        .reports()
+        .iter()
+        .map(|report| {
+            let tenant = deployment.tenant_id(&report.name).expect("tenant deployed");
+            deployment
+                .submit(TenantBatch::new(tenant, stream.clone()))
+                .expect("submit accepted")
+        })
+        .collect();
+    let verdicts = tickets
+        .into_iter()
+        .map(|ticket| ticket.wait().into_vec())
+        .collect();
+    deployment.shutdown();
+    verdicts
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args();
+    banner("staged compile: per-stage wall-clock + BO iterations/sec");
+
+    let options = CompilerOptions {
+        bo_budget: args.budget,
+        doe_samples: 5.min(args.budget),
+        train_epochs: if args.smoke { 8 } else { 30 },
+        final_epochs: if args.smoke { 15 } else { 60 },
+        sample_cap: Some(2_000),
+        parallel: true,
+        seed: 0,
+    };
+    let platform = taurus_platform(
+        "anomaly_detection",
+        Metric::F1,
+        NslKddGenerator::new(7).generate(args.samples),
+    )?;
+
+    // Staged compile under a collecting observer; wall-clock measured
+    // around each stage call as an independent cross-check of the
+    // session's own StageFinished timings.
+    let observer = Arc::new(CollectingObserver::new());
+    let session = Compiler::new(options)
+        .observe(observer.clone())
+        .open(&platform)?;
+
+    let t0 = Instant::now();
+    let searched = session.search()?;
+    let search_wall_ns = t0.elapsed().as_nanos() as u64;
+    let bo_iterations = searched.evaluations();
+
+    let t1 = Instant::now();
+    let trained = searched.train()?;
+    let train_wall_ns = t1.elapsed().as_nanos() as u64;
+
+    let t2 = Instant::now();
+    let feasible = trained.check()?;
+    let check_wall_ns = t2.elapsed().as_nanos() as u64;
+
+    let t3 = Instant::now();
+    let artifact = feasible.codegen()?;
+    let codegen_wall_ns = t3.elapsed().as_nanos() as u64;
+
+    let events = observer.events();
+    let search_ns = stage_ns(&events, CompileStage::Search);
+    let train_ns = stage_ns(&events, CompileStage::Train);
+    let check_ns = stage_ns(&events, CompileStage::Check);
+    let codegen_ns = stage_ns(&events, CompileStage::Codegen);
+    let total_ns = search_ns + train_ns + check_ns + codegen_ns;
+    let bo_iters_per_sec = bo_iterations as f64 / (search_ns.max(1) as f64 / 1e9);
+
+    // Event accounting: one CandidateEvaluated per recorded history point.
+    let candidate_events = events
+        .iter()
+        .filter(|e| matches!(e, CompileEvent::CandidateEvaluated { .. }))
+        .count();
+    assert_eq!(
+        candidate_events, bo_iterations,
+        "observer saw {candidate_events} CandidateEvaluated events for {bo_iterations} \
+         recorded BO evaluations"
+    );
+    // The session's own timing must bracket reality: each stage's event
+    // timing can never exceed the wall-clock around the stage call.
+    for (label, event_ns, wall_ns) in [
+        ("search", search_ns, search_wall_ns),
+        ("train", train_ns, train_wall_ns),
+        ("check", check_ns, check_wall_ns),
+        ("codegen", codegen_ns, codegen_wall_ns),
+    ] {
+        assert!(
+            event_ns <= wall_ns,
+            "{label}: StageFinished timing {event_ns} ns exceeds wall-clock {wall_ns} ns"
+        );
+    }
+
+    println!("stage     wall-clock");
+    for (label, ns) in [
+        ("search", search_ns),
+        ("train", train_ns),
+        ("check", check_ns),
+        ("codegen", codegen_ns),
+    ] {
+        println!("{label:<8}  {:>10.3} ms", ns as f64 / 1e6);
+    }
+    println!(
+        "\n{bo_iterations} BO iterations in {:.3} s = {bo_iters_per_sec:.2} iters/s",
+        search_ns as f64 / 1e9
+    );
+
+    // Portability: save -> load -> deploy; verdicts must be bit-identical
+    // to the in-process artifact on a fixed probe stream.
+    let path = std::env::temp_dir().join("homunculus_bench_compile.artifact.json");
+    artifact.save_json(&path)?;
+    let artifact_bytes = std::fs::metadata(&path)?.len();
+    let reloaded = CompiledArtifact::load_json(&path)?;
+    let probe = Matrix::from_fn(256, 7, |r, c| ((r * 7 + c) % 23) as f32 * 0.2 - 2.0);
+    let in_process = probe_verdicts(&artifact, &probe);
+    let from_disk = probe_verdicts(&reloaded, &probe);
+    assert_eq!(
+        in_process, from_disk,
+        "reloaded artifact served different verdicts than the in-process one"
+    );
+    println!(
+        "portability: {} byte artifact reloads and serves bit-identical verdicts",
+        artifact_bytes
+    );
+
+    let best = artifact.best();
+    let report = json!({
+        "benchmark": "compile_stages",
+        "mode": if args.smoke { "smoke" } else { "full" },
+        "bo_budget": args.budget,
+        "samples": args.samples,
+        "stages": {
+            "search_ns": search_ns,
+            "train_ns": train_ns,
+            "check_ns": check_ns,
+            "codegen_ns": codegen_ns,
+            "total_ns": total_ns,
+        },
+        "bo_iterations": bo_iterations,
+        "bo_iters_per_sec": bo_iters_per_sec,
+        "candidate_events": candidate_events,
+        "objective": best.objective,
+        "algorithm": best.algorithm.name(),
+        "artifact_bytes": artifact_bytes,
+        "roundtrip_bit_identical": true,
+        "partial": artifact.is_partial(),
+    });
+    let text = serde_json::to_string_pretty(&report)?;
+    std::fs::write(&args.out, &text)?;
+    println!("\nwrote {}", args.out);
+
+    // Self-check: the emitted file must parse back and carry the headline
+    // numbers (this is what `make bench-smoke` gates on).
+    let parsed = serde_json::from_str(&std::fs::read_to_string(&args.out)?)
+        .map_err(|e| format!("{}: invalid JSON: {e:?}", args.out))?;
+    for key in [
+        "stages",
+        "bo_iterations",
+        "bo_iters_per_sec",
+        "objective",
+        "roundtrip_bit_identical",
+    ] {
+        match &parsed {
+            serde_json::Value::Object(map) => {
+                assert!(map.contains_key(key), "{}: missing key {key}", args.out)
+            }
+            _ => panic!("{}: expected a JSON object", args.out),
+        }
+    }
+    assert!(
+        parsed["stages"]["search_ns"].as_f64().unwrap_or(0.0) > 0.0,
+        "{}: search stage reported zero time",
+        args.out
+    );
+    println!("{} parses and carries all headline fields", args.out);
+    Ok(())
+}

@@ -123,6 +123,9 @@ fn run_spawn_per_call(
     let start = Instant::now();
     let mut verdicts = Vec::new();
     for call in 0..calls {
+        // The deprecated spawn-per-call shim is this run's baseline —
+        // exactly the cost the persistent deployment amortizes away.
+        #[allow(deprecated)]
         let output = server.serve(&batches, &options).expect("serve succeeds");
         if call == 0 {
             verdicts = output.into_verdicts();

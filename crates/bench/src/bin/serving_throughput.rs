@@ -121,6 +121,10 @@ fn run_spawn_per_call(irs: &[ModelIr], stream: &Matrix, workers: usize) -> RunOu
         .map(|&id| TenantBatch::new(id, stream.clone()))
         .collect();
     let options = ServeOptions::default().workers(workers);
+    // Benchmarking the deprecated call-at-a-time shim IS this run's
+    // purpose: it is the spawn-per-call baseline the persistent path is
+    // compared against.
+    #[allow(deprecated)]
     let output = server.serve(&batches, &options).expect("serve succeeds");
 
     let served: Vec<_> = output.stats().iter().filter(|s| s.packets > 0).collect();

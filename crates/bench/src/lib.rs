@@ -24,7 +24,8 @@
 
 use homunculus_backends::model::{DnnIr, ModelIr};
 use homunculus_core::alchemy::{Algorithm, Metric, ModelSpec, Platform};
-use homunculus_core::pipeline::{generate_with, CompiledArtifact, CompilerOptions};
+use homunculus_core::pipeline::{CompiledArtifact, CompilerOptions};
+use homunculus_core::session::Compiler;
 use homunculus_core::CoreError;
 use homunculus_dataplane::histogram::FlowmarkerConfig;
 use homunculus_datasets::dataset::{Dataset, Normalizer};
@@ -197,18 +198,17 @@ pub fn train_baseline(
     })
 }
 
-/// Runs the Homunculus compiler on an application dataset targeting a
-/// Taurus switch with the paper's constraints (1 GPkt/s, 500 ns, 16x16).
+/// Builds the paper's standard Taurus platform (1 GPkt/s, 500 ns, 16x16)
+/// with one scheduled DNN application.
 ///
 /// # Errors
 ///
-/// Propagates compiler errors.
-pub fn compile_on_taurus(
+/// Propagates spec/schedule validation errors.
+pub fn taurus_platform(
     name: &str,
     metric: Metric,
     dataset: Dataset,
-    options: &CompilerOptions,
-) -> Result<CompiledArtifact, CoreError> {
+) -> Result<Platform, CoreError> {
     let model = ModelSpec::builder(name)
         .optimization_metric(metric)
         .algorithm(Algorithm::Dnn)
@@ -221,7 +221,24 @@ pub fn compile_on_taurus(
         .latency_ns(500.0)
         .grid(16, 16);
     platform.schedule(model)?;
-    generate_with(&platform, options)
+    Ok(platform)
+}
+
+/// Runs the Homunculus compiler on an application dataset targeting a
+/// Taurus switch with the paper's constraints (1 GPkt/s, 500 ns, 16x16),
+/// through a staged [`Compiler`] session.
+///
+/// # Errors
+///
+/// Propagates compiler errors.
+pub fn compile_on_taurus(
+    name: &str,
+    metric: Metric,
+    dataset: Dataset,
+    options: &CompilerOptions,
+) -> Result<CompiledArtifact, CoreError> {
+    let platform = taurus_platform(name, metric, dataset)?;
+    Compiler::new(*options).open(&platform)?.compile()
 }
 
 /// The experiment-scale compiler options (Figure 4's ~20 iterations).

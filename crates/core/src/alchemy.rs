@@ -48,6 +48,17 @@ impl Metric {
             Metric::VMeasure => "v_measure",
         }
     }
+
+    /// The inverse of [`Metric::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "f1" => Some(Metric::F1),
+            "macro_f1" => Some(Metric::MacroF1),
+            "accuracy" => Some(Metric::Accuracy),
+            "v_measure" => Some(Metric::VMeasure),
+            _ => None,
+        }
+    }
 }
 
 /// ML algorithm families the search may draw from.
@@ -80,6 +91,11 @@ impl Algorithm {
             Algorithm::KMeans => "kmeans",
             Algorithm::DecisionTree => "decision_tree",
         }
+    }
+
+    /// The inverse of [`Algorithm::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        Algorithm::ALL.into_iter().find(|a| a.name() == name)
     }
 }
 

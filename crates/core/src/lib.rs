@@ -12,13 +12,21 @@
 //! 2. objectives (the optimization metric, e.g. F1), and
 //! 3. a platform with constraints (throughput, latency, resources).
 //!
-//! [`generate`] then searches model architectures, trains candidates,
-//! rejects configurations that violate the platform budget, and emits
-//! code for the winner.
+//! Compilation runs as a staged [`session::Compiler`] session —
+//! [`session::Session::search`] → [`session::Searched::train`] →
+//! [`session::Trained::check`] → [`session::Feasible::codegen`] — with an
+//! observable event stream ([`session::CompileObserver`]), cooperative
+//! cancellation ([`session::CancelToken`], best-so-far partial artifacts),
+//! and portable results
+//! ([`pipeline::CompiledArtifact::save_json`] /
+//! [`pipeline::CompiledArtifact::load_json`]). [`generate`] and
+//! [`generate_with`] are thin shims over a default session that run every
+//! stage back to back.
 //!
 //! ```no_run
 //! use homunculus_core::alchemy::{Metric, ModelSpec, Platform};
 //! use homunculus_core::pipeline::CompilerOptions;
+//! use homunculus_core::session::Compiler;
 //! use homunculus_datasets::nslkdd::NslKddGenerator;
 //!
 //! # fn main() -> Result<(), homunculus_core::CoreError> {
@@ -36,9 +44,13 @@
 //!     .grid(16, 16);
 //! platform.schedule(model)?;
 //!
-//! let artifact = homunculus_core::generate_with(&platform, &CompilerOptions::fast())?;
+//! // Staged: inspect candidate sets before committing to the retrain.
+//! let searched = Compiler::new(CompilerOptions::fast()).open(&platform)?.search()?;
+//! println!("{} BO evaluations", searched.evaluations());
+//! let artifact = searched.train()?.check()?.codegen()?;
 //! println!("best objective: {:.3}", artifact.best().objective);
 //! println!("{}", artifact.code());
+//! artifact.save_json("anomaly_detection.artifact.json")?;
 //! # Ok(())
 //! # }
 //! ```
@@ -48,6 +60,7 @@ pub mod candidates;
 pub mod fusion;
 pub mod pipeline;
 pub mod schedule;
+pub mod session;
 pub mod spaces;
 pub mod trainer;
 
@@ -55,6 +68,7 @@ use std::error::Error;
 use std::fmt;
 
 pub use pipeline::{generate, generate_with};
+pub use session::{CancelToken, CompileEvent, CompileObserver, CompileStage, Compiler};
 
 /// Errors produced by the compiler.
 #[derive(Debug, Clone, PartialEq)]

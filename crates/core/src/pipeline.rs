@@ -1,32 +1,28 @@
-//! The compiler driver: Figure 2's optimization core + backend generation.
+//! Compiler options, model reports, and the compiled artifact.
 //!
-//! For every scheduled model the driver runs **parallel candidate runs**
-//! (one BO search per surviving algorithm, mirroring the paper's parallel
-//! exploration of candidate models), where each BO evaluation is:
-//!
-//! 1. decode the suggested configuration and **train** it (`trainer`),
-//! 2. lower to IR and **estimate** resources/performance on the target,
-//! 3. **check feasibility** against the platform constraints,
-//! 4. report `(objective, feasible, metrics)` back to the optimizer.
-//!
-//! After the searches, the best feasible candidate wins; it is retrained
-//! with the final epoch budget and handed to the backend code generator.
+//! The compile pipeline itself — search → train → feasibility-check →
+//! codegen (Figure 2's optimization core + backend generation) — lives in
+//! [`crate::session`] as a staged [`Compiler`] session. This module holds
+//! what flows *out* of it: per-model
+//! [`ModelReport`]s, the [`CompiledArtifact`] (with its portable JSON
+//! form — compile once, serve forever), and the one-shot [`generate`] /
+//! [`generate_with`] entry points, which are thin shims over a default
+//! session and produce bit-identical artifacts.
 
-use crate::alchemy::{Algorithm, Metric, ModelSpec, Platform};
-use crate::candidates::candidate_algorithms;
-use crate::spaces::design_space_for;
-use crate::trainer::{normalized_split, normalized_split_with, train_candidate, TrainBudget};
+use crate::alchemy::{Algorithm, Metric, Platform};
+use crate::session::Compiler;
 use crate::{CoreError, Result};
 use homunculus_backends::model::ModelIr;
-use homunculus_backends::resources::{Constraints, Performance, ResourceEstimate, ResourceVector};
-use homunculus_datasets::dataset::{Normalizer, Split};
+use homunculus_backends::resources::{Performance, ResourceEstimate, ResourceVector};
+use homunculus_datasets::dataset::Normalizer;
 use homunculus_ml::quantize::FixedPoint;
 use homunculus_optimizer::space::Configuration;
-use homunculus_optimizer::{BayesianOptimizer, Evaluation, OptimizationHistory, OptimizerOptions};
+use homunculus_optimizer::OptimizationHistory;
 use homunculus_runtime::{
     Compile, CompiledPipeline, Deployment, DeploymentBuilder, PipelineServer,
 };
 use serde::{Deserialize, Serialize};
+use serde_json::{json, ToJson, Value};
 
 /// Compiler knobs: search/training budgets and reproducibility.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -117,9 +113,15 @@ pub struct ModelReport {
     pub estimate: ResourceEstimate,
     /// The final trained model IR.
     pub ir: ModelIr,
-    /// The IR lowered to the integer fixed-point execution engine
-    /// (Q3.12, the Taurus word format) — what actually runs per packet.
-    /// `None` only if lowering failed, which a trained IR should never do.
+    /// The fixed-point format `compiled` was lowered with (Q3.12, the
+    /// Taurus word format, unless a future codegen stage chooses
+    /// otherwise). Recorded in the portable JSON form so a reloaded
+    /// artifact re-lowers with the *same* quantization — bit-identical
+    /// verdicts — even if the workspace default ever changes.
+    pub format: FixedPoint,
+    /// The IR lowered to the integer fixed-point execution engine —
+    /// what actually runs per packet. `None` only if lowering failed,
+    /// which a trained IR should never do.
     pub compiled: Option<CompiledPipeline>,
     /// The feature normalizer the final model was trained under; fresh
     /// traffic must be normalized with it before `compiled.classify`.
@@ -132,6 +134,117 @@ pub struct ModelReport {
     pub algorithm_histories: Vec<(Algorithm, OptimizationHistory)>,
 }
 
+/// JSON document form of a report. The executable `compiled` pipeline is
+/// **not** serialized: it is a pure function of the IR and is re-lowered
+/// on load, so a reloaded report classifies bit-identically to the
+/// in-process one without pinning the runtime's internal layout into the
+/// wire format.
+impl ToJson for ModelReport {
+    fn to_json(&self) -> Value {
+        let algorithm_histories: Vec<Value> = self
+            .algorithm_histories
+            .iter()
+            .map(
+                |(algorithm, history)| json!({ "algorithm": algorithm.name(), "history": history }),
+            )
+            .collect();
+        json!({
+            "name": self.name,
+            "algorithm": self.algorithm.name(),
+            "objective": self.objective,
+            "metric": self.metric.name(),
+            "configuration": self.configuration,
+            "estimate": self.estimate,
+            "ir": self.ir,
+            "fixed_point": {
+                "int_bits": self.format.int_bits(),
+                "frac_bits": self.format.frac_bits(),
+            },
+            "normalizer": self.normalizer,
+            "code": self.code,
+            "history": self.history,
+            "algorithm_histories": algorithm_histories,
+        })
+    }
+}
+
+impl ModelReport {
+    /// Decodes the [`ToJson`] document form, re-lowering the IR to the
+    /// integer runtime (so `compiled` is ready to classify).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Subsystem`] on malformed fields.
+    pub fn from_json(value: &Value) -> Result<Self> {
+        let text = |field: &str| {
+            value[field]
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| CoreError::Subsystem(format!("report needs string '{field}'")))
+        };
+        let algorithm = Algorithm::from_name(&text("algorithm")?)
+            .ok_or_else(|| CoreError::Subsystem("unknown algorithm name in report".into()))?;
+        let metric = Metric::from_name(&text("metric")?)
+            .ok_or_else(|| CoreError::Subsystem("unknown metric name in report".into()))?;
+        let objective = value["objective"]
+            .as_f64()
+            .ok_or_else(|| CoreError::Subsystem("report needs numeric objective".into()))?;
+        let ir = ModelIr::from_json(&value["ir"])?;
+        let normalizer = Normalizer::from_json(&value["normalizer"])?;
+        let algorithm_histories = value["algorithm_histories"]
+            .as_array()
+            .ok_or_else(|| CoreError::Subsystem("report needs algorithm_histories".into()))?
+            .iter()
+            .map(|entry| {
+                let algorithm = entry["algorithm"]
+                    .as_str()
+                    .and_then(Algorithm::from_name)
+                    .ok_or_else(|| {
+                        CoreError::Subsystem("unknown algorithm in history entry".into())
+                    })?;
+                Ok((
+                    algorithm,
+                    OptimizationHistory::from_json(&entry["history"])?,
+                ))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        // The lowering format travels with the report: re-lowering with
+        // anything else would quantize differently from the pipeline
+        // that produced the artifact's verdicts.
+        let fixed_point = &value["fixed_point"];
+        let bits = |field: &str| {
+            fixed_point[field]
+                .as_i64()
+                .filter(|&b| b >= 0)
+                .map(|b| b as u32)
+                .ok_or_else(|| CoreError::Subsystem(format!("report needs fixed_point.{field}")))
+        };
+        let format = FixedPoint::new(bits("int_bits")?, bits("frac_bits")?)
+            .map_err(|e| CoreError::Subsystem(format!("invalid fixed_point format: {e}")))?;
+        // Re-lower: the compiled pipeline is derived state, rebuilt from
+        // the decoded IR exactly as the codegen stage built it.
+        let compiled = ir.compile(format).ok();
+        Ok(ModelReport {
+            name: text("name")?,
+            algorithm,
+            objective,
+            metric,
+            configuration: Configuration::from_json(&value["configuration"])?,
+            estimate: ResourceEstimate::from_json(&value["estimate"])?,
+            ir,
+            format,
+            compiled,
+            normalizer,
+            code: text("code")?,
+            history: OptimizationHistory::from_json(&value["history"])?,
+            algorithm_histories,
+        })
+    }
+}
+
+/// Version tag written into every artifact document.
+const ARTIFACT_FORMAT: &str = "homunculus.artifact/v1";
+
 /// The full compile result: per-model reports + combined code/envelope.
 #[derive(Debug, Clone)]
 pub struct CompiledArtifact {
@@ -139,9 +252,27 @@ pub struct CompiledArtifact {
     combined_resources: ResourceVector,
     combined_performance: Performance,
     combined_code: String,
+    partial: bool,
 }
 
 impl CompiledArtifact {
+    /// Assembles an artifact from the codegen stage's outputs.
+    pub(crate) fn assemble(
+        reports: Vec<ModelReport>,
+        combined_resources: ResourceVector,
+        combined_performance: Performance,
+        combined_code: String,
+        partial: bool,
+    ) -> Self {
+        CompiledArtifact {
+            reports,
+            combined_resources,
+            combined_performance,
+            combined_code,
+            partial,
+        }
+    }
+
     /// Per-model reports, in schedule order.
     pub fn reports(&self) -> &[ModelReport] {
         &self.reports
@@ -157,6 +288,14 @@ impl CompiledArtifact {
         self.reports.iter().find(|r| r.name == name)
     }
 
+    /// Whether the producing session was cancelled: the reports hold the
+    /// best models found *before* cancellation (fewer BO iterations than
+    /// budgeted), fully trained and servable, rather than the completed
+    /// search's winners.
+    pub fn is_partial(&self) -> bool {
+        self.partial
+    }
+
     /// Total resources across the schedule (Table 3's accounting).
     pub fn combined_resources(&self) -> &ResourceVector {
         &self.combined_resources
@@ -170,6 +309,99 @@ impl CompiledArtifact {
     /// The generated data-plane source (all models concatenated).
     pub fn code(&self) -> &str {
         &self.combined_code
+    }
+
+    /// Serializes the artifact to a pretty-printed JSON string — the
+    /// portable form: everything needed to serve (IRs, normalizers,
+    /// generated code, histories) survives; the executable pipelines are
+    /// re-lowered on load and classify bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Subsystem`] on serialization failure.
+    pub fn to_json_string(&self) -> Result<String> {
+        serde_json::to_string_pretty(&self.to_json())
+            .map_err(|e| CoreError::Subsystem(format!("serializing artifact: {e}")))
+    }
+
+    /// Decodes an artifact from its
+    /// [`to_json_string`](CompiledArtifact::to_json_string) form,
+    /// re-lowering every report's IR so the artifact is immediately
+    /// servable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Subsystem`] on parse failure, an unknown
+    /// format tag, or malformed fields.
+    pub fn from_json_str(text: &str) -> Result<Self> {
+        let value = serde_json::from_str(text)
+            .map_err(|e| CoreError::Subsystem(format!("parsing artifact: {e}")))?;
+        CompiledArtifact::from_json(&value)
+    }
+
+    /// Decodes an artifact document. See
+    /// [`from_json_str`](CompiledArtifact::from_json_str).
+    ///
+    /// # Errors
+    ///
+    /// As [`from_json_str`](CompiledArtifact::from_json_str).
+    pub fn from_json(value: &Value) -> Result<Self> {
+        let format = value["format"].as_str().unwrap_or("<missing>");
+        if format != ARTIFACT_FORMAT {
+            return Err(CoreError::Subsystem(format!(
+                "unsupported artifact format '{format}' (expected '{ARTIFACT_FORMAT}')"
+            )));
+        }
+        let reports = value["reports"]
+            .as_array()
+            .ok_or_else(|| CoreError::Subsystem("artifact needs a reports array".into()))?
+            .iter()
+            .map(ModelReport::from_json)
+            .collect::<Result<Vec<_>>>()?;
+        if reports.is_empty() {
+            return Err(CoreError::Subsystem(
+                "artifact carries no model reports".into(),
+            ));
+        }
+        Ok(CompiledArtifact {
+            reports,
+            combined_resources: ResourceVector::from_json(&value["combined_resources"])?,
+            combined_performance: Performance::from_json(&value["combined_performance"])?,
+            combined_code: value["combined_code"]
+                .as_str()
+                .ok_or_else(|| CoreError::Subsystem("artifact needs combined_code".into()))?
+                .to_string(),
+            partial: value["partial"].as_bool().unwrap_or(false),
+        })
+    }
+
+    /// Writes the artifact as JSON to `path` — compile once, serve
+    /// forever: a later process reloads it with
+    /// [`load_json`](CompiledArtifact::load_json) and drives
+    /// [`build_deployment`](CompiledArtifact::build_deployment) with
+    /// bit-identical verdicts, no recompilation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Subsystem`] on serialization or I/O failure.
+    pub fn save_json<P: AsRef<std::path::Path>>(&self, path: P) -> Result<()> {
+        let path = path.as_ref();
+        std::fs::write(path, self.to_json_string()?).map_err(|e| {
+            CoreError::Subsystem(format!("writing artifact to {}: {e}", path.display()))
+        })
+    }
+
+    /// Reads an artifact saved with [`save_json`](CompiledArtifact::save_json).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Subsystem`] on I/O or decode failure.
+    pub fn load_json<P: AsRef<std::path::Path>>(path: P) -> Result<Self> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            CoreError::Subsystem(format!("reading artifact from {}: {e}", path.display()))
+        })?;
+        CompiledArtifact::from_json_str(&text)
     }
 
     /// Builds a multi-tenant [`PipelineServer`] from the schedule's
@@ -193,7 +425,7 @@ impl CompiledArtifact {
                 .register_model(
                     &report.name,
                     &report.ir,
-                    FixedPoint::taurus_default(),
+                    report.format,
                     Some(report.normalizer.clone()),
                 )
                 .map_err(|e| {
@@ -230,7 +462,7 @@ impl CompiledArtifact {
                 .add_model(
                     &report.name,
                     &report.ir,
-                    FixedPoint::taurus_default(),
+                    report.format,
                     Some(report.normalizer.clone()),
                 )
                 .map_err(|e| {
@@ -241,6 +473,21 @@ impl CompiledArtifact {
                 })?;
         }
         Ok(deployment)
+    }
+}
+
+/// JSON document form: `{"format", "partial", "reports": [..],
+/// "combined_resources", "combined_performance", "combined_code"}`.
+impl ToJson for CompiledArtifact {
+    fn to_json(&self) -> Value {
+        json!({
+            "format": ARTIFACT_FORMAT,
+            "partial": self.partial,
+            "reports": self.reports,
+            "combined_resources": self.combined_resources,
+            "combined_performance": self.combined_performance,
+            "combined_code": self.combined_code,
+        })
     }
 }
 
@@ -255,7 +502,12 @@ pub fn generate(platform: &Platform) -> Result<CompiledArtifact> {
 }
 
 /// Compiles a platform: search + train + feasibility-check + codegen for
-/// every scheduled model.
+/// every scheduled model. This is a thin shim over a default
+/// [`Compiler`] session running all four stages
+/// back to back — staged compiles with the same options produce
+/// bit-identical artifacts (stage boundaries never touch an RNG stream);
+/// use a session directly for observability, cancellation, or
+/// between-stage inspection.
 ///
 /// # Errors
 ///
@@ -264,339 +516,13 @@ pub fn generate(platform: &Platform) -> Result<CompiledArtifact> {
 /// - [`CoreError::NoFeasibleModel`] when the search budget ends with no
 ///   feasible configuration.
 pub fn generate_with(platform: &Platform, options: &CompilerOptions) -> Result<CompiledArtifact> {
-    let schedule = platform
-        .schedule_expr()
-        .ok_or_else(|| CoreError::InvalidProgram("platform has no scheduled models".into()))?;
-    let specs = schedule.models();
-
-    // Multiple models share the device: each gets an equal slice of the
-    // resource budget (the Table 4 experiment: "they are each allocated
-    // half of the switch's resources").
-    let share = specs.len().max(1) as f64;
-    let constraints = scaled_constraints(&platform.effective_constraints(), share);
-
-    let mut reports = Vec::with_capacity(specs.len());
-    for (index, spec) in specs.iter().enumerate() {
-        let report = compile_model(spec, platform, &constraints, options, index as u64)?;
-        reports.push(report);
-    }
-
-    let resources: Vec<ResourceVector> = reports
-        .iter()
-        .map(|r| r.estimate.resources.clone())
-        .collect();
-    let performances: Vec<Performance> = reports.iter().map(|r| r.estimate.performance).collect();
-    let combined_resources = schedule.combined_resources(&resources);
-    let combined_performance = schedule.combined_performance(&performances);
-    let combined_code = reports
-        .iter()
-        .map(|r| r.code.as_str())
-        .collect::<Vec<_>>()
-        .join("\n");
-
-    Ok(CompiledArtifact {
-        reports,
-        combined_resources,
-        combined_performance,
-        combined_code,
-    })
-}
-
-/// Divides every resource cap by `share` (performance clauses are
-/// per-model and stay unchanged).
-fn scaled_constraints(constraints: &Constraints, share: f64) -> Constraints {
-    let mut scaled = Constraints::new();
-    if let Some(t) = constraints.min_throughput_gpps {
-        scaled = scaled.throughput_gpps(t);
-    }
-    if let Some(l) = constraints.max_latency_ns {
-        scaled = scaled.latency_ns(l);
-    }
-    for (name, cap) in constraints.budget.iter() {
-        scaled = scaled.resource(name.clone(), cap / share);
-    }
-    scaled
-}
-
-/// Compiles one model: candidate selection, parallel BO runs, final
-/// training, and code generation.
-fn compile_model(
-    spec: &ModelSpec,
-    platform: &Platform,
-    constraints: &Constraints,
-    options: &CompilerOptions,
-    model_index: u64,
-) -> Result<ModelReport> {
-    let algorithms = candidate_algorithms(spec, platform)?;
-    let search_dataset = match options.sample_cap {
-        Some(cap) if spec.dataset.len() > cap => {
-            let fraction = cap as f64 / spec.dataset.len() as f64;
-            spec.dataset.stratified_split(fraction, options.seed)?.test
-        }
-        _ => spec.dataset.clone(),
-    };
-    let split = normalized_split(&search_dataset, spec.test_fraction, options.seed)?;
-
-    // Parallel candidate runs (Figure 2's "Parallel Candidate Runs").
-    // A panic in one candidate's search is captured and surfaced as a
-    // CoreError for that algorithm instead of aborting the whole compile:
-    // the remaining candidates still finish, and the caller sees which
-    // search died and why.
-    let runs: Vec<(Algorithm, Result<OptimizationHistory>)> =
-        if options.parallel && algorithms.len() > 1 {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = algorithms
-                    .iter()
-                    .map(|&algorithm| {
-                        let split_ref = &split;
-                        let handle = scope.spawn(move || {
-                            search_algorithm(
-                                algorithm,
-                                spec,
-                                platform,
-                                constraints,
-                                split_ref,
-                                options,
-                                model_index,
-                            )
-                        });
-                        (algorithm, handle)
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|(algorithm, handle)| {
-                        let run = handle.join().unwrap_or_else(|payload| {
-                            Err(CoreError::Subsystem(format!(
-                                "search thread for {} panicked: {}",
-                                algorithm.name(),
-                                panic_message(payload.as_ref())
-                            )))
-                        });
-                        (algorithm, run)
-                    })
-                    .collect()
-            })
-        } else {
-            algorithms
-                .iter()
-                .map(|&algorithm| {
-                    (
-                        algorithm,
-                        search_algorithm(
-                            algorithm,
-                            spec,
-                            platform,
-                            constraints,
-                            &split,
-                            options,
-                            model_index,
-                        ),
-                    )
-                })
-                .collect()
-        };
-
-    // Final model selection across algorithms. Within each algorithm's
-    // history the winner is chosen with an efficiency tie-break (§3: "the
-    // most efficient model will use as many resources as needed without
-    // over-provisioning"): among configurations within EFFICIENCY_SLACK of
-    // the best objective, the one with the fewest parameters wins. The
-    // slack sits at the noise floor of the objective estimate: candidates
-    // are scored on a few-hundred-row held-out split, where an F1 reading
-    // carries a standard error of several percentage points, so a sub-0.025
-    // difference is not evidence that the bigger model is actually better.
-    const EFFICIENCY_SLACK: f64 = 0.025;
-    let mut algorithm_histories = Vec::new();
-    let mut winner: Option<(Algorithm, Configuration, f64)> = None;
-    let mut first_error: Option<CoreError> = None;
-    for (algorithm, run) in runs {
-        // One failed (or panicked) search does not doom the compile as
-        // long as another candidate produced a feasible model; the error
-        // is only surfaced when nothing won.
-        let history = match run {
-            Ok(history) => history,
-            Err(error) => {
-                first_error.get_or_insert(error);
-                continue;
-            }
-        };
-        if let Some(best) = history.best_efficient(EFFICIENCY_SLACK, "params") {
-            let better = winner
-                .as_ref()
-                .map_or(true, |(_, _, obj)| best.evaluation.objective > *obj);
-            if better {
-                winner = Some((
-                    algorithm,
-                    best.configuration.clone(),
-                    best.evaluation.objective,
-                ));
-            }
-        }
-        algorithm_histories.push((algorithm, history));
-    }
-    let (algorithm, configuration, winner_objective) = match winner {
-        Some(winner) => winner,
-        None => {
-            return Err(first_error.unwrap_or_else(|| {
-                CoreError::NoFeasibleModel(format!(
-                    "model '{}': search budget exhausted without a feasible configuration",
-                    spec.name
-                ))
-            }))
-        }
-    };
-
-    // Retrain the winner with the final budget on the full dataset.
-    // Training is stochastic and an unlucky initialization can collapse
-    // into a degenerate model (e.g. one-class predictions, F1 = 0) even
-    // for a configuration that scored well during the search — so take
-    // the best of a few deterministic restarts, stopping early once the
-    // retrain is in range of the search-time score.
-    const FINAL_RESTARTS: u64 = 3;
-    let (final_split, normalizer) =
-        normalized_split_with(&spec.dataset, spec.test_fraction, options.seed)?;
-    let search_objective = winner_objective;
-    let mut trained: Option<crate::trainer::TrainedCandidate> = None;
-    for restart in 0..FINAL_RESTARTS {
-        let final_budget = TrainBudget {
-            epochs: options.final_epochs,
-            seed: (options.seed ^ 0xF1A4).wrapping_add(restart.wrapping_mul(0x9E37_79B9)),
-        };
-        let attempt = train_candidate(
-            algorithm,
-            &configuration,
-            &final_split,
-            spec.optimization_metric,
-            final_budget,
-        )?;
-        let good_enough = attempt.objective >= search_objective - EFFICIENCY_SLACK;
-        let better = trained
-            .as_ref()
-            .map_or(true, |t| attempt.objective > t.objective);
-        if better {
-            trained = Some(attempt);
-        }
-        if good_enough {
-            break;
-        }
-    }
-    let trained = trained.expect("at least one final training restart ran");
-    let target = platform.effective_target();
-    let estimate = target.as_target().estimate(&trained.ir)?;
-    let code = target.as_target().generate_code(&trained.ir, &spec.name)?;
-    // Lower the winner to the integer runtime — the executable twin of
-    // the generated data-plane code. A trained IR always lowers; failure
-    // would indicate an IR bug, so it degrades to None rather than
-    // invalidating an otherwise complete compile.
-    let compiled = trained.ir.compile(FixedPoint::taurus_default()).ok();
-
-    let history = algorithm_histories
-        .iter()
-        .find(|(a, _)| *a == algorithm)
-        .map(|(_, h)| h.clone())
-        .expect("winner came from a recorded run");
-
-    Ok(ModelReport {
-        name: spec.name.clone(),
-        algorithm,
-        objective: trained.objective,
-        metric: spec.optimization_metric,
-        configuration,
-        estimate,
-        ir: trained.ir,
-        compiled,
-        normalizer,
-        code,
-        history,
-        algorithm_histories,
-    })
-}
-
-/// Best-effort extraction of a panic payload's message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
-    if let Some(message) = payload.downcast_ref::<&'static str>() {
-        message
-    } else if let Some(message) = payload.downcast_ref::<String>() {
-        message
-    } else {
-        "non-string panic payload"
-    }
-}
-
-/// Violation sentinel for configurations that failed to train or to
-/// estimate at all: large against real violation scores (O(1..100)) so the
-/// phase-1 feasibility descent never walks toward them, but finite enough
-/// to survive the surrogate's f32 cast.
-const BROKEN_CANDIDATE_VIOLATION: f64 = 1e6;
-
-/// One algorithm's BO search: the black-box objective is train + estimate
-/// + feasibility-check.
-fn search_algorithm(
-    algorithm: Algorithm,
-    spec: &ModelSpec,
-    platform: &Platform,
-    constraints: &Constraints,
-    split: &Split,
-    options: &CompilerOptions,
-    model_index: u64,
-) -> Result<OptimizationHistory> {
-    let space = design_space_for(algorithm, spec, platform)?;
-    let target = platform.effective_target();
-    let seed = options
-        .seed
-        .wrapping_add(model_index.wrapping_mul(0x9E37))
-        .wrapping_add(algorithm as u64 * 0x79B9);
-    let optimizer_options = OptimizerOptions::default()
-        .budget(options.bo_budget)
-        .doe_samples(options.doe_samples.min(options.bo_budget))
-        .seed(seed);
-    let budget = TrainBudget {
-        epochs: options.train_epochs,
-        seed,
-    };
-
-    let history = BayesianOptimizer::new(space, optimizer_options).run(|config| {
-        match train_candidate(algorithm, config, split, spec.optimization_metric, budget) {
-            Ok(candidate) => match target.as_target().check(&candidate.ir, constraints) {
-                Ok(report) => {
-                    let mut evaluation = Evaluation::new(candidate.objective)
-                        .feasible(report.is_feasible())
-                        .with_violation(report.violation_score())
-                        .with_metric("params", candidate.ir.param_count() as f64);
-                    if let Ok(estimate) = target.as_target().estimate(&candidate.ir) {
-                        for (name, value) in estimate.resources.iter() {
-                            evaluation = evaluation.with_metric(name.clone(), *value);
-                        }
-                        evaluation = evaluation
-                            .with_metric("latency_ns", estimate.performance.latency_ns)
-                            .with_metric("throughput_gpps", estimate.performance.throughput_gpps);
-                    }
-                    evaluation
-                }
-                // An uncheckable configuration must not look attractive
-                // to the phase-1 violation descent (violation would
-                // default to 0.0 — the global minimum). The sentinel is
-                // large against real violation scores (O(1..100)) but
-                // stays finite through the surrogate's f32 cast.
-                Err(_) => Evaluation::new(candidate.objective)
-                    .feasible(false)
-                    .with_violation(BROKEN_CANDIDATE_VIOLATION),
-            },
-            // A configuration that fails to train at all is infeasible —
-            // same poisoning guard as above.
-            Err(_) => Evaluation::new(0.0)
-                .feasible(false)
-                .with_violation(BROKEN_CANDIDATE_VIOLATION),
-        }
-    })?;
-    Ok(history)
+    Compiler::new(*options).open(platform)?.compile()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::alchemy::Metric;
+    use crate::alchemy::{Metric, ModelSpec};
     use homunculus_datasets::iot::IotTrafficGenerator;
     use homunculus_datasets::nslkdd::NslKddGenerator;
 
@@ -641,6 +567,8 @@ mod tests {
         assert_eq!(best.estimate.performance.throughput_gpps, 1.0);
         // History has exactly the budgeted points.
         assert_eq!(best.history.points().len(), 8);
+        // An uncancelled compile is never partial.
+        assert!(!artifact.is_partial());
         // The winner carries its compiled integer twin, ready to serve.
         let compiled = best
             .compiled
@@ -650,6 +578,84 @@ mod tests {
         assert_eq!(compiled.n_classes(), 2);
         let mut scratch = homunculus_runtime::Scratch::new();
         assert!(compiled.classify(&[0.25; 7], &mut scratch) < 2);
+    }
+
+    #[test]
+    fn shim_matches_staged_session_bit_for_bit() {
+        let shimmed = generate_with(&ad_platform(600), &tiny_options()).unwrap();
+        let staged = Compiler::new(tiny_options())
+            .open(&ad_platform(600))
+            .unwrap()
+            .search()
+            .unwrap()
+            .train()
+            .unwrap()
+            .check()
+            .unwrap()
+            .codegen()
+            .unwrap();
+        assert_eq!(shimmed.best().objective, staged.best().objective);
+        assert_eq!(shimmed.best().code, staged.best().code);
+        assert_eq!(shimmed.best().ir, staged.best().ir);
+        assert_eq!(shimmed.best().configuration, staged.best().configuration);
+        assert_eq!(
+            shimmed.best().history.points(),
+            staged.best().history.points()
+        );
+    }
+
+    #[test]
+    fn artifact_json_roundtrip_preserves_everything() {
+        let artifact = generate_with(&ad_platform(600), &tiny_options()).unwrap();
+        let text = artifact.to_json_string().unwrap();
+        let reloaded = CompiledArtifact::from_json_str(&text).unwrap();
+        assert_eq!(reloaded.reports().len(), artifact.reports().len());
+        assert_eq!(reloaded.is_partial(), artifact.is_partial());
+        assert_eq!(reloaded.code(), artifact.code());
+        assert_eq!(
+            reloaded.combined_performance(),
+            artifact.combined_performance()
+        );
+        assert_eq!(reloaded.combined_resources(), artifact.combined_resources());
+        let (a, b) = (artifact.best(), reloaded.best());
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.algorithm, b.algorithm);
+        assert_eq!(a.objective, b.objective);
+        assert_eq!(a.metric, b.metric);
+        assert_eq!(a.configuration, b.configuration);
+        assert_eq!(a.estimate, b.estimate);
+        assert_eq!(a.ir, b.ir, "weights must round-trip bit-exactly");
+        assert_eq!(a.normalizer, b.normalizer);
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.algorithm_histories, b.algorithm_histories);
+        // The reloaded report re-lowered its pipeline and classifies
+        // identically.
+        let mut scratch = homunculus_runtime::Scratch::new();
+        let features = [0.3f32, -0.1, 0.8, 0.0, 0.5, -0.7, 0.2];
+        assert_eq!(
+            a.compiled
+                .as_ref()
+                .unwrap()
+                .classify(&features, &mut scratch),
+            b.compiled
+                .as_ref()
+                .unwrap()
+                .classify(&features, &mut scratch),
+        );
+    }
+
+    #[test]
+    fn artifact_decode_rejects_garbage() {
+        assert!(CompiledArtifact::from_json_str("not json").is_err());
+        assert!(CompiledArtifact::from_json_str("{}").is_err());
+        assert!(CompiledArtifact::from_json_str(
+            "{\"format\": \"homunculus.artifact/v0\", \"reports\": []}"
+        )
+        .is_err());
+        assert!(CompiledArtifact::from_json_str(
+            "{\"format\": \"homunculus.artifact/v1\", \"reports\": []}"
+        )
+        .is_err());
     }
 
     #[test]
@@ -730,6 +736,7 @@ mod tests {
         assert_eq!(server.tenant_count(), 2);
         let tenant = server.tenant_id("a").unwrap();
         let raw = homunculus_ml::tensor::Matrix::from_fn(16, 7, |r, c| (r * 7 + c) as f32 * 0.05);
+        #[allow(deprecated)]
         let output = server
             .serve(
                 &[homunculus_runtime::TenantBatch::new(tenant, raw.clone())],

@@ -1,0 +1,1252 @@
+//! Staged compilation sessions: observable stages, cooperative
+//! cancellation, and typed stage handles.
+//!
+//! [`generate_with`](crate::pipeline::generate_with) hides the whole
+//! compile — search, train, feasibility check, code generation — behind
+//! one blocking call. A [`Compiler`] session exposes the same pipeline as
+//! **typed stage handles** instead, so callers can inspect, log, persist,
+//! or stop between stages:
+//!
+//! | Stage call | Hands back | What ran |
+//! |---|---|---|
+//! | [`Compiler::open`] | [`Session`] | schedule validation, resource-share scaling |
+//! | [`Session::search`] | [`Searched`] | per-app BO candidate searches (parallel across algorithms) |
+//! | [`Searched::train`] | [`Trained`] | winner selection + final retrain with restarts |
+//! | [`Trained::check`] | [`Feasible`] | resource/performance estimation of the final models |
+//! | [`Feasible::codegen`] | [`CompiledArtifact`] | backend code generation + integer lowering |
+//!
+//! Every stage emits [`CompileEvent`]s through an optional
+//! [`CompileObserver`] — per-BO-iteration [`CompileEvent::CandidateEvaluated`],
+//! per-stage [`CompileEvent::StageStarted`]/[`CompileEvent::StageFinished`]
+//! with wall-clock timings, and [`CompileEvent::FeasibilityRejected`]
+//! naming the violated constraint — and honors a cooperative
+//! [`CancelToken`] at BO iteration boundaries: cancelling yields the
+//! best-so-far models as a *partial* artifact
+//! ([`CompiledArtifact::is_partial`]), not an error. (The one case with
+//! nothing to yield — cancellation before *any* feasible candidate was
+//! evaluated — fails like an exhausted search, with
+//! [`CoreError::NoFeasibleModel`] naming the cancellation.)
+//!
+//! The one-shot entry points are thin shims over a default session, so a
+//! staged compile is bit-identical to `generate_with` under the same
+//! options: stage boundaries never touch an RNG stream.
+//!
+//! ```no_run
+//! use homunculus_core::alchemy::{Metric, ModelSpec, Platform};
+//! use homunculus_core::pipeline::CompilerOptions;
+//! use homunculus_core::session::{CompileEvent, Compiler};
+//! use homunculus_datasets::nslkdd::NslKddGenerator;
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), homunculus_core::CoreError> {
+//! let model = ModelSpec::builder("anomaly_detection")
+//!     .optimization_metric(Metric::F1)
+//!     .data(NslKddGenerator::new(42).generate(4_000))
+//!     .build()?;
+//! let mut platform = Platform::taurus();
+//! platform
+//!     .constraints_mut()
+//!     .throughput_gpps(1.0)
+//!     .latency_ns(500.0)
+//!     .grid(16, 16);
+//! platform.schedule(model)?;
+//!
+//! let compiler = Compiler::new(CompilerOptions::fast()).observe(Arc::new(
+//!     |event: &CompileEvent| {
+//!         if let CompileEvent::CandidateEvaluated { iteration, objective, .. } = event {
+//!             println!("iteration {iteration}: objective {objective:.3}");
+//!         }
+//!     },
+//! ));
+//! let searched = compiler.open(&platform)?.search()?;
+//! println!("{} BO evaluations ran", searched.evaluations());
+//! let artifact = searched.train()?.check()?.codegen()?;
+//! artifact.save_json("anomaly_detection.artifact.json")?;
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::alchemy::Metric;
+use crate::alchemy::{Algorithm, ModelSpec, Platform};
+use crate::candidates::candidate_algorithms;
+use crate::pipeline::{CompiledArtifact, CompilerOptions, ModelReport};
+use crate::spaces::design_space_for;
+use crate::trainer::{
+    normalized_split, normalized_split_with, retrain_winner, train_candidate, TrainBudget,
+    EFFICIENCY_SLACK,
+};
+use crate::{CoreError, Result};
+use homunculus_backends::model::ModelIr;
+use homunculus_backends::resources::{Constraints, Performance, ResourceEstimate, ResourceVector};
+use homunculus_datasets::dataset::{Normalizer, Split};
+use homunculus_ml::quantize::FixedPoint;
+use homunculus_optimizer::space::Configuration;
+use homunculus_optimizer::{
+    BayesianOptimizer, Evaluation, OptimizationHistory, OptimizerOptions, SearchControl,
+};
+use homunculus_runtime::Compile;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A cooperative cancellation handle shared between a session and the
+/// caller that wants to stop it. Cloning is cheap (one `Arc`); cancelling
+/// from any clone is observed by all. The session honors cancellation at
+/// BO **iteration boundaries**: in-flight training finishes, no further
+/// candidates are evaluated, and the remaining stages run on the
+/// best-so-far state so the caller still receives a usable (partial)
+/// artifact — provided at least one feasible candidate was evaluated
+/// before the cancel landed; a session with no winner at all has nothing
+/// to build and fails with [`CoreError::NoFeasibleModel`], exactly as an
+/// exhausted search would.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// The four stages of a compile session, in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompileStage {
+    /// BO candidate search across algorithms (per scheduled model).
+    Search,
+    /// Winner selection and final retraining.
+    Train,
+    /// Resource/performance estimation and feasibility verdicts.
+    Check,
+    /// Backend code generation and integer lowering.
+    Codegen,
+}
+
+impl CompileStage {
+    /// Lowercase stage name for logs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CompileStage::Search => "search",
+            CompileStage::Train => "train",
+            CompileStage::Check => "check",
+            CompileStage::Codegen => "codegen",
+        }
+    }
+}
+
+/// One observable moment of a compile session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileEvent {
+    /// A stage began. `model` is `None` for the stage as a whole and
+    /// `Some(name)` for each scheduled model's slice of it.
+    StageStarted {
+        /// Which stage.
+        stage: CompileStage,
+        /// The model this event scopes to, if per-model.
+        model: Option<String>,
+    },
+    /// A stage (or a model's slice of it) completed, successfully or not.
+    StageFinished {
+        /// Which stage.
+        stage: CompileStage,
+        /// The model this event scopes to, if per-model.
+        model: Option<String>,
+        /// Wall-clock duration of the stage in nanoseconds.
+        elapsed_ns: u64,
+    },
+    /// One BO iteration finished: a candidate was trained and checked
+    /// (emitted from the optimizer loop, per evaluation, in order within
+    /// each algorithm's search — searches of different algorithms run in
+    /// parallel, so events of different algorithms interleave).
+    CandidateEvaluated {
+        /// The scheduled model being searched.
+        model: String,
+        /// The algorithm whose design space produced the candidate.
+        algorithm: Algorithm,
+        /// 0-based evaluation index within this algorithm's search.
+        iteration: usize,
+        /// The candidate's objective on the held-out split.
+        objective: f64,
+        /// Whether the candidate fit the platform budget.
+        feasible: bool,
+        /// Relative constraint-violation magnitude (0.0 when feasible).
+        violation: f64,
+    },
+    /// A candidate (or a final model, during [`Trained::check`]) violated
+    /// the platform constraints.
+    FeasibilityRejected {
+        /// The scheduled model.
+        model: String,
+        /// The algorithm the rejected candidate belongs to.
+        algorithm: Algorithm,
+        /// Human-readable description of the violated constraint(s),
+        /// e.g. `"cus usage 310.0 > cap 256.0"`.
+        constraint: String,
+    },
+    /// One final-retrain restart finished (emitted from the trainer).
+    FinalTrainAttempt {
+        /// The scheduled model being retrained.
+        model: String,
+        /// The winning algorithm.
+        algorithm: Algorithm,
+        /// 0-based restart index.
+        restart: u64,
+        /// The restart's objective on the held-out split.
+        objective: f64,
+    },
+    /// The session observed its [`CancelToken`]; subsequent stages run on
+    /// best-so-far state and the artifact is marked partial.
+    Cancelled {
+        /// The stage during which cancellation was first observed.
+        stage: CompileStage,
+    },
+}
+
+/// Receives [`CompileEvent`]s as a session runs. Implementations must be
+/// `Send + Sync`: candidate searches run on parallel threads, so events
+/// of different algorithms arrive concurrently. Closures qualify:
+///
+/// ```
+/// use homunculus_core::session::{CompileEvent, CompileObserver};
+///
+/// let printer = |event: &CompileEvent| println!("{event:?}");
+/// fn takes_observer(_: &dyn CompileObserver) {}
+/// takes_observer(&printer);
+/// ```
+pub trait CompileObserver: Send + Sync {
+    /// Called once per event, possibly from several threads.
+    fn on_event(&self, event: &CompileEvent);
+}
+
+impl<F> CompileObserver for F
+where
+    F: Fn(&CompileEvent) + Send + Sync,
+{
+    fn on_event(&self, event: &CompileEvent) {
+        self(event)
+    }
+}
+
+/// A [`CompileObserver`] that records every event — handy in tests and
+/// for post-hoc timing reports (the `compile_stages` bench uses one).
+#[derive(Debug, Default)]
+pub struct CollectingObserver {
+    events: std::sync::Mutex<Vec<CompileEvent>>,
+}
+
+impl CollectingObserver {
+    /// An empty collector.
+    pub fn new() -> Self {
+        CollectingObserver::default()
+    }
+
+    /// A snapshot of the events recorded so far, in arrival order.
+    pub fn events(&self) -> Vec<CompileEvent> {
+        self.events.lock().expect("observer poisoned").clone()
+    }
+
+    /// Number of recorded events matching `predicate`.
+    pub fn count(&self, predicate: impl Fn(&CompileEvent) -> bool) -> usize {
+        self.events
+            .lock()
+            .expect("observer poisoned")
+            .iter()
+            .filter(|e| predicate(e))
+            .count()
+    }
+}
+
+impl CompileObserver for CollectingObserver {
+    fn on_event(&self, event: &CompileEvent) {
+        self.events
+            .lock()
+            .expect("observer poisoned")
+            .push(event.clone());
+    }
+}
+
+/// Session-wide state threaded through every stage handle.
+struct Ctx<'p> {
+    platform: &'p Platform,
+    options: CompilerOptions,
+    observer: Option<Arc<dyn CompileObserver>>,
+    cancel: CancelToken,
+    /// Per-model resource budget: the platform constraints with every
+    /// resource cap divided by the number of scheduled models (the Table 4
+    /// experiment: "they are each allocated half of the switch's
+    /// resources"). Performance clauses are per-model and stay unchanged.
+    constraints: Constraints,
+    /// Set once the session has emitted [`CompileEvent::Cancelled`].
+    cancel_reported: AtomicBool,
+}
+
+impl Ctx<'_> {
+    fn emit(&self, event: CompileEvent) {
+        if let Some(observer) = &self.observer {
+            observer.on_event(&event);
+        }
+    }
+
+    /// The scheduled model specs, in schedule order.
+    fn specs(&self) -> Vec<&ModelSpec> {
+        self.platform
+            .schedule_expr()
+            .expect("schedule validated by Compiler::open")
+            .models()
+    }
+
+    /// Emits [`CompileEvent::Cancelled`] the first time the session sees
+    /// its token tripped during `stage`.
+    fn note_cancelled(&self, stage: CompileStage) {
+        if self.cancel.is_cancelled() && !self.cancel_reported.swap(true, Ordering::Relaxed) {
+            self.emit(CompileEvent::Cancelled { stage });
+        }
+    }
+
+    /// Runs `body` bracketed by stage start/finish events with wall-clock
+    /// timing (the finish event fires even when the stage errors, so
+    /// observers always see the bracket closed).
+    fn staged<T>(
+        &self,
+        stage: CompileStage,
+        model: Option<&str>,
+        body: impl FnOnce() -> Result<T>,
+    ) -> Result<T> {
+        self.emit(CompileEvent::StageStarted {
+            stage,
+            model: model.map(str::to_string),
+        });
+        let start = Instant::now();
+        let result = body();
+        self.emit(CompileEvent::StageFinished {
+            stage,
+            model: model.map(str::to_string),
+            elapsed_ns: start.elapsed().as_nanos() as u64,
+        });
+        result
+    }
+}
+
+/// Configures and opens compile sessions. See the [module docs](self) for
+/// the stage table and a full example.
+pub struct Compiler {
+    options: CompilerOptions,
+    observer: Option<Arc<dyn CompileObserver>>,
+    cancel: CancelToken,
+}
+
+impl Compiler {
+    /// A compiler with the given options, no observer, and a fresh cancel
+    /// token.
+    pub fn new(options: CompilerOptions) -> Self {
+        Compiler {
+            options,
+            observer: None,
+            cancel: CancelToken::new(),
+        }
+    }
+
+    /// Installs an event observer (replacing any previous one).
+    #[must_use]
+    pub fn observe(mut self, observer: Arc<dyn CompileObserver>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// A clone of the session's [`CancelToken`] — keep it before calling
+    /// [`open`](Compiler::open) to be able to stop the session from
+    /// another thread.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Opens a session over a scheduled platform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidProgram`] when the platform has no
+    /// scheduled models.
+    pub fn open(self, platform: &Platform) -> Result<Session<'_>> {
+        let schedule = platform
+            .schedule_expr()
+            .ok_or_else(|| CoreError::InvalidProgram("platform has no scheduled models".into()))?;
+        let share = schedule.models().len().max(1) as f64;
+        let constraints = scaled_constraints(&platform.effective_constraints(), share);
+        Ok(Session {
+            ctx: Ctx {
+                platform,
+                options: self.options,
+                observer: self.observer,
+                cancel: self.cancel,
+                constraints,
+                cancel_reported: AtomicBool::new(false),
+            },
+        })
+    }
+}
+
+/// An open compile session, ready to [`search`](Session::search).
+pub struct Session<'p> {
+    ctx: Ctx<'p>,
+}
+
+impl<'p> Session<'p> {
+    /// Runs all four stages back to back — what
+    /// [`generate_with`](crate::pipeline::generate_with) does.
+    ///
+    /// # Errors
+    ///
+    /// See the individual stages.
+    pub fn compile(self) -> Result<CompiledArtifact> {
+        self.search()?.train()?.check()?.codegen()
+    }
+
+    /// Stage 1 — **search**: one BO candidate search per surviving
+    /// algorithm per scheduled model (parallel across algorithms when
+    /// [`CompilerOptions::parallel`] is set), each evaluation training a
+    /// candidate and checking it against the platform budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoCandidates`] when platform pre-filtering
+    /// removes every algorithm for some model. Individual search failures
+    /// are *recorded*, not raised — they only surface from
+    /// [`Searched::train`] if no sibling search produced a winner.
+    pub fn search(self) -> Result<Searched<'p>> {
+        let ctx = self.ctx;
+        let searches = ctx.staged(CompileStage::Search, None, || {
+            ctx.note_cancelled(CompileStage::Search);
+            let specs = ctx.specs();
+            let mut searches = Vec::with_capacity(specs.len());
+            for (index, spec) in specs.iter().enumerate() {
+                let runs = ctx.staged(CompileStage::Search, Some(&spec.name), || {
+                    search_model(&ctx, spec, index as u64)
+                })?;
+                searches.push(SearchedModel {
+                    name: spec.name.clone(),
+                    runs,
+                });
+            }
+            Ok(searches)
+        })?;
+        Ok(Searched { ctx, searches })
+    }
+}
+
+/// One model's candidate sets after the search stage: every algorithm's
+/// full [`OptimizationHistory`] (or the error that ended its search).
+pub struct SearchedModel {
+    name: String,
+    runs: Vec<(Algorithm, Result<OptimizationHistory>)>,
+}
+
+impl SearchedModel {
+    /// The scheduled model's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Every algorithm's search outcome, in candidate-preference order.
+    pub fn runs(&self) -> &[(Algorithm, Result<OptimizationHistory>)] {
+        &self.runs
+    }
+
+    /// Total BO evaluations across this model's searches.
+    pub fn evaluations(&self) -> usize {
+        self.runs
+            .iter()
+            .filter_map(|(_, run)| run.as_ref().ok())
+            .map(|history| history.points().len())
+            .sum()
+    }
+
+    /// The best feasible candidate across all algorithms (efficiency
+    /// tie-break applied within each history), if any search found one.
+    pub fn best(&self) -> Option<(Algorithm, f64)> {
+        self.runs
+            .iter()
+            .filter_map(|(algorithm, run)| {
+                let history = run.as_ref().ok()?;
+                let best = history.best_efficient(EFFICIENCY_SLACK, "params")?;
+                Some((*algorithm, best.evaluation.objective))
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+    }
+}
+
+/// Stage-1 output: per-app BO candidate sets, ready to
+/// [`train`](Searched::train).
+pub struct Searched<'p> {
+    ctx: Ctx<'p>,
+    searches: Vec<SearchedModel>,
+}
+
+impl<'p> Searched<'p> {
+    /// Per-model candidate sets, in schedule order.
+    pub fn searches(&self) -> &[SearchedModel] {
+        &self.searches
+    }
+
+    /// Total BO evaluations across the whole session.
+    pub fn evaluations(&self) -> usize {
+        self.searches.iter().map(SearchedModel::evaluations).sum()
+    }
+
+    /// Stage 2 — **train**: selects each model's winner (best feasible
+    /// objective across algorithms, cheapest-within-slack tie-break) and
+    /// retrains it on the full dataset with the final epoch budget and
+    /// deterministic restarts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoFeasibleModel`] (or the first recorded
+    /// search error) for a model whose searches produced no feasible
+    /// candidate, and [`CoreError::Subsystem`] for training failures.
+    pub fn train(self) -> Result<Trained<'p>> {
+        let ctx = self.ctx;
+        let searches = self.searches;
+        let models = ctx.staged(CompileStage::Train, None, || {
+            ctx.note_cancelled(CompileStage::Train);
+            let specs = ctx.specs();
+            let mut models = Vec::with_capacity(searches.len());
+            for (spec, search) in specs.iter().zip(searches) {
+                let model = ctx.staged(CompileStage::Train, Some(&spec.name), || {
+                    train_model(&ctx, spec, search)
+                })?;
+                models.push(model);
+            }
+            Ok(models)
+        })?;
+        Ok(Trained { ctx, models })
+    }
+}
+
+/// One model after winner selection and final retraining.
+pub struct TrainedModel {
+    name: String,
+    algorithm: Algorithm,
+    metric: Metric,
+    configuration: Configuration,
+    objective: f64,
+    ir: ModelIr,
+    normalizer: Normalizer,
+    history: OptimizationHistory,
+    algorithm_histories: Vec<(Algorithm, OptimizationHistory)>,
+}
+
+impl TrainedModel {
+    /// The scheduled model's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The winning algorithm.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The metric the objective was measured with.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// The feature normalizer the final model was trained under.
+    pub fn normalizer(&self) -> &Normalizer {
+        &self.normalizer
+    }
+
+    /// The winning configuration.
+    pub fn configuration(&self) -> &Configuration {
+        &self.configuration
+    }
+
+    /// The final retrained objective on the held-out split.
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// The final trained model IR.
+    pub fn ir(&self) -> &ModelIr {
+        &self.ir
+    }
+}
+
+/// Stage-2 output: winners retrained, ready to [`check`](Trained::check).
+pub struct Trained<'p> {
+    ctx: Ctx<'p>,
+    models: Vec<TrainedModel>,
+}
+
+impl<'p> Trained<'p> {
+    /// Per-model winners, in schedule order.
+    pub fn models(&self) -> &[TrainedModel] {
+        &self.models
+    }
+
+    /// Stage 3 — **check**: estimates each final model's resources and
+    /// performance on the target and re-checks them against the per-model
+    /// constraint share. The verdict is *advisory* for the final models —
+    /// every candidate already passed this exact check inside the search
+    /// loop, so a final violation (possible only for data-dependent shapes
+    /// like tree depth shifting on the full dataset) is reported through
+    /// [`Feasible::violations`] and [`CompileEvent::FeasibilityRejected`]
+    /// rather than discarding a trained winner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Subsystem`] when the target cannot estimate a
+    /// final IR at all.
+    pub fn check(self) -> Result<Feasible<'p>> {
+        let ctx = self.ctx;
+        let trained = self.models;
+        let models = ctx.staged(CompileStage::Check, None, || {
+            ctx.note_cancelled(CompileStage::Check);
+            let target = ctx.platform.effective_target();
+            let mut models = Vec::with_capacity(trained.len());
+            for model in trained {
+                let name = model.name.clone();
+                let checked = ctx.staged(CompileStage::Check, Some(&name), || {
+                    let estimate = target.as_target().estimate(&model.ir)?;
+                    let report = target.as_target().check(&model.ir, &ctx.constraints)?;
+                    let violations: Vec<String> =
+                        report.violations.iter().map(|v| v.to_string()).collect();
+                    if !report.is_feasible() {
+                        ctx.emit(CompileEvent::FeasibilityRejected {
+                            model: model.name.clone(),
+                            algorithm: model.algorithm,
+                            constraint: violations.join("; "),
+                        });
+                    }
+                    Ok(CheckedModel {
+                        model,
+                        estimate,
+                        violations,
+                    })
+                })?;
+                models.push(checked);
+            }
+            Ok(models)
+        })?;
+        Ok(Feasible { ctx, models })
+    }
+}
+
+/// One model with its final resource estimate and feasibility verdict.
+pub struct CheckedModel {
+    model: TrainedModel,
+    estimate: ResourceEstimate,
+    violations: Vec<String>,
+}
+
+impl CheckedModel {
+    /// The trained model under the verdict.
+    pub fn model(&self) -> &TrainedModel {
+        &self.model
+    }
+
+    /// The final resource/performance estimate.
+    pub fn estimate(&self) -> &ResourceEstimate {
+        &self.estimate
+    }
+
+    /// Violated constraints (empty when the final model fits its share).
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+}
+
+/// Stage-3 output: estimated and verdicted models, ready to
+/// [`codegen`](Feasible::codegen).
+pub struct Feasible<'p> {
+    ctx: Ctx<'p>,
+    models: Vec<CheckedModel>,
+}
+
+impl Feasible<'_> {
+    /// Per-model verdicts, in schedule order.
+    pub fn models(&self) -> &[CheckedModel] {
+        &self.models
+    }
+
+    /// Whether every final model fits its constraint share.
+    pub fn is_feasible(&self) -> bool {
+        self.models.iter().all(|m| m.violations.is_empty())
+    }
+
+    /// Every `(model name, violation)` pair across the schedule.
+    pub fn violations(&self) -> Vec<(String, String)> {
+        self.models
+            .iter()
+            .flat_map(|m| {
+                m.violations
+                    .iter()
+                    .map(|v| (m.model.name.clone(), v.clone()))
+            })
+            .collect()
+    }
+
+    /// Stage 4 — **codegen**: generates target code for every winner,
+    /// lowers it to the integer runtime, and assembles the
+    /// [`CompiledArtifact`] (combined resources/performance under the
+    /// schedule's composition rules). An artifact built after cancellation
+    /// is marked [partial](CompiledArtifact::is_partial).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Subsystem`] for code-generation failures.
+    pub fn codegen(self) -> Result<CompiledArtifact> {
+        let ctx = self.ctx;
+        let checked = self.models;
+        ctx.staged(CompileStage::Codegen, None, || {
+            ctx.note_cancelled(CompileStage::Codegen);
+            let target = ctx.platform.effective_target();
+            let mut reports = Vec::with_capacity(checked.len());
+            for CheckedModel {
+                model, estimate, ..
+            } in checked
+            {
+                let name = model.name.clone();
+                let report = ctx.staged(CompileStage::Codegen, Some(&name), || {
+                    let code = target.as_target().generate_code(&model.ir, &model.name)?;
+                    // Lower the winner to the integer runtime — the
+                    // executable twin of the generated data-plane code. A
+                    // trained IR always lowers; failure would indicate an
+                    // IR bug, so it degrades to None rather than
+                    // invalidating an otherwise complete compile. The
+                    // format is recorded on the report so save/load and
+                    // the serving builders re-lower identically.
+                    let format = FixedPoint::taurus_default();
+                    let compiled = model.ir.compile(format).ok();
+                    Ok(ModelReport {
+                        name: model.name,
+                        algorithm: model.algorithm,
+                        objective: model.objective,
+                        metric: model.metric,
+                        configuration: model.configuration,
+                        estimate,
+                        ir: model.ir,
+                        format,
+                        compiled,
+                        normalizer: model.normalizer,
+                        code,
+                        history: model.history,
+                        algorithm_histories: model.algorithm_histories,
+                    })
+                })?;
+                reports.push(report);
+            }
+
+            let schedule = ctx
+                .platform
+                .schedule_expr()
+                .expect("schedule validated by Compiler::open");
+            let resources: Vec<ResourceVector> = reports
+                .iter()
+                .map(|r| r.estimate.resources.clone())
+                .collect();
+            let performances: Vec<Performance> =
+                reports.iter().map(|r| r.estimate.performance).collect();
+            let combined_resources = schedule.combined_resources(&resources);
+            let combined_performance = schedule.combined_performance(&performances);
+            let combined_code = reports
+                .iter()
+                .map(|r| r.code.as_str())
+                .collect::<Vec<_>>()
+                .join("\n");
+            Ok(CompiledArtifact::assemble(
+                reports,
+                combined_resources,
+                combined_performance,
+                combined_code,
+                ctx.cancel.is_cancelled(),
+            ))
+        })
+    }
+}
+
+/// Divides every resource cap by `share` (performance clauses are
+/// per-model and stay unchanged).
+fn scaled_constraints(constraints: &Constraints, share: f64) -> Constraints {
+    let mut scaled = Constraints::new();
+    if let Some(t) = constraints.min_throughput_gpps {
+        scaled = scaled.throughput_gpps(t);
+    }
+    if let Some(l) = constraints.max_latency_ns {
+        scaled = scaled.latency_ns(l);
+    }
+    for (name, cap) in constraints.budget.iter() {
+        scaled = scaled.resource(name.clone(), cap / share);
+    }
+    scaled
+}
+
+/// Stage-1 body for one model: candidate selection and the per-algorithm
+/// BO runs (Figure 2's "Parallel Candidate Runs"). A panic in one
+/// candidate's search is captured and surfaced as a `CoreError` for that
+/// algorithm instead of aborting the whole compile: the remaining
+/// candidates still finish, and the caller sees which search died and why.
+fn search_model(
+    ctx: &Ctx<'_>,
+    spec: &ModelSpec,
+    model_index: u64,
+) -> Result<Vec<(Algorithm, Result<OptimizationHistory>)>> {
+    let options = &ctx.options;
+    let algorithms = candidate_algorithms(spec, ctx.platform)?;
+    let search_dataset = match options.sample_cap {
+        Some(cap) if spec.dataset.len() > cap => {
+            let fraction = cap as f64 / spec.dataset.len() as f64;
+            spec.dataset.stratified_split(fraction, options.seed)?.test
+        }
+        _ => spec.dataset.clone(),
+    };
+    let split = normalized_split(&search_dataset, spec.test_fraction, options.seed)?;
+
+    let runs: Vec<(Algorithm, Result<OptimizationHistory>)> =
+        if options.parallel && algorithms.len() > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = algorithms
+                    .iter()
+                    .map(|&algorithm| {
+                        let split_ref = &split;
+                        let handle = scope.spawn(move || {
+                            search_algorithm(ctx, spec, algorithm, split_ref, model_index)
+                        });
+                        (algorithm, handle)
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|(algorithm, handle)| {
+                        let run = handle.join().unwrap_or_else(|payload| {
+                            Err(CoreError::Subsystem(format!(
+                                "search thread for {} panicked: {}",
+                                algorithm.name(),
+                                panic_message(payload.as_ref())
+                            )))
+                        });
+                        (algorithm, run)
+                    })
+                    .collect()
+            })
+        } else {
+            algorithms
+                .iter()
+                .map(|&algorithm| {
+                    (
+                        algorithm,
+                        search_algorithm(ctx, spec, algorithm, &split, model_index),
+                    )
+                })
+                .collect()
+        };
+    Ok(runs)
+}
+
+/// Stage-2 body for one model: winner selection across algorithms with the
+/// efficiency tie-break (§3: "the most efficient model will use as many
+/// resources as needed without over-provisioning" — among configurations
+/// within [`EFFICIENCY_SLACK`] of the best objective, the one with the
+/// fewest parameters wins), then the final retrain.
+fn train_model(ctx: &Ctx<'_>, spec: &ModelSpec, search: SearchedModel) -> Result<TrainedModel> {
+    let mut algorithm_histories = Vec::new();
+    let mut winner: Option<(Algorithm, Configuration, f64)> = None;
+    let mut first_error: Option<CoreError> = None;
+    for (algorithm, run) in search.runs {
+        // One failed (or panicked) search does not doom the compile as
+        // long as another candidate produced a feasible model; the error
+        // is only surfaced when nothing won.
+        let history = match run {
+            Ok(history) => history,
+            Err(error) => {
+                first_error.get_or_insert(error);
+                continue;
+            }
+        };
+        if let Some(best) = history.best_efficient(EFFICIENCY_SLACK, "params") {
+            let better = winner
+                .as_ref()
+                .map_or(true, |(_, _, obj)| best.evaluation.objective > *obj);
+            if better {
+                winner = Some((
+                    algorithm,
+                    best.configuration.clone(),
+                    best.evaluation.objective,
+                ));
+            }
+        }
+        algorithm_histories.push((algorithm, history));
+    }
+    let (algorithm, configuration, winner_objective) = match winner {
+        Some(winner) => winner,
+        None => {
+            // A session cancelled before any feasible candidate existed
+            // has no best-so-far to hand back: "partial artifact" needs
+            // at least one winner. Name the cancellation so the caller
+            // can tell an early cancel from a genuinely exhausted search.
+            let reason = if ctx.cancel.is_cancelled() {
+                "session cancelled before a feasible configuration was found"
+            } else {
+                "search budget exhausted without a feasible configuration"
+            };
+            return Err(first_error.unwrap_or_else(|| {
+                CoreError::NoFeasibleModel(format!("model '{}': {reason}", spec.name))
+            }));
+        }
+    };
+
+    let (final_split, normalizer) =
+        normalized_split_with(&spec.dataset, spec.test_fraction, ctx.options.seed)?;
+    let trained = retrain_winner(
+        algorithm,
+        &configuration,
+        &final_split,
+        spec.optimization_metric,
+        &ctx.options,
+        winner_objective,
+        |restart, objective| {
+            ctx.emit(CompileEvent::FinalTrainAttempt {
+                model: spec.name.clone(),
+                algorithm,
+                restart,
+                objective,
+            });
+        },
+    )?;
+
+    let history = algorithm_histories
+        .iter()
+        .find(|(a, _)| *a == algorithm)
+        .map(|(_, h)| h.clone())
+        .expect("winner came from a recorded run");
+
+    Ok(TrainedModel {
+        name: spec.name.clone(),
+        algorithm,
+        metric: spec.optimization_metric,
+        configuration,
+        objective: trained.objective,
+        ir: trained.ir,
+        normalizer,
+        history,
+        algorithm_histories,
+    })
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(message) = payload.downcast_ref::<&'static str>() {
+        message
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message
+    } else {
+        "non-string panic payload"
+    }
+}
+
+/// Violation sentinel for configurations that failed to train or to
+/// estimate at all: large against real violation scores (O(1..100)) so the
+/// phase-1 feasibility descent never walks toward them, but finite enough
+/// to survive the surrogate's f32 cast.
+const BROKEN_CANDIDATE_VIOLATION: f64 = 1e6;
+
+/// One algorithm's BO search: the black-box objective is
+/// train-estimate-feasibility-check. Emits
+/// [`CompileEvent::CandidateEvaluated`] per iteration through the
+/// optimizer's monitor hook, and honors the session's [`CancelToken`] at
+/// iteration boundaries (a stopped search returns its truncated
+/// best-so-far history as `Ok`).
+fn search_algorithm(
+    ctx: &Ctx<'_>,
+    spec: &ModelSpec,
+    algorithm: Algorithm,
+    split: &Split,
+    model_index: u64,
+) -> Result<OptimizationHistory> {
+    let options = &ctx.options;
+    let space = design_space_for(algorithm, spec, ctx.platform)?;
+    let target = ctx.platform.effective_target();
+    let seed = options
+        .seed
+        .wrapping_add(model_index.wrapping_mul(0x9E37))
+        .wrapping_add(algorithm as u64 * 0x79B9);
+    let optimizer_options = OptimizerOptions::default()
+        .budget(options.bo_budget)
+        .doe_samples(options.doe_samples.min(options.bo_budget))
+        .seed(seed);
+    let budget = TrainBudget {
+        epochs: options.train_epochs,
+        seed,
+    };
+
+    let objective = |config: &Configuration| {
+        match train_candidate(algorithm, config, split, spec.optimization_metric, budget) {
+            Ok(candidate) => match target.as_target().check(&candidate.ir, &ctx.constraints) {
+                Ok(report) => {
+                    if !report.is_feasible() && ctx.observer.is_some() {
+                        let constraint = report
+                            .violations
+                            .iter()
+                            .map(|v| v.to_string())
+                            .collect::<Vec<_>>()
+                            .join("; ");
+                        ctx.emit(CompileEvent::FeasibilityRejected {
+                            model: spec.name.clone(),
+                            algorithm,
+                            constraint,
+                        });
+                    }
+                    let mut evaluation = Evaluation::new(candidate.objective)
+                        .feasible(report.is_feasible())
+                        .with_violation(report.violation_score())
+                        .with_metric("params", candidate.ir.param_count() as f64);
+                    if let Ok(estimate) = target.as_target().estimate(&candidate.ir) {
+                        for (name, value) in estimate.resources.iter() {
+                            evaluation = evaluation.with_metric(name.clone(), *value);
+                        }
+                        evaluation = evaluation
+                            .with_metric("latency_ns", estimate.performance.latency_ns)
+                            .with_metric("throughput_gpps", estimate.performance.throughput_gpps);
+                    }
+                    evaluation
+                }
+                // An uncheckable configuration must not look attractive
+                // to the phase-1 violation descent (violation would
+                // default to 0.0 — the global minimum). The sentinel is
+                // large against real violation scores (O(1..100)) but
+                // stays finite through the surrogate's f32 cast.
+                Err(_) => Evaluation::new(candidate.objective)
+                    .feasible(false)
+                    .with_violation(BROKEN_CANDIDATE_VIOLATION),
+            },
+            // A configuration that fails to train at all is infeasible —
+            // same poisoning guard as above.
+            Err(_) => Evaluation::new(0.0)
+                .feasible(false)
+                .with_violation(BROKEN_CANDIDATE_VIOLATION),
+        }
+    };
+    let monitor = |point: &homunculus_optimizer::EvaluatedPoint| {
+        ctx.emit(CompileEvent::CandidateEvaluated {
+            model: spec.name.clone(),
+            algorithm,
+            iteration: point.iteration,
+            objective: point.evaluation.objective,
+            feasible: point.evaluation.is_feasible,
+            violation: point.evaluation.violation,
+        });
+        if ctx.cancel.is_cancelled() {
+            SearchControl::Stop
+        } else {
+            SearchControl::Continue
+        }
+    };
+    let history = BayesianOptimizer::new(space, optimizer_options).run_with(objective, monitor)?;
+    Ok(history)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alchemy::Metric;
+    use homunculus_datasets::nslkdd::NslKddGenerator;
+
+    fn tiny_options() -> CompilerOptions {
+        CompilerOptions {
+            bo_budget: 6,
+            doe_samples: 3,
+            train_epochs: 8,
+            final_epochs: 15,
+            sample_cap: Some(400),
+            parallel: true,
+            seed: 0,
+        }
+    }
+
+    fn ad_platform(n: usize) -> Platform {
+        let spec = ModelSpec::builder("anomaly_detection")
+            .optimization_metric(Metric::F1)
+            .algorithm(Algorithm::Dnn)
+            .data(NslKddGenerator::new(1).generate(n))
+            .build()
+            .unwrap();
+        let mut platform = Platform::taurus();
+        platform
+            .constraints_mut()
+            .throughput_gpps(1.0)
+            .latency_ns(500.0)
+            .grid(16, 16);
+        platform.schedule(spec).unwrap();
+        platform
+    }
+
+    #[test]
+    fn open_requires_a_schedule() {
+        let platform = Platform::taurus();
+        assert!(matches!(
+            Compiler::new(tiny_options()).open(&platform),
+            Err(CoreError::InvalidProgram(_))
+        ));
+    }
+
+    #[test]
+    fn stages_expose_intermediate_state() {
+        let platform = ad_platform(500);
+        let searched = Compiler::new(tiny_options())
+            .open(&platform)
+            .unwrap()
+            .search()
+            .unwrap();
+        assert_eq!(searched.searches().len(), 1);
+        assert_eq!(searched.searches()[0].name(), "anomaly_detection");
+        assert_eq!(searched.evaluations(), 6);
+        let (algorithm, objective) = searched.searches()[0].best().expect("feasible candidate");
+        assert_eq!(algorithm, Algorithm::Dnn);
+        assert!(objective > 0.0);
+
+        let trained = searched.train().unwrap();
+        assert_eq!(trained.models().len(), 1);
+        assert_eq!(trained.models()[0].algorithm(), Algorithm::Dnn);
+
+        let feasible = trained.check().unwrap();
+        assert!(feasible.is_feasible(), "{:?}", feasible.violations());
+        assert!(feasible.models()[0].estimate().resources.get("cus") > 0.0);
+
+        let artifact = feasible.codegen().unwrap();
+        assert!(!artifact.is_partial());
+        assert!(artifact.best().code.contains("@spatial object"));
+    }
+
+    #[test]
+    fn cancelled_session_yields_partial_artifact() {
+        let platform = ad_platform(500);
+        let compiler = Compiler::new(tiny_options());
+        let token = compiler.cancel_token();
+        token.cancel();
+        let artifact = compiler.open(&platform).unwrap().compile().unwrap();
+        assert!(artifact.is_partial());
+        // The cancelled search stopped at the first iteration boundary —
+        // one evaluation, not the full budget.
+        assert_eq!(artifact.best().history.points().len(), 1);
+        // The partial artifact is still a usable model.
+        let compiled = artifact.best().compiled.as_ref().unwrap();
+        let mut scratch = homunculus_runtime::Scratch::new();
+        assert!(compiled.classify(&[0.1; 7], &mut scratch) < 2);
+    }
+
+    #[test]
+    fn observer_sees_stage_brackets_and_iterations() {
+        let platform = ad_platform(500);
+        let observer = Arc::new(CollectingObserver::new());
+        let artifact = Compiler::new(tiny_options())
+            .observe(observer.clone())
+            .open(&platform)
+            .unwrap()
+            .compile()
+            .unwrap();
+        assert_eq!(
+            observer.count(|e| matches!(
+                e,
+                CompileEvent::StageStarted {
+                    stage: CompileStage::Search,
+                    model: None
+                }
+            )),
+            1
+        );
+        for stage in [
+            CompileStage::Search,
+            CompileStage::Train,
+            CompileStage::Check,
+            CompileStage::Codegen,
+        ] {
+            assert_eq!(
+                observer.count(|e| matches!(e, CompileEvent::StageFinished { stage: s, model: None, .. } if *s == stage)),
+                1,
+                "missing whole-stage finish for {}",
+                stage.name()
+            );
+        }
+        // One CandidateEvaluated per recorded history point.
+        assert_eq!(
+            observer.count(|e| matches!(e, CompileEvent::CandidateEvaluated { .. })),
+            artifact
+                .reports()
+                .iter()
+                .flat_map(|r| r.algorithm_histories.iter())
+                .map(|(_, h)| h.points().len())
+                .sum::<usize>()
+        );
+        // The final retrain reported at least one attempt.
+        assert!(observer.count(|e| matches!(e, CompileEvent::FinalTrainAttempt { .. })) >= 1);
+        assert_eq!(
+            observer.count(|e| matches!(e, CompileEvent::Cancelled { .. })),
+            0
+        );
+    }
+
+    #[test]
+    fn cancel_before_any_feasible_candidate_names_the_cancellation() {
+        // A platform tight enough that the single evaluated candidate is
+        // infeasible (latency 40 ns rejects every sampled DNN, but the
+        // pre-filter's minimal configuration squeaks through): cancelling
+        // immediately leaves no best-so-far, so the session fails like an
+        // exhausted search — with the cancellation named in the error.
+        let spec = ModelSpec::builder("tight")
+            .optimization_metric(Metric::F1)
+            .algorithm(Algorithm::Dnn)
+            .data(NslKddGenerator::new(1).generate(400))
+            .build()
+            .unwrap();
+        let mut platform = Platform::taurus();
+        platform
+            .constraints_mut()
+            .throughput_gpps(1.0)
+            .latency_ns(40.0)
+            .grid(16, 16);
+        platform.schedule(spec).unwrap();
+        let compiler = Compiler::new(tiny_options());
+        compiler.cancel_token().cancel();
+        match compiler.open(&platform).unwrap().compile() {
+            Err(CoreError::NoFeasibleModel(message)) => {
+                assert!(
+                    message.contains("cancelled"),
+                    "error should name the cancellation: {message}"
+                );
+            }
+            Err(CoreError::NoCandidates(_)) => {
+                panic!("pre-filter rejected everything; tighten the test setup instead")
+            }
+            other => panic!("expected NoFeasibleModel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancel_token_is_shared_and_idempotent() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!token.is_cancelled());
+        clone.cancel();
+        clone.cancel();
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn stage_names() {
+        assert_eq!(CompileStage::Search.name(), "search");
+        assert_eq!(CompileStage::Train.name(), "train");
+        assert_eq!(CompileStage::Check.name(), "check");
+        assert_eq!(CompileStage::Codegen.name(), "codegen");
+    }
+}

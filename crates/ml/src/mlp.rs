@@ -74,6 +74,17 @@ impl Activation {
             Activation::Linear => "linear",
         }
     }
+
+    /// The inverse of [`Activation::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "relu" => Some(Activation::Relu),
+            "sigmoid" => Some(Activation::Sigmoid),
+            "tanh" => Some(Activation::Tanh),
+            "linear" => Some(Activation::Linear),
+            _ => None,
+        }
+    }
 }
 
 /// The architecture of an MLP: input width, hidden widths, and output width.
@@ -99,7 +110,62 @@ pub struct MlpArchitecture {
     pub activation: Activation,
 }
 
+/// JSON document form: `{"input_dim", "hidden": [..], "output_dim",
+/// "activation": "relu"}`.
+impl serde_json::ToJson for MlpArchitecture {
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "input_dim": self.input_dim,
+            "hidden": self.hidden,
+            "output_dim": self.output_dim,
+            "activation": self.activation.name(),
+        })
+    }
+}
+
 impl MlpArchitecture {
+    /// Decodes the [`serde_json::ToJson`] document form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::MlError::InvalidArgument`] on missing fields or an
+    /// unknown activation name.
+    pub fn from_json(value: &serde_json::Value) -> Result<Self> {
+        use crate::MlError;
+        let dim = |field: &str| {
+            value[field]
+                .as_i64()
+                .filter(|&v| v >= 0)
+                .map(|v| v as usize)
+                .ok_or_else(|| MlError::InvalidArgument(format!("architecture needs {field}")))
+        };
+        let hidden = value["hidden"]
+            .as_array()
+            .ok_or_else(|| MlError::InvalidArgument("architecture needs a hidden array".into()))?
+            .iter()
+            .map(|v| {
+                v.as_i64()
+                    .filter(|&w| w >= 0)
+                    .map(|w| w as usize)
+                    .ok_or_else(|| {
+                        MlError::InvalidArgument(
+                            "hidden widths must be non-negative integers".into(),
+                        )
+                    })
+            })
+            .collect::<Result<Vec<usize>>>()?;
+        let activation = value["activation"]
+            .as_str()
+            .and_then(Activation::from_name)
+            .ok_or_else(|| MlError::InvalidArgument("unknown activation name".into()))?;
+        Ok(MlpArchitecture {
+            input_dim: dim("input_dim")?,
+            hidden,
+            output_dim: dim("output_dim")?,
+            activation,
+        })
+    }
+
     /// Creates an architecture with the default ReLU hidden activation.
     pub fn new(input_dim: usize, hidden: Vec<usize>, output_dim: usize) -> Self {
         MlpArchitecture {

@@ -7,6 +7,7 @@
 //! substrate — so the inference runtime can depend on it without pulling
 //! in dataset generation.
 
+use crate::{MlError, Result};
 use serde::{Deserialize, Serialize};
 
 /// A fitted z-score feature normalizer.
@@ -18,7 +19,47 @@ pub struct Normalizer {
     pub std: Vec<f32>,
 }
 
+/// JSON document form: `{"mean": [..], "std": [..]}` — the normalizer
+/// travels with every portable compile artifact so reloaded models
+/// preprocess fresh traffic exactly as trained.
+impl serde_json::ToJson for Normalizer {
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({ "mean": self.mean, "std": self.std })
+    }
+}
+
 impl Normalizer {
+    /// Decodes the [`serde_json::ToJson`] document form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidArgument`] on missing fields or
+    /// mean/std vectors of different lengths.
+    pub fn from_json(value: &serde_json::Value) -> Result<Self> {
+        let floats = |field: &str| {
+            value[field]
+                .as_array()
+                .ok_or_else(|| {
+                    MlError::InvalidArgument(format!("normalizer needs a {field} array"))
+                })?
+                .iter()
+                .map(|v| {
+                    v.as_f64().map(|v| v as f32).ok_or_else(|| {
+                        MlError::InvalidArgument(format!("normalizer {field} must be numeric"))
+                    })
+                })
+                .collect::<Result<Vec<f32>>>()
+        };
+        let (mean, std) = (floats("mean")?, floats("std")?);
+        if mean.len() != std.len() {
+            return Err(MlError::InvalidArgument(format!(
+                "normalizer has {} means but {} stds",
+                mean.len(),
+                std.len()
+            )));
+        }
+        Ok(Normalizer { mean, std })
+    }
     /// Transforms a single feature vector in place.
     ///
     /// # Panics
@@ -45,6 +86,25 @@ mod tests {
         let mut features = vec![3.0, 0.0];
         norm.apply(&mut features);
         assert_eq!(features, vec![1.0, -2.0]);
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let norm = Normalizer {
+            mean: vec![0.1, -3.7, 1e-20],
+            std: vec![2.0, 0.333_333_34, 5e7],
+        };
+        let text = serde_json::to_string(&serde_json::ToJson::to_json(&norm)).unwrap();
+        let decoded = Normalizer::from_json(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(norm, decoded);
+    }
+
+    #[test]
+    fn json_decode_rejects_malformed() {
+        let bad = serde_json::from_str("{\"mean\": [1, 2], \"std\": [1]}").unwrap();
+        assert!(Normalizer::from_json(&bad).is_err(), "length mismatch");
+        let bad = serde_json::from_str("{\"mean\": [1]}").unwrap();
+        assert!(Normalizer::from_json(&bad).is_err(), "missing std");
     }
 
     #[test]

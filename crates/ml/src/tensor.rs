@@ -35,7 +35,49 @@ pub struct Matrix {
     data: Vec<f32>,
 }
 
+/// JSON document form: `{"rows": r, "cols": c, "data": [..]}` with the
+/// buffer in row-major order. `f32` values survive the round trip
+/// bit-exactly: they widen losslessly to `f64`, print in shortest
+/// round-trippable form, and narrow back without rounding.
+impl serde_json::ToJson for Matrix {
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "rows": self.rows,
+            "cols": self.cols,
+            "data": self.data,
+        })
+    }
+}
+
 impl Matrix {
+    /// Decodes the [`serde_json::ToJson`] document form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidArgument`] on missing fields or a buffer
+    /// whose length disagrees with the shape.
+    pub fn from_json(value: &serde_json::Value) -> Result<Self> {
+        let shape = |field: &str| {
+            value[field]
+                .as_i64()
+                .filter(|&v| v >= 0)
+                .map(|v| v as usize)
+                .ok_or_else(|| MlError::InvalidArgument(format!("matrix needs a {field} count")))
+        };
+        let (rows, cols) = (shape("rows")?, shape("cols")?);
+        let data = value["data"]
+            .as_array()
+            .ok_or_else(|| MlError::InvalidArgument("matrix needs a data array".into()))?
+            .iter()
+            .map(|v| {
+                v.as_f64()
+                    .map(|v| v as f32)
+                    .ok_or_else(|| MlError::InvalidArgument("matrix data must be numeric".into()))
+            })
+            .collect::<Result<Vec<f32>>>()?;
+        Matrix::from_vec(rows, cols, data)
+    }
+
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Matrix {
@@ -585,6 +627,35 @@ mod tests {
 
     fn mat(rows: &[Vec<f32>]) -> Matrix {
         Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn json_roundtrip_is_bit_exact() {
+        // Awkward floats included: subnormal-ish, non-dyadic, negative,
+        // and extreme f32 values must all survive the JSON text form
+        // bit-for-bit (f32 -> f64 -> shortest-form text -> f64 -> f32 is
+        // lossless for finite values).
+        let m = mat(&[
+            vec![0.1, -0.3, 1e-30, f32::MAX],
+            vec![f32::MIN_POSITIVE, -0.0, 2.5e10, 1.0 / 3.0],
+        ]);
+        let text = serde_json::to_string(&serde_json::ToJson::to_json(&m)).unwrap();
+        let decoded = Matrix::from_json(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(decoded.shape(), m.shape());
+        for (a, b) in m.as_slice().iter().zip(decoded.as_slice()) {
+            assert_eq!(a.to_bits() & !0x8000_0000, b.to_bits() & !0x8000_0000);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn json_decode_rejects_malformed() {
+        let bad = serde_json::from_str("{\"rows\": 2, \"cols\": 2, \"data\": [1, 2, 3]}").unwrap();
+        assert!(Matrix::from_json(&bad).is_err(), "shape mismatch");
+        let bad = serde_json::from_str("{\"rows\": 1, \"data\": [1]}").unwrap();
+        assert!(Matrix::from_json(&bad).is_err(), "missing cols");
+        let bad = serde_json::from_str("{\"rows\": 1, \"cols\": 1, \"data\": [\"x\"]}").unwrap();
+        assert!(Matrix::from_json(&bad).is_err(), "non-numeric data");
     }
 
     #[test]

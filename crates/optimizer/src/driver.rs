@@ -16,7 +16,22 @@ use crate::{OptimizerError, Result};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use serde_json::{json, ToJson, Value};
 use std::collections::BTreeMap;
+
+/// Control signal a [`BayesianOptimizer::run_with`] monitor returns after
+/// every evaluation. The monitor is how callers *observe* the loop (each
+/// [`EvaluatedPoint`] is handed over as soon as it exists) and how they
+/// *cancel* it: returning [`SearchControl::Stop`] ends the search at the
+/// current iteration boundary, and the truncated history — every point
+/// evaluated so far, best-so-far included — is returned as `Ok`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchControl {
+    /// Keep iterating.
+    Continue,
+    /// Stop at this iteration boundary and return the history so far.
+    Stop,
+}
 
 /// The outcome of evaluating one configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -63,6 +78,60 @@ impl Evaluation {
     }
 }
 
+/// JSON document form: `{"objective", "is_feasible", "violation",
+/// "metrics": {name: value}}` — the wire format behind portable compile
+/// artifacts (the vendored `serde` derives are markers only; everything
+/// the workspace persists goes through `serde_json::Value` explicitly).
+impl ToJson for Evaluation {
+    fn to_json(&self) -> Value {
+        let mut metrics = serde_json::Map::new();
+        for (name, value) in &self.metrics {
+            metrics.insert(name.clone(), json!(*value));
+        }
+        json!({
+            "objective": self.objective,
+            "is_feasible": self.is_feasible,
+            "violation": self.violation,
+            "metrics": metrics,
+        })
+    }
+}
+
+impl Evaluation {
+    /// Decodes the [`ToJson`] document form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizerError::Decode`] on missing or mistyped fields.
+    pub fn from_json(value: &Value) -> Result<Self> {
+        let objective = value["objective"]
+            .as_f64()
+            .ok_or_else(|| OptimizerError::Decode("evaluation needs numeric objective".into()))?;
+        let is_feasible = value["is_feasible"]
+            .as_bool()
+            .ok_or_else(|| OptimizerError::Decode("evaluation needs boolean is_feasible".into()))?;
+        let violation = value["violation"]
+            .as_f64()
+            .ok_or_else(|| OptimizerError::Decode("evaluation needs numeric violation".into()))?;
+        let mut metrics = BTreeMap::new();
+        let map = value["metrics"]
+            .as_object()
+            .ok_or_else(|| OptimizerError::Decode("evaluation needs a metrics object".into()))?;
+        for (name, metric) in map.iter() {
+            let metric = metric.as_f64().ok_or_else(|| {
+                OptimizerError::Decode(format!("metric '{name}' must be numeric"))
+            })?;
+            metrics.insert(name.clone(), metric);
+        }
+        Ok(Evaluation {
+            objective,
+            is_feasible,
+            violation,
+            metrics,
+        })
+    }
+}
+
 /// One record in the optimization history.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EvaluatedPoint {
@@ -74,6 +143,36 @@ pub struct EvaluatedPoint {
     pub evaluation: Evaluation,
 }
 
+/// JSON document form: `{"iteration", "configuration", "evaluation"}`.
+impl ToJson for EvaluatedPoint {
+    fn to_json(&self) -> Value {
+        json!({
+            "iteration": self.iteration,
+            "configuration": self.configuration,
+            "evaluation": self.evaluation,
+        })
+    }
+}
+
+impl EvaluatedPoint {
+    /// Decodes the [`ToJson`] document form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizerError::Decode`] on missing or mistyped fields.
+    pub fn from_json(value: &Value) -> Result<Self> {
+        let iteration = value["iteration"]
+            .as_i64()
+            .filter(|&i| i >= 0)
+            .ok_or_else(|| OptimizerError::Decode("point needs an iteration index".into()))?;
+        Ok(EvaluatedPoint {
+            iteration: iteration as usize,
+            configuration: Configuration::from_json(&value["configuration"])?,
+            evaluation: Evaluation::from_json(&value["evaluation"])?,
+        })
+    }
+}
+
 /// The full optimization trace plus derived series.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OptimizationHistory {
@@ -81,7 +180,47 @@ pub struct OptimizationHistory {
     doe_samples: usize,
 }
 
+/// JSON document form: `{"doe_samples", "points": [..]}`.
+impl ToJson for OptimizationHistory {
+    fn to_json(&self) -> Value {
+        json!({
+            "doe_samples": self.doe_samples,
+            "points": self.points,
+        })
+    }
+}
+
 impl OptimizationHistory {
+    /// Decodes the [`ToJson`] document form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizerError::Decode`] on missing or mistyped fields,
+    /// or a `doe_samples` count exceeding the number of points.
+    pub fn from_json(value: &Value) -> Result<Self> {
+        let doe_samples = value["doe_samples"]
+            .as_i64()
+            .filter(|&i| i >= 0)
+            .ok_or_else(|| OptimizerError::Decode("history needs doe_samples".into()))?
+            as usize;
+        let points = value["points"]
+            .as_array()
+            .ok_or_else(|| OptimizerError::Decode("history needs a points array".into()))?
+            .iter()
+            .map(EvaluatedPoint::from_json)
+            .collect::<Result<Vec<_>>>()?;
+        if doe_samples > points.len() {
+            return Err(OptimizerError::Decode(format!(
+                "doe_samples {doe_samples} exceeds {} recorded points",
+                points.len()
+            )));
+        }
+        Ok(OptimizationHistory {
+            points,
+            doe_samples,
+        })
+    }
+
     /// All evaluated points, in evaluation order.
     pub fn points(&self) -> &[EvaluatedPoint] {
         &self.points
@@ -301,9 +440,31 @@ impl BayesianOptimizer {
     /// caller decides whether that is an error ([`OptimizationHistory::best`]
     /// returns `None`); this mirrors the paper's "no feasible solution
     /// exists" terminal state (§1).
-    pub fn run<F>(&self, mut objective: F) -> Result<OptimizationHistory>
+    pub fn run<F>(&self, objective: F) -> Result<OptimizationHistory>
     where
         F: FnMut(&Configuration) -> Evaluation,
+    {
+        self.run_with(objective, |_| SearchControl::Continue)
+    }
+
+    /// [`run`](BayesianOptimizer::run) with a per-iteration monitor: after
+    /// every evaluation the freshly-recorded [`EvaluatedPoint`] is handed
+    /// to `monitor`, which returns [`SearchControl::Continue`] to keep
+    /// going or [`SearchControl::Stop`] to end the search at this
+    /// iteration boundary. A stopped search is **not** an error — the
+    /// truncated history (best-so-far included) is returned as `Ok`, so
+    /// cooperative cancellation always yields whatever was already paid
+    /// for. The monitor never influences the RNG stream: a run whose
+    /// monitor always continues is bit-identical to
+    /// [`run`](BayesianOptimizer::run).
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](BayesianOptimizer::run).
+    pub fn run_with<F, M>(&self, mut objective: F, mut monitor: M) -> Result<OptimizationHistory>
+    where
+        F: FnMut(&Configuration) -> Evaluation,
+        M: FnMut(&EvaluatedPoint) -> SearchControl,
     {
         if self.space.is_empty() {
             return Err(OptimizerError::InvalidSpace(
@@ -313,6 +474,7 @@ impl BayesianOptimizer {
         self.options.validate()?;
         let mut rng = StdRng::seed_from_u64(self.options.seed);
         let mut points: Vec<EvaluatedPoint> = Vec::with_capacity(self.options.budget);
+        let mut stopped = false;
 
         // Phase 1: uniform random initialization (DOE).
         let doe = self.options.doe_samples.min(self.options.budget);
@@ -324,22 +486,34 @@ impl BayesianOptimizer {
                 configuration,
                 evaluation,
             });
+            if monitor(points.last().expect("just pushed")) == SearchControl::Stop {
+                stopped = true;
+                break;
+            }
         }
 
         // Phase 2: BO iterations.
-        for iteration in doe..self.options.budget {
-            let configuration = self.suggest(&points, &mut rng)?;
-            let evaluation = objective(&configuration);
-            points.push(EvaluatedPoint {
-                iteration,
-                configuration,
-                evaluation,
-            });
+        if !stopped {
+            for iteration in doe..self.options.budget {
+                let configuration = self.suggest(&points, &mut rng)?;
+                let evaluation = objective(&configuration);
+                points.push(EvaluatedPoint {
+                    iteration,
+                    configuration,
+                    evaluation,
+                });
+                if monitor(points.last().expect("just pushed")) == SearchControl::Stop {
+                    break;
+                }
+            }
         }
 
+        // A stop during DOE leaves fewer initialization points than
+        // requested; the recorded count reflects what actually ran.
+        let doe_samples = doe.min(points.len());
         Ok(OptimizationHistory {
             points,
-            doe_samples: doe,
+            doe_samples,
         })
     }
 
@@ -603,6 +777,85 @@ mod tests {
             .unwrap()
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn run_with_stop_truncates_but_keeps_best_so_far() {
+        let space = quadratic_space();
+        let optimizer =
+            BayesianOptimizer::new(space, OptimizerOptions::default().budget(20).doe_samples(5));
+        // Stop after 7 evaluations (mid-BO phase).
+        let history = optimizer
+            .run_with(
+                |c| Evaluation::new(-(c.real("x").unwrap()).abs()),
+                |point| {
+                    if point.iteration >= 6 {
+                        SearchControl::Stop
+                    } else {
+                        SearchControl::Continue
+                    }
+                },
+            )
+            .unwrap();
+        assert_eq!(history.points().len(), 7);
+        assert_eq!(history.doe_samples(), 5);
+        assert!(history.best().is_some(), "best-so-far survives the stop");
+
+        // Stop during DOE: doe_samples reflects what actually ran.
+        let history = optimizer
+            .run_with(
+                |c| Evaluation::new(c.real("x").unwrap()),
+                |_| SearchControl::Stop,
+            )
+            .unwrap();
+        assert_eq!(history.points().len(), 1);
+        assert_eq!(history.doe_samples(), 1);
+    }
+
+    #[test]
+    fn run_with_continue_is_bit_identical_to_run() {
+        let space = quadratic_space();
+        let optimizer =
+            BayesianOptimizer::new(space, OptimizerOptions::default().budget(12).seed(9));
+        let objective = |c: &Configuration| Evaluation::new(-(c.real("x").unwrap() - 2.0).abs());
+        let plain = optimizer.run(objective).unwrap();
+        let monitored = optimizer
+            .run_with(objective, |_| SearchControl::Continue)
+            .unwrap();
+        assert_eq!(plain, monitored, "the monitor must never touch the RNG");
+    }
+
+    #[test]
+    fn history_json_roundtrip_is_exact() {
+        let history = BayesianOptimizer::new(
+            quadratic_space(),
+            OptimizerOptions::default().budget(10).seed(3),
+        )
+        .run(|c| {
+            let x = c.real("x").unwrap();
+            Evaluation::new(-(x * x))
+                .feasible(x < 5.0)
+                .with_violation(if x < 5.0 { 0.0 } else { x - 5.0 })
+                .with_metric("params", x.abs() * 1e-7)
+        })
+        .unwrap();
+        let text = serde_json::to_string(&history.to_json()).unwrap();
+        let decoded =
+            OptimizationHistory::from_json(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(history, decoded, "history drifted through JSON");
+    }
+
+    #[test]
+    fn history_decode_rejects_malformed() {
+        let bad = serde_json::from_str("{\"doe_samples\": 3, \"points\": []}").unwrap();
+        assert!(matches!(
+            OptimizationHistory::from_json(&bad),
+            Err(OptimizerError::Decode(_))
+        ));
+        let bad = serde_json::from_str("{\"points\": []}").unwrap();
+        assert!(OptimizationHistory::from_json(&bad).is_err());
+        let bad = serde_json::from_str("[1, 2]").unwrap();
+        assert!(Evaluation::from_json(&bad).is_err());
     }
 
     #[test]

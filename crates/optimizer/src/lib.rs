@@ -50,6 +50,7 @@ mod driver;
 
 pub use driver::{
     BayesianOptimizer, EvaluatedPoint, Evaluation, OptimizationHistory, OptimizerOptions,
+    SearchControl,
 };
 
 use std::error::Error;
@@ -66,6 +67,8 @@ pub enum OptimizerError {
     UnknownParameter(String),
     /// The evaluation budget was exhausted without a feasible point.
     NoFeasiblePoint,
+    /// A persisted history/configuration document failed to decode.
+    Decode(String),
 }
 
 impl fmt::Display for OptimizerError {
@@ -75,6 +78,7 @@ impl fmt::Display for OptimizerError {
             OptimizerError::InvalidOptions(msg) => write!(f, "invalid options: {msg}"),
             OptimizerError::UnknownParameter(name) => write!(f, "unknown parameter: {name}"),
             OptimizerError::NoFeasiblePoint => write!(f, "no feasible point found within budget"),
+            OptimizerError::Decode(msg) => write!(f, "history decode failed: {msg}"),
         }
     }
 }

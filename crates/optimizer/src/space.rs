@@ -181,7 +181,45 @@ pub enum ParamValue {
     Categorical(usize),
 }
 
+/// JSON document form: a single-key object tagging the kind, e.g.
+/// `{"real": 0.5}` or `{"categorical": 2}`.
+impl serde_json::ToJson for ParamValue {
+    fn to_json(&self) -> serde_json::Value {
+        match self {
+            ParamValue::Real(v) => json!({ "real": *v }),
+            ParamValue::Integer(v) => json!({ "integer": *v }),
+            ParamValue::Ordinal(v) => json!({ "ordinal": *v }),
+            ParamValue::Categorical(i) => json!({ "categorical": *i }),
+        }
+    }
+}
+
 impl ParamValue {
+    /// Decodes the [`serde_json::ToJson`] document form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizerError::Decode`] for an unknown tag or a
+    /// mistyped payload.
+    pub fn from_json(value: &serde_json::Value) -> Result<Self> {
+        let object = value
+            .as_object()
+            .filter(|o| o.len() == 1)
+            .ok_or_else(|| OptimizerError::Decode("param value must be a one-key object".into()))?;
+        let (kind, payload) = object.iter().next().expect("one entry");
+        match kind.as_str() {
+            "real" => payload.as_f64().map(ParamValue::Real),
+            "integer" => payload.as_i64().map(ParamValue::Integer),
+            "ordinal" => payload.as_f64().map(ParamValue::Ordinal),
+            "categorical" => payload
+                .as_i64()
+                .filter(|&i| i >= 0)
+                .map(|i| ParamValue::Categorical(i as usize)),
+            _ => None,
+        }
+        .ok_or_else(|| OptimizerError::Decode(format!("bad param value kind '{kind}'")))
+    }
+
     /// Numeric encoding used by the surrogate's feature vectors.
     pub fn encode(&self) -> f32 {
         match self {
@@ -200,9 +238,50 @@ pub struct Configuration {
     values: Vec<ParamValue>,
 }
 
+/// JSON document form: `{"names": [..], "values": [..]}`, parallel
+/// arrays in space order.
+impl serde_json::ToJson for Configuration {
+    fn to_json(&self) -> serde_json::Value {
+        json!({ "names": self.names, "values": self.values })
+    }
+}
+
 impl Configuration {
     pub(crate) fn new(names: Vec<String>, values: Vec<ParamValue>) -> Self {
         Configuration { names, values }
+    }
+
+    /// Decodes the [`serde_json::ToJson`] document form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizerError::Decode`] on missing fields or
+    /// names/values arrays of different lengths.
+    pub fn from_json(value: &serde_json::Value) -> Result<Self> {
+        let names = value["names"]
+            .as_array()
+            .ok_or_else(|| OptimizerError::Decode("configuration needs a names array".into()))?
+            .iter()
+            .map(|n| {
+                n.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| OptimizerError::Decode("parameter names must be strings".into()))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let values = value["values"]
+            .as_array()
+            .ok_or_else(|| OptimizerError::Decode("configuration needs a values array".into()))?
+            .iter()
+            .map(ParamValue::from_json)
+            .collect::<Result<Vec<_>>>()?;
+        if names.len() != values.len() {
+            return Err(OptimizerError::Decode(format!(
+                "configuration has {} names but {} values",
+                names.len(),
+                values.len()
+            )));
+        }
+        Ok(Configuration { names, values })
     }
 
     /// The parameter names, in order.
@@ -480,6 +559,32 @@ mod tests {
             let p = s.perturb(&base, &mut rng);
             assert!(s.contains(&p), "{p:?}");
         }
+    }
+
+    #[test]
+    fn configuration_json_roundtrip_is_exact() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let c = s.sample(&mut rng);
+            let text = serde_json::to_string(&serde_json::ToJson::to_json(&c)).unwrap();
+            let decoded = Configuration::from_json(&serde_json::from_str(&text).unwrap()).unwrap();
+            assert_eq!(c, decoded, "configuration drifted through JSON");
+        }
+    }
+
+    #[test]
+    fn configuration_decode_rejects_malformed() {
+        let bad = serde_json::from_str("{\"names\": [\"a\"], \"values\": []}").unwrap();
+        assert!(Configuration::from_json(&bad).is_err(), "length mismatch");
+        let bad = serde_json::from_str(
+            "{\"names\": [\"a\"], \"values\": [{\"real\": 1, \"integer\": 2}]}",
+        )
+        .unwrap();
+        assert!(Configuration::from_json(&bad).is_err(), "two-key value");
+        let bad =
+            serde_json::from_str("{\"names\": [\"a\"], \"values\": [{\"complex\": 1}]}").unwrap();
+        assert!(Configuration::from_json(&bad).is_err(), "unknown kind");
     }
 
     #[test]

@@ -32,9 +32,10 @@
 //! timing but never results — the same contract the call-at-a-time path
 //! pins in `tests/golden_determinism.rs`.
 
+use crate::histogram::LatencyHistogram;
 use crate::lut::LutCache;
 use crate::pipeline::{Compile, CompiledPipeline, Scratch};
-use crate::serve::{next_server_tag, percentile, TenantBatch, TenantId, TenantStats};
+use crate::serve::{next_server_tag, TenantBatch, TenantId, TenantStats};
 use crate::{Result, RuntimeError};
 use homunculus_backends::model::ModelIr;
 use homunculus_ml::preprocess::Normalizer;
@@ -152,11 +153,15 @@ impl TenantEntry {
 }
 
 /// Running per-tenant counters, merged across every completed work item.
+/// Latencies fold into a fixed-size log-bucketed [`LatencyHistogram`]
+/// rather than accumulating raw samples, so an always-on deployment's
+/// stats memory is bounded no matter how long it serves (p50/p99 stay
+/// within one bucket width of the raw-sample percentiles).
 #[derive(Debug, Default)]
 struct TenantAccum {
     packets: usize,
     verdict_histogram: Vec<usize>,
-    latencies_ns: Vec<u64>,
+    latency: LatencyHistogram,
     oracle_packets: usize,
     oracle_agreements: usize,
 }
@@ -628,7 +633,9 @@ fn process_item(
             }
             accum.verdict_histogram[verdict] += 1;
         }
-        accum.latencies_ns.extend_from_slice(&latencies);
+        for &latency in &latencies {
+            accum.latency.record(latency);
+        }
         if let Some(oracle) = &item.oracle {
             accum.oracle_packets += item.rows;
             accum.oracle_agreements += oracle[item.start..item.start + item.rows]
@@ -1210,21 +1217,14 @@ impl Deployment {
         for (index, slot) in registry.iter().enumerate() {
             let id = TenantId::mint(index, self.shared.tag);
             let accum = slot.entry.accum.lock().expect("tenant stats poisoned");
-            let mut latencies = accum.latencies_ns.clone();
-            latencies.sort_unstable();
-            let mean_ns = if latencies.is_empty() {
-                0.0
-            } else {
-                latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
-            };
             tenants.push(TenantStats {
                 tenant: id,
                 name: slot.entry.name.clone(),
                 packets: accum.packets,
                 verdict_histogram: accum.verdict_histogram.clone(),
-                p50_ns: percentile(&latencies, 0.50),
-                p99_ns: percentile(&latencies, 0.99),
-                mean_ns,
+                p50_ns: accum.latency.quantile(0.50),
+                p99_ns: accum.latency.quantile(0.99),
+                mean_ns: accum.latency.mean_ns(),
                 oracle_packets: accum.oracle_packets,
                 oracle_agreements: accum.oracle_agreements,
             });

@@ -25,8 +25,12 @@
 //!   graceful drain/shutdown.
 //! - [`serve`] — the call-at-a-time serving frontend: a
 //!   [`serve::PipelineServer`] registers many compiled pipelines (one per
-//!   scheduled app); its `serve` is now a thin compatibility wrapper over
-//!   a one-shot [`deploy::Deployment`]. Chained execution lives here too.
+//!   scheduled app); its `serve` is a **deprecated** thin compatibility
+//!   wrapper over a one-shot [`deploy::Deployment`]. Chained execution
+//!   lives here too.
+//! - [`histogram`] — fixed-size log-bucketed latency histograms: bounded
+//!   stats memory for always-on deployments, quantiles within one bucket
+//!   width of raw samples.
 //! - [`lut`] — the shared activation-LUT cache: one sigmoid/tanh table
 //!   per `(format, activation)` pair across a whole schedule.
 //!
@@ -58,6 +62,7 @@
 
 pub mod batch;
 pub mod deploy;
+pub mod histogram;
 pub mod lut;
 pub mod pipeline;
 pub mod serve;
@@ -65,6 +70,7 @@ pub mod serve;
 pub use deploy::{
     Deployment, DeploymentBuilder, DeploymentStats, SchedulePolicy, TenantShare, Ticket, Verdicts,
 };
+pub use histogram::LatencyHistogram;
 pub use lut::LutCache;
 pub use pipeline::{classify_rows, Compile, CompiledPipeline, Scratch};
 pub use serve::{PipelineServer, ServeOptions, ServeOutput, TenantBatch, TenantId, TenantStats};

@@ -397,12 +397,11 @@ impl PipelineServer {
     /// Serves a set of tenant-tagged packet batches and returns per-batch
     /// verdicts plus per-tenant stats.
     ///
-    /// **Deprecated in favor of [`Deployment`]:**
-    /// this call-at-a-time entry point now stands up a one-shot deployment
-    /// per call — verdicts and stats are unchanged (bit-wise identical to
-    /// the pre-redesign scoped pool), but worker launch and teardown are
-    /// paid on *every* call. Code that serves repeatedly should build one
-    /// [`Deployment`] and
+    /// Deprecated in favor of [`Deployment`]: this call-at-a-time entry
+    /// point stands up a one-shot deployment per call — verdicts and
+    /// stats are unchanged (bit-wise identical to the pre-redesign scoped
+    /// pool), but worker launch and teardown are paid on *every* call.
+    /// Code that serves repeatedly should build one [`Deployment`] and
     /// [`submit`](crate::deploy::Deployment::submit) to it instead; this
     /// wrapper stays for downstream callers and golden tests.
     ///
@@ -415,6 +414,10 @@ impl PipelineServer {
     /// Returns [`RuntimeError::Serve`] for unknown tenants, feature-width
     /// mismatches, or oracle vectors whose length disagrees with the
     /// batch.
+    #[deprecated(
+        note = "stands up a one-shot Deployment per call, paying pool launch/teardown every \
+                time; build a persistent `Deployment` (crate::deploy) and `submit` to it instead"
+    )]
     pub fn serve(&self, batches: &[TenantBatch], options: &ServeOptions) -> Result<ServeOutput> {
         for (index, batch) in batches.iter().enumerate() {
             let tenant = self.tenant(batch.tenant)?;
@@ -585,16 +588,10 @@ impl PipelineServer {
     }
 }
 
-/// Value at quantile `p` of an ascending-sorted latency sample.
-pub(crate) fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
-    if sorted_ns.is_empty() {
-        return 0;
-    }
-    let index = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
-    sorted_ns[index.min(sorted_ns.len() - 1)]
-}
-
+// These tests exercise the deprecated `serve` shim on purpose: they pin
+// that it stays bit-identical to the persistent Deployment path.
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use homunculus_backends::model::{DnnIr, SvmIr};

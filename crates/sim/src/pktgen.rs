@@ -322,6 +322,10 @@ impl StreamHarness {
             if batches.is_empty() {
                 break;
             }
+            // run_served IS the call-at-a-time replay — it drives the
+            // deprecated shim on purpose; run_deployed is the persistent
+            // twin new code should prefer.
+            #[allow(deprecated)]
             let output = server
                 .serve(&batches, &options)
                 .map_err(|e| SimError::InvalidConfig(e.to_string()))?;

@@ -1,13 +1,17 @@
 //! The paper's running example (§3, Figure 3/4): anomaly detection on a
-//! Taurus switch, with the optimization trace printed as a regret plot.
+//! Taurus switch, with the optimization trace printed as a regret plot —
+//! both live (a `CompileObserver` streams every BO iteration and stage
+//! timing as the session runs) and from the final history.
 //!
 //! Run with: `cargo run --release --example anomaly_detection`
 
 use homunculus::core::alchemy::{Algorithm, Metric, ModelSpec, Platform};
 use homunculus::core::pipeline::CompilerOptions;
+use homunculus::core::session::{CompileEvent, Compiler};
 use homunculus::datasets::nslkdd::NslKddGenerator;
 use homunculus::sim::grid::GridSimulator;
 use homunculus::sim::pktgen::{LabeledSample, StreamHarness, TimingModel};
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dataset = NslKddGenerator::new(7).generate(6_000);
@@ -35,7 +39,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         parallel: true,
         seed: 1,
     };
-    let artifact = homunculus::core::generate_with(&platform, &options)?;
+    // Watch the compile as it happens: per-iteration candidates and
+    // per-stage wall-clock, streamed by the session.
+    let observer = Arc::new(|event: &CompileEvent| match event {
+        CompileEvent::CandidateEvaluated {
+            iteration,
+            objective,
+            feasible,
+            ..
+        } => println!("  [search] iter {iteration:>2}: F1 {objective:.4} feasible {feasible}"),
+        CompileEvent::FinalTrainAttempt {
+            restart, objective, ..
+        } => println!("  [train]  restart {restart}: F1 {objective:.4}"),
+        CompileEvent::StageFinished {
+            stage,
+            model: None,
+            elapsed_ns,
+        } => println!(
+            "  [stage]  {} done in {:.2} s",
+            stage.name(),
+            *elapsed_ns as f64 / 1e9
+        ),
+        _ => {}
+    });
+    let artifact = Compiler::new(options)
+        .observe(observer)
+        .open(&platform)?
+        .search()?
+        .train()?
+        .check()?
+        .codegen()?;
     let best = artifact.best();
 
     println!("== anomaly detection on taurus-16x16 ==");

@@ -10,6 +10,7 @@
 
 use homunculus::core::alchemy::{Algorithm, Metric, ModelSpec, Platform};
 use homunculus::core::pipeline::CompilerOptions;
+use homunculus::core::session::Compiler;
 use homunculus::dataplane::histogram::FlowmarkerConfig;
 use homunculus::datasets::p2p::{
     flowmarker_dataset, partial_histogram_dataset, P2pTrafficGenerator,
@@ -41,8 +42,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .grid(16, 16);
     platform.schedule(model)?;
 
-    let artifact =
-        homunculus::core::generate_with(&platform, &CompilerOptions::fast().bo_budget(10).seed(5))?;
+    let artifact = Compiler::new(CompilerOptions::fast().bo_budget(10).seed(5))
+        .open(&platform)?
+        .search()?
+        .train()?
+        .check()?
+        .codegen()?;
     let best = artifact.best();
     println!(
         "searched model: {} params, F1(full histograms) = {:.3}, {}",

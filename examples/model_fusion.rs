@@ -6,6 +6,7 @@
 use homunculus::core::alchemy::{Algorithm, Metric, ModelSpec, Platform};
 use homunculus::core::fusion::{try_fuse, DEFAULT_OVERLAP_THRESHOLD};
 use homunculus::core::pipeline::CompilerOptions;
+use homunculus::core::session::Compiler;
 use homunculus::datasets::nslkdd::NslKddGenerator;
 
 fn compile_one(spec: ModelSpec) -> Result<(f64, f64, f64), Box<dyn std::error::Error>> {
@@ -16,8 +17,9 @@ fn compile_one(spec: ModelSpec) -> Result<(f64, f64, f64), Box<dyn std::error::E
         .latency_ns(500.0)
         .grid(16, 16);
     platform.schedule(spec)?;
-    let artifact =
-        homunculus::core::generate_with(&platform, &CompilerOptions::fast().bo_budget(16).seed(7))?;
+    let artifact = Compiler::new(CompilerOptions::fast().bo_budget(16).seed(7))
+        .open(&platform)?
+        .compile()?;
     let best = artifact.best();
     Ok((
         best.objective,

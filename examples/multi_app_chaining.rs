@@ -20,6 +20,7 @@ use homunculus::backends::model::{ModelIr, SvmIr};
 use homunculus::core::alchemy::{Algorithm, Metric, ModelSpec, Platform};
 use homunculus::core::pipeline::{CompiledArtifact, CompilerOptions};
 use homunculus::core::schedule::ScheduleExpr;
+use homunculus::core::session::Compiler;
 use homunculus::datasets::nslkdd::NslKddGenerator;
 use homunculus::ml::quantize::FixedPoint;
 use homunculus::ml::tensor::Matrix;
@@ -45,8 +46,9 @@ fn compile(
         .latency_ns(2_000.0)
         .grid(16, 16);
     platform.schedule(expr)?;
-    let artifact =
-        homunculus::core::generate_with(&platform, &CompilerOptions::fast().bo_budget(12).seed(9))?;
+    let artifact = Compiler::new(CompilerOptions::fast().bo_budget(12).seed(9))
+        .open(&platform)?
+        .compile()?;
     let perf = artifact.combined_performance();
     println!(
         "{strategy:<24} models={} CUs={:>5.0} MUs={:>5.0} tput={:.2}GPkt/s lat={:>6.0}ns",
@@ -83,12 +85,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nresources scale with the number of models, not the strategy.");
 
     // ------------------------------------------------------------------
-    // Deploy the sequential schedule: all four winners become tenants of
+    // Compile once, serve forever: the sequential schedule's artifact is
+    // saved to JSON and RELOADED, and the deployment below is built from
+    // the reloaded copy — a serving process needs the artifact file, not
+    // a compiler run (verdicts are bit-identical either way).
+    // ------------------------------------------------------------------
+    let path = std::env::temp_dir().join("homunculus_chain.artifact.json");
+    sequential.save_json(&path)?;
+    let reloaded = CompiledArtifact::load_json(&path)?;
+    println!(
+        "\nartifact saved to {} and reloaded ({} models)",
+        path.display(),
+        reloaded.reports().len()
+    );
+
+    // ------------------------------------------------------------------
+    // Deploy the reloaded schedule: all four winners become tenants of
     // one persistent Deployment — resident workers fed by an ingress
     // queue, launched once and reused for every serving round below (raw
     // traffic in; each tenant's own normalizer applies).
     // ------------------------------------------------------------------
-    let deployment = sequential.build_deployment(
+    let deployment = reloaded.build_deployment(
         Deployment::builder()
             .workers(4)
             .queue_depth(16)
@@ -103,7 +120,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let traffic = NslKddGenerator::new(99).generate(4_000);
-    let ids: Vec<_> = sequential
+    let ids: Vec<_> = reloaded
         .reports()
         .iter()
         .map(|report| deployment.tenant_id(&report.name).expect("deployed tenant"))

@@ -3,12 +3,16 @@
 //! This is the Rust equivalent of the paper's Figure 3 Alchemy program:
 //! supply a dataset, an objective, and a constrained platform — Homunculus
 //! does the model search, training, feasibility checking, and code
-//! generation.
+//! generation. The compile runs as a **staged session** (search → train →
+//! check → codegen) so each stage's output can be inspected before the
+//! next runs, and the finished artifact is saved to JSON and reloaded —
+//! compile once, serve forever.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use homunculus::core::alchemy::{Metric, ModelSpec, Platform};
-use homunculus::core::pipeline::CompilerOptions;
+use homunculus::core::pipeline::{CompiledArtifact, CompilerOptions};
+use homunculus::core::session::Compiler;
 use homunculus::datasets::nslkdd::NslKddGenerator;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -38,8 +42,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .grid(16, 16);
     platform.schedule(model)?;
 
-    // 4. Compile.
-    let artifact = homunculus::core::generate_with(&platform, &CompilerOptions::fast())?;
+    // 4. Compile, stage by stage: every handle is a checkpoint.
+    let session = Compiler::new(CompilerOptions::fast()).open(&platform)?;
+    let searched = session.search()?;
+    println!(
+        "\nsearch: {} BO evaluations across {} model(s)",
+        searched.evaluations(),
+        searched.searches().len()
+    );
+    let trained = searched.train()?;
+    println!(
+        "train:  winner {} retrained",
+        trained.models()[0].algorithm().name()
+    );
+    let feasible = trained.check()?;
+    println!(
+        "check:  fits the platform share: {}",
+        feasible.is_feasible()
+    );
+    let artifact = feasible.codegen()?;
     let best = artifact.best();
     println!(
         "\nwinner: {} (algorithm: {}, {} = {:.3})",
@@ -57,5 +78,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for line in best.code.lines().take(25) {
         println!("{line}");
     }
+
+    // 5. Persist: the artifact outlives this process. A later deployment
+    //    loads the JSON, re-lowers the IRs, and serves bit-identical
+    //    verdicts without recompiling.
+    let path = std::env::temp_dir().join("homunculus_quickstart.artifact.json");
+    artifact.save_json(&path)?;
+    let reloaded = CompiledArtifact::load_json(&path)?;
+    println!(
+        "\nsaved {} -> reloaded: {} model(s), objective {:.3}, partial: {}",
+        path.display(),
+        reloaded.reports().len(),
+        reloaded.best().objective,
+        reloaded.is_partial()
+    );
     Ok(())
 }

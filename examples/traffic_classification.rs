@@ -8,6 +8,7 @@
 
 use homunculus::core::alchemy::{Metric, ModelSpec, Platform};
 use homunculus::core::pipeline::CompilerOptions;
+use homunculus::core::session::Compiler;
 use homunculus::datasets::iot::IotTrafficGenerator;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -22,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     println!("MAT budget sweep (Figure 7 shape): more tables => better V-measure\n");
-    println!("mats  clusters  v-measure  tables-used");
+    println!("mats  evals  clusters  v-measure  tables-used");
     for mats in 1..=5usize {
         let dataset = IotTrafficGenerator::new(11).generate(3_000);
         let model = ModelSpec::builder("traffic_classification")
@@ -33,10 +34,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         platform.constraints_mut().mats(mats);
         platform.schedule(model)?;
 
-        let artifact = homunculus::core::generate_with(&platform, &options)?;
+        // Staged compile: the search handle exposes each budget's
+        // candidate set before the retrain commits to a winner.
+        let searched = Compiler::new(options).open(&platform)?.search()?;
+        let evaluations = searched.evaluations();
+        let artifact = searched.train()?.check()?.codegen()?;
         let best = artifact.best();
         println!(
-            "{mats:4}  {:8}  {:.4}     {}",
+            "{mats:4}  {evaluations:5}  {:8}  {:.4}     {}",
             best.configuration.integer("k").unwrap_or(0),
             best.objective,
             best.estimate.resources.get("mats")
@@ -52,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut platform = Platform::tofino();
     platform.constraints_mut().mats(5);
     platform.schedule(model)?;
-    let artifact = homunculus::core::generate_with(&platform, &options)?;
+    let artifact = Compiler::new(options).open(&platform)?.compile()?;
     println!("\n--- generated P4 (head) ---");
     for line in artifact.code().lines().take(30) {
         println!("{line}");

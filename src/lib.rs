@@ -30,14 +30,29 @@
 //!   call-at-a-time `PipelineServer` shim (shared activation LUTs in
 //!   both).
 //! - [`sim`] — cycle-level MapReduce-grid and MAT-pipeline simulators.
-//! - [`core`] — the Alchemy DSL and the compiler pipeline itself.
+//! - [`core`] — the Alchemy DSL and the compiler itself: a **staged
+//!   `Compiler` session** whose typed handles expose every phase of a
+//!   compile.
 //!
 //! # Quickstart
 //!
+//! Compilation advances through typed stage handles — inspect, log,
+//! persist, or cancel between any two stages:
+//!
+//! | Stage call | Hands back | What ran |
+//! |---|---|---|
+//! | `Compiler::open` | `Session` | schedule validation, resource-share scaling |
+//! | `Session::search` | `Searched` | per-app BO candidate searches |
+//! | `Searched::train` | `Trained` | winner selection + final retrain |
+//! | `Trained::check` | `Feasible` | resource/performance estimation |
+//! | `Feasible::codegen` | `CompiledArtifact` | code generation + integer lowering |
+//!
 //! ```no_run
 //! use homunculus::core::alchemy::{Metric, ModelSpec, Platform};
-//! use homunculus::core::pipeline::CompilerOptions;
+//! use homunculus::core::pipeline::{CompiledArtifact, CompilerOptions};
+//! use homunculus::core::session::{CompileEvent, Compiler};
 //! use homunculus::datasets::nslkdd::NslKddGenerator;
+//! use std::sync::Arc;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // 1. Data: a synthetic NSL-KDD-like anomaly-detection dataset.
@@ -58,13 +73,37 @@
 //!     .grid(16, 16);
 //! platform.schedule(model)?;
 //!
-//! // 4. Compile: search, train, check feasibility, generate code.
-//! let artifact = homunculus::core::generate_with(&platform, &CompilerOptions::fast())?;
+//! // 4. Compile, stage by stage, watching every BO iteration live.
+//! //    (A CancelToken can stop the search at any iteration boundary;
+//! //    the session then yields the best-so-far as a partial artifact.)
+//! let compiler = Compiler::new(CompilerOptions::fast()).observe(Arc::new(
+//!     |event: &CompileEvent| {
+//!         if let CompileEvent::CandidateEvaluated { iteration, objective, .. } = event {
+//!             println!("iter {iteration}: F1 {objective:.3}");
+//!         }
+//!     },
+//! ));
+//! let searched = compiler.open(&platform)?.search()?;
+//! println!("{} BO evaluations", searched.evaluations());
+//! let artifact = searched.train()?.check()?.codegen()?;
 //! println!("best F1 = {:.3}", artifact.best().objective);
 //! println!("{}", artifact.code());
+//!
+//! // 5. Compile once, serve forever: the artifact (trained IRs,
+//! //    normalizers, code, histories) persists as JSON; a later process
+//! //    reloads it and serves bit-identical verdicts — no recompile.
+//! artifact.save_json("ad.artifact.json")?;
+//! let reloaded = CompiledArtifact::load_json("ad.artifact.json")?;
+//! let deployment = reloaded
+//!     .build_deployment(homunculus::runtime::Deployment::builder().workers(4))?;
+//! # let _ = deployment;
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The one-shot `homunculus::core::generate_with(&platform, &options)`
+//! shim still runs every stage back to back and produces bit-identical
+//! artifacts.
 
 pub use homunculus_backends as backends;
 pub use homunculus_core as core;

@@ -164,6 +164,9 @@ fn served_multi_tenant_verdicts_fingerprint() {
         TenantBatch::new(svm, nds.features().clone()),
     ];
     for (workers, chunk) in [(1, 0), (3, 7), (8, 1)] {
+        // The deprecated shim stays golden-pinned: bit-identical to the
+        // persistent path for as long as it exists.
+        #[allow(deprecated)]
         let output = server
             .serve(
                 &batches,
@@ -230,6 +233,7 @@ fn deployed_verdicts_fingerprint_matches_call_at_a_time_path() {
     let svm = server
         .register_model("svm_app", &handcrafted_svm_ir(), format, None)
         .unwrap();
+    #[allow(deprecated)]
     let reference = server
         .serve(
             &[

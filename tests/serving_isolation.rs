@@ -133,6 +133,9 @@ fn eight_tenants_on_two_workers_match_isolated_runs() {
         .collect();
 
     // 2-worker pool, one-row chunks: maximal cross-tenant interleaving.
+    // (The deprecated serve shim is exercised deliberately: isolation must
+    // hold on both serving frontends.)
+    #[allow(deprecated)]
     let output = server
         .serve(&batches, &ServeOptions::default().workers(2).chunk_rows(1))
         .unwrap();
@@ -145,6 +148,7 @@ fn eight_tenants_on_two_workers_match_isolated_runs() {
 
     // Repeat with other pool shapes: results must never depend on them.
     for (workers, chunk) in [(2, 17), (8, 3), (3, 0)] {
+        #[allow(deprecated)]
         let again = server
             .serve(
                 &batches,
