@@ -36,13 +36,16 @@ bench:
 # re-reads its JSON and fails unless it parses with all headline fields
 # (serving/deployment also assert verdicts match isolated classify_batch
 # runs, activation LUTs are shared, and weighted dispatch shares stay
-# inside their bound; compile_stages also asserts a saved artifact
-# reloads and serves bit-identical verdicts).
+# inside their bound; compile_stages also asserts saved artifacts — JSON
+# and binary — reload and serve bit-identical verdicts, that parallel and
+# sequential compiles agree bit for bit, and, via --resume, that an
+# interrupted search resumed from its binary checkpoint finishes
+# bit-identically to the uninterrupted run).
 bench-smoke:
 	$(CARGO) run --release -p homunculus-bench --bin runtime_throughput -- --smoke --out BENCH_runtime.json
 	$(CARGO) run --release -p homunculus-bench --bin serving_throughput -- --smoke --out BENCH_serving.json
 	$(CARGO) run --release -p homunculus-bench --bin deployment_throughput -- --smoke --out BENCH_deploy.json
-	$(CARGO) run --release -p homunculus-bench --bin compile_stages -- --smoke --out BENCH_compile.json
+	$(CARGO) run --release -p homunculus-bench --bin compile_stages -- --smoke --resume --out BENCH_compile.json
 
 examples:
 	$(CARGO) build --release --examples

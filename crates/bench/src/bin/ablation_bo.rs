@@ -19,6 +19,7 @@ fn options(budget: usize, doe: usize, seed: u64) -> CompilerOptions {
         sample_cap: Some(2_000),
         parallel: true,
         seed,
+        time_budget: None,
     }
 }
 

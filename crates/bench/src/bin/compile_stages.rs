@@ -1,29 +1,40 @@
-//! Per-stage compile benchmark of the staged `Compiler` session.
+//! Per-stage compile benchmark of the staged `Compiler` session —
+//! service edition: two scheduled models, sequential-vs-parallel
+//! bit-identity, checkpoint/resume, and the binary artifact format.
 //!
-//! Runs the AD workload through `open -> search -> train -> check ->
-//! codegen`, timing every stage with the session's own
-//! `StageFinished` events (cross-checked against wall-clock around the
-//! stage calls), and writes `BENCH_compile.json`:
+//! Runs a two-model schedule (`ad_primary >> ad_secondary`) through
+//! `open -> search -> train -> check -> codegen`, timing every stage with
+//! the session's own `StageFinished` events (cross-checked against
+//! wall-clock around the stage calls), and writes `BENCH_compile.json`:
 //!
-//! - per-stage wall-clock (`search_ns` .. `codegen_ns`) and the search
-//!   stage's **BO iterations/second** (the compile-throughput headline),
-//! - the event-stream accounting (one `CandidateEvaluated` per BO
-//!   evaluation — asserted against the recorded histories),
-//! - an artifact **portability check**: the artifact is saved to JSON,
-//!   reloaded, and both copies must serve bit-identical verdicts through
-//!   `build_deployment` (asserted, not just reported).
+//! - per-stage wall-clock (`search_ns` .. `codegen_ns`), the aggregate
+//!   **BO iterations/second**, and the same rate **per model** (each
+//!   model's own `StageFinished` bracket — on parallel runs these
+//!   overlap),
+//! - **`parallel_speedup`**: search+train wall-clock of a sequential
+//!   (`parallel: false`) compile over the parallel one, with the two
+//!   artifacts asserted bit-identical (the determinism contract),
+//! - an artifact **portability check** in both encodings: JSON and the
+//!   compact `HJB1` binary format are saved, reloaded, and must serve
+//!   bit-identical verdicts through `build_deployment` (asserted); the
+//!   binary must also be smaller than the JSON,
+//! - with `--resume`: a third search is cancelled mid-flight, its
+//!   checkpoint written in the binary format, resumed in a fresh
+//!   `Compiler`, and the resumed session asserted bit-identical to the
+//!   uninterrupted one (checkpoint and artifact).
 //!
 //! Run with: `cargo run --release -p homunculus-bench --bin compile_stages`
-//! Flags: `--budget N`, `--samples N`, `--out PATH`, `--smoke`.
+//! Flags: `--budget N`, `--samples N`, `--out PATH`, `--smoke`, `--resume`.
 
-use homunculus_bench::{banner, taurus_platform};
-use homunculus_core::alchemy::Metric;
+use homunculus_bench::{banner, EmitterMeta};
+use homunculus_core::alchemy::{Algorithm, Metric, ModelSpec, Platform};
 use homunculus_core::pipeline::{CompiledArtifact, CompilerOptions};
 use homunculus_core::session::{CollectingObserver, CompileEvent, CompileStage, Compiler};
 use homunculus_datasets::nslkdd::NslKddGenerator;
 use homunculus_ml::tensor::Matrix;
 use homunculus_runtime::{Deployment, TenantBatch};
 use serde_json::json;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -32,6 +43,7 @@ struct Args {
     samples: usize,
     out: String,
     smoke: bool,
+    resume: bool,
 }
 
 fn parse_args() -> Args {
@@ -40,6 +52,7 @@ fn parse_args() -> Args {
         samples: 4_000,
         out: "BENCH_compile.json".into(),
         smoke: false,
+        resume: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -60,7 +73,10 @@ fn parse_args() -> Args {
             }
             "--out" => args.out = iter.next().expect("--out takes a path"),
             "--smoke" => args.smoke = true,
-            other => panic!("unknown flag {other} (expected --budget/--samples/--out/--smoke)"),
+            "--resume" => args.resume = true,
+            other => {
+                panic!("unknown flag {other} (expected --budget/--samples/--out/--smoke/--resume)")
+            }
         }
     }
     if args.smoke {
@@ -68,6 +84,30 @@ fn parse_args() -> Args {
         args.samples = args.samples.min(800);
     }
     args
+}
+
+/// The benchmark's two-model schedule: two anomaly-detection DNNs over
+/// independent NSL-KDD draws, composed sequentially (`a >> b`) so the
+/// session fans their searches and retrains across model threads.
+fn two_model_platform(samples: usize) -> Result<Platform, Box<dyn std::error::Error>> {
+    let primary = ModelSpec::builder("ad_primary")
+        .optimization_metric(Metric::F1)
+        .algorithm(Algorithm::Dnn)
+        .data(NslKddGenerator::new(7).generate(samples))
+        .build()?;
+    let secondary = ModelSpec::builder("ad_secondary")
+        .optimization_metric(Metric::F1)
+        .algorithm(Algorithm::Dnn)
+        .data(NslKddGenerator::new(8).generate(samples))
+        .build()?;
+    let mut platform = Platform::taurus();
+    platform
+        .constraints_mut()
+        .throughput_gpps(1.0)
+        .latency_ns(500.0)
+        .grid(16, 16);
+    platform.schedule(primary >> secondary)?;
+    Ok(platform)
 }
 
 /// Sum of whole-stage (model: None) `StageFinished` timings for `stage`.
@@ -80,6 +120,21 @@ fn stage_ns(events: &[CompileEvent], stage: CompileStage) -> u64 {
                 model: None,
                 elapsed_ns,
             } if *s == stage => Some(*elapsed_ns),
+            _ => None,
+        })
+        .sum()
+}
+
+/// The per-model `StageFinished` timing for (`stage`, `model`).
+fn model_stage_ns(events: &[CompileEvent], stage: CompileStage, model: &str) -> u64 {
+    events
+        .iter()
+        .filter_map(|event| match event {
+            CompileEvent::StageFinished {
+                stage: s,
+                model: Some(m),
+                elapsed_ns,
+            } if *s == stage && m == model => Some(*elapsed_ns),
             _ => None,
         })
         .sum()
@@ -111,7 +166,8 @@ fn probe_verdicts(artifact: &CompiledArtifact, stream: &Matrix) -> Vec<Vec<usize
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args();
-    banner("staged compile: per-stage wall-clock + BO iterations/sec");
+    let meta = EmitterMeta::new("compile_stages", args.smoke);
+    banner("staged compile: stage timings, parallel speedup, checkpoint/resume");
 
     let options = CompilerOptions {
         bo_budget: args.budget,
@@ -121,16 +177,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sample_cap: Some(2_000),
         parallel: true,
         seed: 0,
+        time_budget: None,
     };
-    let platform = taurus_platform(
-        "anomaly_detection",
-        Metric::F1,
-        NslKddGenerator::new(7).generate(args.samples),
-    )?;
+    let platform = two_model_platform(args.samples)?;
 
-    // Staged compile under a collecting observer; wall-clock measured
-    // around each stage call as an independent cross-check of the
-    // session's own StageFinished timings.
+    // --- Sequential reference: same compile, parallel off. ---------------
+    let sequential_observer = Arc::new(CollectingObserver::new());
+    let sequential_options = CompilerOptions {
+        parallel: false,
+        ..options
+    };
+    let sequential_artifact = Compiler::new(sequential_options)
+        .observe(sequential_observer.clone())
+        .open(&platform)?
+        .compile()?;
+    let sequential_events = sequential_observer.events();
+    let sequential_ns = stage_ns(&sequential_events, CompileStage::Search)
+        + stage_ns(&sequential_events, CompileStage::Train);
+
+    // --- Parallel compile under a collecting observer; wall-clock around
+    // each stage call independently cross-checks the session's own
+    // StageFinished timings. -----------------------------------------------
     let observer = Arc::new(CollectingObserver::new());
     let session = Compiler::new(options)
         .observe(observer.clone())
@@ -140,6 +207,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let searched = session.search()?;
     let search_wall_ns = t0.elapsed().as_nanos() as u64;
     let bo_iterations = searched.evaluations();
+    let per_model: Vec<(String, usize)> = searched
+        .searches()
+        .iter()
+        .map(|model| (model.name().to_string(), model.evaluations()))
+        .collect();
+    let checkpoint_reference = searched.checkpoint_json();
+    let checkpoint_bin_bytes = searched.checkpoint_bin_bytes().len() as u64;
 
     let t1 = Instant::now();
     let trained = searched.train()?;
@@ -160,6 +234,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let codegen_ns = stage_ns(&events, CompileStage::Codegen);
     let total_ns = search_ns + train_ns + check_ns + codegen_ns;
     let bo_iters_per_sec = bo_iterations as f64 / (search_ns.max(1) as f64 / 1e9);
+    let parallel_ns = search_ns + train_ns;
+    let parallel_speedup = sequential_ns as f64 / parallel_ns.max(1) as f64;
+
+    // The determinism contract: parallel == sequential, bit for bit.
+    assert_eq!(
+        sequential_artifact.to_json_string()?,
+        artifact.to_json_string()?,
+        "parallel compile diverged from the sequential reference"
+    );
 
     // Event accounting: one CandidateEvaluated per recorded history point.
     let candidate_events = events
@@ -195,34 +278,124 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{label:<8}  {:>10.3} ms", ns as f64 / 1e6);
     }
     println!(
-        "\n{bo_iterations} BO iterations in {:.3} s = {bo_iters_per_sec:.2} iters/s",
-        search_ns as f64 / 1e9
+        "\n{bo_iterations} BO iterations in {:.3} s = {bo_iters_per_sec:.2} iters/s \
+         (sequential/parallel search+train: {:.3} s / {:.3} s = {parallel_speedup:.2}x)",
+        search_ns as f64 / 1e9,
+        sequential_ns as f64 / 1e9,
+        parallel_ns as f64 / 1e9,
     );
 
-    // Portability: save -> load -> deploy; verdicts must be bit-identical
-    // to the in-process artifact on a fixed probe stream.
-    let path = std::env::temp_dir().join("homunculus_bench_compile.artifact.json");
-    artifact.save_json(&path)?;
-    let artifact_bytes = std::fs::metadata(&path)?.len();
-    let reloaded = CompiledArtifact::load_json(&path)?;
+    // Per-model iteration rates from each model's own stage bracket (the
+    // brackets overlap on parallel runs, so these are per-thread rates).
+    let per_model_rates: Vec<(String, usize, u64, f64)> = per_model
+        .iter()
+        .map(|(name, evaluations)| {
+            let ns = model_stage_ns(&events, CompileStage::Search, name);
+            let rate = *evaluations as f64 / (ns.max(1) as f64 / 1e9);
+            (name.clone(), *evaluations, ns, rate)
+        })
+        .collect();
+    for (name, evaluations, ns, rate) in &per_model_rates {
+        println!(
+            "  {name}: {evaluations} iterations in {:.3} s = {rate:.2} iters/s",
+            *ns as f64 / 1e9
+        );
+    }
+
+    // The speedup gate only means something with real cores to spread
+    // over (and a full, not smoke, budget).
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if !args.smoke && cores >= 4 {
+        assert!(
+            parallel_speedup >= 1.5,
+            "parallel compile sped up only {parallel_speedup:.2}x on {cores} cores"
+        );
+    }
+
+    // --- Portability, both encodings: save -> load -> deploy; verdicts
+    // must be bit-identical to the in-process artifact. --------------------
+    let json_path = std::env::temp_dir().join("homunculus_bench_compile.artifact.json");
+    let bin_path = std::env::temp_dir().join("homunculus_bench_compile.artifact.bin");
+    artifact.save_json(&json_path)?;
+    artifact.save_bin(&bin_path)?;
+    let artifact_bytes = std::fs::metadata(&json_path)?.len();
+    let artifact_bin_bytes = std::fs::metadata(&bin_path)?.len();
+    assert!(
+        artifact_bin_bytes < artifact_bytes,
+        "binary artifact ({artifact_bin_bytes} B) must undercut JSON ({artifact_bytes} B)"
+    );
+    let reloaded = CompiledArtifact::load_json(&json_path)?;
+    let reloaded_bin = CompiledArtifact::load_bin(&bin_path)?;
     let probe = Matrix::from_fn(256, 7, |r, c| ((r * 7 + c) % 23) as f32 * 0.2 - 2.0);
     let in_process = probe_verdicts(&artifact, &probe);
-    let from_disk = probe_verdicts(&reloaded, &probe);
     assert_eq!(
-        in_process, from_disk,
-        "reloaded artifact served different verdicts than the in-process one"
+        in_process,
+        probe_verdicts(&reloaded, &probe),
+        "reloaded JSON artifact served different verdicts than the in-process one"
+    );
+    assert_eq!(
+        in_process,
+        probe_verdicts(&reloaded_bin, &probe),
+        "reloaded binary artifact served different verdicts than the in-process one"
     );
     println!(
-        "portability: {} byte artifact reloads and serves bit-identical verdicts",
-        artifact_bytes
+        "portability: {artifact_bytes} B JSON / {artifact_bin_bytes} B binary artifact \
+         ({:.1}% of JSON) both reload and serve bit-identical verdicts",
+        artifact_bin_bytes as f64 / artifact_bytes as f64 * 100.0
     );
 
+    // --- Checkpoint/resume: interrupt a third search, resume it from the
+    // binary checkpoint, and demand bit-equality with the uninterrupted
+    // run. -----------------------------------------------------------------
+    let resume_bit_identical = if args.resume {
+        let compiler = Compiler::new(options);
+        let token = compiler.cancel_token();
+        let seen = Arc::new(AtomicUsize::new(0));
+        let cancel_after = (args.budget / 2).max(1);
+        let interruptor = {
+            let seen = seen.clone();
+            move |event: &CompileEvent| {
+                if matches!(event, CompileEvent::CandidateEvaluated { .. })
+                    && seen.fetch_add(1, Ordering::Relaxed) + 1 >= cancel_after
+                {
+                    token.cancel();
+                }
+            }
+        };
+        let truncated = compiler
+            .observe(Arc::new(interruptor))
+            .open(&platform)?
+            .search()?;
+        let truncated_evals = truncated.evaluations();
+        let ckpt_path = std::env::temp_dir().join("homunculus_bench_compile.checkpoint.bin");
+        truncated.save_checkpoint_bin(&ckpt_path)?;
+        let resumed = Compiler::new(options).resume(&platform, &ckpt_path)?;
+        std::fs::remove_file(&ckpt_path).ok();
+        assert_eq!(
+            resumed.checkpoint_json(),
+            checkpoint_reference,
+            "resumed search diverged from the uninterrupted run"
+        );
+        let resumed_artifact = resumed.train()?.check()?.codegen()?;
+        assert_eq!(
+            resumed_artifact.to_json_string()?,
+            artifact.to_json_string()?,
+            "artifact compiled from a resumed checkpoint diverged"
+        );
+        println!(
+            "resume: interrupted at {truncated_evals}/{bo_iterations} evaluations, resumed \
+             bit-identically from a {checkpoint_bin_bytes} B binary checkpoint"
+        );
+        Some(true)
+    } else {
+        None
+    };
+
     let best = artifact.best();
-    let report = json!({
-        "benchmark": "compile_stages",
-        "mode": if args.smoke { "smoke" } else { "full" },
+    let report = meta.wrap(json!({
         "bo_budget": args.budget,
         "samples": args.samples,
+        "models": per_model.len(),
         "stages": {
             "search_ns": search_ns,
             "train_ns": train_ns,
@@ -232,13 +405,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         "bo_iterations": bo_iterations,
         "bo_iters_per_sec": bo_iters_per_sec,
+        "per_model": per_model_rates
+            .iter()
+            .map(|(name, evaluations, ns, rate)| {
+                json!({
+                    "model": name.as_str(),
+                    "bo_iterations": *evaluations,
+                    "search_ns": *ns,
+                    "bo_iters_per_sec": *rate,
+                })
+            })
+            .collect::<Vec<_>>(),
         "candidate_events": candidate_events,
+        "sequential_search_train_ns": sequential_ns,
+        "parallel_search_train_ns": parallel_ns,
+        "parallel_speedup": parallel_speedup,
+        "parallel_bit_identical": true,
+        "cores": cores,
         "objective": best.objective,
         "algorithm": best.algorithm.name(),
         "artifact_bytes": artifact_bytes,
+        "artifact_bin_bytes": artifact_bin_bytes,
+        "checkpoint_bin_bytes": checkpoint_bin_bytes,
         "roundtrip_bit_identical": true,
+        "resume_bit_identical": resume_bit_identical,
         "partial": artifact.is_partial(),
-    });
+    }));
     let text = serde_json::to_string_pretty(&report)?;
     std::fs::write(&args.out, &text)?;
     println!("\nwrote {}", args.out);
@@ -251,7 +443,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "stages",
         "bo_iterations",
         "bo_iters_per_sec",
+        "per_model",
+        "parallel_speedup",
         "objective",
+        "artifact_bin_bytes",
         "roundtrip_bit_identical",
     ] {
         match &parsed {

@@ -20,7 +20,7 @@
 //! `--smoke` (tiny workload, no throughput assertion).
 
 use homunculus_backends::model::{DnnIr, ModelIr};
-use homunculus_bench::{ad_dataset, banner, print_row};
+use homunculus_bench::{ad_dataset, banner, print_row, EmitterMeta};
 use homunculus_ml::mlp::{Activation, Mlp, MlpArchitecture};
 use homunculus_ml::quantize::FixedPoint;
 use homunculus_ml::tensor::Matrix;
@@ -325,8 +325,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          {share_bound:.4}"
     );
 
-    let report = json!({
-        "benchmark": "deployment_throughput",
+    let report = EmitterMeta::new("deployment_throughput", args.smoke).wrap(json!({
         "workers": workers,
         "tenants": TENANTS,
         "calls": args.calls,
@@ -345,8 +344,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "share_error_bound": share_bound,
             "chunk_rows": FAIRNESS_CHUNK_ROWS,
         },
-        "smoke": args.smoke,
-    });
+    }));
     let text = serde_json::to_string_pretty(&report)?;
     std::fs::write(&args.out, &text)?;
     println!("\nwrote {}", args.out);

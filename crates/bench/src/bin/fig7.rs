@@ -19,6 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sample_cap: Some(2_000),
         parallel: true,
         seed: 17,
+        time_budget: None,
     };
 
     let mut finals = Vec::new();

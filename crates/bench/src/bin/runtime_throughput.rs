@@ -17,7 +17,7 @@
 //! Flags: `--packets N`, `--out PATH`, `--smoke` (tiny budget + self-check).
 
 use homunculus_backends::model::{DnnIr, KMeansIr, ModelIr, SvmIr, TreeIr};
-use homunculus_bench::{ad_dataset, banner, print_row, train_baseline, Application};
+use homunculus_bench::{ad_dataset, banner, print_row, train_baseline, Application, EmitterMeta};
 use homunculus_ml::kmeans::{KMeans, KMeansConfig};
 use homunculus_ml::quantize::FixedPoint;
 use homunculus_ml::svm::{LinearSvm, SvmConfig};
@@ -206,8 +206,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- Emit BENCH_runtime.json. ---------------------------------------
-    let report = json!({
-        "benchmark": "runtime_throughput",
+    let report = EmitterMeta::new("runtime_throughput", args.smoke).wrap(json!({
         "packets": stream.rows(),
         "workers": workers,
         "format": "Q3.12",
@@ -224,7 +223,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "kmeans": km_agree,
             "decision_tree": tree_agree,
         },
-    });
+    }));
     let text = serde_json::to_string_pretty(&report)?;
     std::fs::write(&args.out, &text)?;
     println!("\nwrote {}", args.out);

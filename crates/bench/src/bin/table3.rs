@@ -33,6 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sample_cap: Some(1_200),
         parallel: true,
         seed: 4,
+        time_budget: None,
     };
     let artifact = compile_on_taurus(
         "ad_chain_unit",

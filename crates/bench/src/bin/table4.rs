@@ -27,6 +27,7 @@ fn compile(spec: ModelSpec, seed: u64) -> Result<(f64, f64, f64), Box<dyn std::e
         sample_cap: Some(1_500),
         parallel: true,
         seed,
+        time_budget: None,
     };
     let artifact = generate_with(&platform, &options)?;
     let best = artifact.best();

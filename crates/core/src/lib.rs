@@ -68,7 +68,9 @@ use std::error::Error;
 use std::fmt;
 
 pub use pipeline::{generate, generate_with};
-pub use session::{CancelToken, CompileEvent, CompileObserver, CompileStage, Compiler};
+pub use session::{
+    CancelToken, CompileEvent, CompileObserver, CompileStage, Compiler, LogObserver,
+};
 
 /// Errors produced by the compiler.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,6 +81,9 @@ pub enum CoreError {
     NoCandidates(String),
     /// The search finished without a single feasible model.
     NoFeasibleModel(String),
+    /// A session checkpoint failed to decode or does not match the
+    /// platform it is being resumed against.
+    Checkpoint(String),
     /// An underlying subsystem failed.
     Subsystem(String),
 }
@@ -89,6 +94,7 @@ impl fmt::Display for CoreError {
             CoreError::InvalidProgram(msg) => write!(f, "invalid alchemy program: {msg}"),
             CoreError::NoCandidates(msg) => write!(f, "no candidate algorithms: {msg}"),
             CoreError::NoFeasibleModel(msg) => write!(f, "no feasible model found: {msg}"),
+            CoreError::Checkpoint(msg) => write!(f, "invalid checkpoint: {msg}"),
             CoreError::Subsystem(msg) => write!(f, "subsystem failure: {msg}"),
         }
     }

@@ -38,10 +38,20 @@ pub struct CompilerOptions {
     /// Optional cap on dataset size during the search (stratified
     /// subsample) — evaluation stays on the full split.
     pub sample_cap: Option<usize>,
-    /// Run candidate algorithms on parallel threads.
+    /// Run candidate searches (and scheduled models) on parallel threads.
     pub parallel: bool,
     /// Root RNG seed.
     pub seed: u64,
+    /// Optional wall-clock deadline for the whole session. When it
+    /// expires the session trips its own [`CancelToken`] at the next BO
+    /// iteration boundary — in-flight training finishes, and the
+    /// remaining stages run on best-so-far state, yielding a *partial*
+    /// artifact (or a checkpoint to resume later). `None` means no
+    /// deadline. The deadline never touches an RNG stream: results up to
+    /// the cut are bit-identical to an unbudgeted run's prefix.
+    ///
+    /// [`CancelToken`]: crate::session::CancelToken
+    pub time_budget: Option<std::time::Duration>,
 }
 
 impl Default for CompilerOptions {
@@ -54,6 +64,7 @@ impl Default for CompilerOptions {
             sample_cap: None,
             parallel: true,
             seed: 0,
+            time_budget: None,
         }
     }
 }
@@ -69,6 +80,7 @@ impl CompilerOptions {
             sample_cap: Some(1_200),
             parallel: true,
             seed: 0,
+            time_budget: None,
         }
     }
 
@@ -93,6 +105,77 @@ impl CompilerOptions {
     pub fn train_epochs(mut self, epochs: usize) -> Self {
         self.train_epochs = epochs;
         self
+    }
+
+    /// Arms a wall-clock deadline for the session (see
+    /// [`time_budget`](CompilerOptions::time_budget)).
+    pub fn time_budget(mut self, budget: std::time::Duration) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
+}
+
+/// JSON document form: every field by name, with `time_budget` in whole
+/// nanoseconds (or `null`) — the options block of a session checkpoint,
+/// so a resumed compile re-runs under exactly the options that produced
+/// the recorded histories.
+impl ToJson for CompilerOptions {
+    fn to_json(&self) -> Value {
+        json!({
+            "bo_budget": self.bo_budget,
+            "doe_samples": self.doe_samples,
+            "train_epochs": self.train_epochs,
+            "final_epochs": self.final_epochs,
+            "sample_cap": self.sample_cap,
+            "parallel": self.parallel,
+            "seed": self.seed,
+            "time_budget_ns": self.time_budget.map(|d| d.as_nanos() as u64),
+        })
+    }
+}
+
+impl CompilerOptions {
+    /// Decodes the [`ToJson`] document form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Checkpoint`] on missing or mistyped fields.
+    pub fn from_json(value: &Value) -> Result<Self> {
+        let count = |field: &str| {
+            value[field]
+                .as_i64()
+                .filter(|&v| v >= 0)
+                .map(|v| v as usize)
+                .ok_or_else(|| CoreError::Checkpoint(format!("options need numeric '{field}'")))
+        };
+        let sample_cap = match &value["sample_cap"] {
+            Value::Null => None,
+            _ => Some(count("sample_cap")?),
+        };
+        let time_budget = match &value["time_budget_ns"] {
+            Value::Null => None,
+            v => Some(std::time::Duration::from_nanos(
+                v.as_i64().filter(|&ns| ns >= 0).ok_or_else(|| {
+                    CoreError::Checkpoint("options need numeric 'time_budget_ns'".into())
+                })? as u64,
+            )),
+        };
+        Ok(CompilerOptions {
+            bo_budget: count("bo_budget")?,
+            doe_samples: count("doe_samples")?,
+            train_epochs: count("train_epochs")?,
+            final_epochs: count("final_epochs")?,
+            sample_cap,
+            parallel: value["parallel"]
+                .as_bool()
+                .ok_or_else(|| CoreError::Checkpoint("options need boolean 'parallel'".into()))?,
+            seed: value["seed"]
+                .as_i64()
+                .filter(|&v| v >= 0)
+                .ok_or_else(|| CoreError::Checkpoint("options need numeric 'seed'".into()))?
+                as u64,
+            time_budget,
+        })
     }
 }
 
@@ -404,6 +487,58 @@ impl CompiledArtifact {
         CompiledArtifact::from_json_str(&text)
     }
 
+    /// Encodes the artifact in the compact binary wire format (the
+    /// `HJB1` document encoding: length-prefixed, varint-free,
+    /// dependency-free, f64/f32 **bit-exact**) — the same document as
+    /// the JSON form, several times smaller, for fleets pulling
+    /// artifacts at boot. Decode with
+    /// [`from_bin_bytes`](CompiledArtifact::from_bin_bytes).
+    pub fn to_bin_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec_binary(self.to_json())
+    }
+
+    /// Decodes an artifact from its
+    /// [`to_bin_bytes`](CompiledArtifact::to_bin_bytes) form,
+    /// re-lowering every report's IR — a decoded artifact drives
+    /// [`build_deployment`](CompiledArtifact::build_deployment) with
+    /// verdicts bit-identical to the artifact that was encoded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Subsystem`] on a corrupt or truncated
+    /// document, an unknown format tag, or malformed fields.
+    pub fn from_bin_bytes(bytes: &[u8]) -> Result<Self> {
+        let value = serde_json::from_slice_binary(bytes)
+            .map_err(|e| CoreError::Subsystem(format!("decoding binary artifact: {e}")))?;
+        CompiledArtifact::from_json(&value)
+    }
+
+    /// Writes the artifact in the binary wire format — the compact twin
+    /// of [`save_json`](CompiledArtifact::save_json).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Subsystem`] on I/O failure.
+    pub fn save_bin<P: AsRef<std::path::Path>>(&self, path: P) -> Result<()> {
+        let path = path.as_ref();
+        std::fs::write(path, self.to_bin_bytes()).map_err(|e| {
+            CoreError::Subsystem(format!("writing artifact to {}: {e}", path.display()))
+        })
+    }
+
+    /// Reads an artifact saved with [`save_bin`](CompiledArtifact::save_bin).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Subsystem`] on I/O or decode failure.
+    pub fn load_bin<P: AsRef<std::path::Path>>(path: P) -> Result<Self> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|e| {
+            CoreError::Subsystem(format!("reading artifact from {}: {e}", path.display()))
+        })?;
+        CompiledArtifact::from_bin_bytes(&bytes)
+    }
+
     /// Builds a multi-tenant [`PipelineServer`] from the schedule's
     /// winning models: one tenant per [`ModelReport`], registered under
     /// the model's name with its deployment normalizer, all compiled
@@ -535,7 +670,33 @@ mod tests {
             sample_cap: Some(600),
             parallel: true,
             seed: 0,
+            time_budget: None,
         }
+    }
+
+    #[test]
+    fn options_json_roundtrip_preserves_every_field() {
+        let mut options = tiny_options();
+        options.time_budget = Some(std::time::Duration::from_millis(1_500));
+        let reloaded = CompilerOptions::from_json(&options.to_json()).unwrap();
+        assert_eq!(reloaded, options);
+
+        // `null` optionals decode as None.
+        let defaults = CompilerOptions::default();
+        assert_eq!(
+            CompilerOptions::from_json(&defaults.to_json()).unwrap(),
+            defaults
+        );
+
+        // Mistyped fields are typed checkpoint errors, not panics.
+        let mut doc = options.to_json();
+        if let Value::Object(map) = &mut doc {
+            map.insert("seed".into(), Value::String("not a number".into()));
+        }
+        assert!(matches!(
+            CompilerOptions::from_json(&doc),
+            Err(CoreError::Checkpoint(_))
+        ));
     }
 
     fn ad_platform(n: usize) -> Platform {

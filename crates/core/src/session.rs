@@ -27,6 +27,45 @@
 //! evaluated — fails like an exhausted search, with
 //! [`CoreError::NoFeasibleModel`] naming the cancellation.)
 //!
+//! # Compiling as a service
+//!
+//! Three more capabilities turn the staged pipeline into a compile
+//! *service*:
+//!
+//! - **Checkpoint/resume.** [`Searched::save_checkpoint`] (JSON) and
+//!   [`Searched::save_checkpoint_bin`] (the compact `HJB1` binary wire
+//!   format) persist the search stage as a versioned
+//!   [`CHECKPOINT_FORMAT`] document — options plus every algorithm's
+//!   recorded [`OptimizationHistory`]. [`Compiler::resume`] reconstructs
+//!   the [`Searched`] handle in a fresh process: recorded points are
+//!   **replayed, not re-evaluated** (the BO surrogate warm-starts from
+//!   the reloaded history; the RNG stream is replayed and each recorded
+//!   configuration verified against it), and the remaining budget runs
+//!   live. The resumed artifact is bit-identical to an uninterrupted
+//!   run. Decode failures, version mismatches, and platform drift all
+//!   surface as typed [`CoreError::Checkpoint`] errors, never panics.
+//! - **Parallel stages.** With [`CompilerOptions::parallel`] set, the
+//!   search and train stages fan out across scheduled models on scoped
+//!   threads (on top of the existing per-algorithm fan-out).
+//! - **Deadlines.** [`CompilerOptions::time_budget`] arms a wall-clock
+//!   deadline that trips the session's own [`CancelToken`] at the next
+//!   BO iteration boundary — the session degrades to a partial artifact
+//!   (or a checkpoint to resume later) instead of overrunning.
+//!
+//! ## The parallel determinism contract
+//!
+//! Parallelism never changes *results*, only wall-clock and event
+//! arrival order. Every `(model, algorithm)` search derives its seed
+//! from the root seed, the model's schedule index, and the algorithm —
+//! never from thread identity or timing — and final retrains use their
+//! own derived seeds, so a parallel compile is **bit-identical** to a
+//! sequential one under the same options: same winners, same weights,
+//! same artifact bytes. The only observable difference is that
+//! [`CompileEvent`]s of different models/algorithms interleave; events
+//! are delivered one at a time (the session serializes observer calls
+//! under a lock), so observers like [`LogObserver`] need no locking of
+//! their own beyond their sink.
+//!
 //! The one-shot entry points are thin shims over a default session, so a
 //! staged compile is bit-identical to `generate_with` under the same
 //! options: stage boundaries never touch an RNG stream.
@@ -82,12 +121,20 @@ use homunculus_datasets::dataset::{Normalizer, Split};
 use homunculus_ml::quantize::FixedPoint;
 use homunculus_optimizer::space::Configuration;
 use homunculus_optimizer::{
-    BayesianOptimizer, Evaluation, OptimizationHistory, OptimizerOptions, SearchControl,
+    BayesianOptimizer, Evaluation, OptimizationHistory, OptimizerError, OptimizerOptions,
+    SearchControl,
 };
 use homunculus_runtime::Compile;
+use serde_json::{json, Value};
+use std::io::Write;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// Version tag of the session checkpoint document format (see
+/// [`Searched::save_checkpoint`]).
+pub const CHECKPOINT_FORMAT: &str = "homunculus.checkpoint/v1";
 
 /// A cooperative cancellation handle shared between a session and the
 /// caller that wants to stop it. Cloning is cheap (one `Arc`); cancelling
@@ -277,6 +324,120 @@ impl CompileObserver for CollectingObserver {
     }
 }
 
+/// A [`CompileObserver`] that renders every event as one timestamped,
+/// human-readable line on an [`io::Write`](std::io::Write) sink —
+/// the service-mode answer to ad-hoc `println!` closures. Timestamps are
+/// seconds since the observer was created. Write errors are swallowed:
+/// a full pipe must not abort a compile.
+///
+/// ```no_run
+/// use homunculus_core::session::{Compiler, LogObserver};
+/// use homunculus_core::pipeline::CompilerOptions;
+/// use std::sync::Arc;
+///
+/// let compiler = Compiler::new(CompilerOptions::fast())
+///     .observe(Arc::new(LogObserver::stdout()));
+/// ```
+pub struct LogObserver<W: Write + Send> {
+    sink: Mutex<W>,
+    start: Instant,
+}
+
+impl LogObserver<std::io::Stdout> {
+    /// A logger on standard output.
+    pub fn stdout() -> Self {
+        LogObserver::new(std::io::stdout())
+    }
+}
+
+impl<W: Write + Send> LogObserver<W> {
+    /// A logger writing to `sink`, timestamps starting now.
+    pub fn new(sink: W) -> Self {
+        LogObserver {
+            sink: Mutex::new(sink),
+            start: Instant::now(),
+        }
+    }
+}
+
+impl<W: Write + Send> CompileObserver for LogObserver<W> {
+    fn on_event(&self, event: &CompileEvent) {
+        let t = self.start.elapsed().as_secs_f64();
+        let mut sink = self.sink.lock().unwrap_or_else(|p| p.into_inner());
+        let _ = match event {
+            CompileEvent::StageStarted { stage, model } => match model {
+                Some(model) => writeln!(sink, "[{t:9.3}s] {:>7} {model}: started", stage.name()),
+                None => writeln!(sink, "[{t:9.3}s] {:>7} started", stage.name()),
+            },
+            CompileEvent::StageFinished {
+                stage,
+                model,
+                elapsed_ns,
+            } => {
+                let secs = *elapsed_ns as f64 / 1e9;
+                match model {
+                    Some(model) => writeln!(
+                        sink,
+                        "[{t:9.3}s] {:>7} {model}: finished in {secs:.3}s",
+                        stage.name()
+                    ),
+                    None => writeln!(
+                        sink,
+                        "[{t:9.3}s] {:>7} finished in {secs:.3}s",
+                        stage.name()
+                    ),
+                }
+            }
+            CompileEvent::CandidateEvaluated {
+                model,
+                algorithm,
+                iteration,
+                objective,
+                feasible,
+                violation,
+            } => {
+                let verdict = if *feasible {
+                    "feasible".to_string()
+                } else {
+                    format!("infeasible, violation {violation:.3}")
+                };
+                writeln!(
+                    sink,
+                    "[{t:9.3}s]  search {model}/{}: iteration {iteration} objective \
+                     {objective:.4} ({verdict})",
+                    algorithm.name()
+                )
+            }
+            CompileEvent::FeasibilityRejected {
+                model,
+                algorithm,
+                constraint,
+            } => writeln!(
+                sink,
+                "[{t:9.3}s]   check {model}/{}: rejected — {constraint}",
+                algorithm.name()
+            ),
+            CompileEvent::FinalTrainAttempt {
+                model,
+                algorithm,
+                restart,
+                objective,
+            } => writeln!(
+                sink,
+                "[{t:9.3}s]   train {model}/{}: restart {restart} objective {objective:.4}",
+                algorithm.name()
+            ),
+            CompileEvent::Cancelled { stage } => {
+                writeln!(
+                    sink,
+                    "[{t:9.3}s] cancelled during {} — continuing on best-so-far state",
+                    stage.name()
+                )
+            }
+        };
+    }
+}
+
 /// Session-wide state threaded through every stage handle.
 struct Ctx<'p> {
     platform: &'p Platform,
@@ -290,12 +451,32 @@ struct Ctx<'p> {
     constraints: Constraints,
     /// Set once the session has emitted [`CompileEvent::Cancelled`].
     cancel_reported: AtomicBool,
+    /// Serializes observer delivery: stages fan out across threads, but
+    /// events arrive one at a time (the module-docs determinism
+    /// contract).
+    emit_lock: Mutex<()>,
+    /// The armed [`CompilerOptions::time_budget`] deadline, if any.
+    deadline: Option<Instant>,
 }
 
 impl Ctx<'_> {
     fn emit(&self, event: CompileEvent) {
         if let Some(observer) = &self.observer {
+            let _serialized = self.emit_lock.lock().unwrap_or_else(|p| p.into_inner());
             observer.on_event(&event);
+        }
+    }
+
+    /// Trips the session's [`CancelToken`] once the
+    /// [`CompilerOptions::time_budget`] deadline has passed. Polled at BO
+    /// iteration boundaries and stage transitions; never touches an RNG
+    /// stream, so the work finished before the cut is bit-identical to an
+    /// unbudgeted run's prefix.
+    fn check_deadline(&self) {
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.cancel.cancel();
+            }
         }
     }
 
@@ -308,8 +489,11 @@ impl Ctx<'_> {
     }
 
     /// Emits [`CompileEvent::Cancelled`] the first time the session sees
-    /// its token tripped during `stage`.
+    /// its token tripped during `stage` (polling the deadline first, so
+    /// an expired [`CompilerOptions::time_budget`] is observed at every
+    /// stage transition even when no BO iteration is running).
     fn note_cancelled(&self, stage: CompileStage) {
+        self.check_deadline();
         if self.cancel.is_cancelled() && !self.cancel_reported.swap(true, Ordering::Relaxed) {
             self.emit(CompileEvent::Cancelled { stage });
         }
@@ -392,8 +576,133 @@ impl Compiler {
                 cancel: self.cancel,
                 constraints,
                 cancel_reported: AtomicBool::new(false),
+                emit_lock: Mutex::new(()),
+                deadline: self
+                    .options
+                    .time_budget
+                    .map(|budget| Instant::now() + budget),
             },
         })
+    }
+
+    /// Resumes a checkpointed search in a fresh process: reads a
+    /// [`Searched::save_checkpoint`] /
+    /// [`Searched::save_checkpoint_bin`] document (the two encodings are
+    /// sniffed apart by magic), re-opens a session over `platform` under
+    /// the **checkpoint's** options (this compiler's own options are
+    /// ignored — resuming under different options could not reproduce the
+    /// recorded points; its observer and cancel token are kept, and any
+    /// [`CompilerOptions::time_budget`] is re-armed fresh), and replays
+    /// the recorded histories through the search stage. Recorded points
+    /// are verified against the replayed RNG stream and **not**
+    /// re-evaluated (no [`CompileEvent::CandidateEvaluated`] fires for
+    /// them); remaining budget runs live, warm-starting the BO surrogate
+    /// from the reloaded points. Searches the checkpoint recorded as
+    /// failed stay failed. The returned [`Searched`] is bit-identical to
+    /// one from an uninterrupted [`Session::search`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Checkpoint`] when the document is corrupt,
+    /// carries an unknown format version, or does not match `platform`
+    /// (different schedule, algorithms, seed, or options drift), and
+    /// [`CoreError::Subsystem`] when the file cannot be read at all.
+    pub fn resume<P: AsRef<Path>>(self, platform: &Platform, path: P) -> Result<Searched<'_>> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|e| {
+            CoreError::Subsystem(format!("reading checkpoint from {}: {e}", path.display()))
+        })?;
+        let document = if serde_json::sniff_binary(&bytes) {
+            serde_json::from_slice_binary(&bytes)
+                .map_err(|e| CoreError::Checkpoint(format!("binary checkpoint: {e}")))?
+        } else {
+            let text = std::str::from_utf8(&bytes).map_err(|e| {
+                CoreError::Checkpoint(format!("checkpoint is neither binary nor UTF-8: {e}"))
+            })?;
+            serde_json::from_str(text)
+                .map_err(|e| CoreError::Checkpoint(format!("checkpoint JSON: {e}")))?
+        };
+        let recorded = RecordedSearch::from_json(&document)?;
+        let compiler = Compiler {
+            options: recorded.options,
+            observer: self.observer,
+            cancel: self.cancel,
+        };
+        let session = compiler.open(platform)?;
+        run_search(session.ctx, Some(recorded.models))
+    }
+}
+
+/// A decoded [`CHECKPOINT_FORMAT`] document: the options that produced
+/// the recorded searches, plus each model's per-algorithm outcomes.
+struct RecordedSearch {
+    options: CompilerOptions,
+    models: Vec<RecordedModel>,
+}
+
+/// One model's recorded search outcomes, in candidate-preference order.
+struct RecordedModel {
+    name: String,
+    runs: Vec<RecordedRun>,
+}
+
+/// One algorithm's recorded outcome: a full (possibly truncated) history,
+/// or the error message that ended its search.
+struct RecordedRun {
+    algorithm: Algorithm,
+    outcome: std::result::Result<OptimizationHistory, String>,
+}
+
+impl RecordedSearch {
+    fn from_json(document: &Value) -> Result<RecordedSearch> {
+        let bad = |msg: &str| CoreError::Checkpoint(msg.into());
+        match document["format"].as_str() {
+            Some(CHECKPOINT_FORMAT) => {}
+            Some(other) => {
+                return Err(CoreError::Checkpoint(format!(
+                    "unsupported checkpoint format '{other}' (this build reads \
+                     '{CHECKPOINT_FORMAT}')"
+                )))
+            }
+            None => return Err(bad("document carries no 'format' tag")),
+        }
+        let options = CompilerOptions::from_json(&document["options"])?;
+        let models = document["models"]
+            .as_array()
+            .ok_or_else(|| bad("checkpoint needs a 'models' array"))?
+            .iter()
+            .map(|model| {
+                let name = model["name"]
+                    .as_str()
+                    .ok_or_else(|| bad("model entry needs a 'name'"))?
+                    .to_string();
+                let runs = model["runs"]
+                    .as_array()
+                    .ok_or_else(|| bad("model entry needs a 'runs' array"))?
+                    .iter()
+                    .map(|run| {
+                        let algorithm = run["algorithm"]
+                            .as_str()
+                            .and_then(Algorithm::from_name)
+                            .ok_or_else(|| bad("run entry needs a known 'algorithm'"))?;
+                        let outcome = match run["error"].as_str() {
+                            Some(message) => Err(message.to_string()),
+                            None => Ok(OptimizationHistory::from_json(&run["history"]).map_err(
+                                |e| {
+                                    CoreError::Checkpoint(format!(
+                                        "model '{name}' ({}): {e}",
+                                        algorithm.name()
+                                    ))
+                                },
+                            )?),
+                        };
+                        Ok(RecordedRun { algorithm, outcome })
+                    })
+                    .collect::<Result<Vec<RecordedRun>>>()?;
+                Ok(RecordedModel { name, runs })
+            })
+            .collect::<Result<Vec<RecordedModel>>>()?;
+        Ok(RecordedSearch { options, models })
     }
 }
 
@@ -414,9 +723,11 @@ impl<'p> Session<'p> {
     }
 
     /// Stage 1 — **search**: one BO candidate search per surviving
-    /// algorithm per scheduled model (parallel across algorithms when
-    /// [`CompilerOptions::parallel`] is set), each evaluation training a
-    /// candidate and checking it against the platform budget.
+    /// algorithm per scheduled model (parallel across models *and*
+    /// algorithms when [`CompilerOptions::parallel`] is set — results are
+    /// bit-identical either way; see the module docs' determinism
+    /// contract), each evaluation training a candidate and checking it
+    /// against the platform budget.
     ///
     /// # Errors
     ///
@@ -425,23 +736,87 @@ impl<'p> Session<'p> {
     /// are *recorded*, not raised — they only surface from
     /// [`Searched::train`] if no sibling search produced a winner.
     pub fn search(self) -> Result<Searched<'p>> {
-        let ctx = self.ctx;
-        let searches = ctx.staged(CompileStage::Search, None, || {
-            ctx.note_cancelled(CompileStage::Search);
-            let specs = ctx.specs();
-            let mut searches = Vec::with_capacity(specs.len());
-            for (index, spec) in specs.iter().enumerate() {
-                let runs = ctx.staged(CompileStage::Search, Some(&spec.name), || {
-                    search_model(&ctx, spec, index as u64)
-                })?;
-                searches.push(SearchedModel {
-                    name: spec.name.clone(),
-                    runs,
-                });
+        run_search(self.ctx, None)
+    }
+}
+
+/// The search-stage body, shared by [`Session::search`] (cold: `warm` is
+/// `None`) and [`Compiler::resume`] (warm: one [`RecordedModel`] per
+/// scheduled model, replayed instead of re-evaluated).
+fn run_search(ctx: Ctx<'_>, warm: Option<Vec<RecordedModel>>) -> Result<Searched<'_>> {
+    let searches = ctx.staged(CompileStage::Search, None, || {
+        ctx.note_cancelled(CompileStage::Search);
+        let specs = ctx.specs();
+        let warm: Vec<Option<RecordedModel>> = match warm {
+            Some(models) => {
+                let scheduled: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+                let recorded: Vec<&str> = models.iter().map(|m| m.name.as_str()).collect();
+                if recorded != scheduled {
+                    return Err(CoreError::Checkpoint(format!(
+                        "checkpoint records models [{}] but the platform schedules [{}]",
+                        recorded.join(", "),
+                        scheduled.join(", ")
+                    )));
+                }
+                models.into_iter().map(Some).collect()
             }
-            Ok(searches)
-        })?;
-        Ok(Searched { ctx, searches })
+            None => specs.iter().map(|_| None).collect(),
+        };
+        map_models(&ctx, warm, |index, warm| {
+            let spec = ctx.specs()[index];
+            let runs = ctx.staged(CompileStage::Search, Some(&spec.name), || {
+                search_model(&ctx, spec, index as u64, warm.as_ref())
+            })?;
+            Ok(SearchedModel {
+                name: spec.name.clone(),
+                runs,
+            })
+        })
+    })?;
+    Ok(Searched { ctx, searches })
+}
+
+/// Fans one closure across the scheduled models — on scoped threads when
+/// [`CompilerOptions::parallel`] is set and there is more than one model,
+/// sequentially otherwise. Results come back in schedule order and the
+/// first error by *schedule index* wins (matching sequential semantics);
+/// a panicked model thread surfaces as [`CoreError::Subsystem`] naming
+/// the panic. Safe to nest: the per-algorithm fan-out inside
+/// [`search_model`] runs in its own inner scope.
+fn map_models<I, T, F>(ctx: &Ctx<'_>, inputs: Vec<I>, f: F) -> Result<Vec<T>>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> Result<T> + Sync,
+{
+    if ctx.options.parallel && inputs.len() > 1 {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = inputs
+                .into_iter()
+                .enumerate()
+                .map(|(index, input)| {
+                    let f = &f;
+                    scope.spawn(move || f(index, input))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| {
+                    handle.join().unwrap_or_else(|payload| {
+                        Err(CoreError::Subsystem(format!(
+                            "model thread panicked: {}",
+                            panic_message(payload.as_ref())
+                        )))
+                    })
+                })
+                .collect()
+        })
+    } else {
+        inputs
+            .into_iter()
+            .enumerate()
+            .map(|(index, input)| f(index, input))
+            .collect()
     }
 }
 
@@ -504,10 +879,80 @@ impl<'p> Searched<'p> {
         self.searches.iter().map(SearchedModel::evaluations).sum()
     }
 
+    /// The search stage as a versioned [`CHECKPOINT_FORMAT`] document:
+    /// the session options plus every algorithm's recorded history (or
+    /// the error that ended its search). [`Compiler::resume`] turns the
+    /// document back into a [`Searched`] handle — in this process or any
+    /// other — bit-identically.
+    pub fn checkpoint(&self) -> Value {
+        let models: Vec<Value> = self
+            .searches
+            .iter()
+            .map(|model| {
+                let runs: Vec<Value> = model
+                    .runs
+                    .iter()
+                    .map(|(algorithm, run)| match run {
+                        Ok(history) => {
+                            json!({ "algorithm": algorithm.name(), "history": history })
+                        }
+                        Err(error) => {
+                            json!({ "algorithm": algorithm.name(), "error": error.to_string() })
+                        }
+                    })
+                    .collect();
+                json!({ "name": model.name, "runs": runs })
+            })
+            .collect();
+        json!({
+            "format": CHECKPOINT_FORMAT,
+            "options": self.ctx.options,
+            "models": models,
+        })
+    }
+
+    /// The checkpoint as a JSON string (the portable, greppable form).
+    pub fn checkpoint_json(&self) -> String {
+        serde_json::to_string(&self.checkpoint()).expect("JSON printing is infallible")
+    }
+
+    /// The checkpoint in the compact `HJB1` binary wire format — the
+    /// same document as [`checkpoint_json`](Searched::checkpoint_json),
+    /// several times smaller, f64 bit-exact.
+    pub fn checkpoint_bin_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec_binary(self.checkpoint())
+    }
+
+    /// Writes the JSON checkpoint to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Subsystem`] on I/O failure.
+    pub fn save_checkpoint<P: AsRef<Path>>(&self, path: P) -> Result<()> {
+        let path = path.as_ref();
+        std::fs::write(path, self.checkpoint_json()).map_err(|e| {
+            CoreError::Subsystem(format!("writing checkpoint to {}: {e}", path.display()))
+        })
+    }
+
+    /// Writes the binary checkpoint to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Subsystem`] on I/O failure.
+    pub fn save_checkpoint_bin<P: AsRef<Path>>(&self, path: P) -> Result<()> {
+        let path = path.as_ref();
+        std::fs::write(path, self.checkpoint_bin_bytes()).map_err(|e| {
+            CoreError::Subsystem(format!("writing checkpoint to {}: {e}", path.display()))
+        })
+    }
+
     /// Stage 2 — **train**: selects each model's winner (best feasible
     /// objective across algorithms, cheapest-within-slack tie-break) and
     /// retrains it on the full dataset with the final epoch budget and
-    /// deterministic restarts.
+    /// deterministic restarts — in parallel across models when
+    /// [`CompilerOptions::parallel`] is set (bit-identical either way:
+    /// retrain seeds derive from the configuration, never the thread).
     ///
     /// # Errors
     ///
@@ -519,15 +964,12 @@ impl<'p> Searched<'p> {
         let searches = self.searches;
         let models = ctx.staged(CompileStage::Train, None, || {
             ctx.note_cancelled(CompileStage::Train);
-            let specs = ctx.specs();
-            let mut models = Vec::with_capacity(searches.len());
-            for (spec, search) in specs.iter().zip(searches) {
-                let model = ctx.staged(CompileStage::Train, Some(&spec.name), || {
+            map_models(&ctx, searches, |index, search| {
+                let spec = ctx.specs()[index];
+                ctx.staged(CompileStage::Train, Some(&spec.name), || {
                     train_model(&ctx, spec, search)
-                })?;
-                models.push(model);
-            }
-            Ok(models)
+                })
+            })
         })?;
         Ok(Trained { ctx, models })
     }
@@ -797,13 +1239,33 @@ fn scaled_constraints(constraints: &Constraints, share: f64) -> Constraints {
 /// candidate's search is captured and surfaced as a `CoreError` for that
 /// algorithm instead of aborting the whole compile: the remaining
 /// candidates still finish, and the caller sees which search died and why.
+///
+/// With `warm` recorded outcomes (a [`Compiler::resume`]), each
+/// algorithm's recorded history is replayed instead of re-evaluated and
+/// only the remaining budget runs live; recorded errors stay errors. The
+/// recorded algorithm list must match what the platform admits now —
+/// drift is a [`CoreError::Checkpoint`].
 fn search_model(
     ctx: &Ctx<'_>,
     spec: &ModelSpec,
     model_index: u64,
+    warm: Option<&RecordedModel>,
 ) -> Result<Vec<(Algorithm, Result<OptimizationHistory>)>> {
     let options = &ctx.options;
     let algorithms = candidate_algorithms(spec, ctx.platform)?;
+    if let Some(warm) = warm {
+        let recorded: Vec<Algorithm> = warm.runs.iter().map(|run| run.algorithm).collect();
+        if recorded != algorithms {
+            let names =
+                |list: &[Algorithm]| list.iter().map(|a| a.name()).collect::<Vec<_>>().join(", ");
+            return Err(CoreError::Checkpoint(format!(
+                "model '{}': checkpoint records searches for [{}] but the platform admits [{}]",
+                spec.name,
+                names(&recorded),
+                names(&algorithms)
+            )));
+        }
+    }
     let search_dataset = match options.sample_cap {
         Some(cap) if spec.dataset.len() > cap => {
             let fraction = cap as f64 / spec.dataset.len() as f64;
@@ -813,16 +1275,25 @@ fn search_model(
     };
     let split = normalized_split(&search_dataset, spec.test_fraction, options.seed)?;
 
+    let run_one = |algorithm: Algorithm, index: usize| -> Result<OptimizationHistory> {
+        match warm.map(|w| &w.runs[index].outcome) {
+            Some(Err(message)) => Err(CoreError::Subsystem(message.clone())),
+            Some(Ok(history)) => {
+                search_algorithm(ctx, spec, algorithm, &split, model_index, Some(history))
+            }
+            None => search_algorithm(ctx, spec, algorithm, &split, model_index, None),
+        }
+    };
+
     let runs: Vec<(Algorithm, Result<OptimizationHistory>)> =
         if options.parallel && algorithms.len() > 1 {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = algorithms
                     .iter()
-                    .map(|&algorithm| {
-                        let split_ref = &split;
-                        let handle = scope.spawn(move || {
-                            search_algorithm(ctx, spec, algorithm, split_ref, model_index)
-                        });
+                    .enumerate()
+                    .map(|(index, &algorithm)| {
+                        let run_one = &run_one;
+                        let handle = scope.spawn(move || run_one(algorithm, index));
                         (algorithm, handle)
                     })
                     .collect();
@@ -843,14 +1314,19 @@ fn search_model(
         } else {
             algorithms
                 .iter()
-                .map(|&algorithm| {
-                    (
-                        algorithm,
-                        search_algorithm(ctx, spec, algorithm, &split, model_index),
-                    )
-                })
+                .enumerate()
+                .map(|(index, &algorithm)| (algorithm, run_one(algorithm, index)))
                 .collect()
         };
+    // Ordinary search failures are recorded per algorithm (a sibling may
+    // still win), but a checkpoint that fails replay verification is not
+    // a search outcome — the whole resume is invalid and must say so.
+    if let Some((_, Err(CoreError::Checkpoint(message)))) = runs
+        .iter()
+        .find(|(_, run)| matches!(run, Err(CoreError::Checkpoint(_))))
+    {
+        return Err(CoreError::Checkpoint(message.clone()));
+    }
     Ok(runs)
 }
 
@@ -966,13 +1442,17 @@ const BROKEN_CANDIDATE_VIOLATION: f64 = 1e6;
 /// [`CompileEvent::CandidateEvaluated`] per iteration through the
 /// optimizer's monitor hook, and honors the session's [`CancelToken`] at
 /// iteration boundaries (a stopped search returns its truncated
-/// best-so-far history as `Ok`).
+/// best-so-far history as `Ok`). With a `warm` history the optimizer
+/// replays the recorded points (no objective calls, no
+/// `CandidateEvaluated` events) and continues live from where they stop;
+/// replay-verification failures surface as [`CoreError::Checkpoint`].
 fn search_algorithm(
     ctx: &Ctx<'_>,
     spec: &ModelSpec,
     algorithm: Algorithm,
     split: &Split,
     model_index: u64,
+    warm: Option<&OptimizationHistory>,
 ) -> Result<OptimizationHistory> {
     let options = &ctx.options;
     let space = design_space_for(algorithm, spec, ctx.platform)?;
@@ -1046,13 +1526,31 @@ fn search_algorithm(
             feasible: point.evaluation.is_feasible,
             violation: point.evaluation.violation,
         });
+        ctx.check_deadline();
         if ctx.cancel.is_cancelled() {
             SearchControl::Stop
         } else {
             SearchControl::Continue
         }
     };
-    let history = BayesianOptimizer::new(space, optimizer_options).run_with(objective, monitor)?;
+    let optimizer = BayesianOptimizer::new(space, optimizer_options);
+    let history = match warm {
+        Some(from) => optimizer
+            .resume_with(from, objective, monitor)
+            .map_err(|e| {
+                match e {
+                    // The replay disagreed with the record: the checkpoint
+                    // does not belong to this (platform, options) pair.
+                    OptimizerError::Resume(msg) => CoreError::Checkpoint(format!(
+                        "model '{}' ({}): {msg}",
+                        spec.name,
+                        algorithm.name()
+                    )),
+                    other => other.into(),
+                }
+            })?,
+        None => optimizer.run_with(objective, monitor)?,
+    };
     Ok(history)
 }
 
@@ -1071,6 +1569,7 @@ mod tests {
             sample_cap: Some(400),
             parallel: true,
             seed: 0,
+            time_budget: None,
         }
     }
 
@@ -1248,5 +1747,243 @@ mod tests {
         assert_eq!(CompileStage::Train.name(), "train");
         assert_eq!(CompileStage::Check.name(), "check");
         assert_eq!(CompileStage::Codegen.name(), "codegen");
+    }
+
+    fn two_model_platform(n: usize) -> Platform {
+        let a = ModelSpec::builder("ad_a")
+            .optimization_metric(Metric::F1)
+            .algorithm(Algorithm::Dnn)
+            .data(NslKddGenerator::new(1).generate(n))
+            .build()
+            .unwrap();
+        let b = ModelSpec::builder("ad_b")
+            .optimization_metric(Metric::F1)
+            .algorithm(Algorithm::Dnn)
+            .data(NslKddGenerator::new(2).generate(n))
+            .build()
+            .unwrap();
+        let mut platform = Platform::taurus();
+        platform
+            .constraints_mut()
+            .throughput_gpps(1.0)
+            .latency_ns(500.0)
+            .grid(16, 16);
+        platform.schedule(a >> b).unwrap();
+        platform
+    }
+
+    #[test]
+    fn parallel_models_match_sequential_bit_for_bit() {
+        let mut sequential_options = tiny_options();
+        sequential_options.parallel = false;
+        let sequential = Compiler::new(sequential_options)
+            .open(&two_model_platform(500))
+            .unwrap()
+            .compile()
+            .unwrap();
+        let parallel = Compiler::new(tiny_options())
+            .open(&two_model_platform(500))
+            .unwrap()
+            .compile()
+            .unwrap();
+        assert_eq!(
+            sequential.to_json_string().unwrap(),
+            parallel.to_json_string().unwrap(),
+            "model-parallel compile must be bit-identical to sequential"
+        );
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_resumes_bit_identically() {
+        let platform = ad_platform(500);
+        let reference = Compiler::new(tiny_options())
+            .open(&platform)
+            .unwrap()
+            .search()
+            .unwrap();
+
+        // Interrupt a second, identical session after two evaluations.
+        let compiler = Compiler::new(tiny_options());
+        let token = compiler.cancel_token();
+        let seen = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let observer = {
+            let seen = seen.clone();
+            move |event: &CompileEvent| {
+                if matches!(event, CompileEvent::CandidateEvaluated { .. })
+                    && seen.fetch_add(1, Ordering::Relaxed) + 1 >= 2
+                {
+                    token.cancel();
+                }
+            }
+        };
+        let truncated = compiler
+            .observe(Arc::new(observer))
+            .open(&platform)
+            .unwrap()
+            .search()
+            .unwrap();
+        assert_eq!(truncated.evaluations(), 2);
+
+        let path = std::env::temp_dir().join("homunculus_session_test.checkpoint.json");
+        truncated.save_checkpoint(&path).unwrap();
+        // The resuming compiler's own options are deliberately different:
+        // resume must run under the checkpoint's.
+        let resumed = Compiler::new(CompilerOptions::default())
+            .resume(&platform, &path)
+            .unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(resumed.evaluations(), 6);
+        assert_eq!(
+            resumed.checkpoint_json(),
+            reference.checkpoint_json(),
+            "a resumed search must be bit-identical to an uninterrupted one"
+        );
+        let (a, b) = (
+            resumed.train().unwrap().check().unwrap().codegen().unwrap(),
+            reference
+                .train()
+                .unwrap()
+                .check()
+                .unwrap()
+                .codegen()
+                .unwrap(),
+        );
+        assert_eq!(a.to_json_string().unwrap(), b.to_json_string().unwrap());
+    }
+
+    #[test]
+    fn binary_checkpoints_decode_like_json_ones() {
+        let platform = ad_platform(500);
+        let searched = Compiler::new(tiny_options())
+            .open(&platform)
+            .unwrap()
+            .search()
+            .unwrap();
+        let json_path = std::env::temp_dir().join("homunculus_session_test_a.checkpoint.json");
+        let bin_path = std::env::temp_dir().join("homunculus_session_test_a.checkpoint.bin");
+        searched.save_checkpoint(&json_path).unwrap();
+        searched.save_checkpoint_bin(&bin_path).unwrap();
+        let bin_bytes = std::fs::metadata(&bin_path).unwrap().len();
+        let json_bytes = std::fs::metadata(&json_path).unwrap().len();
+        assert!(
+            bin_bytes < json_bytes,
+            "binary checkpoint ({bin_bytes} B) should undercut JSON ({json_bytes} B)"
+        );
+        let from_json = Compiler::new(tiny_options())
+            .resume(&platform, &json_path)
+            .unwrap();
+        let from_bin = Compiler::new(tiny_options())
+            .resume(&platform, &bin_path)
+            .unwrap();
+        std::fs::remove_file(&json_path).ok();
+        std::fs::remove_file(&bin_path).ok();
+        assert_eq!(from_json.checkpoint_json(), from_bin.checkpoint_json());
+        assert_eq!(from_json.checkpoint_json(), searched.checkpoint_json());
+    }
+
+    #[test]
+    fn resume_rejects_corrupt_and_foreign_checkpoints() {
+        let platform = ad_platform(500);
+        let searched = Compiler::new(tiny_options())
+            .open(&platform)
+            .unwrap()
+            .search()
+            .unwrap();
+        let text = searched.checkpoint_json();
+        let dir = std::env::temp_dir();
+        let write = |name: &str, contents: &[u8]| {
+            let path = dir.join(name);
+            std::fs::write(&path, contents).unwrap();
+            path
+        };
+        let expect_checkpoint_error = |path: &std::path::Path| {
+            let result = Compiler::new(tiny_options()).resume(&platform, path);
+            std::fs::remove_file(path).ok();
+            assert!(
+                matches!(result, Err(CoreError::Checkpoint(_))),
+                "expected CoreError::Checkpoint, got {:?}",
+                result.err()
+            );
+        };
+
+        // Garbage bytes, truncated binary, wrong version, tampered seed.
+        expect_checkpoint_error(&write(
+            "homunculus_session_garbage.ckpt",
+            b"not a checkpoint",
+        ));
+        let bin = searched.checkpoint_bin_bytes();
+        expect_checkpoint_error(&write(
+            "homunculus_session_truncated.ckpt",
+            &bin[..bin.len() / 2],
+        ));
+        expect_checkpoint_error(&write(
+            "homunculus_session_version.ckpt",
+            text.replace("homunculus.checkpoint/v1", "homunculus.checkpoint/v9")
+                .as_bytes(),
+        ));
+        let tampered = text.replace("\"seed\":0", "\"seed\":99");
+        assert_ne!(tampered, text, "tamper target not found");
+        expect_checkpoint_error(&write("homunculus_session_seed.ckpt", tampered.as_bytes()));
+
+        // A checkpoint from a different schedule.
+        let foreign = write("homunculus_session_foreign.ckpt", text.as_bytes());
+        let other = two_model_platform(500);
+        let result = Compiler::new(tiny_options()).resume(&other, &foreign);
+        std::fs::remove_file(&foreign).ok();
+        assert!(matches!(result, Err(CoreError::Checkpoint(_))));
+    }
+
+    #[test]
+    fn deadline_degrades_to_partial_artifact() {
+        let mut options = tiny_options();
+        options.time_budget = Some(std::time::Duration::ZERO);
+        let observer = Arc::new(CollectingObserver::new());
+        let artifact = Compiler::new(options)
+            .observe(observer.clone())
+            .open(&ad_platform(500))
+            .unwrap()
+            .compile()
+            .unwrap();
+        // The expired deadline tripped the token at the first boundary:
+        // one evaluation, partial artifact, Cancelled reported once.
+        assert!(artifact.is_partial());
+        assert_eq!(artifact.best().history.points().len(), 1);
+        assert_eq!(
+            observer.count(|e| matches!(e, CompileEvent::Cancelled { .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn log_observer_renders_timestamped_lines() {
+        #[derive(Clone, Default)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = SharedBuf::default();
+        Compiler::new(tiny_options())
+            .observe(Arc::new(LogObserver::new(buf.clone())))
+            .open(&ad_platform(500))
+            .unwrap()
+            .compile()
+            .unwrap();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("search started"), "log:\n{text}");
+        assert!(
+            text.contains("anomaly_detection/dnn: iteration 0"),
+            "log:\n{text}"
+        );
+        assert!(text.contains("finished in"), "log:\n{text}");
+        assert!(
+            text.lines().all(|line| line.starts_with('[')),
+            "every line is timestamped:\n{text}"
+        );
     }
 }

@@ -466,20 +466,120 @@ impl BayesianOptimizer {
         F: FnMut(&Configuration) -> Evaluation,
         M: FnMut(&EvaluatedPoint) -> SearchControl,
     {
+        self.validate_setup()?;
+        let mut rng = StdRng::seed_from_u64(self.options.seed);
+        self.drive(Vec::new(), &mut rng, &mut objective, &mut monitor)
+    }
+
+    /// Resumes a search from a (possibly truncated) recorded history —
+    /// the checkpoint/resume half of the compile service: the prefix is
+    /// **replayed, not re-evaluated**. The RNG is walked through exactly
+    /// the draws the original run made (one [`DesignSpace::sample`] per
+    /// DOE point, one suggestion per BO point — which also re-fits the
+    /// surrogates, warm-starting them on the reloaded points), each
+    /// regenerated configuration is verified against the recorded one,
+    /// and the loop then continues from the next iteration. The combined
+    /// history is **bit-identical** to an uninterrupted
+    /// [`run_with`](BayesianOptimizer::run_with) under the same options,
+    /// provided `objective` is deterministic.
+    ///
+    /// Resuming from an empty history is exactly
+    /// [`run_with`](BayesianOptimizer::run_with); resuming from a
+    /// complete one replays it and returns without calling `objective`.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](BayesianOptimizer::run), plus [`OptimizerError::Resume`]
+    /// when the history does not belong to this optimizer: more points
+    /// than the budget, inconsistent `doe_samples` or iteration indices,
+    /// or a recorded configuration that disagrees with the replayed RNG
+    /// stream (a seed, space, or options drift between save and resume).
+    pub fn resume_with<F, M>(
+        &self,
+        from: &OptimizationHistory,
+        mut objective: F,
+        mut monitor: M,
+    ) -> Result<OptimizationHistory>
+    where
+        F: FnMut(&Configuration) -> Evaluation,
+        M: FnMut(&EvaluatedPoint) -> SearchControl,
+    {
+        self.validate_setup()?;
+        let doe = self.options.doe_samples.min(self.options.budget);
+        if from.points.len() > self.options.budget {
+            return Err(OptimizerError::Resume(format!(
+                "history has {} points but the budget is {}",
+                from.points.len(),
+                self.options.budget
+            )));
+        }
+        if from.doe_samples != doe.min(from.points.len()) {
+            return Err(OptimizerError::Resume(format!(
+                "history records {} DOE samples where the options imply {}",
+                from.doe_samples,
+                doe.min(from.points.len())
+            )));
+        }
+
+        let mut rng = StdRng::seed_from_u64(self.options.seed);
+        let mut points: Vec<EvaluatedPoint> = Vec::with_capacity(self.options.budget);
+        for (index, recorded) in from.points.iter().enumerate() {
+            if recorded.iteration != index {
+                return Err(OptimizerError::Resume(format!(
+                    "history point {index} carries iteration {}",
+                    recorded.iteration
+                )));
+            }
+            let replayed = if index < doe {
+                self.space.sample(&mut rng)
+            } else {
+                self.suggest(&points, &mut rng)?
+            };
+            if replayed != recorded.configuration {
+                return Err(OptimizerError::Resume(format!(
+                    "replayed configuration for iteration {index} disagrees with the record \
+                     (seed, design space, or options changed since the checkpoint)"
+                )));
+            }
+            points.push(recorded.clone());
+        }
+        self.drive(points, &mut rng, &mut objective, &mut monitor)
+    }
+
+    fn validate_setup(&self) -> Result<()> {
         if self.space.is_empty() {
             return Err(OptimizerError::InvalidSpace(
                 "design space has no parameters".into(),
             ));
         }
-        self.options.validate()?;
-        let mut rng = StdRng::seed_from_u64(self.options.seed);
-        let mut points: Vec<EvaluatedPoint> = Vec::with_capacity(self.options.budget);
-        let mut stopped = false;
+        self.options.validate()
+    }
 
-        // Phase 1: uniform random initialization (DOE).
+    /// The shared evaluation loop: continues from however many `points`
+    /// exist (zero for a fresh run, a replayed prefix for a resume) to
+    /// the budget, drawing DOE samples below `doe_samples` and surrogate
+    /// suggestions above it. `rng` must already be positioned after the
+    /// draws that produced `points`.
+    fn drive<F, M>(
+        &self,
+        mut points: Vec<EvaluatedPoint>,
+        rng: &mut StdRng,
+        objective: &mut F,
+        monitor: &mut M,
+    ) -> Result<OptimizationHistory>
+    where
+        F: FnMut(&Configuration) -> Evaluation,
+        M: FnMut(&EvaluatedPoint) -> SearchControl,
+    {
         let doe = self.options.doe_samples.min(self.options.budget);
-        for iteration in 0..doe {
-            let configuration = self.space.sample(&mut rng);
+        for iteration in points.len()..self.options.budget {
+            // Phase 1 below doe_samples: uniform random initialization
+            // (DOE). Phase 2 above it: BO iterations.
+            let configuration = if iteration < doe {
+                self.space.sample(rng)
+            } else {
+                self.suggest(&points, rng)?
+            };
             let evaluation = objective(&configuration);
             points.push(EvaluatedPoint {
                 iteration,
@@ -487,24 +587,7 @@ impl BayesianOptimizer {
                 evaluation,
             });
             if monitor(points.last().expect("just pushed")) == SearchControl::Stop {
-                stopped = true;
                 break;
-            }
-        }
-
-        // Phase 2: BO iterations.
-        if !stopped {
-            for iteration in doe..self.options.budget {
-                let configuration = self.suggest(&points, &mut rng)?;
-                let evaluation = objective(&configuration);
-                points.push(EvaluatedPoint {
-                    iteration,
-                    configuration,
-                    evaluation,
-                });
-                if monitor(points.last().expect("just pushed")) == SearchControl::Stop {
-                    break;
-                }
             }
         }
 
@@ -823,6 +906,135 @@ mod tests {
             .run_with(objective, |_| SearchControl::Continue)
             .unwrap();
         assert_eq!(plain, monitored, "the monitor must never touch the RNG");
+    }
+
+    #[test]
+    fn resume_from_truncated_history_is_bit_identical() {
+        // Interrupt a search mid-BO-phase, round-trip the truncated
+        // history through JSON (the checkpoint wire), resume — the result
+        // must match the uninterrupted run bit for bit.
+        let optimizer = BayesianOptimizer::new(
+            quadratic_space(),
+            OptimizerOptions::default()
+                .budget(14)
+                .doe_samples(4)
+                .seed(11),
+        );
+        let objective = |c: &Configuration| {
+            let x = c.real("x").unwrap();
+            Evaluation::new(-(x - 3.0) * (x - 3.0)).feasible(x > -8.0)
+        };
+        let uninterrupted = optimizer.run(objective).unwrap();
+
+        for stop_after in [2usize, 4, 7, 13] {
+            let truncated = optimizer
+                .run_with(objective, |point| {
+                    if point.iteration + 1 >= stop_after {
+                        SearchControl::Stop
+                    } else {
+                        SearchControl::Continue
+                    }
+                })
+                .unwrap();
+            assert_eq!(truncated.points().len(), stop_after);
+            let text = serde_json::to_string(&truncated.to_json()).unwrap();
+            let reloaded =
+                OptimizationHistory::from_json(&serde_json::from_str(&text).unwrap()).unwrap();
+            let mut new_evaluations = 0usize;
+            let resumed = optimizer
+                .resume_with(
+                    &reloaded,
+                    |c| {
+                        new_evaluations += 1;
+                        objective(c)
+                    },
+                    |_| SearchControl::Continue,
+                )
+                .unwrap();
+            assert_eq!(
+                resumed, uninterrupted,
+                "stop_after={stop_after}: resumed history diverged"
+            );
+            assert_eq!(
+                new_evaluations,
+                14 - stop_after,
+                "stop_after={stop_after}: replay must not re-evaluate the prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_from_empty_and_complete_histories() {
+        let optimizer = BayesianOptimizer::new(
+            quadratic_space(),
+            OptimizerOptions::default().budget(10).seed(5),
+        );
+        let objective = |c: &Configuration| Evaluation::new(-(c.real("x").unwrap()).abs());
+        let full = optimizer.run(objective).unwrap();
+
+        // Empty history: resume is exactly a fresh run.
+        let empty = OptimizationHistory {
+            points: Vec::new(),
+            doe_samples: 0,
+        };
+        let from_scratch = optimizer
+            .resume_with(&empty, objective, |_| SearchControl::Continue)
+            .unwrap();
+        assert_eq!(from_scratch, full);
+
+        // Complete history: pure replay, the objective never runs.
+        let resumed = optimizer
+            .resume_with(
+                &full,
+                |_| panic!("complete history must not re-evaluate"),
+                |_| SearchControl::Continue,
+            )
+            .unwrap();
+        assert_eq!(resumed, full);
+    }
+
+    #[test]
+    fn resume_rejects_foreign_histories() {
+        let optimizer = BayesianOptimizer::new(
+            quadratic_space(),
+            OptimizerOptions::default().budget(8).doe_samples(3).seed(1),
+        );
+        let objective = |c: &Configuration| Evaluation::new(c.real("x").unwrap());
+        let history = optimizer.run(objective).unwrap();
+
+        // A different seed cannot replay this record.
+        let reseeded = BayesianOptimizer::new(
+            quadratic_space(),
+            OptimizerOptions::default().budget(8).doe_samples(3).seed(2),
+        );
+        assert!(matches!(
+            reseeded.resume_with(&history, objective, |_| SearchControl::Continue),
+            Err(OptimizerError::Resume(_))
+        ));
+
+        // More points than the budget allows.
+        let tiny = BayesianOptimizer::new(
+            quadratic_space(),
+            OptimizerOptions::default().budget(4).doe_samples(3).seed(1),
+        );
+        assert!(matches!(
+            tiny.resume_with(&history, objective, |_| SearchControl::Continue),
+            Err(OptimizerError::Resume(_))
+        ));
+
+        // Tampered bookkeeping: wrong doe_samples or iteration indices.
+        let mut tampered = history.clone();
+        tampered.doe_samples = 1;
+        assert!(matches!(
+            optimizer.resume_with(&tampered, objective, |_| SearchControl::Continue),
+            Err(OptimizerError::Resume(_))
+        ));
+        let mut shuffled = history.clone();
+        shuffled.points.swap(0, 1);
+        assert!(matches!(
+            optimizer.resume_with(&shuffled, objective, |_| SearchControl::Continue),
+            Err(OptimizerError::Resume(_))
+        ));
     }
 
     #[test]

@@ -69,6 +69,10 @@ pub enum OptimizerError {
     NoFeasiblePoint,
     /// A persisted history/configuration document failed to decode.
     Decode(String),
+    /// A recorded history could not be resumed against this optimizer
+    /// (budget, seed, design space, or options drifted since it was
+    /// saved).
+    Resume(String),
 }
 
 impl fmt::Display for OptimizerError {
@@ -79,6 +83,7 @@ impl fmt::Display for OptimizerError {
             OptimizerError::UnknownParameter(name) => write!(f, "unknown parameter: {name}"),
             OptimizerError::NoFeasiblePoint => write!(f, "no feasible point found within budget"),
             OptimizerError::Decode(msg) => write!(f, "history decode failed: {msg}"),
+            OptimizerError::Resume(msg) => write!(f, "history resume failed: {msg}"),
         }
     }
 }

@@ -1,13 +1,13 @@
 //! The paper's running example (§3, Figure 3/4): anomaly detection on a
 //! Taurus switch, with the optimization trace printed as a regret plot —
-//! both live (a `CompileObserver` streams every BO iteration and stage
-//! timing as the session runs) and from the final history.
+//! both live (a [`LogObserver`] streams every BO iteration and stage
+//! timing to stdout as timestamped log lines) and from the final history.
 //!
 //! Run with: `cargo run --release --example anomaly_detection`
 
 use homunculus::core::alchemy::{Algorithm, Metric, ModelSpec, Platform};
 use homunculus::core::pipeline::CompilerOptions;
-use homunculus::core::session::{CompileEvent, Compiler};
+use homunculus::core::session::{Compiler, LogObserver};
 use homunculus::datasets::nslkdd::NslKddGenerator;
 use homunculus::sim::grid::GridSimulator;
 use homunculus::sim::pktgen::{LabeledSample, StreamHarness, TimingModel};
@@ -38,32 +38,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sample_cap: Some(2_000),
         parallel: true,
         seed: 1,
+        time_budget: None,
     };
-    // Watch the compile as it happens: per-iteration candidates and
-    // per-stage wall-clock, streamed by the session.
-    let observer = Arc::new(|event: &CompileEvent| match event {
-        CompileEvent::CandidateEvaluated {
-            iteration,
-            objective,
-            feasible,
-            ..
-        } => println!("  [search] iter {iteration:>2}: F1 {objective:.4} feasible {feasible}"),
-        CompileEvent::FinalTrainAttempt {
-            restart, objective, ..
-        } => println!("  [train]  restart {restart}: F1 {objective:.4}"),
-        CompileEvent::StageFinished {
-            stage,
-            model: None,
-            elapsed_ns,
-        } => println!(
-            "  [stage]  {} done in {:.2} s",
-            stage.name(),
-            *elapsed_ns as f64 / 1e9
-        ),
-        _ => {}
-    });
+    // Watch the compile as it happens: the stock LogObserver renders
+    // every session event as a timestamped log line on stdout.
     let artifact = Compiler::new(options)
-        .observe(observer)
+        .observe(Arc::new(LogObserver::stdout()))
         .open(&platform)?
         .search()?
         .train()?

@@ -20,6 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sample_cap: Some(1_500),
         parallel: true,
         seed: 3,
+        time_budget: None,
     };
 
     println!("MAT budget sweep (Figure 7 shape): more tables => better V-measure\n");

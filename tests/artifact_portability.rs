@@ -42,6 +42,7 @@ fn compile_ad() -> CompiledArtifact {
         sample_cap: Some(500),
         parallel: true,
         seed: 0,
+        time_budget: None,
     };
     Compiler::new(options)
         .open(&platform)
@@ -237,6 +238,7 @@ fn partial_artifact_roundtrips_with_its_flag() {
         sample_cap: Some(400),
         parallel: true,
         seed: 0,
+        time_budget: None,
     });
     compiler.cancel_token().cancel();
     let artifact = compiler.open(&platform).unwrap().compile().unwrap();

@@ -15,6 +15,7 @@ fn options(seed: u64) -> CompilerOptions {
         sample_cap: Some(500),
         parallel: true,
         seed,
+        time_budget: None,
     }
 }
 

@@ -17,6 +17,7 @@ fn fast() -> CompilerOptions {
         sample_cap: Some(600),
         parallel: true,
         seed: 0,
+        time_budget: None,
     }
 }
 

@@ -16,6 +16,7 @@ fn fast() -> CompilerOptions {
         sample_cap: Some(500),
         parallel: true,
         seed: 7,
+        time_budget: None,
     }
 }
 

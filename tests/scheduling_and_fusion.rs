@@ -103,6 +103,7 @@ fn fusion_through_compiler_reduces_total_resources() {
         sample_cap: Some(500),
         parallel: true,
         seed: 5,
+        time_budget: None,
     };
     let compile = |s: ModelSpec| {
         let mut platform = Platform::taurus();

@@ -1,0 +1,385 @@
+//! A compact, length-prefixed binary encoding of [`Value`] documents —
+//! the wire format behind `save_bin`/`load_bin` artifact and checkpoint
+//! files. Like the JSON printer/parser it is dependency-free and
+//! **bit-exact for numbers**: every `f64` travels as its IEEE-754 LE
+//! bits (integral values take a 4-byte fast path when they fit an `i32`
+//! exactly), so a document round-trips without a single bit of float
+//! drift — no shortest-form printing involved.
+//!
+//! Layout: a 4-byte magic (`HJB1`), then one tagged node. Every length
+//! is a fixed-width `u32` LE (varint-free by design: the decoder never
+//! needs to loop per byte, and corrupt lengths fail fast against the
+//! remaining input size). Strings are interned: the first occurrence is
+//! written inline and assigned the next table index, repeats are 5-byte
+//! back-references — object keys like `"iteration"` repeat hundreds of
+//! times in an optimization history, which is where the compactness
+//! comes from.
+//!
+//! | tag | node | payload |
+//! |---|---|---|
+//! | 0 | null | — |
+//! | 1 | false | — |
+//! | 2 | true | — |
+//! | 3 | number (f64) | 8-byte IEEE-754 LE |
+//! | 4 | number (i32) | 4-byte LE (integral `f64`s only, never `-0.0`) |
+//! | 5 | new string | u32 LE byte length + UTF-8 bytes |
+//! | 6 | string backref | u32 LE intern-table index |
+//! | 7 | array | u32 LE count + that many nodes |
+//! | 8 | object | u32 LE count + that many (string node, value node) pairs |
+
+use crate::{Error, Map, Number, Result, ToJson, Value};
+use std::collections::HashMap;
+
+/// First bytes of every binary document; `sniff_binary` keys off it.
+pub const BINARY_MAGIC: [u8; 4] = *b"HJB1";
+
+/// Nesting depth the decoder accepts before declaring the input corrupt
+/// (matches the parser's recursion guard; no legitimate document comes
+/// close).
+const MAX_DEPTH: usize = 512;
+
+const TAG_NULL: u8 = 0;
+const TAG_FALSE: u8 = 1;
+const TAG_TRUE: u8 = 2;
+const TAG_F64: u8 = 3;
+const TAG_I32: u8 = 4;
+const TAG_STR_NEW: u8 = 5;
+const TAG_STR_REF: u8 = 6;
+const TAG_ARRAY: u8 = 7;
+const TAG_OBJECT: u8 = 8;
+
+/// Whether `bytes` starts with the binary document magic — the cheap
+/// test callers use to accept either wire format from one path.
+pub fn sniff_binary(bytes: &[u8]) -> bool {
+    bytes.len() >= BINARY_MAGIC.len() && bytes[..BINARY_MAGIC.len()] == BINARY_MAGIC
+}
+
+/// Encodes a document into the binary wire format.
+pub fn to_vec_binary<T: ToJson>(value: T) -> Vec<u8> {
+    let value = value.to_json();
+    let mut out = Vec::with_capacity(256);
+    out.extend_from_slice(&BINARY_MAGIC);
+    let mut interner = Interner::default();
+    encode(&value, &mut out, &mut interner);
+    out
+}
+
+/// Decodes a document written by [`to_vec_binary`].
+///
+/// # Errors
+///
+/// Returns [`Error`] on a missing magic, truncated input, an unknown
+/// tag, invalid UTF-8, a bad intern reference, excessive nesting, or
+/// trailing bytes after the document.
+pub fn from_slice_binary(bytes: &[u8]) -> Result<Value> {
+    if !sniff_binary(bytes) {
+        return Err(Error::new("binary document: missing HJB1 magic"));
+    }
+    let mut reader = Reader {
+        bytes,
+        at: BINARY_MAGIC.len(),
+        strings: Vec::new(),
+    };
+    let value = reader.value(0)?;
+    if reader.at != bytes.len() {
+        return Err(Error::new(format!(
+            "binary document: {} trailing byte(s) after the document",
+            bytes.len() - reader.at
+        )));
+    }
+    Ok(value)
+}
+
+/// Write-side string intern table: string -> index in write order.
+#[derive(Default)]
+struct Interner {
+    indices: HashMap<String, u32>,
+}
+
+fn encode_str(s: &str, out: &mut Vec<u8>, interner: &mut Interner) {
+    if let Some(&index) = interner.indices.get(s) {
+        out.push(TAG_STR_REF);
+        out.extend_from_slice(&index.to_le_bytes());
+        return;
+    }
+    let index = interner.indices.len() as u32;
+    interner.indices.insert(s.to_owned(), index);
+    out.push(TAG_STR_NEW);
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn encode(value: &Value, out: &mut Vec<u8>, interner: &mut Interner) {
+    match value {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(false) => out.push(TAG_FALSE),
+        Value::Bool(true) => out.push(TAG_TRUE),
+        Value::Number(n) => {
+            let v = n.as_f64().expect("Number always holds an f64");
+            // Integral fast path: 4 bytes instead of 8. `-0.0` must stay
+            // on the f64 path — `-0.0 as i32` is `0`, which would decode
+            // with the sign bit dropped.
+            let integral = v.fract() == 0.0
+                && (f64::from(i32::MIN)..=f64::from(i32::MAX)).contains(&v)
+                && !(v == 0.0 && v.is_sign_negative());
+            if integral {
+                out.push(TAG_I32);
+                out.extend_from_slice(&(v as i32).to_le_bytes());
+            } else {
+                out.push(TAG_F64);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Value::String(s) => encode_str(s, out, interner),
+        Value::Array(items) => {
+            out.push(TAG_ARRAY);
+            out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+            for item in items {
+                encode(item, out, interner);
+            }
+        }
+        Value::Object(map) => {
+            out.push(TAG_OBJECT);
+            out.extend_from_slice(&(map.len() as u32).to_le_bytes());
+            for (key, item) in map.iter() {
+                encode_str(key, out, interner);
+                encode(item, out, interner);
+            }
+        }
+    }
+}
+
+/// Decode-side cursor + intern table (indices assigned in read order,
+/// mirroring the writer).
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+    strings: Vec<String>,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8]> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| Error::new("binary document: truncated input"))?;
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let bytes = self.take(4)?;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        let tag = self.take(1)?[0];
+        match tag {
+            TAG_STR_NEW => {
+                let len = self.u32()? as usize;
+                let text = std::str::from_utf8(self.take(len)?)
+                    .map_err(|_| Error::new("binary document: string is not valid UTF-8"))?
+                    .to_owned();
+                self.strings.push(text.clone());
+                Ok(text)
+            }
+            TAG_STR_REF => {
+                let index = self.u32()? as usize;
+                self.strings.get(index).cloned().ok_or_else(|| {
+                    Error::new(format!(
+                        "binary document: string backref {index} out of range"
+                    ))
+                })
+            }
+            other => Err(Error::new(format!(
+                "binary document: expected a string node, found tag {other}"
+            ))),
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value> {
+        if depth > MAX_DEPTH {
+            return Err(Error::new("binary document: nesting too deep"));
+        }
+        let tag = self.take(1)?[0];
+        match tag {
+            TAG_NULL => Ok(Value::Null),
+            TAG_FALSE => Ok(Value::Bool(false)),
+            TAG_TRUE => Ok(Value::Bool(true)),
+            TAG_F64 => {
+                let bytes = self.take(8)?;
+                let v = f64::from_le_bytes(bytes.try_into().expect("8 bytes"));
+                // The writer only ever emits finite numbers (Number holds
+                // no NaN/Inf); a non-finite here is corruption.
+                Number::from_f64(v)
+                    .map(Value::Number)
+                    .ok_or_else(|| Error::new("binary document: non-finite number"))
+            }
+            TAG_I32 => {
+                let bytes = self.take(4)?;
+                let v = i32::from_le_bytes(bytes.try_into().expect("4 bytes"));
+                Ok(Value::Number(
+                    Number::from_f64(f64::from(v)).expect("i32 is finite"),
+                ))
+            }
+            TAG_STR_NEW | TAG_STR_REF => {
+                self.at -= 1;
+                Ok(Value::String(self.string()?))
+            }
+            TAG_ARRAY => {
+                let count = self.u32()? as usize;
+                // No preallocation from the untrusted count: a corrupt
+                // length fails on the first missing element instead of
+                // reserving gigabytes.
+                let mut items = Vec::new();
+                for _ in 0..count {
+                    items.push(self.value(depth + 1)?);
+                }
+                Ok(Value::Array(items))
+            }
+            TAG_OBJECT => {
+                let count = self.u32()? as usize;
+                let mut map = Map::new();
+                for _ in 0..count {
+                    let key = self.string()?;
+                    let item = self.value(depth + 1)?;
+                    map.insert(key, item);
+                }
+                Ok(Value::Object(map))
+            }
+            other => Err(Error::new(format!("binary document: unknown tag {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn roundtrip(value: &Value) -> Value {
+        from_slice_binary(&to_vec_binary(value)).expect("roundtrip decodes")
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        for value in [
+            Value::Null,
+            json!(true),
+            json!(false),
+            json!(0),
+            json!(-1),
+            json!(i32::MAX),
+            json!(i32::MIN),
+            json!(2_147_483_648i64),
+            json!(0.1),
+            json!(-0.0),
+            json!(1e300),
+            json!(""),
+            json!("hello"),
+            json!("ünïcode ✓"),
+        ] {
+            assert_eq!(roundtrip(&value), value, "{value:?} drifted");
+        }
+    }
+
+    #[test]
+    fn float_bits_are_exact() {
+        // Bit-exactness, not just PartialEq: -0.0 == 0.0 under PartialEq,
+        // so compare the raw bits of the decoded f64.
+        for v in [
+            -0.0f64,
+            0.1 + 0.2,
+            f64::MIN_POSITIVE,
+            f64::from(0.1f32),
+            -1234.5678e-9,
+        ] {
+            let decoded = roundtrip(&json!(v)).as_f64().unwrap();
+            assert_eq!(decoded.to_bits(), v.to_bits(), "{v} lost bits");
+        }
+    }
+
+    #[test]
+    fn nested_document_roundtrips() {
+        let doc = json!({
+            "format": "test/v1",
+            "items": [1, 2.5, null, true, "x", {"k": [1, 2]}],
+            "nested": {"a": {"b": {"c": -0.125}}},
+        });
+        assert_eq!(roundtrip(&doc), doc);
+    }
+
+    #[test]
+    fn interning_shrinks_repeated_keys() {
+        let many: Vec<Value> = (0..100)
+            .map(|i| json!({"iteration": i, "objective": 0.5, "is_feasible": true}))
+            .collect();
+        let doc = json!({ "points": many });
+        let bin = to_vec_binary(&doc);
+        let text = crate::to_string(&doc).unwrap();
+        assert!(
+            (bin.len() as f64) < text.len() as f64 * 0.8,
+            "interned binary ({}) should be measurably smaller than compact JSON ({})",
+            bin.len(),
+            text.len()
+        );
+        assert_eq!(from_slice_binary(&bin).unwrap(), doc);
+    }
+
+    #[test]
+    fn preserves_key_order() {
+        let doc = json!({"z": 1, "a": 2, "m": 3});
+        let decoded = roundtrip(&doc);
+        let keys: Vec<&String> = decoded.as_object().unwrap().keys().collect();
+        assert_eq!(keys, ["z", "a", "m"]);
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        assert!(from_slice_binary(b"").is_err(), "empty input");
+        assert!(from_slice_binary(b"nope").is_err(), "wrong magic");
+        assert!(from_slice_binary(b"HJB1").is_err(), "magic only");
+        assert!(from_slice_binary(b"HJB1\xff").is_err(), "unknown tag");
+
+        let good = to_vec_binary(json!({"a": [1, 2, 3]}));
+        assert!(
+            from_slice_binary(&good[..good.len() - 1]).is_err(),
+            "truncated"
+        );
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(from_slice_binary(&trailing).is_err(), "trailing bytes");
+
+        // A corrupt array count larger than the remaining input.
+        let mut huge = Vec::from(BINARY_MAGIC);
+        huge.push(TAG_ARRAY);
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(from_slice_binary(&huge).is_err(), "oversized count");
+
+        // A backref into an empty intern table.
+        let mut backref = Vec::from(BINARY_MAGIC);
+        backref.push(TAG_STR_REF);
+        backref.extend_from_slice(&0u32.to_le_bytes());
+        assert!(from_slice_binary(&backref).is_err(), "dangling backref");
+    }
+
+    #[test]
+    fn depth_limit_rejects_bombs() {
+        let mut bomb = Vec::from(BINARY_MAGIC);
+        for _ in 0..(MAX_DEPTH + 8) {
+            bomb.push(TAG_ARRAY);
+            bomb.extend_from_slice(&1u32.to_le_bytes());
+        }
+        bomb.push(TAG_NULL);
+        assert!(from_slice_binary(&bomb).is_err(), "nesting bomb accepted");
+    }
+
+    #[test]
+    fn sniffs_format() {
+        assert!(sniff_binary(&to_vec_binary(json!(1))));
+        assert!(!sniff_binary(b"{\"json\": true}"));
+        assert!(!sniff_binary(b"HJ"));
+    }
+}

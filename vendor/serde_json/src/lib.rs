@@ -1,14 +1,18 @@
 //! In-repo stand-in for `serde_json`, used because this workspace builds
 //! fully offline. Unlike the `serde` stub this is a *real* (if small) JSON
 //! implementation: an order-preserving [`Value`]/[`Map`] document model, a
-//! [`json!`] constructor macro, a pretty printer, and a strict recursive-
-//! descent parser. Everything the workspace round-trips goes through
-//! [`Value`], so no reflective serialization is needed.
+//! [`json!`] constructor macro, a pretty printer, a strict recursive-
+//! descent parser, and a compact length-prefixed binary codec
+//! ([`to_vec_binary`]/[`from_slice_binary`]) for the same documents.
+//! Everything the workspace round-trips goes through [`Value`], so no
+//! reflective serialization is needed.
 
+mod binary;
 mod macros;
 mod parse;
 mod print;
 
+pub use binary::{from_slice_binary, sniff_binary, to_vec_binary, BINARY_MAGIC};
 pub use parse::from_str;
 pub use print::{to_string, to_string_pretty};
 
