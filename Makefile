@@ -2,9 +2,13 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt fmt-check clippy build test doc bench bench-smoke examples
+.PHONY: ci fmt fmt-check clippy clippy-simd build test test-simd doc bench bench-smoke examples
 
-ci: fmt-check clippy build test doc
+# The simd lanes re-run clippy and the test suite with the SSE2
+# intrinsics swapped in (the `simd` feature on the facade crate forwards
+# to homunculus-ml and homunculus-runtime); verdicts must stay
+# bit-identical, so the same tests gate both kernel tiers.
+ci: fmt-check clippy clippy-simd build test test-simd doc
 
 fmt:
 	$(CARGO) fmt
@@ -15,11 +19,17 @@ fmt-check:
 clippy:
 	$(CARGO) clippy -q --workspace --all-targets -- -D warnings
 
+clippy-simd:
+	$(CARGO) clippy -q --workspace --all-targets --features homunculus/simd -- -D warnings
+
 build:
 	$(CARGO) build --release --workspace --examples --benches
 
 test:
 	$(CARGO) test -q --workspace
+
+test-simd:
+	$(CARGO) test -q --workspace --features homunculus/simd
 
 # API docs for the homunculus crates (vendor stand-ins excluded), with
 # rustdoc warnings denied so broken intra-doc links fail the gate.
@@ -34,6 +44,8 @@ bench:
 # Tiny-budget runs of the compiled-runtime, multi-tenant-serving,
 # persistent-deployment, and staged-compile benchmarks; each binary
 # re-reads its JSON and fails unless it parses with all headline fields
+# (runtime_throughput asserts the packed and scalar kernel tiers return
+# bit-identical verdicts on every packet, per-row and batched;
 # (serving/deployment also assert verdicts match isolated classify_batch
 # runs, activation LUTs are shared, and weighted dispatch shares stay
 # inside their bound; compile_stages also asserts saved artifacts — JSON

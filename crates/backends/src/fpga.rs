@@ -142,6 +142,7 @@ impl Target for FpgaTarget {
             ModelIr::Svm(s) => (s.n_features * s.n_classes + s.n_classes, 1),
             ModelIr::KMeans(k) => (k.k * k.n_features, 1),
             ModelIr::Tree(t) => (t.leaves, 1),
+            ModelIr::Forest(f) => (f.total_leaves(), 1),
         };
         let (d_lut, d_ff) = Self::deltas(params, layers);
         let lut = LOOPBACK_LUT_PCT + d_lut;
@@ -168,7 +169,7 @@ impl Target for FpgaTarget {
         // the same Spatial source as the Taurus backend. Decision trees
         // go through the P4-SDNet flow instead.
         match model {
-            ModelIr::Tree(_) => crate::p4::generate(model, pipeline_name),
+            ModelIr::Tree(_) | ModelIr::Forest(_) => crate::p4::generate(model, pipeline_name),
             _ => spatial::generate(model, pipeline_name),
         }
     }

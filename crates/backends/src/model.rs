@@ -7,6 +7,7 @@
 //! parameters* (required for final code generation).
 
 use crate::{BackendError, Result};
+use homunculus_ml::forest::RandomForestClassifier;
 use homunculus_ml::kmeans::KMeans;
 use homunculus_ml::mlp::{Activation, Mlp, MlpArchitecture};
 use homunculus_ml::svm::LinearSvm;
@@ -456,6 +457,88 @@ impl ToJson for TreeIr {
     }
 }
 
+/// A random-forest candidate: bagged decision trees combined by majority
+/// vote. Each member tree lowers exactly like a standalone [`TreeIr`]
+/// (one match-action program per tree); the vote is a final reduce stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForestIr {
+    /// Number of input features every member tree consumes.
+    pub n_features: usize,
+    /// Number of classes the vote decides between.
+    pub n_classes: usize,
+    /// Member trees (shape-only or trained, like [`TreeIr`]).
+    pub trees: Vec<TreeIr>,
+}
+
+impl ForestIr {
+    /// Shape-only IR: `n_trees` identical tree shapes.
+    pub fn from_shape(n_trees: usize, depth: usize, n_features: usize, leaves: usize) -> Self {
+        ForestIr {
+            n_features,
+            n_classes: 2,
+            trees: (0..n_trees)
+                .map(|_| TreeIr::from_shape(depth, n_features, leaves))
+                .collect(),
+        }
+    }
+
+    /// Full IR from a trained classification forest.
+    pub fn from_forest(forest: &RandomForestClassifier) -> Self {
+        let trees: Vec<TreeIr> = forest.trees().iter().map(TreeIr::from_tree).collect();
+        let n_features = trees.iter().map(|t| t.n_features).max().unwrap_or(0);
+        ForestIr {
+            n_features,
+            n_classes: forest.n_classes(),
+            trees,
+        }
+    }
+
+    /// Number of member trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Deepest member tree (drives pipeline-stage cost).
+    pub fn depth(&self) -> usize {
+        self.trees.iter().map(|t| t.depth).max().unwrap_or(0)
+    }
+
+    /// Total leaves across the ensemble (drives table cost).
+    pub fn total_leaves(&self) -> usize {
+        self.trees.iter().map(|t| t.leaves).sum()
+    }
+
+    /// Decodes the [`ToJson`] document form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::InvalidModel`] on malformed fields.
+    pub fn from_json(value: &Value) -> Result<Self> {
+        let trees = value["trees"]
+            .as_array()
+            .ok_or_else(|| decode_err("forest needs a trees array"))?
+            .iter()
+            .map(TreeIr::from_json)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ForestIr {
+            n_features: decode_usize(value, "n_features")?,
+            n_classes: decode_usize(value, "n_classes")?,
+            trees,
+        })
+    }
+}
+
+/// JSON document form: `{"n_features", "n_classes", "trees": [<tree>..]}`.
+impl ToJson for ForestIr {
+    fn to_json(&self) -> Value {
+        json!({
+            "n_features": self.n_features,
+            "n_classes": self.n_classes,
+            "trees": self.trees,
+        })
+    }
+}
+
 /// The model families the compiler can map to data planes.
 ///
 /// A trained `ModelIr` (one carrying parameters) can be lowered to an
@@ -473,6 +556,8 @@ pub enum ModelIr {
     KMeans(KMeansIr),
     /// Decision tree.
     Tree(TreeIr),
+    /// Random forest (majority vote over bagged trees).
+    Forest(ForestIr),
 }
 
 impl ModelIr {
@@ -483,6 +568,7 @@ impl ModelIr {
             ModelIr::Svm(_) => "svm",
             ModelIr::KMeans(_) => "kmeans",
             ModelIr::Tree(_) => "decision_tree",
+            ModelIr::Forest(_) => "random_forest",
         }
     }
 
@@ -493,6 +579,7 @@ impl ModelIr {
             ModelIr::Svm(s) => s.n_features,
             ModelIr::KMeans(k) => k.n_features,
             ModelIr::Tree(t) => t.n_features,
+            ModelIr::Forest(f) => f.n_features,
         }
     }
 
@@ -502,7 +589,7 @@ impl ModelIr {
             ModelIr::Dnn(d) => d.param_count(),
             ModelIr::Svm(s) => s.n_features * s.n_classes + s.n_classes,
             ModelIr::KMeans(k) => k.k * k.n_features,
-            ModelIr::Tree(_) => 0,
+            ModelIr::Tree(_) | ModelIr::Forest(_) => 0,
         }
     }
 
@@ -517,6 +604,14 @@ impl ModelIr {
             ModelIr::Svm(s) => s.n_features > 0 && s.n_classes >= 2,
             ModelIr::KMeans(k) => k.k > 0 && k.n_features > 0,
             ModelIr::Tree(t) => t.n_features > 0 && t.leaves > 0,
+            ModelIr::Forest(f) => {
+                f.n_features > 0
+                    && f.n_classes >= 2
+                    && !f.trees.is_empty()
+                    && f.trees
+                        .iter()
+                        .all(|t| t.leaves > 0 && t.n_features > 0 && t.n_features <= f.n_features)
+            }
         };
         if ok {
             Ok(())
@@ -553,6 +648,7 @@ impl ModelIr {
             "svm" => ModelIr::Svm(SvmIr::from_json(model)?),
             "kmeans" => ModelIr::KMeans(KMeansIr::from_json(model)?),
             "decision_tree" => ModelIr::Tree(TreeIr::from_json(model)?),
+            "random_forest" => ModelIr::Forest(ForestIr::from_json(model)?),
             other => return Err(decode_err(&format!("unknown family '{other}'"))),
         };
         ir.validate()?;
@@ -572,6 +668,7 @@ impl ToJson for ModelIr {
             ModelIr::Svm(s) => s.to_json(),
             ModelIr::KMeans(k) => k.to_json(),
             ModelIr::Tree(t) => t.to_json(),
+            ModelIr::Forest(f) => f.to_json(),
         };
         json!({ "family": self.family(), "model": model })
     }
@@ -699,6 +796,19 @@ mod tests {
             ModelIr::KMeans(KMeansIr::from_shape(4, 3)),
             ModelIr::Tree(TreeIr::from_tree(&tree)),
             ModelIr::Tree(TreeIr::from_shape(3, 2, 4)),
+            ModelIr::Forest(ForestIr::from_forest(
+                &homunculus_ml::forest::RandomForestClassifier::fit(
+                    &x,
+                    &y,
+                    2,
+                    &homunculus_ml::forest::ForestConfig {
+                        n_trees: 3,
+                        ..Default::default()
+                    },
+                )
+                .unwrap(),
+            )),
+            ModelIr::Forest(ForestIr::from_shape(3, 2, 4, 4)),
         ];
         for ir in irs {
             let text = serde_json::to_string(&ir.to_json()).unwrap();

@@ -147,6 +147,7 @@ impl Target for TaurusTarget {
         match model {
             ModelIr::Dnn(_) | ModelIr::Svm(_) | ModelIr::KMeans(_) => true,
             ModelIr::Tree(t) => t.depth <= self.rows,
+            ModelIr::Forest(f) => f.depth() <= self.rows,
         }
     }
 
@@ -166,6 +167,17 @@ impl Target for TaurusTarget {
             ModelIr::Svm(s) => vec![(s.n_features, s.n_classes.max(2) - 1)],
             ModelIr::KMeans(k) => vec![(k.n_features, k.k)],
             ModelIr::Tree(t) => vec![(t.n_features, t.depth.max(1))],
+            // Each member tree is its own comparison cascade; the vote is
+            // one extra reduce over the per-tree verdicts.
+            ModelIr::Forest(f) => {
+                let mut dims: Vec<(usize, usize)> = f
+                    .trees
+                    .iter()
+                    .map(|t| (t.n_features, t.depth.max(1)))
+                    .collect();
+                dims.push((f.n_trees(), f.n_classes));
+                dims
+            }
         };
 
         let cus = Self::dnn_cus(&dims);
@@ -201,7 +213,7 @@ impl Target for TaurusTarget {
         // middle: linear-algebra models lower to Spatial for the grid,
         // while decision trees map onto the surrounding MAT stages as P4.
         match model {
-            ModelIr::Tree(_) => crate::p4::generate(model, pipeline_name),
+            ModelIr::Tree(_) | ModelIr::Forest(_) => crate::p4::generate(model, pipeline_name),
             _ => spatial::generate(model, pipeline_name),
         }
     }

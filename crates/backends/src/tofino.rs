@@ -82,6 +82,8 @@ impl TofinoTarget {
             ModelIr::Tree(t) => t.n_features + 1,
             // N2Net-style binarized layers.
             ModelIr::Dnn(d) => d.arch.depth() * MATS_PER_BNN_LAYER,
+            // One tree-table set per member plus the vote table.
+            ModelIr::Forest(f) => f.n_trees() * (f.n_features + 1) + 1,
         }
     }
 }

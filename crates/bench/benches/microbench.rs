@@ -172,6 +172,34 @@ fn bench_runtime(c: &mut Criterion) {
     });
 }
 
+fn bench_packed_kernels(c: &mut Criterion) {
+    use homunculus_ml::quantize::{FixedPoint, PackedFixed};
+
+    let q = FixedPoint::taurus_default();
+    let p = PackedFixed::new(q).expect("Q3.12 packs to i16");
+    for n in [16usize, 64, 256] {
+        let a: Vec<i32> = (0..n)
+            .map(|i| q.quantize(((i * 37 % 41) as f32 / 41.0) * 4.0 - 2.0))
+            .collect();
+        let b: Vec<i32> = (0..n)
+            .map(|i| q.quantize(((i * 23 % 37) as f32 / 37.0) * 4.0 - 2.0))
+            .collect();
+        let pa = p.pack(&a);
+        let pb = p.pack(&b);
+        assert_eq!(
+            q.fixed_dot(&a, &b),
+            p.packed_dot(pa.as_slice(), pb.as_slice()),
+            "packed_dot must be bit-identical to fixed_dot"
+        );
+        c.bench_function(&format!("quantize/fixed_dot_{n}"), |bench| {
+            bench.iter(|| q.fixed_dot(&a, &b))
+        });
+        c.bench_function(&format!("quantize/packed_dot_{n}"), |bench| {
+            bench.iter(|| p.packed_dot(pa.as_slice(), pb.as_slice()))
+        });
+    }
+}
+
 fn bench_kmeans(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0);
     use rand::Rng;
@@ -192,6 +220,7 @@ criterion_group!(
     bench_codegen,
     bench_dataplane,
     bench_runtime,
+    bench_packed_kernels,
     bench_kmeans,
 );
 criterion_main!(benches);

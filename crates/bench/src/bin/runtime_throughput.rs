@@ -9,15 +9,22 @@
 //!   reused scratch (zero allocation per packet), plus its p50/p99
 //!   per-packet latency,
 //! - **batch**: `classify_batch` sharded across `std::thread::scope`
-//!   workers,
+//!   workers, streaming structure-of-arrays feature blocks through the
+//!   packed kernels,
+//! - **scalar tier**: the same single-thread and batch runs on a
+//!   pipeline forced onto scalar `i32` storage
+//!   (`CompiledPipeline::from_ir_scalar`), yielding
+//!   `speedup_packed_vs_scalar` — and an unconditional bit-equality
+//!   assertion between the two tiers' verdicts,
 //!
-//! and the float↔fixed prediction agreement for all four model families.
+//! and the float↔fixed prediction agreement for all model families.
 //!
 //! Run with: `cargo run --release -p homunculus-bench --bin runtime_throughput`
 //! Flags: `--packets N`, `--out PATH`, `--smoke` (tiny budget + self-check).
 
-use homunculus_backends::model::{DnnIr, KMeansIr, ModelIr, SvmIr, TreeIr};
+use homunculus_backends::model::{DnnIr, ForestIr, KMeansIr, ModelIr, SvmIr, TreeIr};
 use homunculus_bench::{ad_dataset, banner, print_row, train_baseline, Application, EmitterMeta};
+use homunculus_ml::forest::{ForestConfig, RandomForestClassifier};
 use homunculus_ml::kmeans::{KMeans, KMeansConfig};
 use homunculus_ml::quantize::FixedPoint;
 use homunculus_ml::svm::{LinearSvm, SvmConfig};
@@ -103,6 +110,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stream = replicate_stream(test.features(), args.packets);
     let ir = ModelIr::Dnn(DnnIr::from_mlp(&baseline.net));
     let pipeline = ir.compile(format)?;
+    let scalar_pipeline = CompiledPipeline::from_ir_scalar(&ir, format)?;
+    assert!(
+        pipeline.packed_width().is_some() && scalar_pipeline.packed_width().is_none(),
+        "Q3.12 must lower packed by default and scalar on the reference tier"
+    );
 
     // Naive per-sample float path (the pre-runtime status quo).
     let start = Instant::now();
@@ -144,8 +156,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let batch_secs = start.elapsed().as_secs_f64();
     let batch_pps = stream.rows() as f64 / batch_secs;
 
+    // Scalar `i32` reference tier, single thread and batch, for the
+    // packed-vs-scalar headline numbers.
+    let mut scalar_scratch = Scratch::new();
+    let start = Instant::now();
+    let mut scalar_pred = Vec::with_capacity(stream.rows());
+    for i in 0..stream.rows() {
+        scalar_pred.push(scalar_pipeline.classify(stream.row(i), &mut scalar_scratch));
+    }
+    let scalar_secs = start.elapsed().as_secs_f64();
+    let scalar_pps = stream.rows() as f64 / scalar_secs;
+
+    let start = Instant::now();
+    let scalar_batch_pred = scalar_pipeline.classify_batch(&stream, workers);
+    let scalar_batch_secs = start.elapsed().as_secs_f64();
+    let scalar_batch_pps = stream.rows() as f64 / scalar_batch_secs;
+
     let dnn_agreement = agreement(&float_pred, &compiled_pred);
     assert_eq!(compiled_pred, batch_pred, "batch path must match classify");
+    // The bit-equality contract, asserted on every run including smoke:
+    // the packed tier may never change a single verdict.
+    assert_eq!(
+        compiled_pred, scalar_pred,
+        "packed and scalar tiers must agree bit for bit"
+    );
+    assert_eq!(
+        batch_pred, scalar_batch_pred,
+        "packed and scalar batch paths must agree bit for bit"
+    );
 
     print_row(
         "float (naive per-sample)",
@@ -168,6 +206,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             batch_pps / float_pps
         ),
         "scales with cores",
+    );
+    print_row(
+        "scalar i32 tier (1 thread)",
+        &format!("{:.0} pkt/s", scalar_pps),
+        "reference tier",
+    );
+    print_row(
+        &format!("scalar i32 batch ({workers} workers)"),
+        &format!("{:.0} pkt/s", scalar_batch_pps),
+        "reference tier",
+    );
+    print_row(
+        "packed vs scalar (batch)",
+        &format!("{:.2}x", batch_pps / scalar_batch_pps),
+        ">=2x target",
     );
     print_row(
         "float<->fixed agreement (dnn)",
@@ -205,16 +258,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         x,
     );
 
+    // The compiled forest hard-votes leaf classes while the float forest
+    // averages leaf distributions, so this agreement is high but not
+    // pinned to 1.0.
+    let forest = RandomForestClassifier::fit(
+        x,
+        y,
+        2,
+        &ForestConfig {
+            n_trees: 7,
+            ..ForestConfig::default()
+        },
+    )?;
+    let forest_agree = family_agreement(
+        "random_forest",
+        &forest.predict(x),
+        &ModelIr::Forest(ForestIr::from_forest(&forest)).compile(format)?,
+        x,
+    );
+
     // --- Emit BENCH_runtime.json. ---------------------------------------
     let report = EmitterMeta::new("runtime_throughput", args.smoke).wrap(json!({
         "packets": stream.rows(),
         "workers": workers,
         "format": "Q3.12",
+        "packed_width": match pipeline.packed_width() {
+            Some(w) => format!("{w:?}").to_lowercase(),
+            None => "none".into(),
+        },
         "float_pps": float_pps,
         "compiled_pps": compiled_pps,
         "batch_pps": batch_pps,
+        "packed_pps": batch_pps,
+        "scalar_pps": scalar_pps,
+        "scalar_batch_pps": scalar_batch_pps,
         "speedup_compiled_vs_float": compiled_pps / float_pps,
         "speedup_batch_vs_float": batch_pps / float_pps,
+        "speedup_packed_vs_scalar": batch_pps / scalar_batch_pps,
+        "speedup_packed_vs_scalar_1thread": compiled_pps / scalar_pps,
         "p50_latency_ns": p50_ns as f64,
         "p99_latency_ns": p99_ns as f64,
         "agreement": {
@@ -222,6 +303,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "svm": svm_agree,
             "kmeans": km_agree,
             "decision_tree": tree_agree,
+            "random_forest": forest_agree,
         },
     }));
     let text = serde_json::to_string_pretty(&report)?;
@@ -237,6 +319,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "float_pps",
         "compiled_pps",
         "batch_pps",
+        "packed_pps",
+        "speedup_packed_vs_scalar",
         "p50_latency_ns",
         "p99_latency_ns",
         "agreement",
@@ -256,6 +340,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert!(
             batch_pps > float_pps,
             "compiled batch path ({batch_pps:.0} pkt/s) must beat the naive float path ({float_pps:.0} pkt/s)"
+        );
+        assert!(
+            batch_pps > scalar_batch_pps,
+            "packed batch path ({batch_pps:.0} pkt/s) must beat the scalar i32 tier ({scalar_batch_pps:.0} pkt/s)"
         );
     }
     Ok(())

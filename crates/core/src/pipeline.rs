@@ -253,7 +253,11 @@ impl ToJson for ModelReport {
 
 impl ModelReport {
     /// Decodes the [`ToJson`] document form, re-lowering the IR to the
-    /// integer runtime (so `compiled` is ready to classify).
+    /// integer runtime (so `compiled` is ready to classify). Re-lowering
+    /// rebuilds the full execution state, including the packed
+    /// narrow-lane weight storage when the format fits `i16`/`i8` — a
+    /// reloaded artifact serves from the same kernel tier, bit for bit,
+    /// as the process that compiled it.
     ///
     /// # Errors
     ///
@@ -802,6 +806,13 @@ mod tests {
                 .as_ref()
                 .unwrap()
                 .classify(&features, &mut scratch),
+        );
+        // Re-lowering rebuilds the packed narrow-lane storage too: a
+        // reloaded Q3.12 artifact serves from the i16 kernel tier, not a
+        // scalar fallback.
+        assert_eq!(
+            b.compiled.as_ref().unwrap().packed_width(),
+            Some(homunculus_ml::quantize::PackedWidth::I16),
         );
     }
 

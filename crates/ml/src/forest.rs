@@ -220,6 +220,12 @@ impl RandomForestClassifier {
         self.trees.len()
     }
 
+    /// The fitted trees (for IR export — each tree lowers to its own
+    /// match-action table program).
+    pub fn trees(&self) -> &[DecisionTreeClassifier] {
+        &self.trees
+    }
+
     /// Number of classes.
     pub fn n_classes(&self) -> usize {
         self.n_classes

@@ -23,7 +23,11 @@
 //! - [`metrics`] — F1, accuracy, confusion matrices, and the V-measure used
 //!   by the paper's Figure 7 KMeans experiment.
 //! - [`quantize`] — fixed-point quantization used when mapping trained
-//!   weights onto data-plane hardware.
+//!   weights onto data-plane hardware, plus the packed-integer kernel
+//!   tier ([`quantize::PackedFixed`]): weights narrowed once to
+//!   contiguous `i16`/`i8` words with vectorizable dot/matvec/distance
+//!   kernels that are bit-identical to the scalar `i32` path (enable the
+//!   `simd` cargo feature for the `core::arch` SSE2 inner loops).
 //!
 //! # Example
 //!
@@ -52,6 +56,7 @@ pub mod forest;
 pub mod kmeans;
 pub mod metrics;
 pub mod mlp;
+mod packed;
 pub mod preprocess;
 pub mod quantize;
 pub mod svm;

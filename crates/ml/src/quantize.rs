@@ -10,6 +10,8 @@ use crate::tensor::Matrix;
 use crate::{MlError, Result};
 use serde::{Deserialize, Serialize};
 
+pub use crate::packed::{PackedFixed, PackedSlice, PackedVec, PackedWidth};
+
 /// A signed fixed-point format with `int_bits` integer bits (excluding
 /// sign) and `frac_bits` fractional bits.
 ///
@@ -74,6 +76,7 @@ impl FixedPoint {
     }
 
     /// Number of fractional bits.
+    #[inline]
     pub fn frac_bits(&self) -> u32 {
         self.frac_bits
     }
@@ -84,6 +87,7 @@ impl FixedPoint {
     }
 
     /// Scale factor `2^frac_bits`.
+    #[inline]
     pub fn scale(&self) -> f32 {
         (1u64 << self.frac_bits) as f32
     }
@@ -98,11 +102,15 @@ impl FixedPoint {
         self.dequantize(self.min_raw())
     }
 
-    fn max_raw(&self) -> i32 {
+    /// Largest representable raw value, `2^(int_bits + frac_bits) - 1`.
+    #[inline]
+    pub fn max_raw(&self) -> i32 {
         ((1i64 << (self.int_bits + self.frac_bits)) - 1) as i32
     }
 
-    fn min_raw(&self) -> i32 {
+    /// Smallest (most negative) raw value, `-2^(int_bits + frac_bits)`.
+    #[inline]
+    pub fn min_raw(&self) -> i32 {
         -(1i64 << (self.int_bits + self.frac_bits)) as i32
     }
 
@@ -114,18 +122,30 @@ impl FixedPoint {
     /// Quantizes a value with round-to-nearest and saturation.
     ///
     /// Non-finite inputs saturate (NaN maps to 0).
+    #[inline]
     pub fn quantize(&self, value: f32) -> i32 {
         if value.is_nan() {
             return 0;
         }
-        let scaled = (value * self.scale()).round();
-        if scaled >= self.max_raw() as f32 {
-            self.max_raw()
-        } else if scaled <= self.min_raw() as f32 {
-            self.min_raw()
-        } else {
-            scaled as i32
-        }
+        // Widen to i64 before the clamp: `as` saturates float->int
+        // overflow, but against i64's range, not the format's — the
+        // clamp re-targets it at [min_raw, max_raw]. (A 30-bit format's
+        // max_raw is not exactly representable as f32, so comparing in
+        // float space would mis-rank values within one ulp of the edge;
+        // the integer clamp has no such edge.)
+        //
+        // Round half away from zero without `f32::round`, which lowers
+        // to a `roundf` libcall on baseline x86-64 (no SSE4.1) and
+        // dominates the per-packet quantize cost. In f64, `y ± 0.5` is
+        // exact for every f32-magnitude input (any f32 >= 2^52 is a
+        // multiple of 2^28, so the add rounds straight back), and
+        // truncation of the sum equals round-half-away-from-zero:
+        // trunc(y + 0.5) = floor(y + 0.5) for y >= 0, trunc(y - 0.5) =
+        // ceil(y - 0.5) for y < 0. Bit-identical to `.round() as i64`
+        // on all non-NaN inputs, in native instructions only.
+        let y = f64::from(value * self.scale());
+        let scaled = (y + 0.5f64.copysign(y)) as i64;
+        scaled.clamp(i64::from(self.min_raw()), i64::from(self.max_raw())) as i32
     }
 
     /// Converts a raw fixed-point integer back to `f32`.
@@ -340,6 +360,29 @@ mod tests {
         assert_eq!(q.quantize(f32::NAN), 0);
         assert_eq!(q.dequantize(q.quantize(f32::INFINITY)), q.max_value());
         assert_eq!(q.dequantize(q.quantize(f32::NEG_INFINITY)), q.min_value());
+    }
+
+    #[test]
+    fn quantize_saturates_at_range_edges_for_every_width() {
+        // Regression for the old bare `scaled as i32` tail: the float->int
+        // conversion must saturate at the format's edges, including wide
+        // formats whose max_raw is not exactly representable as f32 and
+        // inputs far beyond f32's integer-exact range.
+        for (int_bits, frac_bits) in [(3u32, 12u32), (1, 4), (0, 15), (14, 16), (0, 30)] {
+            let q = FixedPoint::new(int_bits, frac_bits).unwrap();
+            assert_eq!(q.quantize(f32::MAX), q.max_raw(), "Q{int_bits}.{frac_bits}");
+            assert_eq!(q.quantize(f32::MIN), q.min_raw(), "Q{int_bits}.{frac_bits}");
+            assert_eq!(q.quantize(f32::INFINITY), q.max_raw());
+            assert_eq!(q.quantize(f32::NEG_INFINITY), q.min_raw());
+            assert_eq!(q.quantize(f32::NAN), 0);
+            // Exactly at the edges and one step beyond.
+            assert_eq!(q.quantize(q.max_value()), q.max_raw());
+            assert_eq!(q.quantize(q.min_value()), q.min_raw());
+            assert_eq!(q.quantize(q.max_value() + 1.0), q.max_raw());
+            assert_eq!(q.quantize(q.min_value() - 1.0), q.min_raw());
+            // In-range values still pass through untouched.
+            assert_eq!(q.quantize(0.0), 0);
+        }
     }
 
     #[test]

@@ -2,18 +2,25 @@
 //!
 //! Throughput runs (and the multi-core serving path) classify packets in
 //! bulk: the feature matrix is split into contiguous row shards, each
-//! worker owns a private [`Scratch`], and `std::thread::scope` joins the
-//! shards without any `'static` bounds or heap-allocated channels.
+//! worker owns a private [`BlockScratch`], and `std::thread::scope` joins
+//! the shards without any `'static` bounds or heap-allocated channels.
+//!
+//! Within a shard, rows move in feature blocks (structure-of-arrays): a
+//! whole chunk of rows is quantized into one contiguous packed block and
+//! streamed through the packed kernels, instead of gathering, quantizing,
+//! and dispatching per packet. Verdicts are identical to per-row
+//! [`CompiledPipeline::classify`] — the block path is a layout change,
+//! not a semantic one.
 
-use crate::pipeline::{CompiledPipeline, Scratch};
+use crate::pipeline::{BlockScratch, CompiledPipeline, BLOCK_ROWS};
 use homunculus_ml::tensor::Matrix;
 
 impl CompiledPipeline {
     /// Classifies every row of `x` using up to `workers` threads.
     ///
     /// `workers` is clamped to `[1, x.rows()]`; with one worker the call
-    /// degenerates to a single-threaded loop with one reused scratch.
-    /// Output order matches row order regardless of sharding.
+    /// degenerates to a single-threaded block loop with one reused
+    /// scratch. Output order matches row order regardless of sharding.
     ///
     /// # Panics
     ///
@@ -27,10 +34,8 @@ impl CompiledPipeline {
         }
         let workers = workers.clamp(1, n);
         if workers == 1 {
-            let mut scratch = Scratch::new();
-            for (o, row) in out.iter_mut().zip(x.iter_rows()) {
-                *o = self.classify(row, &mut scratch);
-            }
+            let mut scratch = BlockScratch::new();
+            self.classify_shard(x, 0, &mut out, &mut scratch);
             return out;
         }
         let chunk = n.div_ceil(workers);
@@ -38,22 +43,43 @@ impl CompiledPipeline {
             for (shard, out_chunk) in out.chunks_mut(chunk).enumerate() {
                 let start = shard * chunk;
                 scope.spawn(move || {
-                    let mut scratch = Scratch::new();
-                    for (offset, o) in out_chunk.iter_mut().enumerate() {
-                        *o = self.classify(x.row(start + offset), &mut scratch);
-                    }
+                    let mut scratch = BlockScratch::new();
+                    self.classify_shard(x, start, out_chunk, &mut scratch);
                 });
             }
         });
         out
+    }
+
+    /// Classifies one contiguous shard block-by-block.
+    fn classify_shard(
+        &self,
+        x: &Matrix,
+        start: usize,
+        out: &mut [usize],
+        scratch: &mut BlockScratch,
+    ) {
+        let mut offset = 0;
+        while offset < out.len() {
+            let rows = (out.len() - offset).min(BLOCK_ROWS);
+            self.classify_block(
+                x,
+                start + offset,
+                rows,
+                &mut out[offset..offset + rows],
+                scratch,
+            );
+            offset += rows;
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::{classify_rows, Compile};
-    use homunculus_backends::model::{DnnIr, ModelIr};
+    use crate::pipeline::{classify_rows, Compile, CompiledPipeline};
+    use homunculus_backends::model::{DnnIr, KMeansIr, ModelIr};
+    use homunculus_ml::kmeans::{KMeans, KMeansConfig};
     use homunculus_ml::mlp::{Mlp, MlpArchitecture, TrainConfig};
     use homunculus_ml::quantize::FixedPoint;
 
@@ -81,6 +107,16 @@ mod tests {
                 "workers = {workers}"
             );
         }
+    }
+
+    #[test]
+    fn batch_matches_per_row_on_the_scalar_tier() {
+        let x = Matrix::from_fn(70, 2, |r, _| (r % 3) as f32 * 4.0 + 0.1);
+        let km = KMeans::fit(&x, &KMeansConfig::new(3)).unwrap();
+        let ir = ModelIr::KMeans(KMeansIr::from_kmeans(&km, 2));
+        let scalar = CompiledPipeline::from_ir_scalar(&ir, FixedPoint::taurus_default()).unwrap();
+        assert!(scalar.packed_width().is_none());
+        assert_eq!(scalar.classify_batch(&x, 4), classify_rows(&scalar, &x));
     }
 
     #[test]

@@ -72,7 +72,7 @@ pub use deploy::{
 };
 pub use histogram::LatencyHistogram;
 pub use lut::LutCache;
-pub use pipeline::{classify_rows, Compile, CompiledPipeline, Scratch};
+pub use pipeline::{classify_rows, BlockScratch, Compile, CompiledPipeline, Scratch};
 pub use serve::{PipelineServer, ServeOptions, ServeOutput, TenantBatch, TenantId, TenantStats};
 
 use std::error::Error;

@@ -93,6 +93,20 @@ impl ActLut {
     pub fn entries(&self) -> usize {
         self.table.len()
     }
+
+    /// Largest absolute raw value the table can emit.
+    ///
+    /// Table entries are quantized activations, so they are format raws by
+    /// construction; the packed inference tier uses this bound to prove
+    /// statically that LUT outputs always fit the narrow lane width and
+    /// skip the per-layer range scan.
+    pub fn output_bound(&self) -> i32 {
+        self.table
+            .iter()
+            .map(|v| v.saturating_abs())
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 /// A per-`(FixedPoint, Activation)` cache of [`ActLut`]s, shared across

@@ -140,6 +140,11 @@ impl GridSimulator {
                     "decision trees run on the MAT pipeline".into(),
                 ))
             }
+            ModelIr::Forest(_) => {
+                return Err(SimError::Unsupported(
+                    "random forests run on the MAT pipeline".into(),
+                ))
+            }
         };
         Ok(dims
             .iter()

@@ -111,6 +111,20 @@ impl MatSimulator {
                         .map(move |m| format!("bnn_layer_{l}_mat_{m}"))
                 })
                 .collect(),
+            ModelIr::Forest(forest) => {
+                let mut names: Vec<String> = forest
+                    .trees
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(t, tree)| {
+                        (0..tree.n_features)
+                            .map(move |f| format!("t{t}_feature_{f}"))
+                            .chain(std::iter::once(format!("t{t}_leaves")))
+                    })
+                    .collect();
+                names.push("vote".into());
+                names
+            }
         }
     }
 

@@ -290,6 +290,46 @@ fn deployed_verdicts_fingerprint_matches_call_at_a_time_path() {
 }
 
 #[test]
+fn packed_and_scalar_tiers_pin_the_same_golden_checksums() {
+    // The default compile() lowers Q3.12 parameters onto packed i16
+    // storage; `from_ir_scalar` keeps the i32 reference tier. Both must
+    // reproduce the pinned verdict checksum (17_777 per-pipeline, and
+    // 50_483 through the serving layer above) — the packed hot path is a
+    // storage/instruction change, never a semantic one.
+    use homunculus::ml::quantize::PackedWidth;
+    use homunculus::runtime::CompiledPipeline;
+
+    let ds = NslKddGenerator::new(42).generate(200);
+    let norm = ds.fit_normalizer();
+    let nds = ds.normalized(&norm).unwrap();
+    let format = FixedPoint::taurus_default();
+
+    let packed = handcrafted_dnn_ir().compile(format).unwrap();
+    assert_eq!(
+        packed.packed_width(),
+        Some(PackedWidth::I16),
+        "Q3.12 must lower onto the packed i16 tier by default"
+    );
+    let scalar = CompiledPipeline::from_ir_scalar(&handcrafted_dnn_ir(), format).unwrap();
+    assert_eq!(scalar.packed_width(), None);
+
+    let mut scratch = Scratch::new();
+    for pipeline in [&packed, &scalar] {
+        let checksum: usize = (0..nds.len())
+            .map(|i| pipeline.classify(nds.features().row(i), &mut scratch) * (i + 1))
+            .sum();
+        assert_eq!(checksum, 17_777, "verdict checksum drifted on one tier");
+    }
+    // The batch (structure-of-arrays) path agrees with per-row classify
+    // verdict-for-verdict on both tiers.
+    let per_row: Vec<usize> = (0..nds.len())
+        .map(|i| packed.classify(nds.features().row(i), &mut scratch))
+        .collect();
+    assert_eq!(packed.classify_batch(nds.features(), 4), per_row);
+    assert_eq!(scalar.classify_batch(nds.features(), 4), per_row);
+}
+
+#[test]
 fn design_space_sampling_fingerprint() {
     let mut space = DesignSpace::new("golden");
     space.add("x", Parameter::real(-1.0, 1.0)).unwrap();
