@@ -2,13 +2,13 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt fmt-check clippy clippy-simd build test test-simd doc bench bench-smoke examples
+.PHONY: ci fmt fmt-check clippy clippy-simd build test test-simd doc stress bench bench-smoke examples
 
 # The simd lanes re-run clippy and the test suite with the SSE2
 # intrinsics swapped in (the `simd` feature on the facade crate forwards
 # to homunculus-ml and homunculus-runtime); verdicts must stay
 # bit-identical, so the same tests gate both kernel tiers.
-ci: fmt-check clippy clippy-simd build test test-simd doc
+ci: fmt-check clippy clippy-simd build test test-simd doc stress
 
 fmt:
 	$(CARGO) fmt
@@ -37,6 +37,22 @@ doc:
 	RUSTDOCFLAGS="-D warnings" $(CARGO) doc -q --no-deps --workspace \
 		--exclude serde --exclude serde_derive --exclude serde_json \
 		--exclude rand --exclude proptest --exclude criterion
+
+# Repeated release-mode runs of the lock-free-ingress stress suite
+# (multi-producer hammer, cancellation/drain races, saturated-admission
+# deadlines, windowed-floor property). Interleaving bugs in the ring
+# ingress are probabilistic: one green run means little, so the gate is
+# STRESS_RUNS consecutive passes. Wall-clock stays bounded — the suite
+# itself runs in well under a second per iteration.
+STRESS_RUNS ?= 25
+
+stress:
+	$(CARGO) test -q --release --test ingress_stress >/dev/null
+	@for i in $$(seq 1 $(STRESS_RUNS)); do \
+		$(CARGO) test -q --release --test ingress_stress >/dev/null 2>&1 || \
+			{ echo "stress: failed on run $$i/$(STRESS_RUNS)"; exit 1; }; \
+	done
+	@echo "stress: $(STRESS_RUNS) consecutive runs passed"
 
 bench:
 	$(CARGO) bench -p homunculus-bench

@@ -36,6 +36,9 @@ use homunculus_runtime::{
 use serde_json::json;
 use std::time::Instant;
 
+const INGRESS_RING_CAPACITY: usize = 128;
+const INGRESS_CHUNK_SLOTS: usize = 4096;
+
 struct Args {
     packets: usize,
     out: String,
@@ -144,9 +147,14 @@ fn run_spawn_per_call(irs: &[ModelIr], stream: &Matrix, workers: usize) -> RunOu
 /// the clock starts, then one timed submit+wait round.
 fn run_persistent(irs: &[ModelIr], stream: &Matrix, workers: usize) -> RunOutput {
     let format = FixedPoint::taurus_default();
+    // Explicit ring-ingress shape: per-worker SPSC rings sized for a
+    // bench-scale burst, descriptor slab deep enough that no timed
+    // submission stalls on slot recycling.
     let deployment = Deployment::builder()
         .workers(workers)
         .queue_depth(irs.len().max(1))
+        .ring_capacity(INGRESS_RING_CAPACITY)
+        .chunk_slots(INGRESS_CHUNK_SLOTS)
         .build();
     let ids: Vec<TenantId> = irs
         .iter()
@@ -289,6 +297,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "benchmark": "serving_throughput",
         "mode": mode,
         "workers": workers,
+        "ingress": {
+            "ring_capacity": INGRESS_RING_CAPACITY,
+            "chunk_slots": INGRESS_CHUNK_SLOTS,
+        },
         "per_tenant_packets": stream.rows(),
         "format": "Q3.12",
         "verdicts_match_isolated": true,

@@ -588,7 +588,11 @@ impl CompiledArtifact {
     ///
     /// Look tenants up by model name via [`Deployment::tenant_id`]; add
     /// QoS weights afterwards by registering extra tenants with
-    /// [`Deployment::add_model_with`].
+    /// [`Deployment::add_model_with`]. The ingress knobs on `builder` —
+    /// per-worker ring capacity, row-budget admission, submit deadlines,
+    /// and the windowed-fairness horizon
+    /// (`DeploymentBuilder::fairness_window_rows`) — all apply to the
+    /// returned session exactly as for a hand-built deployment.
     ///
     /// # Errors
     ///
@@ -928,9 +932,17 @@ mod tests {
         assert_eq!(output.verdicts()[0], isolated);
 
         // The persistent path serves the same artifact: one submit to a
-        // resident-worker deployment yields the same verdicts.
+        // resident-worker deployment yields the same verdicts — ring
+        // ingress and admission knobs included.
         let deployment = artifact
-            .build_deployment(homunculus_runtime::Deployment::builder().workers(2))
+            .build_deployment(
+                homunculus_runtime::Deployment::builder()
+                    .workers(2)
+                    .ring_capacity(8)
+                    .chunk_rows(4)
+                    .max_queued_rows(1024)
+                    .fairness_window_rows(512),
+            )
             .unwrap();
         assert_eq!(deployment.tenant_count(), 2);
         let tenant = deployment.tenant_id("a").unwrap();

@@ -1,18 +1,31 @@
-//! Persistent deployment serving: resident workers, an ingress queue,
-//! and weighted tenant QoS.
+//! Persistent deployment serving: resident workers behind lock-free
+//! sharded ingress rings, with windowed tenant QoS.
 //!
 //! [`PipelineServer::serve`](crate::serve::PipelineServer::serve) is
 //! call-at-a-time: it spawns a scoped worker pool, joins it, and returns,
 //! paying pool setup on every batch. A switch data plane never stops — the
 //! paper's serving story (and Taurus, which it compiles for) is a resident
 //! pipeline with per-model throughput floors. This module is that model's
-//! software twin:
+//! software twin, with an ingress built the way real dataplanes build RX:
 //!
-//! - a [`Deployment`] owns **resident worker threads** fed by a bounded
-//!   multi-producer ingress queue — pool setup is paid once, not per call;
+//! - a [`Deployment`] owns **resident worker threads**, each consuming a
+//!   fixed-capacity lock-free descriptor [`Ring`] —
+//!   there is no mutex or condvar anywhere on the submit → classify hot
+//!   path, and batch chunks ride reusable [`SlotSlab`]
+//!   slots instead of per-submit boxes;
 //! - [`Deployment::submit`] is non-blocking with respect to completion: it
-//!   enqueues a [`TenantBatch`] and hands back a [`Ticket`] whose
-//!   [`wait`](Ticket::wait) yields the batch's [`Verdicts`];
+//!   enqueues a [`TenantBatch`] into the tenant's lane ring and hands back
+//!   a [`Ticket`] whose [`wait`](Ticket::wait) yields the batch's
+//!   [`Verdicts`]. Admission is row-aware
+//!   ([`max_queued_rows`](DeploymentBuilder::max_queued_rows)) on top of
+//!   the ticket-depth bound, blocking submitters spin a
+//!   [`Backoff`] ladder bounded by an optional
+//!   [`submit_deadline`](DeploymentBuilder::submit_deadline), and an
+//!   accepted ticket can be [cancelled](Ticket::cancel) to skip its
+//!   not-yet-classified chunks;
+//! - idle workers busy-poll their rings through the same exponential
+//!   backoff ladder (spin → yield → capped 500 µs sleeps), so a hot
+//!   deployment consumes work with zero syscalls while an idle one dozes;
 //! - tenants can be added and removed **at runtime**
 //!   ([`add_tenant`](Deployment::add_tenant) /
 //!   [`remove_tenant`](Deployment::remove_tenant)) without stopping the
@@ -20,31 +33,48 @@
 //! - each tenant carries a [`SchedulePolicy`]: plain round-robin, or a
 //!   weighted share with an optional **minimum-share floor** — the paper's
 //!   per-model throughput guarantees — enforced by deficit-weighted
-//!   (stride) dispatch at chunk granularity;
+//!   (stride) dispatch at chunk granularity. Floors are accounted over a
+//!   **decaying window**
+//!   ([`fairness_window_rows`](DeploymentBuilder::fairness_window_rows)),
+//!   not cumulatively since launch, so a tenant that joins late (or idles
+//!   through an epoch) is owed at most one window of catch-up instead of
+//!   the deployment's entire history;
 //! - [`stats_snapshot`](Deployment::stats_snapshot) exposes live
-//!   per-tenant counters and observed shares while the deployment runs;
+//!   per-tenant counters, cumulative and windowed shares while the
+//!   deployment runs;
 //! - [`drain`](Deployment::drain) and [`shutdown`](Deployment::shutdown)
 //!   are graceful: every already-accepted ticket completes, and only new
 //!   submissions are refused.
 //!
-//! Verdicts stay **bit-wise deterministic**: every work item writes into
+//! # Determinism contract
+//!
+//! Verdicts stay **bit-wise deterministic**: every chunk writes into
 //! pre-assigned slots of its ticket, so worker scheduling can change
-//! timing but never results — the same contract the call-at-a-time path
-//! pins in `tests/golden_determinism.rs`.
+//! timing but never result bytes — for a fixed submission sequence the
+//! verdict vectors are identical under any worker count, ring capacity,
+//! or backoff timing (`tests/golden_determinism.rs` pins this through the
+//! ring ingress). The dispatch *order* is produced by a single logical
+//! scheduler that workers take turns running (a burst-refill under a
+//! try-lock), and its pick sequence is a pure function of lane state:
+//! under a staged backlog (paused, then resumed) the recorded dispatch
+//! log is identical for any worker count. Under live concurrent
+//! submission the interleaving of *admissions* is racy as in any MPSC
+//! system — determinism is per submission sequence, not per wall clock.
 
 use crate::histogram::LatencyHistogram;
 use crate::lut::LutCache;
 use crate::pipeline::{Compile, CompiledPipeline, Scratch};
+use crate::ring::{Backoff, Ring, SlotSlab};
 use crate::serve::{next_server_tag, TenantBatch, TenantId, TenantStats};
 use crate::{Result, RuntimeError};
 use homunculus_backends::model::ModelIr;
 use homunculus_ml::preprocess::Normalizer;
 use homunculus_ml::quantize::FixedPoint;
 use homunculus_ml::tensor::Matrix;
-use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Per-tenant dispatch policy.
 ///
@@ -55,7 +85,8 @@ use std::time::Instant;
 ///
 /// The floor (`min_share`) implements the paper's per-model throughput
 /// guarantees: whenever a backlogged tenant's observed share of dispatched
-/// rows sits below its floor, the dispatcher serves it before any
+/// rows — measured over the deployment's decaying fairness window — sits
+/// below its floor, the dispatcher serves it before any
 /// weight-proportional pick. Floors are fractions of the aggregate, so the
 /// sum of floors across active tenants must stay ≤ 1.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -168,49 +199,98 @@ struct TenantAccum {
 
 /// One dispatched unit of work: a contiguous row range of a submitted
 /// batch, carrying everything needed to complete without the registry.
-struct WorkItem {
-    entry: Arc<TenantEntry>,
-    ticket: Arc<TicketState>,
-    features: Arc<Matrix>,
+/// Lives in a reusable [`SlotSlab`] slot — submission writes it once,
+/// rings carry only its `u32` slot index, and completion recycles the
+/// slot (`Default` is the vacated state).
+#[derive(Debug, Default)]
+struct ChunkDesc {
+    entry: Option<Arc<TenantEntry>>,
+    ticket: Option<Arc<TicketState>>,
+    features: Option<Arc<Matrix>>,
     oracle: Option<Arc<Vec<usize>>>,
-    start: usize,
-    rows: usize,
+    start: u32,
+    rows: u32,
 }
 
-/// A tenant's ingress lane: its FIFO of pending work items plus the
-/// dispatch-accounting state the scheduler reads.
+/// A tenant's ingress lane: a lock-free MPSC ring of chunk-slot indices
+/// (producers: submitters; sole consumer: whichever worker holds the
+/// scheduler lock) plus a row gauge for stats and admission.
 struct Lane {
-    queue: VecDeque<WorkItem>,
-    queued_rows: u64,
-    served_rows: u64,
-    /// Stride-scheduling virtual time: advances by `rows / weight` per
-    /// dispatched item, so lower-`vt` lanes are behind their fair share.
-    vt: f64,
+    ring: Ring,
+    queued_rows: AtomicU64,
+}
+
+/// Scheduler-side per-lane accounting. Lives behind the scheduler mutex,
+/// separate from [`Lane`] so the submit path never touches it.
+struct LaneMeta {
     weight: f64,
     min_share: f64,
+    /// Stride-scheduling virtual time: advances by `rows / weight` per
+    /// dispatched chunk, so lower-`vt` lanes are behind their fair share.
+    vt: f64,
+    /// Rows dispatched to workers since launch (cumulative, stats only).
+    served_rows: u64,
+    /// Rows dispatched within the current fairness window (decayed).
+    win_served: u64,
+    /// Set while the scheduler observes the lane empty; the empty → busy
+    /// transition rejoins the lane at the current virtual-time frontier so
+    /// an idle tenant cannot bank credit and later starve others.
+    idle: bool,
 }
 
-/// All mutable ingress state, guarded by one mutex.
-struct Ingress {
-    open: bool,
-    paused: bool,
-    lanes: Vec<Lane>,
-    queued_items: usize,
-    in_flight_tickets: usize,
-    submitted_tickets: u64,
-    completed_tickets: u64,
+/// The single logical dispatcher. Workers take turns running it under a
+/// `try_lock`ed mutex: one burst-refill moves a batch of chunk indices
+/// from lane rings to worker rings, touching the lock once per burst
+/// instead of once per chunk. Because every pick is a pure function of
+/// lane state (never of which worker runs the burst or how large it is),
+/// the dispatch sequence over a staged backlog is identical under any
+/// worker count.
+struct Scheduler {
+    meta: Vec<LaneMeta>,
+    /// Rows dispatched since launch (cumulative, stats only).
     total_served_rows: u64,
-    /// Virtual time of the most recent dispatch; newly-active lanes jump
-    /// here so an idle tenant cannot bank credit and later starve others.
+    /// Rows dispatched within the current fairness window (decayed).
+    win_total: u64,
+    /// Window size in rows; every time `win_total` reaches it, all
+    /// windowed counters halve. `0` disables decay (cumulative floors —
+    /// the pre-ring behaviour).
+    window_rows: u64,
+    /// Virtual time of the dispatch frontier; newly-active lanes jump
+    /// here. Tracks the *minimum* backlogged vt (see
+    /// `floor_pass_picks_do_not_inflate_the_join_frontier`).
     current_vt: f64,
+    /// Round-robin cursor over worker rings for refill placement.
+    next_ring: usize,
     dispatch_log: Option<Vec<(usize, usize)>>,
 }
 
-impl Ingress {
-    /// Picks the lane the next work item comes from, or `None` when every
-    /// lane is empty. Two passes:
+impl Scheduler {
+    fn new(window_rows: u64, record_dispatch: bool) -> Self {
+        Scheduler {
+            meta: Vec::new(),
+            total_served_rows: 0,
+            win_total: 0,
+            window_rows,
+            current_vt: 0.0,
+            next_ring: 0,
+            dispatch_log: record_dispatch.then(Vec::new),
+        }
+    }
+
+    /// Windowed (or cumulative, when decay is off) totals the floor pass
+    /// compares against.
+    fn floor_totals(&self, index: usize) -> (u64, u64) {
+        if self.window_rows > 0 {
+            (self.meta[index].win_served, self.win_total)
+        } else {
+            (self.meta[index].served_rows, self.total_served_rows)
+        }
+    }
+
+    /// Picks the lane the next chunk comes from, or `None` when every
+    /// lane is empty (or skipped). Two passes:
     ///
-    /// 1. **Floor pass** — among backlogged lanes whose observed share of
+    /// 1. **Floor pass** — among backlogged lanes whose windowed share of
     ///    dispatched rows is below their `min_share`, the most starved
     ///    (lowest `share / min_share`) wins.
     /// 2. **Stride pass** — otherwise the backlogged lane with the lowest
@@ -219,19 +299,25 @@ impl Ingress {
     /// Both passes are deterministic functions of dispatch history, so
     /// under a backlogged queue the dispatch *sequence* is identical no
     /// matter how many workers pull from it.
-    fn pick_lane(&self) -> Option<usize> {
+    fn pick_lane(&self, lanes: &[Arc<Lane>], skip: &[usize]) -> Option<usize> {
         let mut floor_pick: Option<(usize, f64)> = None;
-        if self.total_served_rows > 0 {
-            for (index, lane) in self.lanes.iter().enumerate() {
-                if lane.queue.is_empty() || lane.min_share <= 0.0 {
-                    continue;
-                }
-                let share = lane.served_rows as f64 / self.total_served_rows as f64;
-                if share < lane.min_share {
-                    let starvation = share / lane.min_share;
-                    if floor_pick.map_or(true, |(_, best)| starvation < best) {
-                        floor_pick = Some((index, starvation));
-                    }
+        for (index, lane) in lanes.iter().enumerate() {
+            if skip.contains(&index) || lane.ring.is_empty() {
+                continue;
+            }
+            let meta = &self.meta[index];
+            if meta.min_share <= 0.0 {
+                continue;
+            }
+            let (served, total) = self.floor_totals(index);
+            if total == 0 {
+                continue;
+            }
+            let share = served as f64 / total as f64;
+            if share < meta.min_share {
+                let starvation = share / meta.min_share;
+                if floor_pick.map_or(true, |(_, best)| starvation < best) {
+                    floor_pick = Some((index, starvation));
                 }
             }
         }
@@ -239,45 +325,89 @@ impl Ingress {
             return Some(index);
         }
         let mut pick: Option<(usize, f64)> = None;
-        for (index, lane) in self.lanes.iter().enumerate() {
-            if lane.queue.is_empty() {
+        for (index, lane) in lanes.iter().enumerate() {
+            if skip.contains(&index) || lane.ring.is_empty() {
                 continue;
             }
-            if pick.map_or(true, |(_, vt)| lane.vt < vt) {
-                pick = Some((index, lane.vt));
+            let vt = self.meta[index].vt;
+            if pick.map_or(true, |(_, best)| vt < best) {
+                pick = Some((index, vt));
             }
         }
         pick.map(|(index, _)| index)
     }
 
-    /// Pops the next work item per the scheduling policy, updating
-    /// dispatch accounting.
-    fn pop_item(&mut self) -> Option<WorkItem> {
-        let index = self.pick_lane()?;
-        // The fair frontier newly-(re)joining lanes jump to is the
-        // *minimum* backlogged virtual time, not the picked lane's: a
-        // floor-pass pick can come from a tiny-weight lane whose vt is
-        // orders of magnitude ahead, and adopting it would freeze every
-        // later joiner out of the stride pass until the whole pool
-        // caught up.
-        self.current_vt = self
-            .lanes
-            .iter()
-            .filter(|lane| !lane.queue.is_empty())
-            .map(|lane| lane.vt)
-            .fold(f64::INFINITY, f64::min);
-        let lane = &mut self.lanes[index];
-        let item = lane.queue.pop_front().expect("picked lane is non-empty");
-        let rows = item.rows as u64;
-        lane.queued_rows -= rows;
-        lane.served_rows += rows;
-        lane.vt += item.rows.max(1) as f64 / lane.weight;
-        self.total_served_rows += rows;
-        self.queued_items -= 1;
-        if let Some(log) = &mut self.dispatch_log {
-            log.push((index, item.rows));
+    /// Pops the next chunk-slot index per the scheduling policy, updating
+    /// dispatch accounting. Returns `(slot, lane, rows)`.
+    ///
+    /// `rows_meta` is the slab-side rows-per-chunk table: the producer
+    /// stores it before the lane-ring push (a release edge), so the read
+    /// here is ordered after the write.
+    fn pop_next(
+        &mut self,
+        lanes: &[Arc<Lane>],
+        rows_meta: &[AtomicU32],
+    ) -> Option<(u32, usize, u32)> {
+        debug_assert_eq!(self.meta.len(), lanes.len());
+        // Idle/rejoin scan: a lane the scheduler last saw empty rejoins
+        // the virtual-time frontier when it becomes backlogged again.
+        for (index, lane) in lanes.iter().enumerate() {
+            let meta = &mut self.meta[index];
+            let backlogged = !lane.ring.is_empty();
+            if meta.idle && backlogged {
+                meta.vt = meta.vt.max(self.current_vt);
+                meta.idle = false;
+            } else if !meta.idle && !backlogged {
+                meta.idle = true;
+            }
         }
-        Some(item)
+        let mut skip: Vec<usize> = Vec::new();
+        loop {
+            let index = self.pick_lane(lanes, &skip)?;
+            // The fair frontier newly-(re)joining lanes jump to is the
+            // *minimum* backlogged virtual time, not the picked lane's: a
+            // floor-pass pick can come from a tiny-weight lane whose vt is
+            // orders of magnitude ahead, and adopting it would freeze every
+            // later joiner out of the stride pass until the whole pool
+            // caught up.
+            self.current_vt = lanes
+                .iter()
+                .enumerate()
+                .filter(|(i, lane)| !skip.contains(i) && !lane.ring.is_empty())
+                .map(|(i, _)| self.meta[i].vt)
+                .fold(f64::INFINITY, f64::min);
+            let Some(slot) = lanes[index].ring.pop() else {
+                // A producer claimed a cell but has not published it yet
+                // (sub-microsecond window); treat the lane as empty for
+                // this pick rather than spinning under the lock.
+                skip.push(index);
+                continue;
+            };
+            let rows = rows_meta[slot as usize].load(Ordering::Acquire);
+            lanes[index]
+                .queued_rows
+                .fetch_sub(rows as u64, Ordering::Relaxed);
+            let meta = &mut self.meta[index];
+            meta.served_rows += rows as u64;
+            meta.win_served += rows as u64;
+            meta.vt += rows.max(1) as f64 / meta.weight;
+            self.total_served_rows += rows as u64;
+            self.win_total += rows as u64;
+            if self.window_rows > 0 && self.win_total >= self.window_rows {
+                // Decay: halve every windowed counter. Shares are
+                // preserved across the boundary while old history loses
+                // half its weight each window — a lane's floor deficit is
+                // bounded by O(window) rows instead of the whole uptime.
+                self.win_total >>= 1;
+                for meta in &mut self.meta {
+                    meta.win_served >>= 1;
+                }
+            }
+            if let Some(log) = &mut self.dispatch_log {
+                log.push((index, rows as usize));
+            }
+            return Some((slot, index, rows));
+        }
     }
 }
 
@@ -287,6 +417,9 @@ impl Ingress {
 struct TicketState {
     inner: Mutex<TicketInner>,
     done: Condvar,
+    /// Set by [`Ticket::cancel`]; workers observing it skip the classify
+    /// loop for this ticket's remaining chunks.
+    cancelled: AtomicBool,
 }
 
 #[derive(Debug)]
@@ -294,6 +427,9 @@ struct TicketInner {
     verdicts: Vec<usize>,
     remaining_items: usize,
     done: bool,
+    /// Rows whose classification was skipped by [`Ticket::cancel`]; their
+    /// verdict slots hold 0.
+    cancelled_rows: usize,
     /// Set when a worker panicked while classifying this ticket's rows;
     /// [`Ticket::wait`] re-raises it instead of returning bogus verdicts.
     panicked: Option<String>,
@@ -325,6 +461,24 @@ impl Ticket {
         self.state.inner.lock().expect("ticket poisoned").done
     }
 
+    /// Requests best-effort cancellation: chunks not yet classified when a
+    /// worker reaches them are skipped (their verdict slots stay 0 and are
+    /// counted in [`Verdicts::cancelled_rows`]); chunks already classified
+    /// keep their verdicts. The ticket still completes — [`wait`](Ticket::wait)
+    /// never hangs on a cancelled ticket — and queue-depth/row accounting
+    /// is released exactly as for a served ticket.
+    ///
+    /// Returns `true` if this call was the first to request cancellation.
+    pub fn cancel(&self) -> bool {
+        !self.state.cancelled.swap(true, Ordering::SeqCst)
+    }
+
+    /// Whether cancellation has been requested (not whether any row was
+    /// actually skipped).
+    pub fn is_cancelled(&self) -> bool {
+        self.state.cancelled.load(Ordering::SeqCst)
+    }
+
     /// Blocks until the batch completes and yields its verdicts.
     ///
     /// Always terminates: [`Deployment::drain`] / shutdown complete every
@@ -351,6 +505,7 @@ impl Ticket {
         Verdicts {
             tenant: self.tenant,
             wait_ns: self.submitted.elapsed().as_nanos() as u64,
+            cancelled_rows: inner.cancelled_rows,
             verdicts: std::mem::take(&mut inner.verdicts),
         }
     }
@@ -364,6 +519,7 @@ pub struct Verdicts {
     pub tenant: TenantId,
     /// Submission-to-redemption latency in nanoseconds (queueing included).
     pub wait_ns: u64,
+    cancelled_rows: usize,
     verdicts: Vec<usize>,
 }
 
@@ -399,6 +555,11 @@ impl Verdicts {
     pub fn is_empty(&self) -> bool {
         self.verdicts.is_empty()
     }
+
+    /// Rows skipped by [`Ticket::cancel`] (their verdict slots hold 0).
+    pub fn cancelled_rows(&self) -> usize {
+        self.cancelled_rows
+    }
 }
 
 /// A registered tenant's slot: stays in place after removal so indices
@@ -409,33 +570,311 @@ struct Slot {
 }
 
 /// Everything the resident workers share with the [`Deployment`] handle.
+///
+/// Lock order (never acquire leftward while holding rightward):
+/// `registry` → `sched` → `lanes`. No lock is ever held while blocking on
+/// a ring or slab (those waits run lock-free backoff loops), so the order
+/// is the only deadlock invariant.
 struct Shared {
     tag: u32,
     workers: usize,
     queue_depth: usize,
     chunk_rows: usize,
+    max_queued_rows: u64,
+    submit_deadline: Option<Duration>,
     default_policy: SchedulePolicy,
     registry: RwLock<Vec<Slot>>,
     luts: LutCache,
-    ingress: Mutex<Ingress>,
-    /// Workers wait here for items (or closure).
-    work_ready: Condvar,
-    /// Blocking submitters wait here for queue-depth admission.
-    space_ready: Condvar,
-    /// `drain()` waits here for the in-flight ticket count to hit zero.
-    idle: Condvar,
+    /// Reusable chunk descriptors; rings carry slab indices only.
+    slab: SlotSlab<ChunkDesc>,
+    /// Rows per claimed chunk slot, readable by the scheduler while the
+    /// chunk is in flight (written before the lane-ring publish).
+    chunk_rows_meta: Box<[AtomicU32]>,
+    /// Per-tenant ingress lanes, index-aligned with `registry`.
+    lanes: RwLock<Vec<Arc<Lane>>>,
+    sched: Mutex<Scheduler>,
+    /// One SPSC descriptor ring per worker (producer: the scheduler-lock
+    /// holder; consumer: the owning worker).
+    worker_rings: Vec<Ring>,
+    open: AtomicBool,
+    paused: AtomicBool,
+    /// Tickets admitted but not yet completed — the queue-depth gauge and
+    /// the workers' exit condition (`!open && in_flight == 0`).
+    in_flight_tickets: AtomicUsize,
+    /// Rows admitted but not yet dispatched to a worker ring — the
+    /// row-budget gauge.
+    queued_rows: AtomicU64,
+    submitted_tickets: AtomicU64,
+    completed_tickets: AtomicU64,
+    cancelled_tickets: AtomicU64,
     started: Instant,
+}
+
+/// One burst-refill: move chunk indices from lane rings into worker rings
+/// under the scheduler try-lock. Returns whether anything moved (`false`
+/// also when another worker already holds the lock — the caller just
+/// retries its own ring).
+fn refill(shared: &Shared) -> bool {
+    let Ok(mut sched) = shared.sched.try_lock() else {
+        return false;
+    };
+    if shared.paused.load(Ordering::Relaxed) {
+        return false;
+    }
+    let lanes = shared.lanes.read().expect("lanes poisoned");
+    let mut moved = false;
+    // Bound the lock hold: at most one full lap of worker-ring capacity
+    // per burst.
+    let burst: usize = shared.worker_rings.iter().map(Ring::capacity).sum();
+    for _ in 0..burst {
+        // Find a worker ring with space first (the scheduler-lock holder
+        // is the sole producer, so an observed vacancy cannot be stolen);
+        // popping a lane before knowing where the chunk can land would
+        // force a reordering push-back.
+        let mut target = None;
+        for offset in 0..shared.worker_rings.len() {
+            let ring_index = (sched.next_ring + offset) % shared.worker_rings.len();
+            let ring = &shared.worker_rings[ring_index];
+            if ring.len() < ring.capacity() {
+                target = Some(ring_index);
+                break;
+            }
+        }
+        let Some(target) = target else { break };
+        let Some((slot, _lane, rows)) = sched.pop_next(&lanes, &shared.chunk_rows_meta) else {
+            break;
+        };
+        shared.queued_rows.fetch_sub(rows as u64, Ordering::Relaxed);
+        shared.worker_rings[target]
+            .push(slot)
+            .expect("sole producer observed space in the target ring");
+        sched.next_ring = (target + 1) % shared.worker_rings.len();
+        moved = true;
+    }
+    moved
+}
+
+/// A resident worker: drain the own ring, refill it (running the shared
+/// scheduler) when empty, and back off exponentially when idle.
+fn worker_loop(shared: &Shared, worker: usize) {
+    let mut scratch = Scratch::new();
+    let mut row: Vec<f32> = Vec::new();
+    let mut verdicts: Vec<usize> = Vec::new();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut backoff = Backoff::new();
+    loop {
+        if let Some(slot) = shared.worker_rings[worker].pop() {
+            if !process_chunk(
+                shared,
+                slot,
+                &mut row,
+                &mut scratch,
+                &mut verdicts,
+                &mut latencies,
+            ) {
+                // A classify panic may have left the reusable buffers in
+                // an arbitrary (but memory-safe) state; start the next
+                // chunk clean.
+                scratch = Scratch::new();
+                row = Vec::new();
+            }
+            backoff.reset();
+            continue;
+        }
+        if !shared.paused.load(Ordering::Relaxed) && refill(shared) {
+            backoff.reset();
+            continue;
+        }
+        // Exit only when the ingress is closed AND no ticket is in
+        // flight: an admitted-but-not-yet-enqueued submission holds its
+        // in-flight count, so chunks can never appear after the last
+        // worker leaves.
+        if !shared.open.load(Ordering::SeqCst)
+            && shared.in_flight_tickets.load(Ordering::SeqCst) == 0
+        {
+            return;
+        }
+        backoff.snooze();
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(message) = payload.downcast_ref::<&'static str>() {
+        message
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message
+    } else {
+        "non-string panic payload"
+    }
+}
+
+/// Classifies one chunk (recycling its slab slot) and publishes its
+/// verdicts + stats. Returns `false` when the classify loop panicked —
+/// the ticket still completes (carrying the panic for [`Ticket::wait`] to
+/// re-raise), so a model bug can never wedge `drain()`/`shutdown()`/`Drop`.
+fn process_chunk(
+    shared: &Shared,
+    slot: u32,
+    row: &mut Vec<f32>,
+    scratch: &mut Scratch,
+    verdicts: &mut Vec<usize>,
+    latencies: &mut Vec<u64>,
+) -> bool {
+    let chunk = shared.slab.take(slot);
+    let entry = chunk.entry.expect("chunk carries its tenant entry");
+    let ticket = chunk.ticket.expect("chunk carries its ticket");
+    let features = chunk.features.expect("chunk carries its features");
+    let start = chunk.start as usize;
+    let rows = chunk.rows as usize;
+    let cancelled = ticket.cancelled.load(Ordering::SeqCst);
+
+    verdicts.clear();
+    latencies.clear();
+    let panicked = if cancelled {
+        None
+    } else {
+        // No lock is held across classify, so a panic here poisons
+        // nothing; it is caught and re-raised at the ticket's wait()
+        // instead of killing the resident worker with bookkeeping
+        // half-done.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for offset in 0..rows {
+                let packet = features.row(start + offset);
+                let t0 = Instant::now();
+                verdicts.push(entry.classify(packet, row, scratch));
+                latencies.push(t0.elapsed().as_nanos() as u64);
+            }
+        }));
+        outcome
+            .err()
+            .map(|payload| panic_message(payload.as_ref()).to_string())
+    };
+
+    if panicked.is_none() && !cancelled {
+        let mut accum = entry.accum.lock().expect("tenant stats poisoned");
+        accum.packets += rows;
+        for &verdict in verdicts.iter() {
+            if verdict >= accum.verdict_histogram.len() {
+                accum.verdict_histogram.resize(verdict + 1, 0);
+            }
+            accum.verdict_histogram[verdict] += 1;
+        }
+        for &latency in latencies.iter() {
+            accum.latency.record(latency);
+        }
+        if let Some(oracle) = &chunk.oracle {
+            accum.oracle_packets += rows;
+            accum.oracle_agreements += oracle[start..start + rows]
+                .iter()
+                .zip(verdicts.iter())
+                .filter(|(a, b)| a == b)
+                .count();
+        }
+    }
+
+    let ok = panicked.is_none();
+    let mut inner = ticket.inner.lock().expect("ticket poisoned");
+    if let Some(message) = panicked {
+        inner.panicked.get_or_insert(message);
+    }
+    if cancelled {
+        inner.cancelled_rows += rows;
+        // Verdict slots keep their deterministic 0 fill.
+    } else {
+        verdicts.resize(rows, 0);
+        inner.verdicts[start..start + rows].copy_from_slice(verdicts);
+    }
+    inner.remaining_items -= 1;
+    let finished = inner.remaining_items == 0;
+    if finished {
+        inner.done = true;
+        // The deployment counters update *before* the ticket lock
+        // releases: anyone returning from `Ticket::wait` — and `drain()`,
+        // which watches the in-flight count — observes counters that
+        // already include this ticket.
+        shared.completed_tickets.fetch_add(1, Ordering::Relaxed);
+        if inner.cancelled_rows > 0 {
+            shared.cancelled_tickets.fetch_add(1, Ordering::Relaxed);
+        }
+        shared.in_flight_tickets.fetch_sub(1, Ordering::SeqCst);
+    }
+    drop(inner);
+    if finished {
+        ticket.done.notify_all();
+    }
+    ok
+}
+
+/// A live per-tenant share view from [`Deployment::stats_snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantShare {
+    /// The tenant this share belongs to.
+    pub tenant: TenantId,
+    /// Relative dispatch weight from the tenant's [`SchedulePolicy`].
+    pub weight: f64,
+    /// Guaranteed aggregate-share floor.
+    pub min_share: f64,
+    /// Rows dispatched to workers for this tenant since launch.
+    pub served_rows: u64,
+    /// Rows still queued for this tenant.
+    pub queued_rows: u64,
+    /// `served_rows / Σ served_rows` (0.0 before the first dispatch).
+    pub observed_share: f64,
+    /// The tenant's share of dispatched rows within the current decaying
+    /// fairness window — what the floor pass actually compares against
+    /// `min_share` (equals `observed_share` when the window is disabled).
+    pub windowed_share: f64,
+    /// Whether the tenant still accepts submissions.
+    pub active: bool,
+}
+
+/// A point-in-time view of a running deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentStats {
+    /// Per-tenant serving stats, indexed by [`TenantId::index`] (removed
+    /// tenants keep their history).
+    pub tenants: Vec<TenantStats>,
+    /// Per-tenant scheduling shares, aligned with `tenants`.
+    pub shares: Vec<TenantShare>,
+    /// Tickets accepted since launch.
+    pub submitted_tickets: u64,
+    /// Tickets fully completed since launch.
+    pub completed_tickets: u64,
+    /// Tickets that completed with at least one row skipped by
+    /// [`Ticket::cancel`].
+    pub cancelled_tickets: u64,
+    /// Rows currently waiting in the ingress lanes.
+    pub queued_rows: u64,
+    /// Rows dispatched to workers since launch.
+    pub served_rows: u64,
+    /// Resident worker threads.
+    pub workers: usize,
+    /// Nanoseconds since the deployment launched.
+    pub uptime_ns: u64,
+}
+
+impl DeploymentStats {
+    /// Total packets classified across all tenants.
+    pub fn total_packets(&self) -> usize {
+        self.tenants.iter().map(|t| t.packets).sum()
+    }
 }
 
 /// Configures and launches a [`Deployment`].
 ///
 /// ```
 /// use homunculus_runtime::deploy::{Deployment, SchedulePolicy};
+/// use std::time::Duration;
 ///
 /// let deployment = Deployment::builder()
 ///     .workers(4)
 ///     .queue_depth(32)
 ///     .chunk_rows(64)
+///     .ring_capacity(128)
+///     .max_queued_rows(1 << 20)
+///     .submit_deadline(Duration::from_millis(50))
+///     .fairness_window_rows(8192)
 ///     .policy(SchedulePolicy::RoundRobin)
 ///     .build();
 /// assert_eq!(deployment.workers(), 4);
@@ -446,6 +885,11 @@ pub struct DeploymentBuilder {
     workers: usize,
     queue_depth: usize,
     chunk_rows: usize,
+    ring_capacity: usize,
+    chunk_slots: usize,
+    max_queued_rows: u64,
+    submit_deadline: Option<Duration>,
+    fairness_window_rows: u64,
     policy: SchedulePolicy,
     paused: bool,
     record_dispatch: bool,
@@ -457,6 +901,11 @@ impl Default for DeploymentBuilder {
             workers: 1,
             queue_depth: 64,
             chunk_rows: 0,
+            ring_capacity: 64,
+            chunk_slots: 4096,
+            max_queued_rows: 0,
+            submit_deadline: None,
+            fairness_window_rows: 8192,
             policy: SchedulePolicy::RoundRobin,
             paused: false,
             record_dispatch: false,
@@ -490,6 +939,59 @@ impl DeploymentBuilder {
         self
     }
 
+    /// Capacity of each per-worker descriptor ring, rounded up to a power
+    /// of two (minimum 2). Deeper rings amortize scheduler bursts; 64 is
+    /// plenty for chunked workloads.
+    #[must_use]
+    pub fn ring_capacity(mut self, capacity: usize) -> Self {
+        self.ring_capacity = capacity;
+        self
+    }
+
+    /// Maximum simultaneously-queued chunks across all tenants (the slab
+    /// of reusable chunk descriptors), rounded up to a power of two. A
+    /// submitter whose batch needs more chunks than are free backs off
+    /// until workers recycle some.
+    #[must_use]
+    pub fn chunk_slots(mut self, slots: usize) -> Self {
+        self.chunk_slots = slots;
+        self
+    }
+
+    /// Row-based admission bound: submissions stall (or error, for
+    /// [`Deployment::try_submit`]) while `max_queued_rows` rows are
+    /// already waiting in the lanes. `0` (default) disables the row
+    /// budget. A batch larger than the whole budget is still admitted
+    /// when the lanes are empty, so oversize batches cannot starve.
+    #[must_use]
+    pub fn max_queued_rows(mut self, rows: u64) -> Self {
+        self.max_queued_rows = rows;
+        self
+    }
+
+    /// Upper bound on how long a blocking [`Deployment::submit`] may wait
+    /// for admission (ticket depth and row budget) before giving up with
+    /// [`RuntimeError::Deadline`]. `None` (default) waits indefinitely.
+    /// The deadline covers admission only: once a ticket is accepted its
+    /// chunks are always enqueued in full.
+    #[must_use]
+    pub fn submit_deadline(mut self, deadline: Duration) -> Self {
+        self.submit_deadline = Some(deadline);
+        self
+    }
+
+    /// Fairness-window size in rows for `min_share` floors: every time
+    /// the window fills, all share counters halve, so floor accounting
+    /// forgets history with a half-life of one window. `0` restores
+    /// cumulative-since-launch accounting (a tenant that joins after a
+    /// long uptime is then owed its floor of the *entire* history —
+    /// the 8-tenant fairness collapse this knob exists to fix).
+    #[must_use]
+    pub fn fairness_window_rows(mut self, rows: u64) -> Self {
+        self.fairness_window_rows = rows;
+        self
+    }
+
     /// Default [`SchedulePolicy`] for tenants added via
     /// [`Deployment::add_tenant`] / [`Deployment::add_model`].
     #[must_use]
@@ -518,210 +1020,49 @@ impl DeploymentBuilder {
 
     /// Launches the resident workers and returns the live deployment.
     pub fn build(self) -> Deployment {
+        let workers = self.workers.max(1);
+        let slab: SlotSlab<ChunkDesc> = SlotSlab::new(self.chunk_slots);
+        let chunk_rows_meta = (0..slab.capacity()).map(|_| AtomicU32::new(0)).collect();
+        let worker_rings = (0..workers)
+            .map(|_| Ring::new(self.ring_capacity))
+            .collect();
         let shared = Arc::new(Shared {
             tag: next_server_tag(),
-            workers: self.workers.max(1),
+            workers,
             queue_depth: self.queue_depth.max(1),
             chunk_rows: self.chunk_rows,
+            max_queued_rows: self.max_queued_rows,
+            submit_deadline: self.submit_deadline,
             default_policy: self.policy,
             registry: RwLock::new(Vec::new()),
             luts: LutCache::new(),
-            ingress: Mutex::new(Ingress {
-                open: true,
-                paused: self.paused,
-                lanes: Vec::new(),
-                queued_items: 0,
-                in_flight_tickets: 0,
-                submitted_tickets: 0,
-                completed_tickets: 0,
-                total_served_rows: 0,
-                current_vt: 0.0,
-                dispatch_log: self.record_dispatch.then(Vec::new),
-            }),
-            work_ready: Condvar::new(),
-            space_ready: Condvar::new(),
-            idle: Condvar::new(),
+            slab,
+            chunk_rows_meta,
+            lanes: RwLock::new(Vec::new()),
+            sched: Mutex::new(Scheduler::new(
+                self.fairness_window_rows,
+                self.record_dispatch,
+            )),
+            worker_rings,
+            open: AtomicBool::new(true),
+            paused: AtomicBool::new(self.paused),
+            in_flight_tickets: AtomicUsize::new(0),
+            queued_rows: AtomicU64::new(0),
+            submitted_tickets: AtomicU64::new(0),
+            completed_tickets: AtomicU64::new(0),
+            cancelled_tickets: AtomicU64::new(0),
             started: Instant::now(),
         });
-        let handles = (0..shared.workers)
-            .map(|_| {
+        let handles = (0..workers)
+            .map(|worker| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
+                std::thread::spawn(move || worker_loop(&shared, worker))
             })
             .collect();
         Deployment {
             shared,
             handles: Mutex::new(handles),
         }
-    }
-}
-
-/// A resident worker: pull an item under the scheduling policy, classify
-/// its rows, publish verdicts into the ticket's pre-assigned slots.
-fn worker_loop(shared: &Shared) {
-    let mut scratch = Scratch::new();
-    let mut row: Vec<f32> = Vec::new();
-    loop {
-        let item = {
-            let mut ingress = shared.ingress.lock().expect("ingress poisoned");
-            loop {
-                if !ingress.paused {
-                    if let Some(item) = ingress.pop_item() {
-                        break Some(item);
-                    }
-                }
-                if !ingress.open && ingress.queued_items == 0 {
-                    break None;
-                }
-                ingress = shared.work_ready.wait(ingress).expect("ingress poisoned");
-            }
-        };
-        let Some(item) = item else { return };
-        if !process_item(shared, &item, &mut row, &mut scratch) {
-            // A classify panic may have left the reusable buffers in an
-            // arbitrary (but memory-safe) state; start the next item clean.
-            scratch = Scratch::new();
-            row = Vec::new();
-        }
-    }
-}
-
-/// Best-effort extraction of a panic payload's message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
-    if let Some(message) = payload.downcast_ref::<&'static str>() {
-        message
-    } else if let Some(message) = payload.downcast_ref::<String>() {
-        message
-    } else {
-        "non-string panic payload"
-    }
-}
-
-/// Classifies one work item and publishes its verdicts + stats. Returns
-/// `false` when the classify loop panicked — the ticket still completes
-/// (carrying the panic for [`Ticket::wait`] to re-raise), so a model bug
-/// can never wedge `drain()`/`shutdown()`/`Drop`.
-fn process_item(
-    shared: &Shared,
-    item: &WorkItem,
-    row: &mut Vec<f32>,
-    scratch: &mut Scratch,
-) -> bool {
-    let mut verdicts = Vec::with_capacity(item.rows);
-    let mut latencies = Vec::with_capacity(item.rows);
-    // No lock is held across classify, so a panic here poisons nothing;
-    // it is caught and re-raised at the ticket's wait() instead of
-    // killing the resident worker with bookkeeping half-done.
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        for offset in 0..item.rows {
-            let features = item.features.row(item.start + offset);
-            let t0 = Instant::now();
-            verdicts.push(item.entry.classify(features, row, scratch));
-            latencies.push(t0.elapsed().as_nanos() as u64);
-        }
-    }));
-    let panicked = outcome
-        .err()
-        .map(|payload| panic_message(payload.as_ref()).to_string());
-
-    if panicked.is_none() {
-        let mut accum = item.entry.accum.lock().expect("tenant stats poisoned");
-        accum.packets += item.rows;
-        for &verdict in &verdicts {
-            if verdict >= accum.verdict_histogram.len() {
-                accum.verdict_histogram.resize(verdict + 1, 0);
-            }
-            accum.verdict_histogram[verdict] += 1;
-        }
-        for &latency in &latencies {
-            accum.latency.record(latency);
-        }
-        if let Some(oracle) = &item.oracle {
-            accum.oracle_packets += item.rows;
-            accum.oracle_agreements += oracle[item.start..item.start + item.rows]
-                .iter()
-                .zip(&verdicts)
-                .filter(|(a, b)| a == b)
-                .count();
-        }
-    }
-
-    let ok = panicked.is_none();
-    let mut inner = item.ticket.inner.lock().expect("ticket poisoned");
-    if let Some(message) = panicked {
-        inner.panicked.get_or_insert(message);
-    }
-    verdicts.resize(item.rows, 0);
-    inner.verdicts[item.start..item.start + item.rows].copy_from_slice(&verdicts);
-    inner.remaining_items -= 1;
-    let finished = inner.remaining_items == 0;
-    if finished {
-        inner.done = true;
-        // The ingress counters update *before* the ticket lock releases
-        // (ingress is never locked while holding a ticket elsewhere, so
-        // the ordering is deadlock-free): anyone returning from
-        // `Ticket::wait` — and `drain()`, which watches the in-flight
-        // count — observes counters that already include this ticket.
-        {
-            let mut ingress = shared.ingress.lock().expect("ingress poisoned");
-            ingress.in_flight_tickets -= 1;
-            ingress.completed_tickets += 1;
-        }
-    }
-    drop(inner);
-    if finished {
-        item.ticket.done.notify_all();
-        shared.space_ready.notify_all();
-        shared.idle.notify_all();
-    }
-    ok
-}
-
-/// A live per-tenant share view from [`Deployment::stats_snapshot`].
-#[derive(Debug, Clone, PartialEq)]
-pub struct TenantShare {
-    /// The tenant this share belongs to.
-    pub tenant: TenantId,
-    /// Relative dispatch weight from the tenant's [`SchedulePolicy`].
-    pub weight: f64,
-    /// Guaranteed aggregate-share floor.
-    pub min_share: f64,
-    /// Rows dispatched to workers for this tenant so far.
-    pub served_rows: u64,
-    /// Rows still queued for this tenant.
-    pub queued_rows: u64,
-    /// `served_rows / Σ served_rows` (0.0 before the first dispatch).
-    pub observed_share: f64,
-    /// Whether the tenant still accepts submissions.
-    pub active: bool,
-}
-
-/// A point-in-time view of a running deployment.
-#[derive(Debug, Clone, PartialEq)]
-pub struct DeploymentStats {
-    /// Per-tenant serving stats, indexed by [`TenantId::index`] (removed
-    /// tenants keep their history).
-    pub tenants: Vec<TenantStats>,
-    /// Per-tenant scheduling shares, aligned with `tenants`.
-    pub shares: Vec<TenantShare>,
-    /// Tickets accepted since launch.
-    pub submitted_tickets: u64,
-    /// Tickets fully completed since launch.
-    pub completed_tickets: u64,
-    /// Rows currently waiting in the ingress queue.
-    pub queued_rows: u64,
-    /// Rows dispatched to workers since launch.
-    pub served_rows: u64,
-    /// Resident worker threads.
-    pub workers: usize,
-    /// Nanoseconds since the deployment launched.
-    pub uptime_ns: u64,
-}
-
-impl DeploymentStats {
-    /// Total packets classified across all tenants.
-    pub fn total_packets(&self) -> usize {
-        self.tenants.iter().map(|t| t.packets).sum()
     }
 }
 
@@ -772,6 +1113,7 @@ impl std::fmt::Debug for Deployment {
             .field("workers", &self.shared.workers)
             .field("queue_depth", &self.shared.queue_depth)
             .field("chunk_rows", &self.shared.chunk_rows)
+            .field("ring_capacity", &self.shared.worker_rings[0].capacity())
             .finish_non_exhaustive()
     }
 }
@@ -882,21 +1224,33 @@ impl Deployment {
             entry,
             active: true,
         });
-        // The lane is pushed while the registry write lock is still held
-        // (registry → ingress is the crate-wide lock order, cf.
-        // stats_snapshot), so registry indices and lane indices can never
-        // desynchronize under concurrent registration, and a tenant
-        // visible to `tenant_id`/`submit` always has its lane in place.
-        let mut ingress = self.shared.ingress.lock().expect("ingress poisoned");
-        let current_vt = ingress.current_vt;
-        ingress.lanes.push(Lane {
-            queue: VecDeque::new(),
-            queued_rows: 0,
-            served_rows: 0,
-            vt: current_vt,
+        // The lane and its scheduler meta are pushed while the registry
+        // write lock is still held (registry → sched → lanes is the
+        // crate-wide lock order), and under the *same* sched+lanes
+        // acquisition, so registry indices, lane indices, and scheduler
+        // meta can never desynchronize — a tenant visible to
+        // `tenant_id`/`submit` always has its lane in place.
+        let mut sched = self.shared.sched.lock().expect("scheduler poisoned");
+        let mut lanes = self.shared.lanes.write().expect("lanes poisoned");
+        let join_vt = if sched.current_vt.is_finite() {
+            sched.current_vt
+        } else {
+            0.0
+        };
+        sched.meta.push(LaneMeta {
             weight: policy.weight(),
             min_share: policy.min_share(),
+            vt: join_vt,
+            served_rows: 0,
+            win_served: 0,
+            idle: true,
         });
+        lanes.push(Arc::new(Lane {
+            // Sized to the slab: every live chunk index fits, so a push
+            // after a successful slot claim cannot fail for capacity.
+            ring: Ring::new(self.shared.slab.capacity()),
+            queued_rows: AtomicU64::new(0),
+        }));
         Ok(TenantId::mint(index, self.shared.tag))
     }
 
@@ -936,8 +1290,9 @@ impl Deployment {
     }
 
     /// Deactivates a tenant: new submissions are refused, already-accepted
-    /// tickets (queued or in flight) still complete, and historical stats
-    /// remain visible in [`stats_snapshot`](Deployment::stats_snapshot).
+    /// tickets (queued in its lane ring or in flight) still complete, and
+    /// historical stats remain visible in
+    /// [`stats_snapshot`](Deployment::stats_snapshot).
     ///
     /// # Errors
     ///
@@ -1008,6 +1363,25 @@ impl Deployment {
         self.shared.queue_depth
     }
 
+    /// Capacity of each per-worker descriptor ring.
+    pub fn ring_capacity(&self) -> usize {
+        self.shared.worker_rings[0].capacity()
+    }
+
+    /// The row-based admission bound (0 = unbounded).
+    pub fn max_queued_rows(&self) -> u64 {
+        self.shared.max_queued_rows
+    }
+
+    /// The fairness-window size in rows (0 = cumulative floors).
+    pub fn fairness_window_rows(&self) -> u64 {
+        self.shared
+            .sched
+            .lock()
+            .expect("scheduler poisoned")
+            .window_rows
+    }
+
     fn entry(&self, id: TenantId) -> Result<Arc<TenantEntry>> {
         if id.server() != self.shared.tag {
             return Err(RuntimeError::Serve(format!(
@@ -1025,25 +1399,31 @@ impl Deployment {
     }
 
     /// Enqueues a batch and returns its [`Ticket`] without waiting for
-    /// verdicts. Blocks only for queue-depth admission (backpressure when
-    /// `queue_depth` tickets are already in flight).
+    /// verdicts. Blocks only for admission — ticket depth
+    /// ([`queue_depth`](DeploymentBuilder::queue_depth)) and the row
+    /// budget ([`max_queued_rows`](DeploymentBuilder::max_queued_rows)) —
+    /// spinning a backoff ladder rather than parking on a lock; the wait
+    /// is bounded by [`submit_deadline`](DeploymentBuilder::submit_deadline)
+    /// when one is configured.
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::Serve`] after
     /// [`shutdown`](Deployment::shutdown), for unknown/removed/foreign
-    /// tenants, feature-width mismatches, or oracle-length mismatches.
+    /// tenants, feature-width mismatches, or oracle-length mismatches;
+    /// [`RuntimeError::Deadline`] when admission exceeds the configured
+    /// submit deadline.
     pub fn submit(&self, batch: TenantBatch) -> Result<Ticket> {
         self.submit_inner(batch, true)
     }
 
     /// Strictly non-blocking [`submit`](Deployment::submit): a full
-    /// ingress queue is an error instead of a wait.
+    /// ingress (ticket depth or row budget) is an error instead of a wait.
     ///
     /// # Errors
     ///
     /// The [`submit`](Deployment::submit) cases, plus
-    /// [`RuntimeError::Serve`] when `queue_depth` tickets are in flight.
+    /// [`RuntimeError::Serve`] when admission would have to wait.
     pub fn try_submit(&self, batch: TenantBatch) -> Result<Ticket> {
         self.submit_inner(batch, false)
     }
@@ -1080,9 +1460,11 @@ impl Deployment {
                 verdicts: vec![0; rows],
                 remaining_items: n_items,
                 done: n_items == 0,
+                cancelled_rows: 0,
                 panicked: None,
             }),
             done: Condvar::new(),
+            cancelled: AtomicBool::new(false),
         });
         let ticket = Ticket {
             state: Arc::clone(&state),
@@ -1096,64 +1478,168 @@ impl Deployment {
             return Ok(ticket);
         }
 
-        let features = Arc::new(batch.features);
-        let oracle = batch.oracle.map(Arc::new);
-        let mut ingress = self.shared.ingress.lock().expect("ingress poisoned");
+        let deadline = self
+            .shared
+            .submit_deadline
+            .filter(|_| block)
+            .map(|d| Instant::now() + d);
+
+        // Admission gate 1: ticket depth. The increment is a CAS against
+        // the bound, so the hot path takes no lock; holding an in-flight
+        // count also pins the workers alive until this ticket completes.
+        let mut backoff = Backoff::new();
         loop {
-            if !ingress.open {
+            if !self.shared.open.load(Ordering::SeqCst) {
                 return Err(RuntimeError::Serve(
                     "deployment is shut down; submissions are rejected".into(),
                 ));
             }
-            if ingress.in_flight_tickets < self.shared.queue_depth {
-                break;
+            let in_flight = self.shared.in_flight_tickets.load(Ordering::SeqCst);
+            if in_flight < self.shared.queue_depth {
+                if self
+                    .shared
+                    .in_flight_tickets
+                    .compare_exchange(in_flight, in_flight + 1, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    break;
+                }
+                continue;
             }
             if !block {
                 return Err(RuntimeError::Serve(format!(
-                    "ingress queue is full ({} tickets in flight, depth {})",
-                    ingress.in_flight_tickets, self.shared.queue_depth
+                    "ingress queue is full ({in_flight} tickets in flight, depth {})",
+                    self.shared.queue_depth
                 )));
             }
-            ingress = self
-                .shared
-                .space_ready
-                .wait(ingress)
-                .expect("ingress poisoned");
+            if let Some(deadline) = deadline {
+                if Instant::now() >= deadline {
+                    return Err(RuntimeError::Deadline(format!(
+                        "ticket-depth admission for '{}' ({rows} rows)",
+                        entry.name
+                    )));
+                }
+            }
+            backoff.snooze();
         }
-        ingress.in_flight_tickets += 1;
-        ingress.submitted_tickets += 1;
-        ingress.queued_items += n_items;
-        let current_vt = ingress.current_vt;
-        let lane = &mut ingress.lanes[batch.tenant.index()];
-        if lane.queue.is_empty() {
-            // A lane that sat idle must not have banked credit: rejoin at
-            // the dispatcher's current virtual time.
-            lane.vt = lane.vt.max(current_vt);
+
+        // Admission gate 2: row budget. An oversize batch is admitted
+        // whenever the lanes are empty so it cannot starve forever.
+        let rollback_ticket = |shared: &Shared| {
+            shared.in_flight_tickets.fetch_sub(1, Ordering::SeqCst);
+        };
+        if self.shared.max_queued_rows > 0 {
+            loop {
+                if !self.shared.open.load(Ordering::SeqCst) {
+                    rollback_ticket(&self.shared);
+                    return Err(RuntimeError::Serve(
+                        "deployment is shut down; submissions are rejected".into(),
+                    ));
+                }
+                let queued = self.shared.queued_rows.load(Ordering::SeqCst);
+                if queued == 0 || queued + rows as u64 <= self.shared.max_queued_rows {
+                    if self
+                        .shared
+                        .queued_rows
+                        .compare_exchange(
+                            queued,
+                            queued + rows as u64,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        )
+                        .is_ok()
+                    {
+                        break;
+                    }
+                    continue;
+                }
+                if !block {
+                    rollback_ticket(&self.shared);
+                    return Err(RuntimeError::Serve(format!(
+                        "row budget is full ({queued} rows queued, budget {})",
+                        self.shared.max_queued_rows
+                    )));
+                }
+                if let Some(deadline) = deadline {
+                    if Instant::now() >= deadline {
+                        rollback_ticket(&self.shared);
+                        return Err(RuntimeError::Deadline(format!(
+                            "row-budget admission for '{}' ({rows} rows)",
+                            entry.name
+                        )));
+                    }
+                }
+                backoff.snooze();
+            }
+        } else {
+            self.shared
+                .queued_rows
+                .fetch_add(rows as u64, Ordering::SeqCst);
         }
+
+        // Re-check after admission: a shutdown that raced the gates must
+        // not accept a ticket its (about-to-exit) workers never see.
+        if !self.shared.open.load(Ordering::SeqCst) {
+            self.shared
+                .queued_rows
+                .fetch_sub(rows as u64, Ordering::SeqCst);
+            rollback_ticket(&self.shared);
+            return Err(RuntimeError::Serve(
+                "deployment is shut down; submissions are rejected".into(),
+            ));
+        }
+        self.shared
+            .submitted_tickets
+            .fetch_add(1, Ordering::Relaxed);
+
+        // Clone the lane handle out of the read guard: chunk enqueue may
+        // back off on a full slab, and no lock may be held across that.
+        let lane = {
+            let lanes = self.shared.lanes.read().expect("lanes poisoned");
+            Arc::clone(&lanes[batch.tenant.index()])
+        };
+        lane.queued_rows.fetch_add(rows as u64, Ordering::Relaxed);
+        let features = Arc::new(batch.features);
+        let oracle = batch.oracle.map(Arc::new);
         for item_index in 0..n_items {
             let start = item_index * chunk;
-            lane.queue.push_back(WorkItem {
-                entry: Arc::clone(&entry),
-                ticket: Arc::clone(&state),
-                features: Arc::clone(&features),
+            let chunk_rows = chunk.min(rows - start);
+            let mut desc = ChunkDesc {
+                entry: Some(Arc::clone(&entry)),
+                ticket: Some(Arc::clone(&state)),
+                features: Some(Arc::clone(&features)),
                 oracle: oracle.clone(),
-                start,
-                rows: chunk.min(rows - start),
-            });
+                start: start as u32,
+                rows: chunk_rows as u32,
+            };
+            // The admission deadline never applies mid-ticket: an accepted
+            // ticket's chunks always enqueue in full (workers drain the
+            // slab, so this terminates).
+            let slot = loop {
+                match self.shared.slab.try_claim(desc) {
+                    Ok(slot) => break slot,
+                    Err(back) => {
+                        desc = back;
+                        backoff.snooze();
+                    }
+                }
+            };
+            // Rows metadata is published before the lane-ring push whose
+            // release edge orders it for the scheduler.
+            self.shared.chunk_rows_meta[slot as usize].store(chunk_rows as u32, Ordering::Release);
+            let mut payload = slot;
+            while let Err(back) = lane.ring.push(payload) {
+                payload = back;
+                backoff.snooze();
+            }
         }
-        lane.queued_rows += rows as u64;
-        drop(ingress);
-        self.shared.work_ready.notify_all();
         Ok(ticket)
     }
 
     /// Wakes the workers of a deployment built with
     /// [`paused`](DeploymentBuilder::paused).
     pub fn resume(&self) {
-        let mut ingress = self.shared.ingress.lock().expect("ingress poisoned");
-        ingress.paused = false;
-        drop(ingress);
-        self.shared.work_ready.notify_all();
+        self.shared.paused.store(false, Ordering::SeqCst);
     }
 
     /// Blocks until every accepted ticket has completed (resuming a paused
@@ -1161,13 +1647,10 @@ impl Deployment {
     /// New submissions remain allowed; use
     /// [`shutdown`](Deployment::shutdown) to also close the ingress.
     pub fn drain(&self) {
-        let mut ingress = self.shared.ingress.lock().expect("ingress poisoned");
-        if ingress.paused {
-            ingress.paused = false;
-            self.shared.work_ready.notify_all();
-        }
-        while ingress.in_flight_tickets > 0 {
-            ingress = self.shared.idle.wait(ingress).expect("ingress poisoned");
+        self.resume();
+        let mut backoff = Backoff::new();
+        while self.shared.in_flight_tickets.load(Ordering::SeqCst) > 0 {
+            backoff.snooze();
         }
     }
 
@@ -1176,13 +1659,7 @@ impl Deployment {
     /// completes every already-accepted ticket, and joins the workers.
     /// Idempotent; also invoked on drop.
     pub fn shutdown(&self) {
-        {
-            let mut ingress = self.shared.ingress.lock().expect("ingress poisoned");
-            ingress.open = false;
-            ingress.paused = false;
-        }
-        self.shared.work_ready.notify_all();
-        self.shared.space_ready.notify_all();
+        self.shared.open.store(false, Ordering::SeqCst);
         self.drain();
         let handles = std::mem::take(&mut *self.handles.lock().expect("worker handles poisoned"));
         for handle in handles {
@@ -1194,23 +1671,25 @@ impl Deployment {
     /// and queue counters. Safe to call while traffic flows.
     pub fn stats_snapshot(&self) -> DeploymentStats {
         let registry = self.shared.registry.read().expect("registry poisoned");
-        let (lane_rows, counters) = {
-            let ingress = self.shared.ingress.lock().expect("ingress poisoned");
-            let lanes: Vec<(u64, u64)> = ingress
-                .lanes
+        // (served, win_served, queued, win_total, total) per lane, read
+        // under the scheduler lock so shares are internally consistent.
+        let (lane_rows, win_total, total_served) = {
+            let sched = self.shared.sched.lock().expect("scheduler poisoned");
+            let lanes = self.shared.lanes.read().expect("lanes poisoned");
+            let rows: Vec<(u64, u64, u64)> = sched
+                .meta
                 .iter()
-                .map(|lane| (lane.served_rows, lane.queued_rows))
+                .zip(lanes.iter())
+                .map(|(meta, lane)| {
+                    (
+                        meta.served_rows,
+                        meta.win_served,
+                        lane.queued_rows.load(Ordering::Relaxed),
+                    )
+                })
                 .collect();
-            (
-                lanes,
-                (
-                    ingress.submitted_tickets,
-                    ingress.completed_tickets,
-                    ingress.total_served_rows,
-                ),
-            )
+            (rows, sched.win_total, sched.total_served_rows)
         };
-        let (submitted_tickets, completed_tickets, total_served) = counters;
 
         let mut tenants = Vec::with_capacity(registry.len());
         let mut shares = Vec::with_capacity(registry.len());
@@ -1228,7 +1707,8 @@ impl Deployment {
                 oracle_packets: accum.oracle_packets,
                 oracle_agreements: accum.oracle_agreements,
             });
-            let (served_rows, queued_rows) = lane_rows.get(index).copied().unwrap_or((0, 0));
+            let (served_rows, win_served, queued_rows) =
+                lane_rows.get(index).copied().unwrap_or((0, 0, 0));
             shares.push(TenantShare {
                 tenant: id,
                 weight: slot.entry.policy.weight(),
@@ -1240,6 +1720,11 @@ impl Deployment {
                 } else {
                     served_rows as f64 / total_served as f64
                 },
+                windowed_share: if win_total == 0 {
+                    0.0
+                } else {
+                    win_served as f64 / win_total as f64
+                },
                 active: slot.active,
             });
         }
@@ -1247,8 +1732,9 @@ impl Deployment {
         DeploymentStats {
             tenants,
             shares,
-            submitted_tickets,
-            completed_tickets,
+            submitted_tickets: self.shared.submitted_tickets.load(Ordering::Relaxed),
+            completed_tickets: self.shared.completed_tickets.load(Ordering::Relaxed),
+            cancelled_tickets: self.shared.cancelled_tickets.load(Ordering::Relaxed),
             queued_rows,
             served_rows: total_served,
             workers: self.shared.workers,
@@ -1277,12 +1763,13 @@ impl Deployment {
     /// deployment was built with
     /// [`record_dispatch`](DeploymentBuilder::record_dispatch). Under a
     /// staged (paused-then-resumed) backlog this sequence is a
-    /// deterministic function of the scheduling policies alone.
+    /// deterministic function of the scheduling policies alone — for any
+    /// worker count.
     pub fn dispatch_log(&self) -> Option<Vec<(usize, usize)>> {
         self.shared
-            .ingress
+            .sched
             .lock()
-            .expect("ingress poisoned")
+            .expect("scheduler poisoned")
             .dispatch_log
             .clone()
     }
@@ -1346,6 +1833,9 @@ mod tests {
         assert_eq!(deployment.workers(), 1);
         assert_eq!(deployment.queue_depth(), 1);
         assert_eq!(deployment.tenant_count(), 0);
+        assert_eq!(deployment.ring_capacity(), 64);
+        assert_eq!(deployment.max_queued_rows(), 0);
+        assert_eq!(deployment.fairness_window_rows(), 8192);
         deployment.shutdown();
     }
 
@@ -1451,6 +1941,7 @@ mod tests {
             let deployment = Deployment::builder()
                 .workers(workers)
                 .chunk_rows(chunk)
+                .ring_capacity(4)
                 .build();
             let id = deployment
                 .add_tenant("app", svm_pipeline(vec![1.0, -0.5], 0.1), None)
@@ -1465,6 +1956,7 @@ mod tests {
                 "workers={workers} chunk={chunk}"
             );
             assert_eq!(verdicts.tenant, id);
+            assert_eq!(verdicts.cancelled_rows(), 0);
             deployment.shutdown();
         }
     }
@@ -1492,11 +1984,13 @@ mod tests {
         assert_eq!(stats.oracle_agreements, 6);
         assert_eq!(snapshot.submitted_tickets, 3);
         assert_eq!(snapshot.completed_tickets, 3);
+        assert_eq!(snapshot.cancelled_tickets, 0);
         assert_eq!(snapshot.served_rows, 9);
         assert_eq!(snapshot.queued_rows, 0);
         assert_eq!(snapshot.total_packets(), 9);
         assert!(snapshot.uptime_ns > 0);
         assert!((snapshot.shares[0].observed_share - 1.0).abs() < 1e-12);
+        assert!((snapshot.shares[0].windowed_share - 1.0).abs() < 1e-12);
 
         // reset_stats clears the serving accumulators (measurement
         // windows) but never the dispatch shares or ticket counters.
@@ -1583,6 +2077,90 @@ mod tests {
     }
 
     #[test]
+    fn row_budget_bounds_queued_rows_but_admits_oversize_batches() {
+        let deployment = Deployment::builder()
+            .workers(1)
+            .paused(true)
+            .queue_depth(16)
+            .max_queued_rows(10)
+            .build();
+        let id = deployment
+            .add_tenant("app", svm_pipeline(vec![1.0], 0.0), None)
+            .unwrap();
+        // An oversize batch is admitted while the lanes are empty.
+        let big = deployment
+            .try_submit(TenantBatch::new(id, packets(32, 1, 0)))
+            .unwrap();
+        // But with rows queued, the budget rejects further load.
+        assert!(matches!(
+            deployment.try_submit(TenantBatch::new(id, packets(4, 1, 1))),
+            Err(RuntimeError::Serve(_))
+        ));
+        deployment.drain();
+        assert_eq!(big.wait().len(), 32);
+        // Budget released once dispatched: small batches fit again.
+        deployment
+            .try_submit(TenantBatch::new(id, packets(4, 1, 2)))
+            .unwrap();
+        deployment.drain();
+    }
+
+    #[test]
+    fn submit_deadline_bounds_blocking_admission() {
+        let deployment = Deployment::builder()
+            .workers(1)
+            .paused(true)
+            .queue_depth(1)
+            .submit_deadline(Duration::from_millis(10))
+            .build();
+        let id = deployment
+            .add_tenant("app", svm_pipeline(vec![1.0], 0.0), None)
+            .unwrap();
+        let first = deployment
+            .submit(TenantBatch::new(id, packets(4, 1, 0)))
+            .unwrap();
+        // The paused worker never frees depth: the blocking submit must
+        // give up at the deadline instead of hanging.
+        assert!(matches!(
+            deployment.submit(TenantBatch::new(id, packets(4, 1, 1))),
+            Err(RuntimeError::Deadline(_))
+        ));
+        deployment.drain();
+        assert!(first.is_done());
+    }
+
+    #[test]
+    fn cancel_skips_unprocessed_chunks_deterministically() {
+        let deployment = Deployment::builder()
+            .workers(2)
+            .paused(true)
+            .chunk_rows(4)
+            .build();
+        let id = deployment
+            .add_tenant("app", svm_pipeline(vec![1.0], 0.0), None)
+            .unwrap();
+        let ticket = deployment
+            .submit(TenantBatch::new(id, packets(32, 1, 0)))
+            .unwrap();
+        assert!(!ticket.is_cancelled());
+        assert!(ticket.cancel(), "first cancel request wins");
+        assert!(!ticket.cancel(), "second cancel is a no-op");
+        assert!(ticket.is_cancelled());
+        deployment.resume();
+        deployment.drain();
+        let snapshot = deployment.stats_snapshot();
+        assert_eq!(snapshot.completed_tickets, 1);
+        assert_eq!(snapshot.cancelled_tickets, 1);
+        // Cancelled before any chunk ran: every slot keeps its
+        // deterministic 0 fill and no packet hits the tenant stats.
+        assert_eq!(snapshot.tenants[0].packets, 0);
+        let verdicts = ticket.wait();
+        assert_eq!(verdicts.cancelled_rows(), 32);
+        assert!(verdicts.as_slice().iter().all(|&v| v == 0));
+        deployment.shutdown();
+    }
+
+    #[test]
     fn shutdown_is_idempotent_and_closes_ingress() {
         let deployment = Deployment::builder().workers(2).build();
         let id = deployment
@@ -1600,6 +2178,37 @@ mod tests {
         deployment.shutdown(); // second call is a no-op
     }
 
+    /// Builds a scheduler + lanes fixture: each lane pre-staged with
+    /// `items` single-row chunks (slot indices are just pointers into a
+    /// shared all-ones rows table).
+    fn staged_lanes(specs: &[(f64, f64, usize)]) -> (Scheduler, Vec<Arc<Lane>>, Vec<AtomicU32>) {
+        let total: usize = specs.iter().map(|&(_, _, items)| items).sum();
+        let rows_meta: Vec<AtomicU32> = (0..total.max(1)).map(|_| AtomicU32::new(1)).collect();
+        let mut sched = Scheduler::new(0, true);
+        let mut lanes = Vec::new();
+        let mut next_slot = 0u32;
+        for &(weight, min_share, items) in specs {
+            let lane = Arc::new(Lane {
+                ring: Ring::new(total.max(2)),
+                queued_rows: AtomicU64::new(items as u64),
+            });
+            for _ in 0..items {
+                lane.ring.push(next_slot).unwrap();
+                next_slot += 1;
+            }
+            lanes.push(lane);
+            sched.meta.push(LaneMeta {
+                weight,
+                min_share,
+                vt: 0.0,
+                served_rows: 0,
+                win_served: 0,
+                idle: false,
+            });
+        }
+        (sched, lanes, rows_meta)
+    }
+
     #[test]
     fn floor_pass_picks_do_not_inflate_the_join_frontier() {
         // Regression: `current_vt` (the virtual time newly-joining lanes
@@ -1608,82 +2217,114 @@ mod tests {
         // (rows / 0.05); if a floor pick published that as the frontier,
         // a tenant added later would start hopelessly "ahead" and starve
         // behind every incumbent until the pool caught up.
-        let entry = Arc::new(TenantEntry {
-            name: "t".into(),
-            pipeline: Arc::new(svm_pipeline(vec![1.0], 0.0)),
-            normalizer: None,
-            policy: SchedulePolicy::RoundRobin,
-            accum: Mutex::new(TenantAccum::default()),
-        });
-        let ticket = Arc::new(TicketState {
-            inner: Mutex::new(TicketInner {
-                verdicts: Vec::new(),
-                remaining_items: usize::MAX,
-                done: false,
-                panicked: None,
-            }),
-            done: Condvar::new(),
-        });
-        let item = |rows: usize| WorkItem {
-            entry: Arc::clone(&entry),
-            ticket: Arc::clone(&ticket),
-            features: Arc::new(Matrix::zeros(0, 1)),
-            oracle: None,
-            start: 0,
-            rows,
-        };
-        let lane = |weight: f64, min_share: f64, items: usize| Lane {
-            queue: (0..items).map(|_| item(1)).collect(),
-            queued_rows: items as u64,
-            served_rows: 0,
-            vt: 0.0,
-            weight,
-            min_share,
-        };
-        let mut ingress = Ingress {
-            open: true,
-            paused: false,
-            // Lane 0: tiny weight, 50% floor — the floor pass serves it
-            // constantly and its vt rockets. Lane 1: a normal tenant.
-            lanes: vec![lane(0.05, 0.5, 50), lane(1.0, 0.0, 50)],
-            queued_items: 100,
-            in_flight_tickets: 0,
-            submitted_tickets: 0,
-            completed_tickets: 0,
-            total_served_rows: 0,
-            current_vt: 0.0,
-            dispatch_log: Some(Vec::new()),
-        };
+        //
+        // Lane 0: tiny weight, 50% floor — the floor pass serves it
+        // constantly and its vt rockets. Lane 1: a normal tenant.
+        let (mut sched, mut lanes, mut rows_meta) =
+            staged_lanes(&[(0.05, 0.5, 50), (1.0, 0.0, 50)]);
         for _ in 0..40 {
-            ingress.pop_item().expect("backlogged");
+            sched.pop_next(&lanes, &rows_meta).expect("backlogged");
         }
-        let floored = &ingress.lanes[0];
+        let floored = &sched.meta[0];
         assert!(
             floored.served_rows >= 19,
             "floor held ~half the dispatches, got {}",
             floored.served_rows
         );
         assert!(
-            ingress.current_vt < floored.vt / 10.0,
+            sched.current_vt < floored.vt / 10.0,
             "join frontier {} trailed the floored lane's inflated vt {}",
-            ingress.current_vt,
+            sched.current_vt,
             floored.vt
         );
         // A lane joining now at the frontier competes immediately: it
         // wins a stride-pass pick within the first few dispatches.
-        let mut newcomer = lane(1.0, 0.0, 50);
-        newcomer.vt = ingress.current_vt;
-        ingress.lanes.push(newcomer);
-        ingress.queued_items += 50;
-        let log_start = ingress.dispatch_log.as_ref().unwrap().len();
-        for _ in 0..6 {
-            ingress.pop_item().expect("backlogged");
+        let base = rows_meta.len() as u32;
+        for _ in 0..50 {
+            rows_meta.push(AtomicU32::new(1));
         }
-        let log = ingress.dispatch_log.as_ref().unwrap();
+        let newcomer = Arc::new(Lane {
+            ring: Ring::new(64),
+            queued_rows: AtomicU64::new(50),
+        });
+        for offset in 0..50 {
+            newcomer.ring.push(base + offset).unwrap();
+        }
+        lanes.push(newcomer);
+        sched.meta.push(LaneMeta {
+            weight: 1.0,
+            min_share: 0.0,
+            vt: sched.current_vt,
+            served_rows: 0,
+            win_served: 0,
+            idle: false,
+        });
+        let log_start = sched.dispatch_log.as_ref().unwrap().len();
+        for _ in 0..6 {
+            sched.pop_next(&lanes, &rows_meta).expect("backlogged");
+        }
+        let log = sched.dispatch_log.as_ref().unwrap();
         assert!(
             log[log_start..].iter().any(|&(lane, _)| lane == 2),
             "newly-joined lane never dispatched: {:?}",
             &log[log_start..]
+        );
+    }
+
+    #[test]
+    fn windowed_floors_forget_stale_history() {
+        // One tenant (lane 1) serves alone for a long stretch; then a
+        // floored tenant (lane 0) becomes backlogged. Under cumulative
+        // accounting the floored lane is owed 40% of the *entire* history
+        // and monopolizes dispatch for hundreds of rows; with a decaying
+        // window its deficit is bounded by O(window) and the incumbent
+        // resumes service almost immediately.
+        let catchup = |window_rows: u64| -> usize {
+            let (mut sched, lanes, rows_meta) = staged_lanes(&[(1.0, 0.4, 400), (1.0, 0.0, 1000)]);
+            sched.window_rows = window_rows;
+            // Stage 1: only lane 1 is backlogged (drain lane 0's ring
+            // into a side buffer to simulate late arrival).
+            let mut held = Vec::new();
+            while let Some(slot) = lanes[0].ring.pop() {
+                held.push(slot);
+            }
+            for _ in 0..600 {
+                let (_, lane, _) = sched.pop_next(&lanes, &rows_meta).expect("backlogged");
+                assert_eq!(lane, 1, "only lane 1 has work");
+            }
+            // Stage 2: the floored lane arrives with its backlog.
+            for slot in held {
+                lanes[0].ring.push(slot).unwrap();
+            }
+            // Count consecutive floor-driven picks of lane 0 before the
+            // incumbent is served again.
+            let mut exclusive = 0;
+            loop {
+                let (_, lane, _) = sched.pop_next(&lanes, &rows_meta).expect("backlogged");
+                if lane == 0 {
+                    exclusive += 1;
+                    assert!(exclusive < 500, "floored lane monopolized dispatch");
+                } else {
+                    break;
+                }
+            }
+            exclusive
+        };
+        let cumulative = catchup(0);
+        let windowed = catchup(64);
+        // Cumulative: lane 0 must climb to 40% of 600+ rows ≈ 400 solo
+        // dispatches. Windowed: the whole deficit is one 64-row window.
+        assert!(
+            cumulative > 100,
+            "cumulative floors should over-serve the late joiner, got {cumulative}"
+        );
+        assert!(
+            windowed <= 64,
+            "windowed floors must bound catch-up to one window, got {windowed}"
+        );
+        assert!(
+            windowed * 4 < cumulative,
+            "window should shrink catch-up dramatically: {windowed} vs {cumulative}"
         );
     }
 

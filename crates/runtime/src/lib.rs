@@ -65,6 +65,7 @@ pub mod deploy;
 pub mod histogram;
 pub mod lut;
 pub mod pipeline;
+pub mod ring;
 pub mod serve;
 
 pub use deploy::{
@@ -88,6 +89,9 @@ pub enum RuntimeError {
     /// A serving-layer request was malformed (unknown tenant, duplicate
     /// registration, width mismatch).
     Serve(String),
+    /// A blocking submission missed its configured admission deadline
+    /// (see [`deploy::DeploymentBuilder::submit_deadline`]).
+    Deadline(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -96,6 +100,7 @@ impl fmt::Display for RuntimeError {
             RuntimeError::MissingParams(msg) => write!(f, "missing trained parameters: {msg}"),
             RuntimeError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
             RuntimeError::Serve(msg) => write!(f, "serving error: {msg}"),
+            RuntimeError::Deadline(msg) => write!(f, "submit deadline exceeded: {msg}"),
         }
     }
 }
@@ -122,6 +127,10 @@ mod tests {
         assert_eq!(
             RuntimeError::Serve("y".into()).to_string(),
             "serving error: y"
+        );
+        assert_eq!(
+            RuntimeError::Deadline("z".into()).to_string(),
+            "submit deadline exceeded: z"
         );
     }
 

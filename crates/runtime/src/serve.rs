@@ -132,6 +132,10 @@ pub struct ServeOptions {
     /// item (parallelism across tenants only), a positive value splits
     /// batches so a single tenant can also span workers.
     pub chunk_rows: usize,
+    /// Per-worker ingress-ring capacity for the one-shot deployment
+    /// backing this call (rounded up to a power of two; see
+    /// [`DeploymentBuilder::ring_capacity`](crate::deploy::DeploymentBuilder::ring_capacity)).
+    pub ring_capacity: usize,
 }
 
 impl Default for ServeOptions {
@@ -139,6 +143,7 @@ impl Default for ServeOptions {
         ServeOptions {
             workers: 1,
             chunk_rows: 0,
+            ring_capacity: 64,
         }
     }
 }
@@ -155,6 +160,13 @@ impl ServeOptions {
     #[must_use]
     pub fn chunk_rows(mut self, rows: usize) -> Self {
         self.chunk_rows = rows;
+        self
+    }
+
+    /// Sets the per-worker ingress-ring capacity.
+    #[must_use]
+    pub fn ring_capacity(mut self, capacity: usize) -> Self {
+        self.ring_capacity = capacity;
         self
     }
 }
@@ -466,6 +478,10 @@ impl PipelineServer {
             .workers(options.workers.clamp(1, work_items.max(1)))
             .chunk_rows(options.chunk_rows)
             .queue_depth(batches.len().max(1))
+            .ring_capacity(options.ring_capacity)
+            // The whole call's chunks are enqueued up front, so size the
+            // reusable-descriptor slab to hold them all without stalls.
+            .chunk_slots(work_items.max(64))
             .build();
         let mut ids = Vec::with_capacity(self.tenants.len());
         for tenant in &self.tenants {

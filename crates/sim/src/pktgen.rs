@@ -348,11 +348,14 @@ impl StreamHarness {
     /// Windowed multi-tenant replay through a **persistent**
     /// [`Deployment`] — the resident-worker twin of
     /// [`run_served`](StreamHarness::run_served). Every replay round
-    /// submits one window per still-active tenant as a ticket and redeems
-    /// them in submission order, so verdicts (and the returned
-    /// [`StreamReport`]s) are bit-identical to the call-at-a-time path
-    /// under any worker count; only the pool-setup cost differs (paid once
-    /// by the deployment, not per round).
+    /// submits one window per still-active tenant as a ticket; submission
+    /// is **double-buffered** (round `N+1` is submitted before round `N`
+    /// is redeemed), so the resident workers stay fed across window
+    /// boundaries instead of idling while the driver blocks on `wait()`.
+    /// Tickets still redeem in submission order, so verdicts (and the
+    /// returned [`StreamReport`]s) are bit-identical to the
+    /// call-at-a-time path under any worker count; only the pool-setup
+    /// and pipelining costs differ.
     ///
     /// Streams carry **raw** features — each tenant's deployment
     /// normalizer applies inside the deployment.
@@ -385,11 +388,12 @@ impl StreamHarness {
         }
 
         let mut predictions: Vec<Vec<usize>> = streams.iter().map(|_| Vec::new()).collect();
+        let mut pending: Vec<(usize, homunculus_runtime::Ticket)> = Vec::new();
         let mut offset = 0usize;
         loop {
             // One window per tenant with packets left, in input order;
             // tickets redeem in the same order, keeping output stable.
-            let mut tickets = Vec::new();
+            let mut submitted = Vec::new();
             for (index, (tenant, stream)) in streams.iter().enumerate() {
                 if offset >= stream.len() {
                     continue;
@@ -400,14 +404,18 @@ impl StreamHarness {
                 let ticket = deployment
                     .submit(TenantBatch::new(*tenant, features))
                     .map_err(|e| SimError::InvalidConfig(e.to_string()))?;
-                tickets.push((index, ticket));
+                submitted.push((index, ticket));
             }
-            if tickets.is_empty() {
-                break;
-            }
-            for (owner, ticket) in tickets {
+            // Redeem the *previous* round only after this round is in the
+            // ingress: the workers always have a staged window to chew on
+            // while the driver blocks in wait().
+            for (owner, ticket) in pending.drain(..) {
                 predictions[owner].extend(ticket.wait().into_vec());
             }
+            if submitted.is_empty() {
+                break;
+            }
+            pending = submitted;
             offset += window;
         }
 

@@ -145,6 +145,62 @@ fn tenants_added_and_removed_at_runtime() {
     assert_eq!(snapshot.tenants[first.index()].packets, 20);
 }
 
+#[test]
+fn removed_tenant_with_queued_ingress_rows_completes_accepted_tickets() {
+    // Regression for the PR 4 follow-on bug class: removal must only
+    // refuse *new* submissions. Accepted tickets whose rows are still
+    // sitting in the ingress (lanes/rings) when the tenant goes away must
+    // complete with bit-correct verdicts — under live workers and a deep
+    // backlog, not just a paused staging area.
+    let deployment = Deployment::builder()
+        .workers(2)
+        .chunk_rows(2)
+        .queue_depth(64)
+        .build();
+    let doomed = deployment
+        .add_tenant("doomed", svm_pipeline(vec![1.0, -0.5], 0.1), None)
+        .unwrap();
+    let survivor = deployment
+        .add_tenant("survivor", svm_pipeline(vec![-1.0, 0.25], 0.0), None)
+        .unwrap();
+    let doomed_reference = svm_pipeline(vec![1.0, -0.5], 0.1);
+
+    // A deep interleaved backlog: the doomed tenant's rows are spread
+    // across many queued chunks when the removal lands.
+    let mut doomed_tickets = Vec::new();
+    let mut expected = Vec::new();
+    for round in 0..16 {
+        let features = packets(23, 2, round);
+        expected.push(doomed_reference.classify_batch(&features, 1));
+        doomed_tickets.push(
+            deployment
+                .submit(TenantBatch::new(doomed, features))
+                .unwrap(),
+        );
+        deployment
+            .submit(TenantBatch::new(survivor, packets(23, 2, round + 100)))
+            .unwrap();
+    }
+    deployment.remove_tenant(doomed).unwrap();
+    // Removal is immediate for new work...
+    assert!(matches!(
+        deployment.submit(TenantBatch::new(doomed, packets(4, 2, 0))),
+        Err(RuntimeError::Serve(_))
+    ));
+    assert!(deployment.tenant_id("doomed").is_none());
+    // ...but every accepted ticket still completes, bit-identically.
+    deployment.drain();
+    for (ticket, expected) in doomed_tickets.into_iter().zip(expected) {
+        assert!(ticket.is_done(), "drain left a removed tenant's ticket");
+        assert_eq!(ticket.wait().into_vec(), expected);
+    }
+    let snapshot = deployment.stats_snapshot();
+    assert_eq!(snapshot.tenants[doomed.index()].packets, 16 * 23);
+    assert!(!snapshot.shares[doomed.index()].active);
+    assert_eq!(snapshot.queued_rows, 0);
+    deployment.shutdown();
+}
+
 /// Stages `batches_per_tenant` equal batches per weighted tenant on a
 /// paused deployment, resumes, drains, and returns the dispatch log plus
 /// per-tenant total rows.

@@ -244,8 +244,22 @@ fn deployed_verdicts_fingerprint_matches_call_at_a_time_path() {
         )
         .unwrap();
 
-    for workers in [1, 2, 4] {
-        let deployment = Deployment::builder().workers(workers).chunk_rows(7).build();
+    // Sweep worker counts AND ring-ingress shapes: a 4-slot worker ring
+    // with an 8-chunk slab forces constant descriptor recycling and
+    // submit-side backoff, which must never leak into verdict bytes.
+    for (workers, ring_capacity, chunk_slots) in [
+        (1, 64, 4096),
+        (2, 64, 4096),
+        (4, 64, 4096),
+        (2, 4, 8),
+        (4, 4, 8),
+    ] {
+        let deployment = Deployment::builder()
+            .workers(workers)
+            .chunk_rows(7)
+            .ring_capacity(ring_capacity)
+            .chunk_slots(chunk_slots)
+            .build();
         let dnn = deployment
             .add_model("dnn_app", &handcrafted_dnn_ir(), format, None)
             .unwrap();
@@ -267,7 +281,7 @@ fn deployed_verdicts_fingerprint_matches_call_at_a_time_path() {
         assert_eq!(
             deployed,
             reference.verdicts(),
-            "workers={workers}: deployed verdicts diverged from the call-at-a-time path"
+            "workers={workers} ring={ring_capacity} slots={chunk_slots}: deployed verdicts diverged"
         );
         let checksum: usize = deployed
             .iter()

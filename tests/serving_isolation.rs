@@ -14,7 +14,7 @@ use homunculus::ml::mlp::{Activation, Mlp, MlpArchitecture};
 use homunculus::ml::quantize::FixedPoint;
 use homunculus::ml::tensor::Matrix;
 use homunculus::ml::tree::{DecisionTreeClassifier, TreeConfig};
-use homunculus::runtime::{PipelineServer, ServeOptions, TenantBatch};
+use homunculus::runtime::{Compile, Deployment, PipelineServer, ServeOptions, TenantBatch};
 
 /// Deterministic pseudo-random value in `[-bound, bound]`.
 fn value(seed: u64, row: usize, col: usize, bound: f32) -> f32 {
@@ -167,4 +167,89 @@ fn eight_tenants_on_two_workers_match_isolated_runs() {
         assert_eq!(stats.packets, 50 + index * 13, "tenant{index} packet count");
         assert_eq!(stats.verdict_histogram.iter().sum::<usize>(), stats.packets);
     }
+}
+
+#[test]
+fn eight_tenants_through_the_ring_ingress_match_isolated_runs() {
+    // The same eight tenants, but through the persistent ring-ingress
+    // admission path instead of the one-shot serve shim: each tenant's
+    // stream is submitted from its own producer thread, over a
+    // deliberately tiny ring and descriptor slab at one-row dispatch
+    // granularity. Contended lock-free admission must leak exactly as
+    // little across tenants as the sequential path: nothing.
+    let format = FixedPoint::taurus_default();
+    let irs = tenant_irs();
+
+    let normalizer_for = |index: usize| Normalizer {
+        mean: (0..FEATURES).map(|c| (index + c) as f32 * 0.1).collect(),
+        std: (0..FEATURES).map(|c| 1.0 + c as f32 * 0.25).collect(),
+    };
+
+    // Isolated reference: one tenant at a time, single-threaded.
+    let isolated: Vec<Vec<usize>> = irs
+        .iter()
+        .enumerate()
+        .map(|(index, ir)| {
+            let rows = 50 + index * 13;
+            let mut features =
+                Matrix::from_fn(rows, FEATURES, |r, c| value(index as u64, r, c, 2.0));
+            let normalizer = normalizer_for(index);
+            for r in 0..features.rows() {
+                normalizer.apply(features.row_mut(r));
+            }
+            ir.compile(format).unwrap().classify_batch(&features, 1)
+        })
+        .collect();
+
+    let deployment = Deployment::builder()
+        .workers(2)
+        .chunk_rows(1)
+        .queue_depth(16)
+        .ring_capacity(4)
+        .chunk_slots(8)
+        .build();
+    let ids: Vec<_> = irs
+        .iter()
+        .enumerate()
+        .map(|(index, ir)| {
+            deployment
+                .add_tenant(
+                    &format!("tenant{index}"),
+                    ir.compile(format).unwrap(),
+                    Some(normalizer_for(index)),
+                )
+                .unwrap()
+        })
+        .collect();
+
+    let served: Vec<Vec<usize>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ids
+            .iter()
+            .enumerate()
+            .map(|(index, &id)| {
+                let deployment = &deployment;
+                scope.spawn(move || {
+                    let rows = 50 + index * 13;
+                    let features =
+                        Matrix::from_fn(rows, FEATURES, |r, c| value(index as u64, r, c, 2.0));
+                    deployment
+                        .submit(TenantBatch::new(id, features))
+                        .unwrap()
+                        .wait()
+                        .into_vec()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().unwrap())
+            .collect()
+    });
+    for (index, (got, solo)) in served.iter().zip(&isolated).enumerate() {
+        assert_eq!(
+            got, solo,
+            "tenant{index} verdicts diverged through the ring ingress"
+        );
+    }
+    deployment.shutdown();
 }
