@@ -2,13 +2,13 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt fmt-check clippy clippy-simd build test test-simd doc stress bench bench-smoke examples
+.PHONY: ci fmt fmt-check clippy clippy-simd build test test-simd doc stress bench bench-smoke examples lint-artifacts
 
 # The simd lanes re-run clippy and the test suite with the SSE2
 # intrinsics swapped in (the `simd` feature on the facade crate forwards
 # to homunculus-ml and homunculus-runtime); verdicts must stay
 # bit-identical, so the same tests gate both kernel tiers.
-ci: fmt-check clippy clippy-simd build test test-simd doc stress
+ci: fmt-check clippy clippy-simd build test test-simd doc stress lint-artifacts
 
 fmt:
 	$(CARGO) fmt
@@ -77,3 +77,17 @@ bench-smoke:
 
 examples:
 	$(CARGO) build --release --examples
+
+# The static verification gate over real artifacts: run the examples
+# that save compile artifacts (quickstart emits JSON, the chaining
+# example both JSON-loads and re-saves), then lint every produced file
+# with `homunculus-analyze`. The seeded-defect corpus (exact HA codes,
+# nonzero CLI exits) rides in the `static_analysis` integration test.
+lint-artifacts:
+	$(CARGO) run --release --example quickstart >/dev/null
+	$(CARGO) run --release --example multi_app_chaining >/dev/null
+	$(CARGO) run --release --bin homunculus-analyze -- \
+		"$${TMPDIR:-/tmp}/homunculus_quickstart.artifact.json" \
+		"$${TMPDIR:-/tmp}/homunculus_chain.artifact.json"
+	$(CARGO) test -q --release --test static_analysis >/dev/null
+	@echo "lint-artifacts: example artifacts are error-free"

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # homunculus-backends
 //!
 //! Backend targets for the Homunculus compiler (§3.3 of the paper): each

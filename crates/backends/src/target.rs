@@ -16,6 +16,21 @@ pub enum TargetKind {
     Fpga,
 }
 
+impl TargetKind {
+    /// Native integer word width of the family's compute units, in bits —
+    /// the width fact the static analyzer checks fixed-point formats
+    /// against. Taurus CUs compute on 16-bit words (the paper's Q3.12
+    /// format fills one); Tofino ALUs and FPGA datapaths handle 32-bit
+    /// containers.
+    pub fn word_bits(self) -> u32 {
+        match self {
+            TargetKind::Taurus => 16,
+            TargetKind::Tofino => 32,
+            TargetKind::Fpga => 32,
+        }
+    }
+}
+
 /// A data-plane backend: resource model + feasibility + code generator.
 ///
 /// This is the object-safe interface the compiler core uses; each target
@@ -59,6 +74,13 @@ pub trait Target {
     /// The default resource budget of the physical device (used when the
     /// user's constraints do not override it).
     fn device_budget(&self) -> crate::resources::ResourceVector;
+
+    /// Native integer word width in bits (see [`TargetKind::word_bits`]).
+    /// A fixed-point format whose `total_bits` exceeds this cannot be
+    /// computed natively on the device; the static analyzer flags it.
+    fn word_bits(&self) -> u32 {
+        self.kind().word_bits()
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,9 @@
 //! the session's own `StageFinished` events (cross-checked against
 //! wall-clock around the stage calls), and writes `BENCH_compile.json`:
 //!
-//! - per-stage wall-clock (`search_ns` .. `codegen_ns`), the aggregate
+//! - per-stage wall-clock (`search_ns` .. `codegen_ns`, plus
+//!   `analyze_ns` for the static verification pass over the finished
+//!   artifact, asserted error-free), the aggregate
 //!   **BO iterations/second**, and the same rate **per model** (each
 //!   model's own `StageFinished` bracket — on parallel runs these
 //!   overlap),
@@ -227,6 +229,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let artifact = feasible.codegen()?;
     let codegen_wall_ns = t3.elapsed().as_nanos() as u64;
 
+    // Static verification wall-clock: the full interval pass + lint set
+    // over the finished artifact (what the opt-in compile gate and the
+    // load hook add to a compile/load).
+    let t4 = Instant::now();
+    let artifact_analysis = artifact.analyze();
+    let analyze_ns = t4.elapsed().as_nanos() as u64;
+    assert!(
+        !artifact_analysis.has_errors(),
+        "compile produced an artifact the static analyzer refuses:\n{}",
+        artifact_analysis.render()
+    );
+
     let events = observer.events();
     let search_ns = stage_ns(&events, CompileStage::Search);
     let train_ns = stage_ns(&events, CompileStage::Train);
@@ -274,6 +288,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("train", train_ns),
         ("check", check_ns),
         ("codegen", codegen_ns),
+        ("analyze", analyze_ns),
     ] {
         println!("{label:<8}  {:>10.3} ms", ns as f64 / 1e6);
     }
@@ -401,7 +416,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "train_ns": train_ns,
             "check_ns": check_ns,
             "codegen_ns": codegen_ns,
+            "analyze_ns": analyze_ns,
             "total_ns": total_ns,
+        },
+        "analysis": {
+            "saturation_certified": artifact_analysis.saturation_certified(),
+            "errors": artifact_analysis.error_count(),
+            "warnings": artifact_analysis.warning_count(),
         },
         "bo_iterations": bo_iterations,
         "bo_iters_per_sec": bo_iters_per_sec,
@@ -459,6 +480,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(
         parsed["stages"]["search_ns"].as_f64().unwrap_or(0.0) > 0.0,
         "{}: search stage reported zero time",
+        args.out
+    );
+    assert!(
+        parsed["stages"]["analyze_ns"].as_f64().unwrap_or(0.0) > 0.0,
+        "{}: analyzer stage reported zero time",
         args.out
     );
     println!("{} parses and carries all headline fields", args.out);

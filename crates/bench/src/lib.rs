@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # homunculus-bench
 //!
 //! The benchmark harness: one binary per table/figure of the paper's

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # homunculus-core
 //!
 //! The Homunculus compiler itself: the **Alchemy** declarative frontend,
@@ -86,6 +87,11 @@ pub enum CoreError {
     Checkpoint(String),
     /// An underlying subsystem failed.
     Subsystem(String),
+    /// The static verification layer found error-severity defects (the
+    /// message carries the rendered `HA`-coded diagnostics). Raised by
+    /// the artifact-load validation hook and by the opt-in
+    /// [`session::Compiler::verify_artifacts`] gate.
+    Analysis(String),
 }
 
 impl fmt::Display for CoreError {
@@ -96,6 +102,7 @@ impl fmt::Display for CoreError {
             CoreError::NoFeasibleModel(msg) => write!(f, "no feasible model found: {msg}"),
             CoreError::Checkpoint(msg) => write!(f, "invalid checkpoint: {msg}"),
             CoreError::Subsystem(msg) => write!(f, "subsystem failure: {msg}"),
+            CoreError::Analysis(msg) => write!(f, "static verification failed: {msg}"),
         }
     }
 }

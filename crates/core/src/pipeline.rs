@@ -478,17 +478,68 @@ impl CompiledArtifact {
         })
     }
 
-    /// Reads an artifact saved with [`save_json`](CompiledArtifact::save_json).
+    /// Reads an artifact saved with [`save_json`](CompiledArtifact::save_json)
+    /// and runs the static verification layer over it: an artifact with
+    /// error-severity `HA` diagnostics (non-finite weights, width
+    /// mismatches, degenerate normalizers, broken chain widths) is
+    /// refused instead of served. Warnings pass. Use
+    /// [`from_json_str`](CompiledArtifact::from_json_str) to decode
+    /// without the gate (e.g. for inspection tooling).
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Subsystem`] on I/O or decode failure.
+    /// Returns [`CoreError::Subsystem`] on I/O or decode failure and
+    /// [`CoreError::Analysis`] when the verification gate fires.
     pub fn load_json<P: AsRef<std::path::Path>>(path: P) -> Result<Self> {
         let path = path.as_ref();
         let text = std::fs::read_to_string(path).map_err(|e| {
             CoreError::Subsystem(format!("reading artifact from {}: {e}", path.display()))
         })?;
-        CompiledArtifact::from_json_str(&text)
+        let artifact = CompiledArtifact::from_json_str(&text)?;
+        artifact.verify()?;
+        Ok(artifact)
+    }
+
+    /// Runs the static verification layer (`homunculus-analysis`) over
+    /// every report: interval analysis for per-kernel no-saturation
+    /// certificates plus the full artifact lint set. The target word
+    /// width is unknown at this point (artifacts do not record their
+    /// platform), so format-overflow checks run in their advisory form.
+    pub fn analyze(&self) -> homunculus_analysis::ArtifactAnalysis {
+        let inputs: Vec<homunculus_analysis::ModelInput<'_>> = self
+            .reports
+            .iter()
+            .map(|report| homunculus_analysis::ModelInput {
+                name: &report.name,
+                ir: &report.ir,
+                format: report.format,
+                normalizer: Some(&report.normalizer),
+                word_bits: None,
+            })
+            .collect();
+        homunculus_analysis::analyze_models(&inputs)
+    }
+
+    /// The validation hook behind [`load_json`](CompiledArtifact::load_json)
+    /// and [`load_bin`](CompiledArtifact::load_bin): runs
+    /// [`analyze`](CompiledArtifact::analyze) and refuses the artifact on
+    /// any error-severity diagnostic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Analysis`] with every `HA`-coded error
+    /// rendered into the message.
+    pub fn verify(&self) -> Result<()> {
+        let analysis = self.analyze();
+        if analysis.has_errors() {
+            let rendered: Vec<String> = analysis
+                .diagnostics()
+                .filter(|d| d.severity == homunculus_analysis::Severity::Error)
+                .map(|d| d.to_string())
+                .collect();
+            return Err(CoreError::Analysis(rendered.join("; ")));
+        }
+        Ok(())
     }
 
     /// Encodes the artifact in the compact binary wire format (the
@@ -530,17 +581,22 @@ impl CompiledArtifact {
         })
     }
 
-    /// Reads an artifact saved with [`save_bin`](CompiledArtifact::save_bin).
+    /// Reads an artifact saved with [`save_bin`](CompiledArtifact::save_bin),
+    /// gated by the same static verification as
+    /// [`load_json`](CompiledArtifact::load_json).
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Subsystem`] on I/O or decode failure.
+    /// Returns [`CoreError::Subsystem`] on I/O or decode failure and
+    /// [`CoreError::Analysis`] when the verification gate fires.
     pub fn load_bin<P: AsRef<std::path::Path>>(path: P) -> Result<Self> {
         let path = path.as_ref();
         let bytes = std::fs::read(path).map_err(|e| {
             CoreError::Subsystem(format!("reading artifact from {}: {e}", path.display()))
         })?;
-        CompiledArtifact::from_bin_bytes(&bytes)
+        let artifact = CompiledArtifact::from_bin_bytes(&bytes)?;
+        artifact.verify()?;
+        Ok(artifact)
     }
 
     /// Builds a multi-tenant [`PipelineServer`] from the schedule's

@@ -259,6 +259,17 @@ pub enum CompileEvent {
         /// The stage during which cancellation was first observed.
         stage: CompileStage,
     },
+    /// The static verification gate ([`Compiler::verify_artifacts`])
+    /// reported one finding while checking a final model during
+    /// [`Trained::check`]. Warnings are informational; any error-severity
+    /// finding fails the stage with [`CoreError::Analysis`].
+    AnalyzerDiagnostic {
+        /// The scheduled model the finding scopes to (the artifact as a
+        /// whole for cross-model findings such as chain-width breaks).
+        model: Option<String>,
+        /// The `HA`-coded finding.
+        diagnostic: homunculus_analysis::Diagnostic,
+    },
 }
 
 /// Receives [`CompileEvent`]s as a session runs. Implementations must be
@@ -434,6 +445,10 @@ impl<W: Write + Send> CompileObserver for LogObserver<W> {
                     stage.name()
                 )
             }
+            CompileEvent::AnalyzerDiagnostic { model, diagnostic } => match model {
+                Some(model) => writeln!(sink, "[{t:9.3}s] analyze {model}: {diagnostic}"),
+                None => writeln!(sink, "[{t:9.3}s] analyze: {diagnostic}"),
+            },
         };
     }
 }
@@ -457,6 +472,9 @@ struct Ctx<'p> {
     emit_lock: Mutex<()>,
     /// The armed [`CompilerOptions::time_budget`] deadline, if any.
     deadline: Option<Instant>,
+    /// Run the static verification gate during [`Trained::check`]
+    /// (see [`Compiler::verify_artifacts`]).
+    verify: bool,
 }
 
 impl Ctx<'_> {
@@ -529,16 +547,18 @@ pub struct Compiler {
     options: CompilerOptions,
     observer: Option<Arc<dyn CompileObserver>>,
     cancel: CancelToken,
+    verify: bool,
 }
 
 impl Compiler {
-    /// A compiler with the given options, no observer, and a fresh cancel
-    /// token.
+    /// A compiler with the given options, no observer, a fresh cancel
+    /// token, and the static verification gate off.
     pub fn new(options: CompilerOptions) -> Self {
         Compiler {
             options,
             observer: None,
             cancel: CancelToken::new(),
+            verify: false,
         }
     }
 
@@ -546,6 +566,22 @@ impl Compiler {
     #[must_use]
     pub fn observe(mut self, observer: Arc<dyn CompileObserver>) -> Self {
         self.observer = Some(observer);
+        self
+    }
+
+    /// Turns the static verification gate on (or off): during
+    /// [`Trained::check`] every final model — and the schedule as a whole
+    /// — is run through the `homunculus-analysis` interval walk and
+    /// linter against the codegen fixed-point format and the target's
+    /// native word width. Every finding is emitted as
+    /// [`CompileEvent::AnalyzerDiagnostic`]; error-severity findings fail
+    /// the stage with [`CoreError::Analysis`]. Off by default — a
+    /// session-local toggle, deliberately not a [`CompilerOptions`] field
+    /// (options round-trip through checkpoints; the gate is about *this*
+    /// run's posture, and [`Compiler::resume`] keeps it).
+    #[must_use]
+    pub fn verify_artifacts(mut self, verify: bool) -> Self {
+        self.verify = verify;
         self
     }
 
@@ -581,6 +617,7 @@ impl Compiler {
                     .options
                     .time_budget
                     .map(|budget| Instant::now() + budget),
+                verify: self.verify,
             },
         })
     }
@@ -627,6 +664,7 @@ impl Compiler {
             options: recorded.options,
             observer: self.observer,
             cancel: self.cancel,
+            verify: self.verify,
         };
         let session = compiler.open(platform)?;
         run_search(session.ctx, Some(recorded.models))
@@ -1079,9 +1117,48 @@ impl<'p> Trained<'p> {
                 })?;
                 models.push(checked);
             }
+            if ctx.verify {
+                verify_models(&ctx, &models, target.as_target().word_bits())?;
+            }
             Ok(models)
         })?;
         Ok(Feasible { ctx, models })
+    }
+}
+
+/// The opt-in static verification gate (see
+/// [`Compiler::verify_artifacts`]): runs the `homunculus-analysis`
+/// interval walk and linter over every final model against the format
+/// codegen will lower with and the target's native word width, emits
+/// every finding as [`CompileEvent::AnalyzerDiagnostic`], and fails on
+/// error-severity findings.
+fn verify_models(ctx: &Ctx<'_>, models: &[CheckedModel], word_bits: u32) -> Result<()> {
+    let format = FixedPoint::taurus_default();
+    let inputs: Vec<homunculus_analysis::ModelInput<'_>> = models
+        .iter()
+        .map(|checked| homunculus_analysis::ModelInput {
+            name: &checked.model.name,
+            ir: &checked.model.ir,
+            format,
+            normalizer: Some(&checked.model.normalizer),
+            word_bits: Some(word_bits),
+        })
+        .collect();
+    let analysis = homunculus_analysis::analyze_models(&inputs);
+    let mut errors: Vec<String> = Vec::new();
+    for diagnostic in analysis.diagnostics() {
+        ctx.emit(CompileEvent::AnalyzerDiagnostic {
+            model: diagnostic.model.clone(),
+            diagnostic: diagnostic.clone(),
+        });
+        if diagnostic.severity == homunculus_analysis::Severity::Error {
+            errors.push(diagnostic.to_string());
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(CoreError::Analysis(errors.join("; ")))
     }
 }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # homunculus-dataplane
 //!
 //! Data-plane substrate for the Homunculus reproduction: packets, flows,

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # homunculus-datasets
 //!
 //! Synthetic dataset generators standing in for the paper's three

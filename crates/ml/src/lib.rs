@@ -1,3 +1,8 @@
+// The only unsafe in this crate is the `core::arch` SSE2 inner loops in
+// `packed`, compiled solely under the `simd` feature — every portable
+// build proves itself unsafe-free.
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![deny(unsafe_op_in_unsafe_fn)]
 //! # homunculus-ml
 //!
 //! The machine-learning substrate of the Homunculus reproduction.
@@ -28,6 +33,10 @@
 //!   contiguous `i16`/`i8` words with vectorizable dot/matvec/distance
 //!   kernels that are bit-identical to the scalar `i32` path (enable the
 //!   `simd` cargo feature for the `core::arch` SSE2 inner loops).
+//! - [`bounds`] — interval-domain bound derivation over the quantized
+//!   kernels: per-output value ranges and no-saturation certificates
+//!   derived from the concrete weights, which let certified kernels skip
+//!   the packed tier's worst-case saturation guards.
 //!
 //! # Example
 //!
@@ -52,6 +61,7 @@
 //! # }
 //! ```
 
+pub mod bounds;
 pub mod forest;
 pub mod kmeans;
 pub mod metrics;
@@ -88,6 +98,15 @@ pub enum MlError {
     InvalidArgument(String),
     /// Training failed to make progress (e.g. all-NaN loss).
     Diverged(String),
+    /// A fitted [`preprocess::Normalizer`] has an unusable standard
+    /// deviation (zero, near-zero, or non-finite) in the named column —
+    /// applying it would divide the column to ±inf/NaN.
+    DegenerateNormalizer {
+        /// Index of the offending feature column.
+        column: usize,
+        /// The rejected standard deviation.
+        std: f32,
+    },
 }
 
 impl fmt::Display for MlError {
@@ -101,6 +120,10 @@ impl fmt::Display for MlError {
             MlError::EmptyInput(what) => write!(f, "empty input: {what}"),
             MlError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             MlError::Diverged(msg) => write!(f, "training diverged: {msg}"),
+            MlError::DegenerateNormalizer { column, std } => write!(
+                f,
+                "normalizer std for column {column} is degenerate ({std})"
+            ),
         }
     }
 }

@@ -597,6 +597,119 @@ impl PackedFixed {
         }
     }
 
+    /// [`PackedFixed::packed_dot`] minus the worst-case saturation
+    /// guard: the caller holds a [`crate::bounds`] certificate proving no
+    /// partial sum can leave `i32` for any admissible input, so this
+    /// dispatches straight to the re-orderable fast loop. Bit-identical
+    /// to the guarded/scalar paths *under that certificate*.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths or widths disagree.
+    pub fn packed_dot_certified(&self, a: PackedSlice<'_>, b: PackedSlice<'_>) -> i32 {
+        assert_eq!(a.len(), b.len(), "packed_dot length mismatch");
+        match (a, b) {
+            (PackedSlice::I8(a), PackedSlice::I8(b)) => dot_fast(self.format.frac_bits(), a, b),
+            (PackedSlice::I16(a), PackedSlice::I16(b)) => {
+                dot_fast_i16(self.format.frac_bits(), a, b)
+            }
+            _ => panic!("packed_dot width mismatch"),
+        }
+    }
+
+    /// [`PackedFixed::packed_matvec`] minus the per-call saturation
+    /// guard, for kernels carrying a [`crate::bounds`] no-saturation
+    /// certificate. Bit-identical to the guarded/scalar paths *under
+    /// that certificate*.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes or widths disagree.
+    pub fn packed_matvec_certified(
+        &self,
+        weights: PackedSlice<'_>,
+        bias: &[i32],
+        x: PackedSlice<'_>,
+        out: &mut [i32],
+    ) {
+        assert_eq!(
+            weights.len(),
+            x.len() * out.len(),
+            "packed_matvec weight shape mismatch"
+        );
+        assert_eq!(bias.len(), out.len(), "packed_matvec bias length mismatch");
+        match (weights, x) {
+            (PackedSlice::I8(w), PackedSlice::I8(x)) => {
+                matvec_fast(self.format.frac_bits(), w, bias, x, out);
+            }
+            (PackedSlice::I16(w), PackedSlice::I16(x)) => {
+                matvec_fast_i16(self.format.frac_bits(), w, bias, x, out);
+            }
+            _ => panic!("packed_matvec width mismatch"),
+        }
+    }
+
+    /// [`PackedFixed::packed_matvec_block`] minus the hoisted saturation
+    /// guard, for kernels carrying a [`crate::bounds`] no-saturation
+    /// certificate. Bit-identical to the guarded/scalar paths *under
+    /// that certificate*.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes or widths disagree.
+    pub fn packed_matvec_block_certified(
+        &self,
+        weights: PackedSlice<'_>,
+        bias: &[i32],
+        xblock: &PackedVec,
+        rows: usize,
+        out: &mut [i32],
+    ) {
+        let output = bias.len();
+        assert!(output > 0, "packed_matvec_block needs outputs");
+        let input = weights.len() / output;
+        assert_eq!(weights.len(), input * output, "ragged weight matrix");
+        assert_eq!(xblock.len(), rows * input, "packed_matvec_block x shape");
+        assert_eq!(out.len(), rows * output, "packed_matvec_block out shape");
+        if input == 0 {
+            for or in out.chunks_exact_mut(output) {
+                or.copy_from_slice(bias);
+            }
+            return;
+        }
+        let f = self.format.frac_bits();
+        match (weights, xblock.as_slice()) {
+            (PackedSlice::I8(w), PackedSlice::I8(x)) => {
+                for (xr, or) in x.chunks_exact(input).zip(out.chunks_exact_mut(output)) {
+                    matvec_fast(f, w, bias, xr, or);
+                }
+            }
+            (PackedSlice::I16(w), PackedSlice::I16(x)) => {
+                for (xr, or) in x.chunks_exact(input).zip(out.chunks_exact_mut(output)) {
+                    matvec_fast_i16(f, w, bias, xr, or);
+                }
+            }
+            _ => unreachable!("a PackedVec and its owner share one width"),
+        }
+    }
+
+    /// [`PackedFixed::packed_squared_distance`] minus the worst-case
+    /// saturation guard, for kernels carrying a [`crate::bounds`]
+    /// no-saturation certificate. Bit-identical to the guarded/scalar
+    /// paths *under that certificate*.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths or widths disagree.
+    pub fn packed_squared_distance_certified(&self, a: PackedSlice<'_>, b: PackedSlice<'_>) -> i32 {
+        assert_eq!(a.len(), b.len(), "packed_squared_distance length mismatch");
+        match (a, b) {
+            (PackedSlice::I8(a), PackedSlice::I8(b)) => sq_fast(self.format.frac_bits(), a, b),
+            (PackedSlice::I16(a), PackedSlice::I16(b)) => sq_fast(self.format.frac_bits(), a, b),
+            _ => panic!("packed_squared_distance width mismatch"),
+        }
+    }
+
     /// Packed squared Euclidean distance, bit-identical to
     /// [`FixedPoint::fixed_squared_distance`] on the widened raws.
     ///

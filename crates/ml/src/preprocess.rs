@@ -10,6 +10,11 @@
 use crate::{MlError, Result};
 use serde::{Deserialize, Serialize};
 
+/// Smallest usable per-feature standard deviation. Anything closer to
+/// zero is treated as a degenerate (constant) column that should have
+/// been fitted as `std = 1.0`; see [`Normalizer::validate`].
+pub const MIN_STD: f32 = 1e-12;
+
 /// A fitted z-score feature normalizer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Normalizer {
@@ -58,8 +63,38 @@ impl Normalizer {
                 std.len()
             )));
         }
-        Ok(Normalizer { mean, std })
+        let norm = Normalizer { mean, std };
+        norm.validate()?;
+        Ok(norm)
     }
+
+    /// Checks the fitted statistics are usable: every mean finite, every
+    /// std finite and at least [`MIN_STD`] in magnitude. A zero or
+    /// near-zero std would divide the column to ±inf/NaN, which then
+    /// quantizes to a saturated raw and silently poisons every verdict —
+    /// so decode ([`Normalizer::from_json`]) refuses such documents with
+    /// a typed error naming the column.
+    ///
+    /// # Errors
+    ///
+    /// [`MlError::DegenerateNormalizer`] with the offending column index,
+    /// or [`MlError::InvalidArgument`] for a non-finite mean.
+    pub fn validate(&self) -> Result<()> {
+        for (column, &s) in self.std.iter().enumerate() {
+            if !s.is_finite() || s.abs() < MIN_STD {
+                return Err(MlError::DegenerateNormalizer { column, std: s });
+            }
+        }
+        for (column, &m) in self.mean.iter().enumerate() {
+            if !m.is_finite() {
+                return Err(MlError::InvalidArgument(format!(
+                    "normalizer mean for column {column} is not finite"
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Transforms a single feature vector in place.
     ///
     /// # Panics

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # homunculus-optimizer
 //!
 //! A HyperMapper-style constrained Bayesian-optimization engine — the

@@ -1,3 +1,7 @@
+// The only unsafe in this crate is the pair of `UnsafeCell` accesses in
+// `ring::SlotSlab` (each carries a `// SAFETY:` comment proving
+// exclusivity); the `simd` feature only forwards to homunculus-ml.
+#![deny(unsafe_op_in_unsafe_fn)]
 //! # homunculus-runtime
 //!
 //! The compiled fixed-point inference runtime.

@@ -107,6 +107,29 @@ impl ActLut {
             .max()
             .unwrap_or(0)
     }
+
+    /// Exact image of `ActLut::apply` over an input interval: the
+    /// `(min, max)` of the table entries reachable from any raw in
+    /// `[lo, hi]`. Because `apply` clamps and then indexes, the
+    /// reachable entries are exactly the contiguous slice between the
+    /// clamped endpoints' indices — so this is a *derived* fact about
+    /// the table, not a heuristic bound. The interval analyzer uses it
+    /// as the activation transfer function; the whole-table call
+    /// `output_range(i32::MIN, i32::MAX)` subsumes
+    /// [`ActLut::output_bound`].
+    pub fn output_range(&self, lo: i32, hi: i32) -> (i32, i32) {
+        let index = |raw: i32| -> usize {
+            let clamped = raw.clamp(self.min_raw, self.max_raw);
+            let i = ((i64::from(clamped) - i64::from(self.min_raw)) >> self.shift) as usize;
+            i.min(self.table.len() - 1)
+        };
+        let (a, b) = (index(lo.min(hi)), index(lo.max(hi)));
+        let slice = &self.table[a..=b];
+        (
+            slice.iter().copied().min().unwrap_or(0),
+            slice.iter().copied().max().unwrap_or(0),
+        )
+    }
 }
 
 /// A per-`(FixedPoint, Activation)` cache of [`ActLut`]s, shared across

@@ -27,6 +27,7 @@
 use crate::lut::{ActLut, LutCache};
 use crate::{Result, RuntimeError};
 use homunculus_backends::model::{ModelIr, TreeIr, TreeNodeIr};
+use homunculus_ml::bounds::{self, Interval};
 use homunculus_ml::mlp::Activation;
 use homunculus_ml::quantize::{
     fixed_relu, FixedPoint, PackedFixed, PackedSlice, PackedVec, PackedWidth,
@@ -147,13 +148,49 @@ fn lower_store(packed: Option<&PackedFixed>, raw: Vec<i32>) -> Store {
 }
 
 /// One lowered dense layer: quantized weights (row-major `input x output`,
-/// matching the float trainer's storage) and bias in the same Q format.
+/// matching the float trainer's storage) and bias in the same Q format,
+/// plus the interval-analysis facts lowering derived for it.
 #[derive(Debug, Clone, PartialEq)]
 struct DenseKernel {
     weights: Store,
     bias: Vec<i32>,
     input: usize,
     output: usize,
+    /// Proven at lowering: no `i32` accumulator can saturate for any
+    /// admissible input, so the re-orderable fast loop runs without the
+    /// per-call worst-case guard ([`bounds::matvec_bound`]).
+    certified: bool,
+    /// Proven at lowering: every input this layer can receive fits the
+    /// packed lane width, so repacking skips the per-value range scan.
+    /// Replaces the old whole-stack `ActKernel::output_fits_lanes` hint
+    /// with a per-layer derived fact.
+    lane_bounded_input: bool,
+}
+
+/// Interval-analysis facts for one lowered kernel stage, derived during
+/// lowering from the concrete quantized parameters (see
+/// [`homunculus_ml::bounds`]). [`CompiledPipeline::kernel_facts`] exposes
+/// them; the `homunculus-analysis` crate re-surfaces them as
+/// no-saturation certificates, and the classify paths consume the
+/// `certified` / `lane_bounded_input` bits for fast-path selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelFact {
+    /// Human-readable stage label (`"dense layer 0"`, `"svm planes"`, …).
+    pub label: String,
+    /// No `i32` accumulator in this stage can saturate for any
+    /// admissible input, in any evaluation order.
+    pub certified: bool,
+    /// Every input value this stage can receive provably fits the packed
+    /// lane width (trivially true on the scalar tier).
+    pub lane_bounded_input: bool,
+    /// Worst-case accumulator magnitude over all outputs; certification
+    /// is `abs_bound <= i32::MAX`.
+    pub abs_bound: i64,
+    /// Guaranteed per-output value range *before* the activation.
+    pub pre: Vec<Interval>,
+    /// Guaranteed per-output value range *after* the activation (equal
+    /// to `pre` for stages without one, e.g. the final logit layer).
+    pub post: Vec<Interval>,
 }
 
 /// One lowered decision tree: the node arena plus thresholds quantized
@@ -225,15 +262,18 @@ impl ActKernel {
         }
     }
 
-    /// Whether every output this activation can emit provably fits the
-    /// packed lane width, letting the forward pass skip the per-layer
-    /// range scan. LUT outputs are format raws, so they fit whenever the
-    /// format packs at all; ReLU/Linear pass accumulator values through
-    /// and need the dynamic check.
-    fn output_fits_lanes(&self, p: &PackedFixed) -> bool {
+    /// Exact image of [`ActKernel::apply`] over an input interval — the
+    /// interval analyzer's activation transfer function. For LUTs this is
+    /// a *derived* fact ([`ActLut::output_range`]) over the reachable
+    /// table slice, replacing the old whole-table `output_bound` hint.
+    fn output_interval(&self, iv: Interval) -> Interval {
         match self {
-            ActKernel::Relu | ActKernel::Linear => false,
-            ActKernel::Lut(lut) => lut.output_bound() <= p.width().lane_max(),
+            ActKernel::Relu => iv.relu(),
+            ActKernel::Linear => iv,
+            ActKernel::Lut(lut) => {
+                let (lo, hi) = lut.output_range(iv.lo, iv.hi);
+                Interval { lo, hi }
+            }
         }
     }
 
@@ -260,10 +300,17 @@ enum Kernel {
         /// One bias per plane.
         biases: Vec<i32>,
         binary: bool,
+        /// Every plane's dot product is proven saturation-free
+        /// ([`bounds::dot_bound`]) — the packed path skips the per-call
+        /// worst-case guard.
+        certified: bool,
     },
     KMeans {
         /// Centroids, row-major `k x n_features`.
         centroids: Store,
+        /// Every centroid distance is proven saturation-free
+        /// ([`bounds::squared_distance_bound`]).
+        certified: bool,
     },
     Tree(TreeKernel),
     Forest {
@@ -289,6 +336,8 @@ pub struct CompiledPipeline {
     /// Widest intermediate buffer any kernel stage needs.
     width: usize,
     kernel: Kernel,
+    /// Per-stage interval-analysis facts derived at lowering.
+    facts: Vec<KernelFact>,
 }
 
 /// Lowers a trained [`ModelIr`] into a [`CompiledPipeline`].
@@ -370,6 +419,19 @@ impl CompiledPipeline {
     ) -> Result<Self> {
         ir.validate()
             .map_err(|e| RuntimeError::InvalidModel(e.to_string()))?;
+        // Lane interval of the packed tier (None on the scalar tier,
+        // where every lane fact is trivially true).
+        let lane_iv = packed.as_ref().map(|p| Interval {
+            lo: p.width().lane_min(),
+            hi: p.width().lane_max(),
+        });
+        let lane_fits = |ivs: &[Interval]| match lane_iv {
+            Some(lane) => ivs.iter().all(|iv| iv.subset_of(lane)),
+            None => true,
+        };
+        // Sound entry fact: quantization clamps every feature (finite or
+        // not) into the format's raw range.
+        let feature_iv = Interval::quantized(format);
         match ir {
             ModelIr::Dnn(dnn) => {
                 let params = dnn.params.as_ref().ok_or_else(|| {
@@ -383,23 +445,50 @@ impl CompiledPipeline {
                         dims.len()
                     )));
                 }
+                let activation = ActKernel::build(format, dnn.arch.activation, luts);
+                let last = params.len().saturating_sub(1);
                 let mut layers = Vec::with_capacity(params.len());
-                for (layer, (input, output)) in params.iter().zip(dims) {
+                let mut facts = Vec::with_capacity(params.len());
+                let mut x_iv = vec![feature_iv; dnn.arch.input_dim];
+                // Quantized features are format raws, so they always fit
+                // the lane the format packs into.
+                let mut lane_in = true;
+                for (li, (layer, (input, output))) in params.iter().zip(dims).enumerate() {
                     if layer.weights.shape() != (input, output) || layer.bias.len() != output {
                         return Err(RuntimeError::InvalidModel(format!(
                             "dnn layer shape {:?} disagrees with architecture ({input}, {output})",
                             layer.weights.shape()
                         )));
                     }
+                    let qw = format.quantize_slice(layer.weights.as_slice());
+                    let qb = format.quantize_slice(&layer.bias);
+                    let kb = bounds::matvec_bound(format, &qw, &qb, &x_iv);
+                    let post: Vec<Interval> = if li < last {
+                        kb.out
+                            .iter()
+                            .map(|&iv| activation.output_interval(iv))
+                            .collect()
+                    } else {
+                        kb.out.clone()
+                    };
+                    facts.push(KernelFact {
+                        label: format!("dense layer {li}"),
+                        certified: kb.certified,
+                        lane_bounded_input: lane_in,
+                        abs_bound: kb.abs_bound,
+                        pre: kb.out,
+                        post: post.clone(),
+                    });
                     layers.push(DenseKernel {
-                        weights: lower_store(
-                            packed.as_ref(),
-                            format.quantize_slice(layer.weights.as_slice()),
-                        ),
-                        bias: format.quantize_slice(&layer.bias),
+                        weights: lower_store(packed.as_ref(), qw),
+                        bias: qb,
                         input,
                         output,
+                        certified: kb.certified,
+                        lane_bounded_input: lane_in,
                     });
+                    lane_in = lane_fits(&post);
+                    x_iv = post;
                 }
                 let width = layers.iter().map(|l| l.output).max().unwrap_or(0);
                 Ok(CompiledPipeline {
@@ -408,10 +497,8 @@ impl CompiledPipeline {
                     n_features: dnn.arch.input_dim,
                     n_classes: dnn.arch.output_dim,
                     width,
-                    kernel: Kernel::Dnn {
-                        layers,
-                        activation: ActKernel::build(format, dnn.arch.activation, luts),
-                    },
+                    kernel: Kernel::Dnn { layers, activation },
+                    facts,
                 })
             }
             ModelIr::Svm(svm) => {
@@ -434,12 +521,39 @@ impl CompiledPipeline {
                         expected_planes
                     )));
                 }
+                let x_iv = vec![feature_iv; svm.n_features];
                 let mut flat = Vec::with_capacity(weights.len() * svm.n_features);
                 let mut qb = Vec::with_capacity(biases.len());
+                let mut certified = true;
+                let mut abs_bound = 0i64;
+                let mut scores = Vec::with_capacity(weights.len());
                 for (w, &b) in weights.iter().zip(biases) {
-                    flat.extend_from_slice(&format.quantize_slice(w));
-                    qb.push(format.quantize(b));
+                    let qw = format.quantize_slice(w);
+                    let qbias = format.quantize(b);
+                    let kb = bounds::dot_bound(format, &qw, &x_iv);
+                    // The certificate also covers the post-dot bias add:
+                    // "certified" means no saturating op anywhere in the
+                    // kernel can clamp.
+                    let bias_clamps = i64::from(kb.out[0].lo) + i64::from(qbias)
+                        < i64::from(i32::MIN)
+                        || i64::from(kb.out[0].hi) + i64::from(qbias) > i64::from(i32::MAX);
+                    certified &= kb.certified && !bias_clamps;
+                    abs_bound = abs_bound.max(kb.abs_bound);
+                    // saturating_add is monotone and identical in both
+                    // tiers, so the score interval stays exact even if
+                    // the add clamps.
+                    scores.push(kb.out[0].saturating_add(qbias));
+                    flat.extend_from_slice(&qw);
+                    qb.push(qbias);
                 }
+                let facts = vec![KernelFact {
+                    label: "svm planes".into(),
+                    certified,
+                    lane_bounded_input: true,
+                    abs_bound,
+                    pre: scores.clone(),
+                    post: scores,
+                }];
                 let binary = svm.n_classes == 2 && qb.len() == 1;
                 Ok(CompiledPipeline {
                     format,
@@ -451,7 +565,9 @@ impl CompiledPipeline {
                         planes: lower_store(packed.as_ref(), flat),
                         biases: qb,
                         binary,
+                        certified,
                     },
+                    facts,
                 })
             }
             ModelIr::KMeans(km) => {
@@ -463,10 +579,27 @@ impl CompiledPipeline {
                         "kmeans centroids disagree with (k, n_features)".into(),
                     ));
                 }
+                let x_iv = vec![feature_iv; km.n_features];
                 let mut flat = Vec::with_capacity(km.k * km.n_features);
+                let mut certified = true;
+                let mut abs_bound = 0i64;
+                let mut dists = Vec::with_capacity(km.k);
                 for c in centroids {
-                    flat.extend_from_slice(&format.quantize_slice(c));
+                    let qc = format.quantize_slice(c);
+                    let kb = bounds::squared_distance_bound(format, &qc, &x_iv);
+                    certified &= kb.certified;
+                    abs_bound = abs_bound.max(kb.abs_bound);
+                    dists.push(kb.out[0]);
+                    flat.extend_from_slice(&qc);
                 }
+                let facts = vec![KernelFact {
+                    label: "kmeans distances".into(),
+                    certified,
+                    lane_bounded_input: true,
+                    abs_bound,
+                    pre: dists.clone(),
+                    post: dists,
+                }];
                 Ok(CompiledPipeline {
                     format,
                     packed,
@@ -475,7 +608,9 @@ impl CompiledPipeline {
                     width: km.k,
                     kernel: Kernel::KMeans {
                         centroids: lower_store(packed.as_ref(), flat),
+                        certified,
                     },
+                    facts,
                 })
             }
             ModelIr::Tree(tree) => {
@@ -485,6 +620,16 @@ impl CompiledPipeline {
                 // class, but consumers sizing per-class tables still need
                 // the full range.
                 let n_classes = tree.n_classes.unwrap_or(0).max(leaf_classes).max(2);
+                // A tree walk is comparisons only — no accumulator to
+                // saturate; the fact records that triviality explicitly.
+                let facts = vec![KernelFact {
+                    label: "tree walk".into(),
+                    certified: true,
+                    lane_bounded_input: true,
+                    abs_bound: 0,
+                    pre: Vec::new(),
+                    post: Vec::new(),
+                }];
                 Ok(CompiledPipeline {
                     format,
                     packed,
@@ -492,6 +637,7 @@ impl CompiledPipeline {
                     n_classes,
                     width: 0,
                     kernel: Kernel::Tree(kernel),
+                    facts,
                 })
             }
             ModelIr::Forest(forest) => {
@@ -502,6 +648,19 @@ impl CompiledPipeline {
                     n_classes = n_classes.max(leaf_classes).max(tree.n_classes.unwrap_or(0));
                     trees.push(kernel);
                 }
+                // Vote counters are bounded by the number of trees.
+                let votes = Interval {
+                    lo: 0,
+                    hi: trees.len() as i32,
+                };
+                let facts = vec![KernelFact {
+                    label: "forest votes".into(),
+                    certified: true,
+                    lane_bounded_input: true,
+                    abs_bound: trees.len() as i64,
+                    pre: vec![votes; n_classes],
+                    post: vec![votes; n_classes],
+                }];
                 Ok(CompiledPipeline {
                     format,
                     packed,
@@ -510,6 +669,7 @@ impl CompiledPipeline {
                     // The vote counters live in the scratch ping buffer.
                     width: n_classes,
                     kernel: Kernel::Forest { trees },
+                    facts,
                 })
             }
         }
@@ -536,6 +696,20 @@ impl CompiledPipeline {
     /// Number of output classes (clusters for KMeans).
     pub fn n_classes(&self) -> usize {
         self.n_classes
+    }
+
+    /// Per-stage interval-analysis facts derived at lowering: guaranteed
+    /// value ranges and no-saturation certificates for every kernel
+    /// stage (see [`KernelFact`]).
+    pub fn kernel_facts(&self) -> &[KernelFact] {
+        &self.facts
+    }
+
+    /// Whether *every* kernel stage carries a no-saturation certificate —
+    /// the whole pipeline provably runs the re-orderable fast loops with
+    /// exact (unsaturated) `i32` arithmetic for any input.
+    pub fn saturation_certified(&self) -> bool {
+        self.facts.iter().all(|f| f.certified)
     }
 
     /// Short lowercase family name of the lowered model.
@@ -592,6 +766,7 @@ impl CompiledPipeline {
                 planes,
                 biases,
                 binary,
+                ..
             } => {
                 let nf = self.n_features;
                 if *binary {
@@ -605,7 +780,7 @@ impl CompiledPipeline {
                     argmax_i32(&a[..biases.len()])
                 }
             }
-            Kernel::KMeans { centroids } => {
+            Kernel::KMeans { centroids, .. } => {
                 let nf = self.n_features;
                 let mut best = 0usize;
                 let mut best_d = i32::MAX;
@@ -652,25 +827,41 @@ impl CompiledPipeline {
                 planes,
                 biases,
                 binary,
+                certified,
             } => {
                 let nf = self.n_features;
+                let dot = |w: PackedSlice<'_>| {
+                    if *certified {
+                        p.packed_dot_certified(w, row)
+                    } else {
+                        p.packed_dot(w, row)
+                    }
+                };
                 if *binary {
                     let w = planes.packed_range(0, nf);
-                    usize::from(p.packed_dot(w, row).saturating_add(biases[0]) >= 0)
+                    usize::from(dot(w).saturating_add(biases[0]) >= 0)
                 } else {
                     for (pi, score) in a.iter_mut().take(biases.len()).enumerate() {
                         let w = planes.packed_range(pi * nf, nf);
-                        *score = p.packed_dot(w, row).saturating_add(biases[pi]);
+                        *score = dot(w).saturating_add(biases[pi]);
                     }
                     argmax_i32(&a[..biases.len()])
                 }
             }
-            Kernel::KMeans { centroids } => {
+            Kernel::KMeans {
+                centroids,
+                certified,
+            } => {
                 let nf = self.n_features;
                 let mut best = 0usize;
                 let mut best_d = i32::MAX;
                 for i in 0..self.n_classes {
-                    let d = p.packed_squared_distance(centroids.packed_range(i * nf, nf), row);
+                    let c = centroids.packed_range(i * nf, nf);
+                    let d = if *certified {
+                        p.packed_squared_distance_certified(c, row)
+                    } else {
+                        p.packed_squared_distance(c, row)
+                    };
                     if d < best_d {
                         best = i;
                         best_d = d;
@@ -731,7 +922,6 @@ impl CompiledPipeline {
                 if bs.hb.len() < need {
                     bs.hb.resize(need, 0);
                 }
-                let lut_bounded = activation.output_fits_lanes(&p);
                 let last = layers.len() - 1;
                 let mut in_a = false;
                 let mut prev_out = 0usize;
@@ -739,25 +929,34 @@ impl CompiledPipeline {
                     let w = layer.weights.packed_range(0, layer.weights.len());
                     match (li, in_a) {
                         (0, _) => {
-                            p.packed_matvec_block(
-                                w,
-                                &layer.bias,
-                                &bs.px,
-                                rows,
-                                &mut bs.ha[..rows * layer.output],
-                            );
+                            if layer.certified {
+                                p.packed_matvec_block_certified(
+                                    w,
+                                    &layer.bias,
+                                    &bs.px,
+                                    rows,
+                                    &mut bs.ha[..rows * layer.output],
+                                );
+                            } else {
+                                p.packed_matvec_block(
+                                    w,
+                                    &layer.bias,
+                                    &bs.px,
+                                    rows,
+                                    &mut bs.ha[..rows * layer.output],
+                                );
+                            }
                             in_a = true;
                         }
                         (_, true) => {
                             block_matvec_packed_input(
                                 &p,
                                 w,
-                                &layer.bias,
+                                layer,
                                 &bs.ha[..rows * prev_out],
                                 rows,
                                 &mut bs.hb[..rows * layer.output],
                                 &mut bs.pa,
-                                lut_bounded,
                             );
                             in_a = false;
                         }
@@ -765,12 +964,11 @@ impl CompiledPipeline {
                             block_matvec_packed_input(
                                 &p,
                                 w,
-                                &layer.bias,
+                                layer,
                                 &bs.hb[..rows * prev_out],
                                 rows,
                                 &mut bs.ha[..rows * layer.output],
                                 &mut bs.pa,
-                                lut_bounded,
                             );
                             in_a = true;
                         }
@@ -857,7 +1055,7 @@ impl CompiledPipeline {
                         .collect(),
                 )
             }
-            Kernel::KMeans { centroids } => {
+            Kernel::KMeans { centroids, .. } => {
                 let nf = self.n_features;
                 Some(
                     (0..self.n_classes)
@@ -886,22 +1084,42 @@ impl CompiledPipeline {
             Kernel::Dnn { layers, activation } => {
                 Some(dnn_forward_packed(p, layers, activation, row, a, b, pa).to_vec())
             }
-            Kernel::Svm { planes, biases, .. } => {
+            Kernel::Svm {
+                planes,
+                biases,
+                certified,
+                ..
+            } => {
                 let nf = self.n_features;
                 Some(
                     (0..biases.len())
                         .map(|pi| {
-                            p.packed_dot(planes.packed_range(pi * nf, nf), row)
-                                .saturating_add(biases[pi])
+                            let w = planes.packed_range(pi * nf, nf);
+                            let dot = if *certified {
+                                p.packed_dot_certified(w, row)
+                            } else {
+                                p.packed_dot(w, row)
+                            };
+                            dot.saturating_add(biases[pi])
                         })
                         .collect(),
                 )
             }
-            Kernel::KMeans { centroids } => {
+            Kernel::KMeans {
+                centroids,
+                certified,
+            } => {
                 let nf = self.n_features;
                 Some(
                     (0..self.n_classes)
-                        .map(|i| p.packed_squared_distance(centroids.packed_range(i * nf, nf), row))
+                        .map(|i| {
+                            let c = centroids.packed_range(i * nf, nf);
+                            if *certified {
+                                p.packed_squared_distance_certified(c, row)
+                            } else {
+                                p.packed_squared_distance(c, row)
+                            }
+                        })
                         .collect(),
                 )
             }
@@ -974,7 +1192,7 @@ impl CompiledPipeline {
                     .fold(0.0f32, f32::max);
                 Some(err)
             }
-            Kernel::KMeans { centroids } => {
+            Kernel::KMeans { centroids, .. } => {
                 let d = self.n_features as f32;
                 let bound = input_bound.max(
                     (0..centroids.len())
@@ -986,6 +1204,197 @@ impl CompiledPipeline {
                 Some(d * ((4.0 * bound + 2.0 * eq) * 2.0 * eq + step))
             }
             Kernel::Tree(_) | Kernel::Forest { .. } => None,
+        }
+    }
+
+    /// Replays one packet through the exact scalar semantics, recording
+    /// every intermediate value and whether any saturating operation
+    /// actually clamped. This is the oracle the interval analyzer is
+    /// validated against: each recorded stage must lie inside the
+    /// corresponding [`KernelFact`] interval, and a `certified` fact must
+    /// never observe `saturated`. Not a hot path — allocates freely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != self.n_features()`.
+    pub fn trace(&self, features: &[f32]) -> PipelineTrace {
+        assert_eq!(features.len(), self.n_features, "feature count mismatch");
+        let qx: Vec<i32> = features.iter().map(|&v| self.format.quantize(v)).collect();
+        let mut stages = vec![TraceStage {
+            label: "quantized features".into(),
+            values: qx.clone(),
+        }];
+        let mut saturated = false;
+        let verdict = match &self.kernel {
+            Kernel::Dnn { layers, activation } => {
+                let last = layers.len().saturating_sub(1);
+                let mut x = qx;
+                for (li, layer) in layers.iter().enumerate() {
+                    let mut out = vec![0i32; layer.output];
+                    matvec_trace(self.format, layer, &x, &mut out, &mut saturated);
+                    stages.push(TraceStage {
+                        label: format!("dense layer {li} pre-activation"),
+                        values: out.clone(),
+                    });
+                    if li < last {
+                        for v in &mut out {
+                            *v = activation.apply(*v);
+                        }
+                        stages.push(TraceStage {
+                            label: format!("dense layer {li} activation"),
+                            values: out.clone(),
+                        });
+                    }
+                    x = out;
+                }
+                argmax_i32(&x)
+            }
+            Kernel::Svm {
+                planes,
+                biases,
+                binary,
+                ..
+            } => {
+                let nf = self.n_features;
+                let scores: Vec<i32> = biases
+                    .iter()
+                    .enumerate()
+                    .map(|(pi, &b)| {
+                        let mut acc = 0i32;
+                        for (k, &xv) in qx.iter().enumerate() {
+                            let t = fixed_mul_detect(
+                                self.format,
+                                planes.get(pi * nf + k),
+                                xv,
+                                &mut saturated,
+                            );
+                            acc = sat_add_detect(acc, t, &mut saturated);
+                        }
+                        sat_add_detect(acc, b, &mut saturated)
+                    })
+                    .collect();
+                let verdict = if *binary {
+                    usize::from(scores[0] >= 0)
+                } else {
+                    argmax_i32(&scores)
+                };
+                stages.push(TraceStage {
+                    label: "svm scores".into(),
+                    values: scores,
+                });
+                verdict
+            }
+            Kernel::KMeans { centroids, .. } => {
+                let nf = self.n_features;
+                let dists: Vec<i32> = (0..self.n_classes)
+                    .map(|i| {
+                        let mut acc = 0i32;
+                        for (k, &xv) in qx.iter().enumerate() {
+                            let c = centroids.get(i * nf + k);
+                            let d = xv.saturating_sub(c);
+                            if i64::from(d) != i64::from(xv) - i64::from(c) {
+                                saturated = true;
+                            }
+                            let t = fixed_mul_detect(self.format, d, d, &mut saturated);
+                            acc = sat_add_detect(acc, t, &mut saturated);
+                        }
+                        acc
+                    })
+                    .collect();
+                let mut best = 0usize;
+                for (i, &d) in dists.iter().enumerate() {
+                    if d < dists[best] {
+                        best = i;
+                    }
+                }
+                stages.push(TraceStage {
+                    label: "kmeans distances".into(),
+                    values: dists,
+                });
+                best
+            }
+            Kernel::Tree(tree) => tree.walk(|f| qx[f]),
+            Kernel::Forest { trees } => {
+                let mut votes = vec![0i32; self.n_classes];
+                for tree in trees {
+                    votes[tree.walk(|f| qx[f])] += 1;
+                }
+                let verdict = argmax_i32(&votes);
+                stages.push(TraceStage {
+                    label: "forest votes".into(),
+                    values: votes,
+                });
+                verdict
+            }
+        };
+        PipelineTrace {
+            stages,
+            saturated,
+            verdict,
+        }
+    }
+}
+
+/// One recorded intermediate stage of a [`CompiledPipeline::trace`]
+/// replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStage {
+    /// Stage label, aligned with the [`KernelFact`] labels where a fact
+    /// exists for the stage.
+    pub label: String,
+    /// The exact intermediate values the scalar semantics produced.
+    pub values: Vec<i32>,
+}
+
+/// Result of [`CompiledPipeline::trace`]: the recorded intermediates,
+/// whether any saturating operation clamped, and the verdict (identical
+/// to [`CompiledPipeline::classify`] on the same features).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineTrace {
+    /// Recorded intermediate stages, in execution order.
+    pub stages: Vec<TraceStage>,
+    /// Whether any saturating multiply/add/sub actually clamped.
+    pub saturated: bool,
+    /// The classification verdict.
+    pub verdict: usize,
+}
+
+/// `fixed_mul` that also reports whether the product clamped.
+fn fixed_mul_detect(format: FixedPoint, a: i32, b: i32, saturated: &mut bool) -> i32 {
+    let r = format.fixed_mul(a, b);
+    if i64::from(r) != (i64::from(a) * i64::from(b)) >> format.frac_bits() {
+        *saturated = true;
+    }
+    r
+}
+
+/// `saturating_add` that also reports whether the sum clamped.
+fn sat_add_detect(acc: i32, term: i32, saturated: &mut bool) -> i32 {
+    let r = acc.saturating_add(term);
+    if i64::from(r) != i64::from(acc) + i64::from(term) {
+        *saturated = true;
+    }
+    r
+}
+
+/// Element-order-exact replay of [`FixedPoint::fixed_matvec`] off either
+/// storage tier, with saturation detection.
+fn matvec_trace(
+    format: FixedPoint,
+    layer: &DenseKernel,
+    x: &[i32],
+    out: &mut [i32],
+    saturated: &mut bool,
+) {
+    out.copy_from_slice(&layer.bias);
+    for (k, &xv) in x.iter().enumerate() {
+        if xv == 0 {
+            continue;
+        }
+        for (j, o) in out.iter_mut().enumerate() {
+            let w = layer.weights.get(k * layer.output + j);
+            let t = fixed_mul_detect(format, xv, w, saturated);
+            *o = sat_add_detect(*o, t, saturated);
         }
     }
 }
@@ -1118,59 +1527,65 @@ fn dnn_forward<'s>(
     }
 }
 
-/// One packed matvec whose input is an `i32` activation slice: repack it
-/// to lanes when it fits (always, for LUT activations), otherwise replay
-/// on the wide kernel — either way the outputs match the scalar path bit
-/// for bit.
+/// One packed matvec whose input is an `i32` activation slice, steered by
+/// the layer's derived interval facts: a `lane_bounded_input` proof skips
+/// the per-value range scan, a `certified` proof skips the worst-case
+/// saturation guard, and anything unproven falls back to the dynamic
+/// check / wide replay — either way the outputs match the scalar path
+/// bit for bit.
 fn matvec_packed_input(
     p: &PackedFixed,
     w: PackedSlice<'_>,
-    bias: &[i32],
+    layer: &DenseKernel,
     x: &[i32],
     out: &mut [i32],
     pa: &mut PackedVec,
-    statically_bounded: bool,
 ) {
-    if statically_bounded {
+    if layer.lane_bounded_input {
         p.pack_into(x, pa);
-        p.packed_matvec(w, bias, pa.as_slice(), out);
-    } else if p.pack_checked(x, pa) {
-        p.packed_matvec(w, bias, pa.as_slice(), out);
+    } else if !p.pack_checked(x, pa) {
+        p.packed_matvec_wide(w, &layer.bias, x, out);
+        return;
+    }
+    if layer.certified {
+        p.packed_matvec_certified(w, &layer.bias, pa.as_slice(), out);
     } else {
-        p.packed_matvec_wide(w, bias, x, out);
+        p.packed_matvec(w, &layer.bias, pa.as_slice(), out);
     }
 }
 
 /// Block variant of [`matvec_packed_input`]: repacks a whole block of
 /// activations at once, falling back to per-row wide replay only when an
 /// activation overflows the lane range.
-#[allow(clippy::too_many_arguments)]
 fn block_matvec_packed_input(
     p: &PackedFixed,
     w: PackedSlice<'_>,
-    bias: &[i32],
+    layer: &DenseKernel,
     x: &[i32],
     rows: usize,
     out: &mut [i32],
     pa: &mut PackedVec,
-    statically_bounded: bool,
 ) {
-    if statically_bounded {
+    if layer.lane_bounded_input {
         p.pack_into(x, pa);
     } else if !p.pack_checked(x, pa) {
         let input = x.len() / rows;
-        let output = bias.len();
+        let output = layer.bias.len();
         for r in 0..rows {
             p.packed_matvec_wide(
                 w,
-                bias,
+                &layer.bias,
                 &x[r * input..(r + 1) * input],
                 &mut out[r * output..(r + 1) * output],
             );
         }
         return;
     }
-    p.packed_matvec_block(w, bias, pa, rows, out);
+    if layer.certified {
+        p.packed_matvec_block_certified(w, &layer.bias, pa, rows, out);
+    } else {
+        p.packed_matvec_block(w, &layer.bias, pa, rows, out);
+    }
 }
 
 /// Runs the quantized dense stack on packed weights, bit-identical to
@@ -1184,7 +1599,6 @@ fn dnn_forward_packed<'s>(
     b: &'s mut [i32],
     pa: &mut PackedVec,
 ) -> &'s [i32] {
-    let lut_bounded = activation.output_fits_lanes(p);
     let last = layers.len() - 1;
     let mut in_a = false;
     let mut prev_out = 0usize;
@@ -1192,31 +1606,19 @@ fn dnn_forward_packed<'s>(
         let w = layer.weights.packed_range(0, layer.weights.len());
         match (li, in_a) {
             (0, _) => {
-                p.packed_matvec(w, &layer.bias, row, &mut a[..layer.output]);
+                if layer.certified {
+                    p.packed_matvec_certified(w, &layer.bias, row, &mut a[..layer.output]);
+                } else {
+                    p.packed_matvec(w, &layer.bias, row, &mut a[..layer.output]);
+                }
                 in_a = true;
             }
             (_, true) => {
-                matvec_packed_input(
-                    p,
-                    w,
-                    &layer.bias,
-                    &a[..prev_out],
-                    &mut b[..layer.output],
-                    pa,
-                    lut_bounded,
-                );
+                matvec_packed_input(p, w, layer, &a[..prev_out], &mut b[..layer.output], pa);
                 in_a = false;
             }
             (_, false) => {
-                matvec_packed_input(
-                    p,
-                    w,
-                    &layer.bias,
-                    &b[..prev_out],
-                    &mut a[..layer.output],
-                    pa,
-                    lut_bounded,
-                );
+                matvec_packed_input(p, w, layer, &b[..prev_out], &mut a[..layer.output], pa);
                 in_a = true;
             }
         }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # homunculus-sim
 //!
 //! Simulators standing in for the paper's feasibility-testing

@@ -42,8 +42,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .grid(16, 16);
     platform.schedule(model)?;
 
-    // 4. Compile, stage by stage: every handle is a checkpoint.
-    let session = Compiler::new(CompilerOptions::fast()).open(&platform)?;
+    // 4. Compile, stage by stage: every handle is a checkpoint. The
+    //    static verification gate is on: the check stage also runs the
+    //    interval analyzer over the final models and refuses error-grade
+    //    defects (non-finite weights, width mismatches, ...).
+    let session = Compiler::new(CompilerOptions::fast())
+        .verify_artifacts(true)
+        .open(&platform)?;
     let searched = session.search()?;
     println!(
         "\nsearch: {} BO evaluations across {} model(s)",
@@ -78,6 +83,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for line in best.code.lines().take(25) {
         println!("{line}");
     }
+
+    // The same analysis is available on the artifact: per-kernel interval
+    // bounds proving no i32 accumulator can saturate, for any input.
+    let analysis = artifact.analyze();
+    println!("\n--- static verification ---");
+    print!("{}", analysis.render());
 
     // 5. Persist: the artifact outlives this process. A later deployment
     //    loads the JSON, re-lowers the IRs, and serves bit-identical

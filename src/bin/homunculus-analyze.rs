@@ -1,0 +1,112 @@
+//! `homunculus-analyze` — the static verification gate as a CLI.
+//!
+//! Lints saved compile artifacts (`homunculus.artifact/v1`, JSON or the
+//! `HJB1` binary framing) and reports interval-analysis certificates plus
+//! `HA`-coded diagnostics:
+//!
+//! ```text
+//! homunculus-analyze [--json] <artifact>...
+//! ```
+//!
+//! Exit status: `0` when every artifact is error-free (warnings allowed),
+//! `1` when any error-severity diagnostic fires (including artifacts that
+//! do not parse at all, reported as `HA0000`), `2` on usage errors.
+//!
+//! Unlike `CompiledArtifact::load_json`, which refuses defective
+//! artifacts outright, this tool decodes *leniently* so a broken artifact
+//! still yields a complete lint report — that is what makes it usable as
+//! a CI gate over artifact corpora (`make lint-artifacts`).
+
+use homunculus::analysis::{self, ArtifactAnalysis, DiagCode, Diagnostic, Severity};
+use serde_json::{json, ToJson, Value};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: homunculus-analyze [--json] <artifact>...");
+    eprintln!("  lints homunculus.artifact/v1 files (JSON or HJB1 binary)");
+    eprintln!("  exits 1 if any error-severity diagnostic fires");
+    ExitCode::from(2)
+}
+
+/// Parses one artifact file into a JSON document, picking the decoder by
+/// sniffing the `HJB1` magic.
+fn parse_artifact(bytes: &[u8]) -> Result<Value, String> {
+    if serde_json::sniff_binary(bytes) {
+        serde_json::from_slice_binary(bytes).map_err(|e| e.to_string())
+    } else {
+        let text = std::str::from_utf8(bytes).map_err(|e| e.to_string())?;
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+}
+
+/// Analyzes one path; I/O and parse failures become `HA0000` so the
+/// report shape is uniform.
+fn analyze_path(path: &str) -> ArtifactAnalysis {
+    let undecodable = |message: String| ArtifactAnalysis {
+        models: Vec::new(),
+        artifact_diagnostics: vec![Diagnostic {
+            code: DiagCode::Undecodable,
+            severity: Severity::Error,
+            model: None,
+            message,
+        }],
+    };
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) => return undecodable(format!("cannot read: {e}")),
+    };
+    match parse_artifact(&bytes) {
+        Ok(document) => analysis::analyze_artifact(&document),
+        Err(e) => undecodable(format!("artifact does not parse: {e}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut as_json = false;
+    let mut paths: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => as_json = true,
+            "--help" | "-h" => return usage(),
+            _ if arg.starts_with('-') => {
+                eprintln!("unknown flag: {arg}");
+                return usage();
+            }
+            _ => paths.push(arg),
+        }
+    }
+    if paths.is_empty() {
+        return usage();
+    }
+
+    let mut failed = false;
+    let mut reports: Vec<Value> = Vec::new();
+    for path in &paths {
+        let analysis = analyze_path(path);
+        failed |= analysis.has_errors();
+        if as_json {
+            let mut doc = analysis.to_json();
+            if let Value::Object(map) = &mut doc {
+                map.insert("artifact".to_string(), json!(path.clone()));
+            }
+            reports.push(doc);
+        } else {
+            print!("{path}: {}", analysis.render());
+        }
+    }
+    if as_json {
+        let doc = json!({ "reports": reports, "failed": failed });
+        match serde_json::to_string_pretty(&doc) {
+            Ok(text) => println!("{text}"),
+            Err(e) => {
+                eprintln!("cannot render report: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # Homunculus
 //!
 //! A Rust reproduction of *"Homunculus: Auto-Generating Efficient Data-Plane
@@ -29,6 +30,11 @@
 //!   workers, ticket-based submission, and weighted tenant QoS, plus the
 //!   call-at-a-time `PipelineServer` shim (shared activation LUTs in
 //!   both).
+//! - [`analysis`] — the static verification layer: interval analysis over
+//!   compiled pipelines (per-kernel no-saturation certificates) and an
+//!   artifact linter with stable `HA`-prefixed diagnostic codes, exposed
+//!   as the `homunculus-analyze` CLI, an opt-in compile-session gate, and
+//!   a validation hook on artifact loads.
 //! - [`sim`] — cycle-level MapReduce-grid and MAT-pipeline simulators.
 //! - [`core`] — the Alchemy DSL and the compiler itself: a **staged
 //!   `Compiler` session** whose typed handles expose every phase of a
@@ -105,6 +111,7 @@
 //! shim still runs every stage back to back and produces bit-identical
 //! artifacts.
 
+pub use homunculus_analysis as analysis;
 pub use homunculus_backends as backends;
 pub use homunculus_core as core;
 pub use homunculus_dataplane as dataplane;

@@ -1,0 +1,292 @@
+//! Soundness of the static analyzer against the exact runtime semantics.
+//!
+//! For random models across all five families, random fixed-point
+//! formats, and random (arbitrarily out-of-range) inputs:
+//!
+//! - every intermediate value the saturating scalar replay
+//!   ([`CompiledPipeline::trace`]) produces lies inside the interval the
+//!   analyzer derived for that stage at lowering time;
+//! - every pipeline certified saturation-free observes **zero** clamping
+//!   saturating operations in the replay;
+//! - the replay verdict equals [`CompiledPipeline::classify`];
+//! - the `homunculus-analysis` certificates agree with the runtime's
+//!   [`KernelFact`]s they re-surface.
+//!
+//! [`CompiledPipeline::trace`]: homunculus::runtime::CompiledPipeline::trace
+//! [`CompiledPipeline::classify`]: homunculus::runtime::CompiledPipeline::classify
+//! [`KernelFact`]: homunculus::runtime::pipeline::KernelFact
+
+use homunculus::analysis::{analyze_model, ModelInput};
+use homunculus::backends::model::{
+    DnnIr, ForestIr, KMeansIr, LayerParams, ModelIr, SvmIr, TreeIr, TreeNodeIr,
+};
+use homunculus::ml::bounds::Interval;
+use homunculus::ml::mlp::MlpArchitecture;
+use homunculus::ml::quantize::FixedPoint;
+use homunculus::ml::tensor::Matrix;
+use homunculus::runtime::pipeline::KernelFact;
+use homunculus::runtime::{Compile, CompiledPipeline, Scratch};
+use proptest::prelude::*;
+
+/// The formats the lowering is exercised under: the Taurus word format,
+/// a couple of narrow ones (easy to saturate), and a 29-bit one that is
+/// too wide for any packed lane (scalar tier).
+fn format(idx: usize) -> FixedPoint {
+    let (int_bits, frac_bits) = [(3, 12), (7, 8), (2, 4), (12, 16)][idx % 4];
+    FixedPoint::new(int_bits, frac_bits).unwrap()
+}
+
+/// Weight pools are drawn from `-9.0..9.0` — beyond every format's
+/// representable range, so quantization clamps some of them; the
+/// analyzer must stay sound through that.
+struct Pool {
+    values: Vec<f32>,
+    next: usize,
+}
+
+impl Pool {
+    fn new(values: Vec<f32>) -> Self {
+        Pool { values, next: 0 }
+    }
+
+    fn draw(&mut self) -> f32 {
+        let v = self.values[self.next % self.values.len()];
+        self.next += 1;
+        v
+    }
+}
+
+/// A complete binary tree of `depth` laid out level by level: internal
+/// nodes `0..2^depth - 1`, leaves after them — a valid arena for any
+/// feature/threshold assignment.
+fn full_tree(depth: usize, n_features: usize, n_classes: usize, pool: &mut Pool) -> TreeIr {
+    let internal = (1usize << depth) - 1;
+    let total = (1usize << (depth + 1)) - 1;
+    let nodes: Vec<TreeNodeIr> = (0..total)
+        .map(|i| {
+            if i < internal {
+                TreeNodeIr::Split {
+                    feature: i % n_features,
+                    threshold: pool.draw(),
+                    left: 2 * i + 1,
+                    right: 2 * i + 2,
+                }
+            } else {
+                TreeNodeIr::Leaf {
+                    class: i % n_classes,
+                }
+            }
+        })
+        .collect();
+    TreeIr {
+        depth,
+        n_features,
+        leaves: 1 << depth,
+        n_classes: Some(n_classes),
+        nodes: Some(nodes),
+    }
+}
+
+/// Builds one trained model of the chosen family, all parameters drawn
+/// from the pool. `a`/`b`/`c` are small dimension seeds.
+fn build_model(family: usize, a: usize, b: usize, c: usize, pool: &mut Pool) -> ModelIr {
+    match family % 5 {
+        0 => {
+            let arch = MlpArchitecture::new(a, vec![b], 2 + c % 3);
+            let params = arch
+                .layer_dims()
+                .iter()
+                .map(|&(rows, cols)| LayerParams {
+                    weights: Matrix::from_fn(rows, cols, |_, _| pool.draw()),
+                    bias: (0..cols).map(|_| pool.draw()).collect(),
+                })
+                .collect();
+            ModelIr::Dnn(DnnIr {
+                arch,
+                params: Some(params),
+            })
+        }
+        1 => {
+            let n_classes = 2 + c % 3;
+            let planes = if n_classes == 2 { 1 } else { n_classes };
+            let weights: Vec<Vec<f32>> = (0..planes)
+                .map(|_| (0..a).map(|_| pool.draw()).collect())
+                .collect();
+            let biases: Vec<f32> = (0..planes).map(|_| pool.draw()).collect();
+            ModelIr::Svm(SvmIr {
+                n_features: a,
+                n_classes,
+                planes: Some((weights, biases)),
+            })
+        }
+        2 => {
+            let k = 1 + b % 5;
+            let centroids: Vec<Vec<f32>> = (0..k)
+                .map(|_| (0..a).map(|_| pool.draw()).collect())
+                .collect();
+            ModelIr::KMeans(KMeansIr {
+                k,
+                n_features: a,
+                centroids: Some(centroids),
+            })
+        }
+        3 => ModelIr::Tree(full_tree(1 + b % 3, a, 2 + c % 3, pool)),
+        _ => {
+            let n_classes = 2 + c % 3;
+            let trees: Vec<TreeIr> = (0..1 + c % 3)
+                .map(|_| full_tree(1 + b % 3, a, n_classes, pool))
+                .collect();
+            ModelIr::Forest(ForestIr {
+                n_features: a,
+                n_classes,
+                trees,
+            })
+        }
+    }
+}
+
+/// The analyzer interval a trace stage's values must lie in, when a
+/// matching [`KernelFact`] exists. Trace labels suffix the fact labels
+/// (`"dense layer 0 pre-activation"` → fact `"dense layer 0"`).
+fn stage_intervals<'f>(label: &str, facts: &'f [KernelFact]) -> Option<&'f [Interval]> {
+    if let Some(fact_label) = label.strip_suffix(" pre-activation") {
+        return facts
+            .iter()
+            .find(|f| f.label == fact_label)
+            .map(|f| f.pre.as_slice());
+    }
+    if let Some(fact_label) = label.strip_suffix(" activation") {
+        return facts
+            .iter()
+            .find(|f| f.label == fact_label)
+            .map(|f| f.post.as_slice());
+    }
+    let fact_label = match label {
+        "svm scores" => "svm planes",
+        other => other,
+    };
+    facts
+        .iter()
+        .find(|f| f.label == fact_label)
+        .map(|f| f.post.as_slice())
+}
+
+/// The core soundness oracle: replay the exact saturating scalar
+/// semantics and hold every recorded intermediate to the analyzer's
+/// predictions.
+fn check_soundness(pipeline: &CompiledPipeline, fmt: FixedPoint, features: &[f32]) {
+    let facts = pipeline.kernel_facts();
+    let trace = pipeline.trace(features);
+    let mut scratch = Scratch::new();
+    assert_eq!(
+        trace.verdict,
+        pipeline.classify(features, &mut scratch),
+        "trace and classify disagree"
+    );
+    if pipeline.saturation_certified() {
+        assert!(
+            !trace.saturated,
+            "certified pipeline observed a clamping saturating op"
+        );
+    }
+    for stage in &trace.stages {
+        if stage.label == "quantized features" {
+            let iv = Interval::quantized(fmt);
+            for &v in &stage.values {
+                assert!(iv.contains(v), "{}: {v} outside {iv:?}", stage.label);
+            }
+            continue;
+        }
+        let Some(intervals) = stage_intervals(&stage.label, facts) else {
+            continue;
+        };
+        assert_eq!(
+            intervals.len(),
+            stage.values.len(),
+            "fact width mismatch at '{}'",
+            stage.label
+        );
+        for (j, (&v, iv)) in stage.values.iter().zip(intervals).enumerate() {
+            assert!(
+                iv.contains(v),
+                "{}[{j}]: value {v} outside predicted {iv:?}",
+                stage.label
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    #[test]
+    fn prop_runtime_stays_inside_predicted_intervals(
+        family in 0usize..5,
+        a in 1usize..8,
+        b in 1usize..8,
+        c in 0usize..9,
+        fmt_idx in 0usize..4,
+        pool in proptest::collection::vec(-9.0f32..9.0, 40..200),
+        rows in proptest::collection::vec(-100.0f32..100.0, 10..60),
+    ) {
+        let ir = build_model(family, a, b, c, &mut Pool::new(pool));
+        let fmt = format(fmt_idx);
+        let pipeline = ir.compile(fmt).unwrap();
+        let nf = pipeline.n_features();
+        for row in rows.chunks(nf.max(1)) {
+            let features: Vec<f32> = row.iter().copied().cycle().take(nf).collect();
+            check_soundness(&pipeline, fmt, &features);
+        }
+    }
+
+    #[test]
+    fn prop_certificates_mirror_kernel_facts(
+        family in 0usize..5,
+        a in 1usize..8,
+        b in 1usize..8,
+        c in 0usize..9,
+        fmt_idx in 0usize..4,
+        pool in proptest::collection::vec(-9.0f32..9.0, 40..200),
+    ) {
+        let ir = build_model(family, a, b, c, &mut Pool::new(pool));
+        let fmt = format(fmt_idx);
+        let pipeline = ir.compile(fmt).unwrap();
+        let analysis = analyze_model(&ModelInput {
+            name: "prop",
+            ir: &ir,
+            format: fmt,
+            normalizer: None,
+            word_bits: None,
+        });
+        assert!(analysis.analyzed);
+        let facts = pipeline.kernel_facts();
+        assert_eq!(analysis.certificates.len(), facts.len());
+        for (cert, fact) in analysis.certificates.iter().zip(facts) {
+            assert_eq!(cert.kernel, fact.label);
+            assert_eq!(cert.certified, fact.certified);
+            assert_eq!(cert.abs_bound, fact.abs_bound);
+        }
+        assert_eq!(analysis.saturation_certified(), pipeline.saturation_certified());
+    }
+
+    #[test]
+    fn prop_extreme_inputs_stay_inside_intervals(
+        family in 0usize..5,
+        a in 1usize..8,
+        b in 1usize..8,
+        c in 0usize..9,
+        fmt_idx in 0usize..4,
+        pool in proptest::collection::vec(-9.0f32..9.0, 40..200),
+    ) {
+        // Quantization clamps everything — including non-finite floats —
+        // into [min_raw, max_raw], so even these inputs are "admissible"
+        // and the derived intervals must hold.
+        let ir = build_model(family, a, b, c, &mut Pool::new(pool));
+        let fmt = format(fmt_idx);
+        let pipeline = ir.compile(fmt).unwrap();
+        for fill in [f32::MAX, f32::MIN, f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 0.0] {
+            let features = vec![fill; pipeline.n_features()];
+            check_soundness(&pipeline, fmt, &features);
+        }
+    }
+}
