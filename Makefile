@@ -74,20 +74,25 @@ bench-smoke:
 	$(CARGO) run --release -p homunculus-bench --bin serving_throughput -- --smoke --out BENCH_serving.json
 	$(CARGO) run --release -p homunculus-bench --bin deployment_throughput -- --smoke --out BENCH_deploy.json
 	$(CARGO) run --release -p homunculus-bench --bin compile_stages -- --smoke --resume --out BENCH_compile.json
+	$(CARGO) run --release -p homunculus-bench --bin fleet_throughput -- --smoke --out BENCH_fleet.json
 
 examples:
 	$(CARGO) build --release --examples
 
 # The static verification gate over real artifacts: run the examples
 # that save compile artifacts (quickstart emits JSON, the chaining
-# example both JSON-loads and re-saves), then lint every produced file
-# with `homunculus-analyze`. The seeded-defect corpus (exact HA codes,
-# nonzero CLI exits) rides in the `static_analysis` integration test.
+# example both JSON-loads and re-saves, fleet_serving replicates its
+# artifact across a 20-switch fat-tree and asserts bit-identical fleet
+# verdicts), then lint every produced file with `homunculus-analyze`.
+# The seeded-defect corpus (exact HA codes, nonzero CLI exits) rides in
+# the `static_analysis` integration test.
 lint-artifacts:
 	$(CARGO) run --release --example quickstart >/dev/null
 	$(CARGO) run --release --example multi_app_chaining >/dev/null
+	$(CARGO) run --release --example fleet_serving >/dev/null
 	$(CARGO) run --release --bin homunculus-analyze -- \
 		"$${TMPDIR:-/tmp}/homunculus_quickstart.artifact.json" \
-		"$${TMPDIR:-/tmp}/homunculus_chain.artifact.json"
+		"$${TMPDIR:-/tmp}/homunculus_chain.artifact.json" \
+		"$${TMPDIR:-/tmp}/homunculus_fleet.artifact.json"
 	$(CARGO) test -q --release --test static_analysis >/dev/null
 	@echo "lint-artifacts: example artifacts are error-free"

@@ -1,0 +1,294 @@
+//! Fleet serving benchmark: a topology of per-switch deployments routing
+//! multi-hop flows, at three fleet sizes. Writes `BENCH_fleet.json`.
+//!
+//! Three claims, measured:
+//!
+//! - **scale**: aggregate classified pkt/s and Jain edge-load fairness
+//!   at 4, 16, and 48 switches (leaf-spine fabrics of growing radix);
+//! - **bit determinism**: the fleet-wide verdict checksum is identical
+//!   across per-switch worker shapes 1/2/4 — asserted, not sampled;
+//! - **calibration**: the measured per-packet wall-clock latency against
+//!   the grid simulator's cycle-accurate estimate for the same model
+//!   (the `wall_to_cycle_ratio` ties software serving numbers back to
+//!   the paper's hardware latency claims).
+//!
+//! Run with: `cargo run --release -p homunculus-bench --bin fleet_throughput`
+//! Flags: `--flows N` (per fleet), `--rows N` (packets per flow),
+//! `--out PATH`, `--smoke` (tiny workload, no throughput assertion).
+
+use homunculus_backends::model::{DnnIr, ModelIr};
+use homunculus_bench::{ad_dataset, banner, print_row, EmitterMeta};
+use homunculus_fleet::{
+    Calibration, Fleet, FleetReport, FleetStats, FlowSpec, HopPolicy, RoutingPolicy, SwitchRole,
+    Topology,
+};
+use homunculus_ml::mlp::{Activation, Mlp, MlpArchitecture};
+use homunculus_ml::quantize::FixedPoint;
+use homunculus_ml::tensor::Matrix;
+use serde_json::json;
+
+/// (label, leaves, spines) — leaf-spine fabrics of 4, 16, and 48
+/// switches.
+const SCALES: [(usize, usize, usize); 3] = [(4, 3, 1), (16, 12, 4), (48, 36, 12)];
+const DETERMINISM_WORKERS: [usize; 3] = [1, 2, 4];
+/// Anomalous class gated at the ingress edge.
+const GATE_CLASS: usize = 1;
+
+struct Args {
+    flows: usize,
+    rows: usize,
+    out: String,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        flows: 64,
+        rows: 256,
+        out: "BENCH_fleet.json".into(),
+        smoke: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--flows" => {
+                args.flows = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .expect("--flows takes a positive integer");
+            }
+            "--rows" => {
+                args.rows = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .expect("--rows takes a positive integer");
+            }
+            "--out" => args.out = iter.next().expect("--out takes a path"),
+            "--smoke" => args.smoke = true,
+            other => panic!("unknown flag {other} (expected --flows/--rows/--out/--smoke)"),
+        }
+    }
+    if args.smoke {
+        args.flows = args.flows.min(24);
+        args.rows = args.rows.min(48);
+    }
+    args
+}
+
+fn fleet_model() -> ModelIr {
+    let arch = MlpArchitecture::new(7, vec![16, 8], 2).with_activation(Activation::Sigmoid);
+    ModelIr::Dnn(DnnIr::from_mlp(&Mlp::new(&arch, 7).expect("valid arch")))
+}
+
+/// Builds a `rows`-row stream by cycling the rows of `x`, phase-shifted
+/// per flow so flows are not byte-identical.
+fn flow_stream(x: &Matrix, rows: usize, flow: usize) -> Matrix {
+    Matrix::from_fn(rows, x.cols(), |r, c| x[((r + flow * 7) % x.rows(), c)])
+}
+
+/// Edge pairs for `flows` flows over the fleet's edge switches —
+/// deterministic, src != dst, spread over all pairs.
+fn make_flows(topology: &Topology, features: &Matrix, flows: usize, rows: usize) -> Vec<FlowSpec> {
+    let edges = topology.edge_switches();
+    assert!(edges.len() >= 2, "bench fabrics have >= 2 edge switches");
+    (0..flows)
+        .map(|f| {
+            let src = edges[f % edges.len()];
+            let dst = edges[(f + 1 + f / edges.len()) % edges.len()];
+            let dst = if dst == src {
+                edges[(f + 2) % edges.len()]
+            } else {
+                dst
+            };
+            FlowSpec::new(f as u64, src, dst, flow_stream(features, rows, f))
+        })
+        .collect()
+}
+
+/// Gate anomalies at the ingress edge, forward (and re-tag) everywhere
+/// else.
+fn routing_policy() -> RoutingPolicy {
+    RoutingPolicy::uniform(HopPolicy::forward("ad"))
+        .with_role(SwitchRole::Edge, HopPolicy::gate("ad", GATE_CLASS))
+}
+
+fn build_fleet(topology: Topology, ir: &ModelIr, workers: usize) -> Fleet {
+    Fleet::builder(topology)
+        .model("ad", ir, FixedPoint::taurus_default(), None)
+        .place_everywhere("ad")
+        .workers(workers)
+        .build()
+        .expect("fleet builds")
+}
+
+fn run_fleet(fleet: &Fleet, flows: &[FlowSpec]) -> (FleetReport, FleetStats) {
+    let report = fleet.run(flows, &routing_policy()).expect("fleet runs");
+    let stats = fleet.stats(&report);
+    (report, stats)
+}
+
+/// Packet-weighted mean per-packet latency over all switches, in ns.
+fn fleet_mean_ns(stats: &FleetStats) -> f64 {
+    let mut weighted = 0.0;
+    let mut packets = 0usize;
+    for s in &stats.switches {
+        weighted += s.mean_ns * s.packets as f64;
+        packets += s.packets;
+    }
+    weighted / (packets.max(1) as f64)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args();
+    banner("fleet serving throughput (BENCH_fleet.json)");
+
+    let dataset = ad_dataset(13);
+    let normalizer = dataset.fit_normalizer();
+    let normalized = dataset.normalized(&normalizer)?;
+    let ir = fleet_model();
+
+    // Scale sweep: 4 / 16 / 48 switches, same flow count, default
+    // 2-worker switches.
+    let mut scale_rows = Vec::new();
+    let mut mean_ns_small = 0.0;
+    for &(switches, leaves, spines) in &SCALES {
+        let topology = Topology::leaf_spine(leaves, spines)?;
+        assert_eq!(topology.len(), switches);
+        let flows = make_flows(&topology, normalized.features(), args.flows, args.rows);
+        let fleet = build_fleet(topology, &ir, 2);
+        let (report, stats) = run_fleet(&fleet, &flows);
+        fleet.shutdown();
+
+        let elapsed_s = report.elapsed_ns as f64 / 1e9;
+        let pps = report.classified_rows() as f64 / elapsed_s.max(f64::MIN_POSITIVE);
+        // Row accounting must close: every ingested row is either gated
+        // at some hop or delivered at the far edge.
+        let ingested = args.flows * args.rows;
+        let accounted: usize = report.flows.iter().map(|f| f.delivered + f.gated).sum();
+        assert_eq!(accounted, ingested, "fleet rows leak");
+        if switches == SCALES[0].0 {
+            mean_ns_small = fleet_mean_ns(&stats);
+        }
+        print_row(
+            &format!("{switches} switches"),
+            &format!(
+                "{pps:.0} pkt/s aggregate, fairness {:.3}",
+                stats.edge_fairness
+            ),
+            &format!("leaf_spine({leaves},{spines})"),
+        );
+        scale_rows.push(json!({
+            "switches": switches,
+            "topology": format!("leaf_spine({leaves},{spines})"),
+            "flows": args.flows,
+            "rows_per_flow": args.rows,
+            "classified_rows": report.classified_rows(),
+            "gated_rows": stats.gated_rows,
+            "forwarded_rows": stats.forwarded_rows,
+            "elapsed_s": elapsed_s,
+            "pkt_per_s": pps,
+            "edge_fairness": stats.edge_fairness,
+            // Hex string: JSON numbers are lossy above 2^53.
+            "checksum": format!("{:#018x}", report.checksum()),
+            "roles": stats.roles.iter().map(|r| json!({
+                "role": r.role.name(),
+                "switches": r.switches,
+                "packets": r.packets,
+                "forwarded": r.forwarded,
+                "gated": r.gated,
+            })).collect::<Vec<_>>(),
+        }));
+    }
+
+    // Bit determinism across per-switch worker shapes, on the smallest
+    // fabric: identical checksums or the bench fails.
+    let mut checksums = Vec::new();
+    for &workers in &DETERMINISM_WORKERS {
+        let topology = Topology::leaf_spine(SCALES[0].1, SCALES[0].2)?;
+        let flows = make_flows(&topology, normalized.features(), args.flows, args.rows);
+        let fleet = build_fleet(topology, &ir, workers);
+        let (report, _) = run_fleet(&fleet, &flows);
+        fleet.shutdown();
+        checksums.push(report.checksum());
+    }
+    assert!(
+        checksums.windows(2).all(|w| w[0] == w[1]),
+        "fleet verdicts diverged across worker shapes: {checksums:?}"
+    );
+    print_row(
+        "determinism 1/2/4 workers",
+        &format!("checksum {:#018x}", checksums[0]),
+        "bit-identical fleet verdicts",
+    );
+
+    // Calibrate measured wall-clock against the grid simulator's
+    // cycle-accurate latency for the same model.
+    let calibration = Calibration::against_grid(&ir, mean_ns_small)?;
+    print_row(
+        "calibration",
+        &format!(
+            "measured {:.0} ns vs simulated {:.0} ns (ratio {:.2})",
+            calibration.measured_mean_ns,
+            calibration.simulated_latency_ns,
+            calibration.wall_to_cycle_ratio
+        ),
+        "software wall-clock vs grid cycles",
+    );
+    assert!(
+        calibration.wall_to_cycle_ratio.is_finite() && calibration.wall_to_cycle_ratio > 0.0,
+        "calibration ratio must be a positive finite number"
+    );
+
+    let report = EmitterMeta::new("fleet_throughput", args.smoke).wrap(json!({
+        "model": "dnn 7-16-8-2 sigmoid",
+        "format": "Q3.12",
+        "gate_class": GATE_CLASS,
+        "scales": scale_rows,
+        "determinism": {
+            "worker_shapes": DETERMINISM_WORKERS.to_vec(),
+            "checksums": checksums
+                .iter()
+                .map(|c| format!("{c:#018x}"))
+                .collect::<Vec<_>>(),
+            "bit_identical": true,
+        },
+        "calibration": {
+            "measured_mean_ns": calibration.measured_mean_ns,
+            "simulated_latency_ns": calibration.simulated_latency_ns,
+            "wall_to_cycle_ratio": calibration.wall_to_cycle_ratio,
+        },
+    }));
+    let text = serde_json::to_string_pretty(&report)?;
+    std::fs::write(&args.out, &text)?;
+    println!("\nwrote {}", args.out);
+
+    // Self-check: the emitted file must parse back and carry the
+    // headline numbers (what `make bench-smoke` gates on).
+    let parsed: serde_json::Value = serde_json::from_str(&std::fs::read_to_string(&args.out)?)
+        .map_err(|e| format!("{}: invalid JSON: {e:?}", args.out))?;
+    let map = parsed
+        .as_object()
+        .unwrap_or_else(|| panic!("{}: expected a JSON object", args.out));
+    for key in ["scales", "determinism", "calibration"] {
+        assert!(map.contains_key(key), "{}: missing key {key}", args.out);
+    }
+    let scales = map["scales"].as_array().expect("scales is an array");
+    assert_eq!(scales.len(), SCALES.len());
+    for (entry, &(switches, _, _)) in scales.iter().zip(SCALES.iter()) {
+        let obj = entry.as_object().expect("scale entry is an object");
+        assert_eq!(obj["switches"].as_f64(), Some(switches as f64));
+        for key in ["pkt_per_s", "edge_fairness", "roles", "checksum"] {
+            assert!(obj.contains_key(key), "{}: scale missing {key}", args.out);
+        }
+    }
+    let determinism = map["determinism"].as_object().expect("determinism object");
+    assert_eq!(determinism["bit_identical"].as_bool(), Some(true));
+    println!("{} parses and carries all headline fields", args.out);
+
+    if args.smoke {
+        println!("smoke mode: workload too small for stable pkt/s; assertions limited");
+    }
+    Ok(())
+}

@@ -72,15 +72,35 @@ pub enum Algorithm {
     KMeans,
     /// CART decision tree.
     DecisionTree,
+    /// Bagged random forest (majority vote over CART trees).
+    RandomForest,
 }
 
 impl Algorithm {
-    /// All supported algorithms, in preference order.
+    /// The *default* candidate set, in preference order — what a
+    /// [`ModelSpec`] with no explicit algorithm list searches over.
+    ///
+    /// Random forests are deliberately **not** here: adding a family to
+    /// the default set would shift every BO RNG stream and silently
+    /// change long-pinned golden artifacts. Forests join a search only
+    /// when the spec opts in via
+    /// [`ModelSpecBuilder::algorithm`]`(Algorithm::RandomForest)`.
     pub const ALL: [Algorithm; 4] = [
         Algorithm::Dnn,
         Algorithm::Svm,
         Algorithm::DecisionTree,
         Algorithm::KMeans,
+    ];
+
+    /// Every family the compiler can search, train, and lower —
+    /// [`ALL`](Algorithm::ALL) plus the opt-in random forest. Name
+    /// decoding (checkpoints, artifacts) resolves over this set.
+    pub const EXTENDED: [Algorithm; 5] = [
+        Algorithm::Dnn,
+        Algorithm::Svm,
+        Algorithm::DecisionTree,
+        Algorithm::KMeans,
+        Algorithm::RandomForest,
     ];
 
     /// Lowercase name as used in Alchemy programs and reports.
@@ -90,12 +110,13 @@ impl Algorithm {
             Algorithm::Svm => "svm",
             Algorithm::KMeans => "kmeans",
             Algorithm::DecisionTree => "decision_tree",
+            Algorithm::RandomForest => "random_forest",
         }
     }
 
     /// The inverse of [`Algorithm::name`].
     pub fn from_name(name: &str) -> Option<Self> {
-        Algorithm::ALL.into_iter().find(|a| a.name() == name)
+        Algorithm::EXTENDED.into_iter().find(|a| a.name() == name)
     }
 }
 
@@ -501,6 +522,25 @@ mod tests {
             .unwrap();
         assert_eq!(m.name, "ad");
         assert_eq!(m.algorithms, vec![Algorithm::Dnn]);
+    }
+
+    #[test]
+    fn forest_is_extended_only() {
+        // The default set must stay frozen at four families — growing it
+        // would shift BO RNG streams and break golden artifact pins.
+        assert_eq!(Algorithm::ALL.len(), 4);
+        assert!(!Algorithm::ALL.contains(&Algorithm::RandomForest));
+        assert_eq!(Algorithm::EXTENDED.len(), 5);
+        assert!(Algorithm::EXTENDED.contains(&Algorithm::RandomForest));
+        assert_eq!(
+            Algorithm::from_name("random_forest"),
+            Some(Algorithm::RandomForest)
+        );
+        assert_eq!(Algorithm::RandomForest.name(), "random_forest");
+        // Every default family still round-trips through names.
+        for a in Algorithm::EXTENDED {
+            assert_eq!(Algorithm::from_name(a.name()), Some(a));
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::alchemy::{Algorithm, Metric, ModelSpec, Platform};
 use crate::{CoreError, Result};
-use homunculus_backends::model::{DnnIr, KMeansIr, ModelIr, SvmIr, TreeIr};
+use homunculus_backends::model::{DnnIr, ForestIr, KMeansIr, ModelIr, SvmIr, TreeIr};
 use homunculus_ml::mlp::MlpArchitecture;
 
 /// The smallest sensible IR of each family — used as the feasibility
@@ -28,6 +28,7 @@ pub fn minimal_ir(algorithm: Algorithm, n_features: usize, n_classes: usize) -> 
         )),
         Algorithm::KMeans => ModelIr::KMeans(KMeansIr::from_shape(1, n_features)),
         Algorithm::DecisionTree => ModelIr::Tree(TreeIr::from_shape(1, n_features, 2)),
+        Algorithm::RandomForest => ModelIr::Forest(ForestIr::from_shape(2, 1, n_features, 2)),
     }
 }
 
@@ -150,9 +151,24 @@ mod tests {
 
     #[test]
     fn minimal_irs_are_valid() {
-        for algorithm in Algorithm::ALL {
+        for algorithm in Algorithm::EXTENDED {
             let ir = minimal_ir(algorithm, 7, 2);
             assert!(ir.validate().is_ok(), "{algorithm:?}");
         }
+    }
+
+    #[test]
+    fn forest_requires_explicit_opt_in() {
+        // Default search never proposes forests...
+        let c = candidate_algorithms(&ad_spec(Metric::F1), &Platform::taurus()).unwrap();
+        assert!(!c.contains(&Algorithm::RandomForest));
+        // ...but an explicit spec admits them through the pre-filter.
+        let spec = ModelSpec::builder("ad")
+            .algorithm(Algorithm::RandomForest)
+            .data(NslKddGenerator::new(0).generate(100))
+            .build()
+            .unwrap();
+        let c = candidate_algorithms(&spec, &Platform::taurus()).unwrap();
+        assert_eq!(c, vec![Algorithm::RandomForest]);
     }
 }

@@ -19,7 +19,7 @@ use homunculus_ml::quantize::FixedPoint;
 use homunculus_optimizer::space::Configuration;
 use homunculus_optimizer::OptimizationHistory;
 use homunculus_runtime::{
-    Compile, CompiledPipeline, Deployment, DeploymentBuilder, PipelineServer,
+    Compile, CompiledPipeline, Deployment, DeploymentBuilder, PipelineServer, TenantId,
 };
 use serde::{Deserialize, Serialize};
 use serde_json::{json, ToJson, Value};
@@ -672,6 +672,48 @@ impl CompiledArtifact {
                 })?;
         }
         Ok(deployment)
+    }
+
+    /// Registers a *subset* of this artifact's winning models on an
+    /// existing deployment — the placement primitive for serving tiers
+    /// that draw different tenant sets from one or more artifacts (e.g.
+    /// edge switches serving one artifact's anomaly detector while core
+    /// switches serve another's traffic classifier). Returns the minted
+    /// tenant ids in `names` order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Subsystem`] when a name matches no report or
+    /// the deployment rejects a registration (e.g. a duplicate tenant
+    /// name from a previously placed artifact).
+    pub fn deploy_models(&self, deployment: &Deployment, names: &[&str]) -> Result<Vec<TenantId>> {
+        let mut tenants = Vec::with_capacity(names.len());
+        for &name in names {
+            let report = self
+                .reports
+                .iter()
+                .find(|r| r.name == name)
+                .ok_or_else(|| {
+                    CoreError::Subsystem(format!(
+                        "artifact has no model named '{name}' (available: {})",
+                        self.reports
+                            .iter()
+                            .map(|r| r.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ))
+                })?;
+            let tenant = deployment
+                .add_model(
+                    &report.name,
+                    &report.ir,
+                    report.format,
+                    Some(report.normalizer.clone()),
+                )
+                .map_err(|e| CoreError::Subsystem(format!("placing model '{name}' failed: {e}")))?;
+            tenants.push(tenant);
+        }
+        Ok(tenants)
     }
 }
 

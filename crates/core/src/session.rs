@@ -1162,6 +1162,30 @@ fn verify_models(ctx: &Ctx<'_>, models: &[CheckedModel], word_bits: u32) -> Resu
     }
 }
 
+/// Appends the analyzer's kernel certificates to generated code as
+/// trailing `//` comments (both Spatial and P4 use C-style comments).
+/// One line per kernel: its interval-analysis absolute bound and the
+/// headroom factor left before the fixed-point format saturates.
+fn append_certificate_comments(
+    mut code: String,
+    certificates: &[homunculus_analysis::KernelCertificate],
+) -> String {
+    if certificates.is_empty() {
+        return code;
+    }
+    if !code.ends_with('\n') {
+        code.push('\n');
+    }
+    code.push_str("// --- static analysis certificates ---\n");
+    for certificate in certificates {
+        code.push_str(&format!(
+            "// certificate kernel=\"{}\" certified={} abs_bound={} headroom={:.2}\n",
+            certificate.kernel, certificate.certified, certificate.abs_bound, certificate.headroom,
+        ));
+    }
+    code
+}
+
 /// One model with its final resource estimate and feasibility verdict.
 pub struct CheckedModel {
     model: TrainedModel,
@@ -1238,7 +1262,6 @@ impl Feasible<'_> {
             {
                 let name = model.name.clone();
                 let report = ctx.staged(CompileStage::Codegen, Some(&name), || {
-                    let code = target.as_target().generate_code(&model.ir, &model.name)?;
                     // Lower the winner to the integer runtime — the
                     // executable twin of the generated data-plane code. A
                     // trained IR always lowers; failure would indicate an
@@ -1247,6 +1270,20 @@ impl Feasible<'_> {
                     // format is recorded on the report so save/load and
                     // the serving builders re-lower identically.
                     let format = FixedPoint::taurus_default();
+                    let mut code = target.as_target().generate_code(&model.ir, &model.name)?;
+                    // Stamp the analyzer's per-kernel no-saturation
+                    // certificates into the generated program: operators
+                    // reviewing data-plane code see the proven value
+                    // bounds next to the kernels they bound.
+                    let analysis =
+                        homunculus_analysis::analyze_model(&homunculus_analysis::ModelInput {
+                            name: &name,
+                            ir: &model.ir,
+                            format,
+                            normalizer: Some(&model.normalizer),
+                            word_bits: Some(target.as_target().word_bits()),
+                        });
+                    code = append_certificate_comments(code, &analysis.certificates);
                     let compiled = model.ir.compile(format).ok();
                     Ok(ModelReport {
                         name: model.name,

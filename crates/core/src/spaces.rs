@@ -57,6 +57,14 @@ pub fn design_space_for(
             space.add("depth", Parameter::integer(1, 10))?;
             space.add("min_leaf", Parameter::integer(1, 8))?;
         }
+        Algorithm::RandomForest => {
+            // Each tree lowers to its own table program, so ensemble
+            // size is the first-order resource knob; depth is kept
+            // shallower than a lone tree's since votes smooth variance.
+            space.add("n_trees", Parameter::integer(2, 12))?;
+            space.add("depth", Parameter::integer(1, 8))?;
+            space.add("min_leaf", Parameter::integer(1, 8))?;
+        }
     }
     Ok(space)
 }
@@ -164,6 +172,14 @@ mod tests {
         assert_eq!(tree.len(), 2);
         let km = design_space_for(Algorithm::KMeans, &s, &Platform::tofino()).unwrap();
         assert_eq!(km.len(), 1);
+    }
+
+    #[test]
+    fn forest_space_has_expected_parameters() {
+        let space =
+            design_space_for(Algorithm::RandomForest, &spec(), &Platform::taurus()).unwrap();
+        let names: Vec<&String> = space.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["n_trees", "depth", "min_leaf"]);
     }
 
     #[test]

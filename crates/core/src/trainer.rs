@@ -10,8 +10,9 @@
 use crate::alchemy::{Algorithm, Metric};
 use crate::spaces::{decode_dnn_architecture, decode_dnn_training};
 use crate::{CoreError, Result};
-use homunculus_backends::model::{DnnIr, KMeansIr, ModelIr, SvmIr, TreeIr};
+use homunculus_backends::model::{DnnIr, ForestIr, KMeansIr, ModelIr, SvmIr, TreeIr};
 use homunculus_datasets::dataset::{Dataset, Normalizer, Split};
+use homunculus_ml::forest::{ForestConfig, RandomForestClassifier};
 use homunculus_ml::kmeans::{KMeans, KMeansConfig};
 use homunculus_ml::metrics::{accuracy, f1_binary, f1_macro, v_measure};
 use homunculus_ml::mlp::Mlp;
@@ -128,6 +129,7 @@ pub fn train_candidate(
         Algorithm::Svm => train_svm(config, split, metric, budget),
         Algorithm::KMeans => train_kmeans(config, split, metric, budget),
         Algorithm::DecisionTree => train_tree(config, split, metric, budget),
+        Algorithm::RandomForest => train_forest(config, split, metric, budget),
     }
 }
 
@@ -262,6 +264,50 @@ fn train_tree(
     })
 }
 
+fn train_forest(
+    config: &Configuration,
+    split: &Split,
+    metric: Metric,
+    budget: TrainBudget,
+) -> Result<TrainedCandidate> {
+    let n_classes = split.train.n_classes();
+    let n_trees = config
+        .integer("n_trees")
+        .ok_or_else(|| CoreError::Subsystem("forest config missing n_trees".into()))?
+        as usize;
+    let depth = config
+        .integer("depth")
+        .ok_or_else(|| CoreError::Subsystem("forest config missing depth".into()))?
+        as usize;
+    let min_leaf = config
+        .integer("min_leaf")
+        .ok_or_else(|| CoreError::Subsystem("forest config missing min_leaf".into()))?
+        as usize;
+    let forest_config = ForestConfig {
+        n_trees,
+        tree: TreeConfig {
+            max_depth: depth,
+            min_samples_leaf: min_leaf,
+            seed: budget.seed,
+            ..TreeConfig::default()
+        },
+        sample_fraction: 1.0,
+        seed: budget.seed,
+    };
+    let model = RandomForestClassifier::fit(
+        split.train.features(),
+        split.train.labels(),
+        n_classes,
+        &forest_config,
+    )?;
+    let pred = model.predict(split.test.features());
+    let objective = score(metric, n_classes, split.test.labels(), &pred)?;
+    Ok(TrainedCandidate {
+        ir: ModelIr::Forest(ForestIr::from_forest(&model)),
+        objective,
+    })
+}
+
 /// Normalizes a dataset split (fit on train, apply to both) — the shared
 /// preprocessing every candidate sees.
 ///
@@ -378,6 +424,27 @@ mod tests {
         match &c.ir {
             ModelIr::Tree(t) => assert!(t.depth <= depth_cap.max(1)),
             other => panic!("expected tree ir, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forest_candidate_bounded_shape() {
+        let split = ad_split();
+        let space =
+            design_space_for(Algorithm::RandomForest, &ad_spec(), &Platform::taurus()).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let config = space.sample(&mut rng);
+        let n_trees = config.integer("n_trees").unwrap() as usize;
+        let depth_cap = config.integer("depth").unwrap() as usize;
+        let c =
+            train_candidate(Algorithm::RandomForest, &config, &split, Metric::F1, BUDGET).unwrap();
+        assert!((0.0..=1.0).contains(&c.objective));
+        match &c.ir {
+            ModelIr::Forest(f) => {
+                assert_eq!(f.trees.len(), n_trees);
+                assert!(f.depth() <= depth_cap.max(1));
+            }
+            other => panic!("expected forest ir, got {other:?}"),
         }
     }
 

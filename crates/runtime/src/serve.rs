@@ -121,6 +121,72 @@ impl TenantBatch {
         self.oracle = Some(oracle);
         self
     }
+
+    /// Builds a batch from owned feature rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Serve`] for empty or ragged rows.
+    pub fn from_rows(tenant: TenantId, rows: &[Vec<f32>]) -> Result<Self> {
+        let features =
+            Matrix::from_rows(rows).map_err(|e| RuntimeError::Serve(format!("batch rows: {e}")))?;
+        Ok(TenantBatch::new(tenant, features))
+    }
+
+    /// Builds the next-hop batch of a *chained* submission: the rows that
+    /// survived an upstream model plus that model's per-row verdicts as a
+    /// trailing tag feature — the serving-side form of the paper's
+    /// `a > b` model chaining.
+    ///
+    /// The downstream model declares its expectation through
+    /// `expected_cols` (its input width): when it equals the row width the
+    /// tags are dropped (the model was trained without a tag column);
+    /// when it equals row width + 1 each row is extended with its tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Serve`] when rows are empty or ragged,
+    /// when `tags` is not parallel to `rows`, or when `expected_cols`
+    /// matches neither the raw nor the tag-extended width.
+    pub fn chained(
+        tenant: TenantId,
+        rows: &[Vec<f32>],
+        tags: &[f32],
+        expected_cols: usize,
+    ) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(RuntimeError::Serve("chained batch has no rows".into()));
+        }
+        if tags.len() != rows.len() {
+            return Err(RuntimeError::Serve(format!(
+                "chained batch has {} rows but {} tags",
+                rows.len(),
+                tags.len()
+            )));
+        }
+        let cols = rows[0].len();
+        if expected_cols == cols {
+            return TenantBatch::from_rows(tenant, rows);
+        }
+        if expected_cols == cols + 1 {
+            let tagged: Vec<Vec<f32>> = rows
+                .iter()
+                .zip(tags)
+                .map(|(row, &tag)| {
+                    let mut extended = Vec::with_capacity(cols + 1);
+                    extended.extend_from_slice(row);
+                    extended.push(tag);
+                    extended
+                })
+                .collect();
+            return TenantBatch::from_rows(tenant, &tagged);
+        }
+        Err(RuntimeError::Serve(format!(
+            "chained batch width {cols} (or {} tagged) does not match the \
+             downstream model's {expected_cols} features",
+            cols + 1
+        )))
+    }
 }
 
 /// Worker-pool knobs for [`PipelineServer::serve`].
@@ -635,6 +701,48 @@ mod tests {
         Matrix::from_fn(rows, cols, |r, c| {
             ((r * 13 + c * 7 + seed as usize * 3) % 29) as f32 / 29.0 - 0.5
         })
+    }
+
+    #[test]
+    fn chained_batches_adapt_to_downstream_width() {
+        let mut server = PipelineServer::new();
+        let raw = server
+            .register_model("raw", &dnn_ir(3, 1, Activation::Relu), q(), None)
+            .unwrap();
+        let tagged = server
+            .register_model("tagged", &dnn_ir(4, 2, Activation::Relu), q(), None)
+            .unwrap();
+        let rows = vec![vec![0.1, 0.2, 0.3], vec![0.4, 0.5, 0.6]];
+        let tags = vec![1.0, 0.0];
+
+        // Same width: tags dropped, features forwarded untouched.
+        let batch = TenantBatch::chained(raw, &rows, &tags, 3).unwrap();
+        assert_eq!(batch.features.shape(), (2, 3));
+        assert_eq!(batch.features.row(0), &[0.1, 0.2, 0.3]);
+
+        // Width + 1: each row gains its tag as the trailing feature.
+        let batch = TenantBatch::chained(tagged, &rows, &tags, 4).unwrap();
+        assert_eq!(batch.features.shape(), (2, 4));
+        assert_eq!(batch.features.row(0), &[0.1, 0.2, 0.3, 1.0]);
+        assert_eq!(batch.features.row(1), &[0.4, 0.5, 0.6, 0.0]);
+
+        // Anything else is a serve error, as are ragged/empty inputs.
+        assert!(matches!(
+            TenantBatch::chained(raw, &rows, &tags, 7),
+            Err(RuntimeError::Serve(_))
+        ));
+        assert!(matches!(
+            TenantBatch::chained(raw, &rows, &[1.0], 3),
+            Err(RuntimeError::Serve(_))
+        ));
+        assert!(matches!(
+            TenantBatch::chained(raw, &[], &[], 3),
+            Err(RuntimeError::Serve(_))
+        ));
+        assert!(matches!(
+            TenantBatch::from_rows(raw, &[vec![1.0], vec![1.0, 2.0]]),
+            Err(RuntimeError::Serve(_))
+        ));
     }
 
     #[test]

@@ -36,6 +36,11 @@
 //!   as the `homunculus-analyze` CLI, an opt-in compile-session gate, and
 //!   a validation hook on artifact loads.
 //! - [`sim`] — cycle-level MapReduce-grid and MAT-pipeline simulators.
+//! - [`fleet`] — fleet-scale serving: deterministic fat-tree/leaf–spine
+//!   topology generation, one persistent deployment per switch with
+//!   role-based tenant placement, a pipelined hop-by-hop flow router
+//!   whose verdicts gate or re-tag flows between hops, and per-switch /
+//!   per-role / fleet-wide stats with wall-clock-vs-cycle calibration.
 //! - [`core`] — the Alchemy DSL and the compiler itself: a **staged
 //!   `Compiler` session** whose typed handles expose every phase of a
 //!   compile.
@@ -116,6 +121,7 @@ pub use homunculus_backends as backends;
 pub use homunculus_core as core;
 pub use homunculus_dataplane as dataplane;
 pub use homunculus_datasets as datasets;
+pub use homunculus_fleet as fleet;
 pub use homunculus_ml as ml;
 pub use homunculus_optimizer as optimizer;
 pub use homunculus_runtime as runtime;

@@ -1,0 +1,133 @@
+//! Generated data-plane programs carry the analyzer's no-saturation
+//! certificates as trailing comments: presence, one line per kernel,
+//! and values bit-identical to an independent `analyze_model` run.
+
+use std::sync::OnceLock;
+
+use homunculus::analysis::{analyze_model, ModelInput};
+use homunculus::backends::model::ModelIr;
+use homunculus::backends::spatial::is_balanced;
+use homunculus::core::alchemy::{Algorithm, Metric, ModelSpec, Platform};
+use homunculus::core::pipeline::{CompiledArtifact, CompilerOptions};
+use homunculus::core::session::Compiler;
+use homunculus::datasets::nslkdd::NslKddGenerator;
+
+const MARKER: &str = "// --- static analysis certificates ---";
+
+fn compile(algorithm: Algorithm) -> CompiledArtifact {
+    let spec = ModelSpec::builder("ad")
+        .optimization_metric(Metric::F1)
+        .algorithm(algorithm)
+        .data(NslKddGenerator::new(1).generate(400))
+        .build()
+        .unwrap();
+    let mut platform = Platform::taurus();
+    platform.schedule(spec).unwrap();
+    let options = CompilerOptions::fast().bo_budget(3).seed(0);
+    Compiler::new(options)
+        .open(&platform)
+        .unwrap()
+        .compile()
+        .unwrap()
+}
+
+fn dnn_artifact() -> &'static CompiledArtifact {
+    static ARTIFACT: OnceLock<CompiledArtifact> = OnceLock::new();
+    ARTIFACT.get_or_init(|| compile(Algorithm::Dnn))
+}
+
+/// The exact comment lines `analyze_model` would stamp for a report —
+/// recomputed independently of the compile session.
+fn expected_lines(artifact: &CompiledArtifact) -> Vec<String> {
+    let report = artifact.best();
+    let target = Platform::taurus().effective_target();
+    let analysis = analyze_model(&ModelInput {
+        name: &report.name,
+        ir: &report.ir,
+        format: report.format,
+        normalizer: Some(&report.normalizer),
+        word_bits: Some(target.as_target().word_bits()),
+    });
+    analysis
+        .certificates
+        .iter()
+        .map(|c| {
+            format!(
+                "// certificate kernel=\"{}\" certified={} abs_bound={} headroom={:.2}",
+                c.kernel, c.certified, c.abs_bound, c.headroom,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn generated_code_carries_certificate_comments() {
+    let artifact = dnn_artifact();
+    let code = &artifact.best().code;
+    assert!(
+        code.contains(MARKER),
+        "certificate block missing from generated code:\n{code}"
+    );
+    let expected = expected_lines(artifact);
+    assert!(!expected.is_empty(), "a trained DNN has dense kernels");
+    for line in &expected {
+        assert!(
+            code.lines().any(|l| l == line),
+            "missing certificate line {line:?} in:\n{code}"
+        );
+    }
+    // The block sits after the program proper and does not unbalance it.
+    assert!(is_balanced(code), "unbalanced code:\n{code}");
+    let marker_at = code.find(MARKER).unwrap();
+    assert!(is_balanced(&code[..marker_at]), "program truncated early");
+    // Every expected line appears exactly once, and nothing else claims
+    // to be a certificate.
+    let stamped = code
+        .lines()
+        .filter(|l| l.starts_with("// certificate kernel="))
+        .count();
+    assert_eq!(stamped, expected.len());
+}
+
+#[test]
+fn certified_kernels_report_headroom_within_range() {
+    let artifact = dnn_artifact();
+    let report = artifact.best();
+    let target = Platform::taurus().effective_target();
+    let analysis = analyze_model(&ModelInput {
+        name: &report.name,
+        ir: &report.ir,
+        format: report.format,
+        normalizer: Some(&report.normalizer),
+        word_bits: Some(target.as_target().word_bits()),
+    });
+    for c in &analysis.certificates {
+        assert_eq!(
+            c.certified,
+            c.abs_bound <= i64::from(i32::MAX),
+            "certification must match the bound: {c:?}"
+        );
+        assert!(c.headroom >= 0.0);
+        // The comment renders two decimals; a trained small DNN should
+        // be comfortably certified, not balanced on the edge.
+        if c.certified {
+            assert!(c.headroom <= 1.0, "{c:?}");
+        }
+    }
+}
+
+#[test]
+fn forest_compiles_end_to_end_with_certificates() {
+    // The opt-in fifth family flows through search, training, codegen,
+    // and the certificate stamp like any other algorithm.
+    let artifact = compile(Algorithm::RandomForest);
+    let report = artifact.best();
+    assert_eq!(report.algorithm, Algorithm::RandomForest);
+    assert!(matches!(report.ir, ModelIr::Forest(_)));
+    assert!(report.compiled.is_some(), "forest lowers to the runtime");
+    assert!(
+        report.code.contains(MARKER),
+        "forest code missing certificates:\n{}",
+        report.code
+    );
+}
